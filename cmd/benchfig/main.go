@@ -1,0 +1,107 @@
+// Command benchfig regenerates the paper's figures as text tables.
+//
+//	benchfig -fig 2             time-series compression (Figure 2)
+//	benchfig -fig 7             federated strategy demonstration (Figure 7)
+//	benchfig -fig 14            remote materialization benefit (Figure 14)
+//	benchfig -fig 15            materialization overhead (Figure 15)
+//	benchfig -fig all           everything
+//
+// Flags -sf and -jobstartup scale the federated TPC-H experiment; the
+// paper used SF 1 on a real 7-node cluster, this reproduction defaults to
+// SF 0.05 on the in-process simulation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hana/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 7, 14, 15, all")
+	sf := flag.Float64("sf", 0.05, "TPC-H scale factor for fig 14/15")
+	jobStartup := flag.Duration("jobstartup", 15*time.Millisecond,
+		"simulated map-reduce job submission overhead")
+	points := flag.Int("points", 1<<20, "points for the fig 2 series")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "fig %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("2", func() error {
+		r, err := bench.RunFig2(*points)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatFig2(r))
+		return nil
+	})
+
+	run("7", func() error {
+		dir, err := os.MkdirTemp("", "hana-fig7-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		r, err := bench.RunFig7(dir, 200000)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 7 — Federated query processing strategies")
+		fmt.Println("Query: SELECT d_name, SUM(f_val) FROM dim, fact WHERE d_key = f_key AND d_name = 'dim-0042' GROUP BY d_name")
+		fmt.Println("(dim: 1000 rows in-memory; fact: 200000 rows in extended storage)")
+		fmt.Println()
+		fmt.Print(r.Plan)
+		fmt.Printf("\nsemijoin strategies chosen: %d, extended-store chunks skipped: %d, result: %.0f\n",
+			r.SemiJoinsChosen, r.ChunksSkipped, r.Result)
+		return nil
+	})
+
+	var figRows []bench.Fig14Row
+	runFederation := func() error {
+		if figRows != nil {
+			return nil
+		}
+		dir, err := os.MkdirTemp("", "hana-fig14-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		fmt.Fprintf(os.Stderr, "setting up federated TPC-H at SF %.3f (job startup %v)...\n", *sf, *jobStartup)
+		fed, err := bench.SetupFederation(bench.FederationConfig{
+			SF: *sf, JobStartup: *jobStartup, ExtDir: dir,
+		})
+		if err != nil {
+			return err
+		}
+		defer fed.Close()
+		fmt.Fprintf(os.Stderr, "running the 12 queries (normal / materializing / cached)...\n")
+		figRows, err = fed.RunFig14()
+		return err
+	}
+
+	run("14", func() error {
+		if err := runFederation(); err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatFig14(figRows))
+		return nil
+	})
+	run("15", func() error {
+		if err := runFederation(); err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatFig15(figRows))
+		return nil
+	})
+}

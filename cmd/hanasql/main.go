@@ -1,0 +1,157 @@
+// Command hanasql is an interactive SQL shell against a platform engine
+// instance — the stand-in for the SAP HANA Studio SQL console. Statements
+// are read from stdin (or a script file with -f), executed, and results
+// printed as aligned tables. EXPLAIN <select> prints the federated plan.
+//
+// Usage:
+//
+//	hanasql [-ext DIR] [-f script.sql]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hana/internal/engine"
+	"hana/internal/hive"
+	"hana/internal/value"
+)
+
+func main() {
+	extDir := flag.String("ext", "", "extended storage directory (default: temp)")
+	script := flag.String("f", "", "execute a script file and exit")
+	flag.Parse()
+
+	e := engine.New(engine.Config{ExtendedStorageDir: *extDir, EnableRemoteCache: true})
+	e.Registry().Register("hiveodbc", hive.NewAdapterFactory())
+	e.Registry().Register("hadoop", hive.NewHadoopAdapterFactory())
+
+	if *script != "" {
+		data, err := os.ReadFile(*script)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := runStatements(e, string(data)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Println("hanasql — type SQL statements terminated by ';', or \\q to quit")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Print("sql> ")
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == `\q` {
+			return
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			if err := runStatements(e, buf.String()); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			}
+			buf.Reset()
+		}
+		fmt.Print("sql> ")
+	}
+}
+
+func runStatements(e *engine.Engine, sql string) error {
+	for _, stmt := range splitStatements(sql) {
+		res, err := e.Execute(stmt)
+		if err != nil {
+			return err
+		}
+		printResult(os.Stdout, res)
+	}
+	return nil
+}
+
+// splitStatements separates on semicolons outside string literals.
+func splitStatements(sql string) []string {
+	var out []string
+	var cur strings.Builder
+	inStr := false
+	for i := 0; i < len(sql); i++ {
+		c := sql[i]
+		if c == '\'' {
+			inStr = !inStr
+		}
+		if c == ';' && !inStr {
+			if s := strings.TrimSpace(cur.String()); s != "" {
+				out = append(out, s)
+			}
+			cur.Reset()
+			continue
+		}
+		cur.WriteByte(c)
+	}
+	if s := strings.TrimSpace(cur.String()); s != "" {
+		out = append(out, s)
+	}
+	return out
+}
+
+func printResult(w *os.File, res *engine.Result) {
+	if res.Plan != "" && res.Schema == nil && len(res.Rows) == 0 && res.Message == "explained" {
+		fmt.Fprintln(w, res.Plan)
+		return
+	}
+	if res.Schema == nil || res.Schema.Len() == 0 {
+		if res.Message != "" {
+			fmt.Fprintln(w, res.Message)
+		} else {
+			fmt.Fprintf(w, "%d row(s) affected\n", res.Affected)
+		}
+		return
+	}
+	names := res.Schema.Names()
+	widths := make([]int, len(names))
+	for i, n := range names {
+		widths[i] = len(n)
+	}
+	cells := make([][]string, len(res.Rows))
+	for r, row := range res.Rows {
+		cells[r] = make([]string, len(row))
+		for c, v := range row {
+			s := renderCell(v)
+			cells[r][c] = s
+			if len(s) > widths[c] {
+				widths[c] = len(s)
+			}
+		}
+	}
+	line := func(parts []string) {
+		for i, p := range parts {
+			fmt.Fprintf(w, "| %-*s ", widths[i], p)
+		}
+		fmt.Fprintln(w, "|")
+	}
+	sep := "+"
+	for _, wd := range widths {
+		sep += strings.Repeat("-", wd+2) + "+"
+	}
+	fmt.Fprintln(w, sep)
+	line(names)
+	fmt.Fprintln(w, sep)
+	for _, row := range cells {
+		line(row)
+	}
+	fmt.Fprintln(w, sep)
+	fmt.Fprintf(w, "%d row(s)\n", len(res.Rows))
+}
+
+func renderCell(v value.Value) string {
+	if v.IsNull() {
+		return "NULL"
+	}
+	return v.String()
+}

@@ -1,0 +1,13 @@
+// Package hana is a from-scratch reproduction of the data platform
+// described in "SAP HANA — From Relational OLAP Database to Big Data
+// Infrastructure" (EDBT 2015): an in-memory columnar SQL engine with a
+// disk-based extended storage tier, an event stream processor, a simulated
+// Hadoop stack (HDFS, map-reduce, Hive), and the Smart Data Access
+// federation layer with remote materialization.
+//
+// The implementation lives under internal/; the runnable surfaces are the
+// commands in cmd/ (hanasql, platformctl, benchfig), the examples/ programs
+// and the benchmarks in bench_test.go, which regenerate the paper's
+// figures. See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// the paper-versus-measured comparison.
+package hana

@@ -1,0 +1,144 @@
+// Warranty: the automotive predictive-maintenance project of §4.1. Raw
+// diagnosis read-outs live in HDFS behind Hive; condensed sales facts live
+// in the HANA engine. Hive extracts twelve months of read-outs for one car
+// series through SDA, the predictive analysis library mines association
+// rules with the apriori algorithm, and the derived model classifies new
+// read-outs as warranty candidates in real time.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strings"
+
+	"hana/internal/engine"
+	"hana/internal/hdfs"
+	"hana/internal/hive"
+	"hana/internal/mapreduce"
+	"hana/internal/pal"
+	"hana/internal/value"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "hana-warranty-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Hadoop side: the raw diagnosis read-outs (paper: "diagnosis read-outs
+	// on cars, support escalations, warranty claims").
+	cluster := hdfs.NewCluster(5, hdfs.WithBlockSize(256<<10), hdfs.WithReplication(3))
+	ms := hive.NewMetastore(cluster, "/warehouse")
+	mr := mapreduce.NewEngine(cluster, mapreduce.Config{MapSlots: 16, ReduceSlots: 8})
+	srv := hive.NewServer("hivewarranty", ms, mr)
+	hive.RegisterServer(srv)
+	defer hive.UnregisterServer(srv.Host)
+
+	readoutSchema := value.NewSchema(
+		value.Column{Name: "vin", Kind: value.KindInt},
+		value.Column{Name: "series", Kind: value.KindVarchar},
+		value.Column{Name: "month", Kind: value.KindInt},
+		value.Column{Name: "codes", Kind: value.KindVarchar}, // comma-separated diagnostic codes
+		value.Column{Name: "claim", Kind: value.KindBool},
+	)
+	if _, err := ms.CreateTable("readouts", readoutSchema, false); err != nil {
+		log.Fatal(err)
+	}
+
+	// Synthetic read-outs: code pair P0301+P0171 strongly predicts claims.
+	rng := rand.New(rand.NewSource(41))
+	var rows []value.Row
+	for vin := 1; vin <= 4000; vin++ {
+		series := "S300"
+		if vin%3 == 0 {
+			series = "S500"
+		}
+		codes := []string{fmt.Sprintf("code%02d", rng.Intn(25))}
+		claim := rng.Float64() < 0.03
+		if rng.Float64() < 0.25 {
+			codes = append(codes, "P0301", "P0171")
+			claim = rng.Float64() < 0.88
+		}
+		rows = append(rows, value.Row{
+			value.NewInt(int64(vin)), value.NewString(series),
+			value.NewInt(int64(1 + rng.Intn(12))),
+			value.NewString(strings.Join(codes, ",")),
+			value.NewBool(claim),
+		})
+	}
+	if err := ms.LoadRows("readouts", rows, 4); err != nil {
+		log.Fatal(err)
+	}
+	ti, _ := ms.Table("readouts")
+	fmt.Printf("Hadoop cluster: %d nodes, readouts table: %d rows in %d files\n",
+		cluster.NumNodes(), ti.RowCount, ti.Files)
+
+	// HANA side: federate the read-outs through SDA.
+	db := engine.New(engine.Config{ExtendedStorageDir: dir})
+	db.Registry().Register("hiveodbc", hive.NewAdapterFactory())
+	must := func(sql string) *engine.Result {
+		res, err := db.Execute(sql)
+		if err != nil {
+			log.Fatalf("%s -> %v", sql, err)
+		}
+		return res
+	}
+	must(`CREATE REMOTE SOURCE HIVEW ADAPTER "hiveodbc" CONFIGURATION 'DSN=hivewarranty'
+		WITH CREDENTIAL TYPE 'PASSWORD' USING 'user=dfuser;password=dfpass'`)
+	must(`CREATE VIRTUAL TABLE V_READOUTS AT "HIVEW"."dflo"."dflo"."readouts"`)
+
+	// "Using Hive, we extracted data from twelve months data for a specific
+	// car series and made it available to the SAP HANA database server."
+	res := must(`SELECT codes, claim FROM V_READOUTS WHERE series = 'S300' AND month <= 12`)
+	fmt.Printf("extracted %d S300 read-outs via Hive (map-reduce jobs run: %d)\n",
+		len(res.Rows), mr.JobsRun.Load())
+
+	// Mine association rules with the PAL apriori implementation.
+	var txns []pal.Transaction
+	for _, r := range res.Rows {
+		t := pal.Transaction(strings.Split(r[0].S, ","))
+		if r[1].Bool() {
+			t = append(t, "WARRANTY_CLAIM")
+		}
+		txns = append(txns, t)
+	}
+	rules, err := pal.Apriori(txns, pal.AprioriParams{
+		MinSupport: 0.02, MinConfidence: 0.8, MaxItemsetLen: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("apriori discovered %d rules with confidence between 80%% and 100%%\n", len(rules))
+	shown := 0
+	for _, r := range rules {
+		if r.Consequent == "WARRANTY_CLAIM" && shown < 3 {
+			fmt.Printf("  %s\n", r)
+			shown++
+		}
+	}
+
+	// "The derived models then were used to classify new readouts as
+	// warranty candidates in real-time in the SAP HANA database."
+	clf := pal.NewClassifier(rules, "WARRANTY_CLAIM")
+	fmt.Printf("classifier holds %d warranty rules\n", clf.NumRules())
+	newReadouts := []pal.Transaction{
+		{"code07"},
+		{"code04", "P0301", "P0171"},
+		{"P0301"},
+	}
+	for _, ro := range newReadouts {
+		score, rule := clf.Score(ro)
+		verdict := "ok"
+		if score >= 0.8 {
+			verdict = "WARRANTY CANDIDATE"
+		}
+		fmt.Printf("  readout [%-22s] score %.2f → %s", strings.Join(ro, ","), score, verdict)
+		if rule != nil {
+			fmt.Printf("  (rule %s)", rule)
+		}
+		fmt.Println()
+	}
+}

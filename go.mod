@@ -1,0 +1,3 @@
+module hana
+
+go 1.22

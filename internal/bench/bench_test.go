@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig14AllQueriesExecute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("federated TPC-H run")
+	}
+	fed, err := SetupFederation(FederationConfig{SF: 0.005, ExtDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fed.Close()
+	rows, err := fed.RunFig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("queries run = %d", len(rows))
+	}
+	byQ := map[int]Fig14Row{}
+	for _, r := range rows {
+		byQ[r.Q] = r
+	}
+	// Shape assertions against the paper: fully-federated queries (no local
+	// joins) gain more than mixed queries, and every query gains something.
+	fullShip := []int{1, 3, 4, 6, 12, 13, 18}
+	mixed := []int{5, 10, 14, 16, 19}
+	var fullAvg, mixedAvg float64
+	for _, q := range fullShip {
+		if byQ[q].BenefitPct <= 0 {
+			t.Errorf("Q%d benefit = %.1f%%, want > 0", q, byQ[q].BenefitPct)
+		}
+		fullAvg += byQ[q].BenefitPct
+	}
+	for _, q := range mixed {
+		mixedAvg += byQ[q].BenefitPct
+	}
+	fullAvg /= float64(len(fullShip))
+	mixedAvg /= float64(len(mixed))
+	if fullAvg <= mixedAvg {
+		t.Errorf("fully-shipped avg benefit %.1f%% must exceed mixed %.1f%%", fullAvg, mixedAvg)
+	}
+	// Sanity on result sizes: Q1 has at most 6 groups, Q10 is limited to 20.
+	if byQ[1].Rows == 0 || byQ[1].Rows > 6 {
+		t.Errorf("Q1 rows = %d", byQ[1].Rows)
+	}
+	if byQ[10].Rows > 20 {
+		t.Errorf("Q10 rows = %d", byQ[10].Rows)
+	}
+	t.Log("\n" + FormatFig14(rows))
+	t.Log("\n" + FormatFig15(rows))
+}
+
+func TestFig2Compression(t *testing.T) {
+	r, err := RunFig2(200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VsRow < 10 {
+		t.Errorf("vs row = %.1fx, paper claims >10x", r.VsRow)
+	}
+	if r.VsColumnar < 3 {
+		t.Errorf("vs columnar = %.1fx, paper claims >3x", r.VsColumnar)
+	}
+	t.Log("\n" + FormatFig2(r))
+}
+
+func TestFig7SemijoinStrategy(t *testing.T) {
+	r, err := RunFig7(t.TempDir(), 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SemiJoinsChosen == 0 {
+		t.Errorf("semijoin strategy not chosen:\n%s", r.Plan)
+	}
+	if !strings.Contains(r.Plan, "Semijoin") {
+		t.Errorf("plan must show semijoin:\n%s", r.Plan)
+	}
+	if r.Result <= 0 {
+		t.Errorf("query result = %f", r.Result)
+	}
+}

@@ -1,0 +1,314 @@
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"hana/internal/value"
+)
+
+// Placement says where table data lives.
+type Placement int
+
+// Placements. PlacementHybrid marks tables with both hot (in-memory
+// columnar) and cold (extended storage) partitions.
+const (
+	PlacementColumn Placement = iota
+	PlacementRow
+	PlacementExtended
+	PlacementHybrid
+)
+
+// String names the placement.
+func (p Placement) String() string {
+	switch p {
+	case PlacementColumn:
+		return "COLUMN"
+	case PlacementRow:
+		return "ROW"
+	case PlacementExtended:
+		return "EXTENDED"
+	case PlacementHybrid:
+		return "HYBRID"
+	}
+	return "?"
+}
+
+// PartitionMeta describes one range partition of a hybrid table. Rows with
+// partition-column value < UpperBound fall in this partition; Others
+// catches the rest. Cold partitions live in extended storage.
+type PartitionMeta struct {
+	UpperBound value.Value
+	Others     bool
+	Cold       bool
+}
+
+// TableStats carries optimizer statistics.
+type TableStats struct {
+	RowCount   int64
+	Histograms map[string]*Histogram // keyed by upper-case column name
+}
+
+// TableMeta is the catalog entry for a stored table.
+type TableMeta struct {
+	Name        string
+	Schema      *value.Schema
+	Placement   Placement
+	Flexible    bool
+	PartitionBy string
+	Partitions  []PartitionMeta
+	AgingColumn string
+	PrimaryKey  int // ordinal, -1 if none
+	Stats       TableStats
+}
+
+// Histogram returns the column's histogram, if collected.
+func (t *TableMeta) Histogram(col string) *Histogram {
+	if t.Stats.Histograms == nil {
+		return nil
+	}
+	return t.Stats.Histograms[strings.ToUpper(col)]
+}
+
+// RemoteSource is a registered SDA remote source (paper §4.2).
+type RemoteSource struct {
+	Name           string
+	Adapter        string // e.g. "hiveodbc", "hadoop", "iq"
+	Configuration  map[string]string
+	CredentialType string
+	Credentials    map[string]string
+}
+
+// ParseProps splits "k=v;k2=v2" configuration strings.
+func ParseProps(s string) map[string]string {
+	out := map[string]string{}
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if i := strings.IndexByte(part, '='); i >= 0 {
+			out[strings.TrimSpace(part[:i])] = strings.TrimSpace(part[i+1:])
+		} else {
+			out[part] = ""
+		}
+	}
+	return out
+}
+
+// VirtualTable maps a local name to a remote object behind a source.
+type VirtualTable struct {
+	Name   string
+	Source string
+	Remote []string // remote object path as registered
+	Schema *value.Schema
+}
+
+// VirtualFunction exposes a remote computation (e.g. a map-reduce job) as a
+// table function (paper §4.3).
+type VirtualFunction struct {
+	Name          string
+	Source        string
+	Returns       *value.Schema
+	Configuration map[string]string
+}
+
+// Catalog is the thread-safe metadata registry. Lookups are
+// case-insensitive.
+type Catalog struct {
+	mu        sync.RWMutex
+	tables    map[string]*TableMeta
+	sources   map[string]*RemoteSource
+	virtuals  map[string]*VirtualTable
+	functions map[string]*VirtualFunction
+}
+
+// New creates an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables:    map[string]*TableMeta{},
+		sources:   map[string]*RemoteSource{},
+		virtuals:  map[string]*VirtualTable{},
+		functions: map[string]*VirtualFunction{},
+	}
+}
+
+func key(name string) string { return strings.ToUpper(name) }
+
+// AddTable registers a table; duplicate names (across tables and virtual
+// tables) are rejected.
+func (c *Catalog) AddTable(t *TableMeta) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(t.Name)
+	if _, ok := c.tables[k]; ok {
+		return fmt.Errorf("table %s already exists", t.Name)
+	}
+	if _, ok := c.virtuals[k]; ok {
+		return fmt.Errorf("virtual table %s already exists", t.Name)
+	}
+	c.tables[k] = t
+	return nil
+}
+
+// Table looks up a table.
+func (c *Catalog) Table(name string) (*TableMeta, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[key(name)]
+	return t, ok
+}
+
+// DropTable removes a table.
+func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if _, ok := c.tables[k]; !ok {
+		return fmt.Errorf("table %s not found", name)
+	}
+	delete(c.tables, k)
+	return nil
+}
+
+// TableNames lists stored tables, sorted.
+func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []string
+	for _, t := range c.tables {
+		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddSource registers a remote source.
+func (c *Catalog) AddSource(s *RemoteSource) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(s.Name)
+	if _, ok := c.sources[k]; ok {
+		return fmt.Errorf("remote source %s already exists", s.Name)
+	}
+	c.sources[k] = s
+	return nil
+}
+
+// Source looks up a remote source.
+func (c *Catalog) Source(name string) (*RemoteSource, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.sources[key(name)]
+	return s, ok
+}
+
+// DropSource removes a remote source and every virtual table/function
+// registered against it.
+func (c *Catalog) DropSource(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if _, ok := c.sources[k]; !ok {
+		return fmt.Errorf("remote source %s not found", name)
+	}
+	delete(c.sources, k)
+	for vk, vt := range c.virtuals {
+		if key(vt.Source) == k {
+			delete(c.virtuals, vk)
+		}
+	}
+	for fk, f := range c.functions {
+		if key(f.Source) == k {
+			delete(c.functions, fk)
+		}
+	}
+	return nil
+}
+
+// AddVirtualTable registers a virtual table.
+func (c *Catalog) AddVirtualTable(v *VirtualTable) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(v.Name)
+	if _, ok := c.virtuals[k]; ok {
+		return fmt.Errorf("virtual table %s already exists", v.Name)
+	}
+	if _, ok := c.tables[k]; ok {
+		return fmt.Errorf("table %s already exists", v.Name)
+	}
+	if _, ok := c.sources[key(v.Source)]; !ok {
+		return fmt.Errorf("remote source %s not found", v.Source)
+	}
+	c.virtuals[k] = v
+	return nil
+}
+
+// VirtualTable looks up a virtual table.
+func (c *Catalog) VirtualTable(name string) (*VirtualTable, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.virtuals[key(name)]
+	return v, ok
+}
+
+// VirtualTableList returns all virtual tables, sorted by name.
+func (c *Catalog) VirtualTableList() []*VirtualTable {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*VirtualTable, 0, len(c.virtuals))
+	for _, v := range c.virtuals {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// DropVirtualTable removes a virtual table.
+func (c *Catalog) DropVirtualTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if _, ok := c.virtuals[k]; !ok {
+		return fmt.Errorf("virtual table %s not found", name)
+	}
+	delete(c.virtuals, k)
+	return nil
+}
+
+// AddVirtualFunction registers a virtual (table) function.
+func (c *Catalog) AddVirtualFunction(f *VirtualFunction) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(f.Name)
+	if _, ok := c.functions[k]; ok {
+		return fmt.Errorf("virtual function %s already exists", f.Name)
+	}
+	if _, ok := c.sources[key(f.Source)]; !ok {
+		return fmt.Errorf("remote source %s not found", f.Source)
+	}
+	c.functions[k] = f
+	return nil
+}
+
+// VirtualFunction looks up a virtual function.
+func (c *Catalog) VirtualFunction(name string) (*VirtualFunction, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	f, ok := c.functions[key(name)]
+	return f, ok
+}
+
+// DropVirtualFunction removes a virtual function.
+func (c *Catalog) DropVirtualFunction(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if _, ok := c.functions[k]; !ok {
+		return fmt.Errorf("virtual function %s not found", name)
+	}
+	delete(c.functions, k)
+	return nil
+}

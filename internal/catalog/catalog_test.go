@@ -1,0 +1,250 @@
+package catalog
+
+import (
+	"math/rand"
+	"testing"
+
+	"hana/internal/value"
+)
+
+func TestHistogramEqualityEstimates(t *testing.T) {
+	var vals []value.Value
+	// 1000 rows of value 1, 10 rows each of 2..11.
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, value.NewInt(1))
+	}
+	for v := int64(2); v <= 11; v++ {
+		for i := 0; i < 10; i++ {
+			vals = append(vals, value.NewInt(v))
+		}
+	}
+	h := BuildHistogram(vals, 2, 64)
+	if h.Total != 1100 {
+		t.Fatalf("total = %d", h.Total)
+	}
+	// The heavy hitter must sit in its own bucket (frequency ratio 100 > q²).
+	est1 := h.EstimateEq(value.NewInt(1))
+	if est1 < 900 || est1 > 1100 {
+		t.Fatalf("heavy hitter estimate = %f", est1)
+	}
+	est5 := h.EstimateEq(value.NewInt(5))
+	if est5 < 5 || est5 > 20 {
+		t.Fatalf("uniform value estimate = %f", est5)
+	}
+	// Empirical q-error must respect the q² construction bound.
+	if qe := h.QError(vals); qe > 4.0 {
+		t.Fatalf("q-error = %f > 4", qe)
+	}
+}
+
+func TestHistogramRangeEstimates(t *testing.T) {
+	var vals []value.Value
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, value.NewInt(int64(i)))
+	}
+	h := BuildHistogram(vals, 2, 32)
+	lo := value.NewInt(250)
+	hi := value.NewInt(749)
+	est := h.EstimateRange(&lo, &hi)
+	if est < 400 || est > 600 {
+		t.Fatalf("range estimate = %f want ~500", est)
+	}
+	// Open-ended range.
+	est = h.EstimateRange(&lo, nil)
+	if est < 650 || est > 850 {
+		t.Fatalf("open range estimate = %f want ~750", est)
+	}
+	// Out-of-domain range.
+	lo2 := value.NewInt(5000)
+	if est := h.EstimateRange(&lo2, nil); est != 0 {
+		t.Fatalf("out of domain = %f", est)
+	}
+}
+
+func TestHistogramNullsAndEmpty(t *testing.T) {
+	h := BuildHistogram([]value.Value{value.Null, value.Null}, 2, 8)
+	if h.Total != 0 || h.Nulls != 2 {
+		t.Fatalf("total=%d nulls=%d", h.Total, h.Nulls)
+	}
+	if h.EstimateEq(value.NewInt(1)) != 0 {
+		t.Fatal("empty histogram estimate")
+	}
+	if h.EstimateEq(value.Null) != 0 {
+		t.Fatal("NULL equality estimate must be 0")
+	}
+}
+
+func TestHistogramBucketCap(t *testing.T) {
+	var vals []value.Value
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		// Highly skewed frequencies to force many q-splits.
+		v := int64(rng.ExpFloat64() * 100)
+		vals = append(vals, value.NewInt(v))
+	}
+	h := BuildHistogram(vals, 1.2, 8)
+	if len(h.Buckets) > 8 {
+		t.Fatalf("bucket cap violated: %d", len(h.Buckets))
+	}
+	if h.DistinctTotal() == 0 {
+		t.Fatal("distinct total")
+	}
+}
+
+func TestHistogramStrings(t *testing.T) {
+	var vals []value.Value
+	for _, s := range []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"} {
+		for i := 0; i < 20; i++ {
+			vals = append(vals, value.NewString(s))
+		}
+	}
+	h := BuildHistogram(vals, 2, 16)
+	est := h.EstimateEq(value.NewString("HOUSEHOLD"))
+	if est < 10 || est > 40 {
+		t.Fatalf("string estimate = %f", est)
+	}
+}
+
+func TestCatalogTables(t *testing.T) {
+	c := New()
+	s := value.NewSchema(value.Column{Name: "id", Kind: value.KindInt})
+	if err := c.AddTable(&TableMeta{Name: "Orders", Schema: s, PrimaryKey: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTable(&TableMeta{Name: "ORDERS", Schema: s}); err == nil {
+		t.Fatal("case-insensitive duplicate must fail")
+	}
+	tm, ok := c.Table("orders")
+	if !ok || tm.Name != "Orders" {
+		t.Fatal("lookup")
+	}
+	if err := c.DropTable("orders"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropTable("orders"); err == nil {
+		t.Fatal("double drop must fail")
+	}
+}
+
+func TestCatalogSourcesAndVirtuals(t *testing.T) {
+	c := New()
+	src := &RemoteSource{Name: "HIVE1", Adapter: "hiveodbc",
+		Configuration: ParseProps("DSN=hive1"),
+		Credentials:   ParseProps("user=dfuser;password=dfpass")}
+	if err := c.AddSource(src); err != nil {
+		t.Fatal(err)
+	}
+	if src.Configuration["DSN"] != "hive1" || src.Credentials["user"] != "dfuser" {
+		t.Fatalf("props parse: %v %v", src.Configuration, src.Credentials)
+	}
+	vt := &VirtualTable{Name: "VIRTUAL_PRODUCT", Source: "hive1", Remote: []string{"dflo", "dflo", "product"}}
+	if err := c.AddVirtualTable(vt); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddVirtualTable(&VirtualTable{Name: "X", Source: "NOPE"}); err == nil {
+		t.Fatal("unknown source must fail")
+	}
+	vf := &VirtualFunction{Name: "SENSORS", Source: "HIVE1"}
+	if err := c.AddVirtualFunction(vf); err != nil {
+		t.Fatal(err)
+	}
+	// Dropping the source cascades.
+	if err := c.DropSource("HIVE1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.VirtualTable("VIRTUAL_PRODUCT"); ok {
+		t.Fatal("virtual table must be dropped with its source")
+	}
+	if _, ok := c.VirtualFunction("SENSORS"); ok {
+		t.Fatal("virtual function must be dropped with its source")
+	}
+}
+
+func TestNameCollisionTableVsVirtual(t *testing.T) {
+	c := New()
+	_ = c.AddSource(&RemoteSource{Name: "S"})
+	_ = c.AddVirtualTable(&VirtualTable{Name: "T", Source: "S"})
+	if err := c.AddTable(&TableMeta{Name: "t"}); err == nil {
+		t.Fatal("table name colliding with virtual table must fail")
+	}
+	_ = c.AddTable(&TableMeta{Name: "U"})
+	if err := c.AddVirtualTable(&VirtualTable{Name: "u", Source: "S"}); err == nil {
+		t.Fatal("virtual table name colliding with table must fail")
+	}
+}
+
+func TestTableMetaHistogramLookup(t *testing.T) {
+	tm := &TableMeta{Name: "t", Stats: TableStats{
+		Histograms: map[string]*Histogram{"A": {Total: 10}},
+	}}
+	if tm.Histogram("a") == nil {
+		t.Fatal("histogram lookup must be case-insensitive")
+	}
+	if tm.Histogram("b") != nil {
+		t.Fatal("missing histogram must be nil")
+	}
+	empty := &TableMeta{Name: "e"}
+	if empty.Histogram("a") != nil {
+		t.Fatal("no stats")
+	}
+}
+
+func TestParseProps(t *testing.T) {
+	p := ParseProps("webhdfs=http://mrserver1:50070; webhcatalog=http://mrserver1:50111")
+	if p["webhdfs"] != "http://mrserver1:50070" || p["webhcatalog"] != "http://mrserver1:50111" {
+		t.Fatalf("props = %v", p)
+	}
+	if len(ParseProps("")) != 0 {
+		t.Fatal("empty props")
+	}
+}
+
+func TestCatalogDropVirtualObjects(t *testing.T) {
+	c := New()
+	_ = c.AddSource(&RemoteSource{Name: "S"})
+	_ = c.AddVirtualTable(&VirtualTable{Name: "VT", Source: "S"})
+	_ = c.AddVirtualFunction(&VirtualFunction{Name: "VF", Source: "S"})
+	if err := c.DropVirtualTable("vt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropVirtualTable("vt"); err == nil {
+		t.Fatal("double drop must error")
+	}
+	if err := c.DropVirtualFunction("VF"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropVirtualFunction("VF"); err == nil {
+		t.Fatal("double drop must error")
+	}
+	if err := c.DropSource("nope"); err == nil {
+		t.Fatal("unknown source drop must error")
+	}
+	if _, ok := c.Source("S"); !ok {
+		t.Fatal("source lookup")
+	}
+	// Duplicate registrations.
+	if err := c.AddSource(&RemoteSource{Name: "s"}); err == nil {
+		t.Fatal("duplicate source must error")
+	}
+	_ = c.AddVirtualFunction(&VirtualFunction{Name: "VF", Source: "S"})
+	if err := c.AddVirtualFunction(&VirtualFunction{Name: "vf", Source: "S"}); err == nil {
+		t.Fatal("duplicate function must error")
+	}
+	if err := c.AddVirtualFunction(&VirtualFunction{Name: "X", Source: "missing"}); err == nil {
+		t.Fatal("function against unknown source must error")
+	}
+}
+
+func TestVirtualTableList(t *testing.T) {
+	c := New()
+	_ = c.AddSource(&RemoteSource{Name: "S"})
+	_ = c.AddVirtualTable(&VirtualTable{Name: "B", Source: "S"})
+	_ = c.AddVirtualTable(&VirtualTable{Name: "A", Source: "S"})
+	l := c.VirtualTableList()
+	if len(l) != 2 || l[0].Name != "A" || l[1].Name != "B" {
+		t.Fatalf("list = %v", l)
+	}
+	if len(c.TableNames()) != 0 {
+		t.Fatal("no stored tables expected")
+	}
+}

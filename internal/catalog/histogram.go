@@ -1,0 +1,235 @@
+// Package catalog holds the platform's metadata: table definitions and
+// placement (in-memory row/column, extended storage, hybrid partitions),
+// remote sources and virtual tables/functions of the SDA federation layer,
+// and per-column statistics. Statistics use histograms with bounded
+// q-error built from ordered dictionaries, following the approach the paper
+// cites for HANA's optimizer ([16]: "exploiting ordered dictionaries to
+// efficiently construct histograms with q-error guarantees").
+package catalog
+
+import (
+	"sort"
+
+	"hana/internal/value"
+)
+
+// Bucket is one histogram bucket over the sorted domain [Lo, Hi] containing
+// Rows rows across Distinct distinct values.
+type Bucket struct {
+	Lo, Hi   value.Value
+	Rows     int64
+	Distinct int64
+}
+
+// Histogram estimates predicate cardinalities on one column. Buckets are
+// built greedily over the ordered dictionary so that within each bucket the
+// per-distinct-value frequency varies by at most the target q factor,
+// bounding the multiplicative error (q-error) of equality estimates.
+type Histogram struct {
+	Buckets []Bucket
+	Total   int64
+	Nulls   int64
+	Q       float64
+}
+
+// BuildHistogram constructs a histogram from column values. q is the
+// target q-error bound per bucket (must be > 1; 2.0 is a good default);
+// maxBuckets caps the size.
+func BuildHistogram(vals []value.Value, q float64, maxBuckets int) *Histogram {
+	if q <= 1 {
+		q = 2
+	}
+	if maxBuckets <= 0 {
+		maxBuckets = 64
+	}
+	h := &Histogram{Q: q}
+	// Frequency per distinct value over the ordered domain (the "ordered
+	// dictionary" view of the column).
+	freq := map[value.Value]int64{}
+	var domain []value.Value
+	for _, v := range vals {
+		if v.IsNull() {
+			h.Nulls++
+			continue
+		}
+		if _, ok := freq[v]; !ok {
+			domain = append(domain, v)
+		}
+		freq[v]++
+		h.Total++
+	}
+	if len(domain) == 0 {
+		return h
+	}
+	sort.Slice(domain, func(i, j int) bool { return value.Compare(domain[i], domain[j]) < 0 })
+
+	// Greedy q-bounded bucketization: extend the bucket while the ratio of
+	// max to min per-value frequency stays within q².
+	q2 := q * q
+	var cur Bucket
+	var curMin, curMax int64
+	flush := func() {
+		if cur.Rows > 0 {
+			h.Buckets = append(h.Buckets, cur)
+		}
+		cur = Bucket{}
+		curMin, curMax = 0, 0
+	}
+	for _, v := range domain {
+		f := freq[v]
+		if cur.Rows == 0 {
+			cur = Bucket{Lo: v, Hi: v, Rows: f, Distinct: 1}
+			curMin, curMax = f, f
+			continue
+		}
+		nmin, nmax := curMin, curMax
+		if f < nmin {
+			nmin = f
+		}
+		if f > nmax {
+			nmax = f
+		}
+		if float64(nmax) > q2*float64(nmin) {
+			flush()
+			cur = Bucket{Lo: v, Hi: v, Rows: f, Distinct: 1}
+			curMin, curMax = f, f
+			continue
+		}
+		cur.Hi = v
+		cur.Rows += f
+		cur.Distinct++
+		curMin, curMax = nmin, nmax
+	}
+	flush()
+	// Enforce the bucket cap by pairwise merging (sacrificing the q bound,
+	// as the real system does under memory pressure).
+	for len(h.Buckets) > maxBuckets {
+		merged := make([]Bucket, 0, (len(h.Buckets)+1)/2)
+		for i := 0; i < len(h.Buckets); i += 2 {
+			if i+1 == len(h.Buckets) {
+				merged = append(merged, h.Buckets[i])
+				break
+			}
+			a, b := h.Buckets[i], h.Buckets[i+1]
+			merged = append(merged, Bucket{
+				Lo: a.Lo, Hi: b.Hi,
+				Rows:     a.Rows + b.Rows,
+				Distinct: a.Distinct + b.Distinct,
+			})
+		}
+		h.Buckets = merged
+	}
+	return h
+}
+
+// EstimateEq estimates the number of rows equal to v (uniform within the
+// bucket's distinct values — the estimate whose multiplicative error the
+// q-bucketization bounds).
+func (h *Histogram) EstimateEq(v value.Value) float64 {
+	if v.IsNull() || h.Total == 0 {
+		return 0
+	}
+	for _, b := range h.Buckets {
+		if value.Compare(v, b.Lo) >= 0 && value.Compare(v, b.Hi) <= 0 {
+			return float64(b.Rows) / float64(b.Distinct)
+		}
+	}
+	return 0
+}
+
+// EstimateRange estimates rows in [lo, hi]; nil bounds are open. Partial
+// bucket overlap is interpolated by numeric position where possible, else
+// by half the bucket.
+func (h *Histogram) EstimateRange(lo, hi *value.Value) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	var est float64
+	for _, b := range h.Buckets {
+		f := overlapFraction(b, lo, hi)
+		est += f * float64(b.Rows)
+	}
+	return est
+}
+
+func overlapFraction(b Bucket, lo, hi *value.Value) float64 {
+	// Fast reject.
+	if lo != nil && value.Compare(b.Hi, *lo) < 0 {
+		return 0
+	}
+	if hi != nil && value.Compare(b.Lo, *hi) > 0 {
+		return 0
+	}
+	// Full containment.
+	loIn := lo == nil || value.Compare(b.Lo, *lo) >= 0
+	hiIn := hi == nil || value.Compare(b.Hi, *hi) <= 0
+	if loIn && hiIn {
+		return 1
+	}
+	// Numeric interpolation when the domain is numeric/temporal.
+	bl, bh := b.Lo.Float(), b.Hi.Float()
+	if b.Lo.K != value.KindVarchar && bh > bl {
+		l, hgh := bl, bh
+		if lo != nil && (*lo).Float() > l {
+			l = (*lo).Float()
+		}
+		if hi != nil && (*hi).Float() < hgh {
+			hgh = (*hi).Float()
+		}
+		if hgh < l {
+			return 0
+		}
+		return (hgh - l) / (bh - bl)
+	}
+	return 0.5
+}
+
+// Selectivity converts a row estimate to a fraction of the table.
+func (h *Histogram) Selectivity(rows float64) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	s := rows / float64(h.Total)
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// DistinctTotal returns the total distinct-value count.
+func (h *Histogram) DistinctTotal() int64 {
+	var n int64
+	for _, b := range h.Buckets {
+		n += b.Distinct
+	}
+	return n
+}
+
+// QError computes the empirical q-error of the equality estimator against
+// the true frequencies (test/diagnostic helper): max(est/true, true/est).
+func (h *Histogram) QError(vals []value.Value) float64 {
+	freq := map[value.Value]int64{}
+	for _, v := range vals {
+		if !v.IsNull() {
+			freq[v]++
+		}
+	}
+	worst := 1.0
+	for v, f := range freq {
+		est := h.EstimateEq(v)
+		if est <= 0 {
+			continue
+		}
+		qe := est / float64(f)
+		if qe < 1 {
+			qe = 1 / qe
+		}
+		if qe > worst {
+			worst = qe
+		}
+	}
+	return worst
+}

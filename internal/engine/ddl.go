@@ -1,0 +1,394 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"hana/internal/catalog"
+	"hana/internal/colstore"
+	"hana/internal/expr"
+	"hana/internal/rowstore"
+	"hana/internal/sqlparse"
+	"hana/internal/txn"
+	"hana/internal/value"
+)
+
+func (e *Engine) createTable(st *sqlparse.CreateTableStmt) (*Result, error) {
+	schema := &value.Schema{}
+	pk := -1
+	for i, cd := range st.Cols {
+		schema.Cols = append(schema.Cols, value.Column{
+			Name:     cd.Name,
+			Kind:     cd.Kind,
+			Nullable: !cd.NotNull,
+		})
+		if cd.PrimKey {
+			if pk >= 0 {
+				return nil, fmt.Errorf("multiple primary key columns are not supported")
+			}
+			pk = i
+		}
+	}
+	meta := &catalog.TableMeta{
+		Name:        st.Name,
+		Schema:      schema,
+		Flexible:    st.Flexible,
+		AgingColumn: st.AgingColumn,
+		PrimaryKey:  pk,
+	}
+	switch st.Storage {
+	case sqlparse.StorageRow:
+		meta.Placement = catalog.PlacementRow
+	case sqlparse.StorageExtended:
+		meta.Placement = catalog.PlacementExtended
+	default:
+		meta.Placement = catalog.PlacementColumn
+	}
+	if len(st.Partitions) > 0 {
+		meta.Placement = catalog.PlacementHybrid
+		meta.PartitionBy = st.PartitionBy
+		if schema.Find(st.PartitionBy) < 0 {
+			return nil, fmt.Errorf("partition column %s not in table schema", st.PartitionBy)
+		}
+		for _, pd := range st.Partitions {
+			pm := catalog.PartitionMeta{Others: pd.Others, Cold: pd.Storage == sqlparse.StorageExtended}
+			if pd.Bound != nil {
+				v, err := pd.Bound.Eval(nil)
+				if err != nil {
+					return nil, fmt.Errorf("partition bound must be a literal: %w", err)
+				}
+				pm.UpperBound = v
+			}
+			meta.Partitions = append(meta.Partitions, pm)
+		}
+	}
+	if st.AgingColumn != "" {
+		ord := schema.Find(st.AgingColumn)
+		if ord < 0 {
+			return nil, fmt.Errorf("aging column %s not in table schema", st.AgingColumn)
+		}
+		if meta.Placement != catalog.PlacementHybrid {
+			return nil, fmt.Errorf("WITH AGING requires a hybrid (partitioned) table")
+		}
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if st.IfNotExists {
+		if _, ok := e.cat.Table(st.Name); ok {
+			return &Result{Message: fmt.Sprintf("table %s already exists", st.Name)}, nil
+		}
+	}
+	t, err := e.buildStoredTable(meta)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.cat.AddTable(meta); err != nil {
+		return nil, err
+	}
+	e.tables[strings.ToUpper(st.Name)] = t
+	return &Result{Message: fmt.Sprintf("created %s table %s", meta.Placement, st.Name)}, nil
+}
+
+// buildStoredTable allocates the physical partitions for a catalog entry.
+// Caller holds e.mu.
+func (e *Engine) buildStoredTable(meta *catalog.TableMeta) (*storedTable, error) {
+	t := &storedTable{meta: meta, part2pc: newExtParticipant(meta.Name)}
+	mk := func(pm catalog.PartitionMeta, cold bool, suffix string) (*partition, error) {
+		p := &partition{meta: pm, cold: cold, vers: txn.NewRowVersions()}
+		switch {
+		case cold:
+			store, err := e.extStoreLocked()
+			if err != nil {
+				return nil, err
+			}
+			name := meta.Name + suffix
+			ext, ok := store.Table(name)
+			if !ok {
+				ext, err = store.CreateTable(name, meta.Schema)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				// Reopened store: existing rows are committed (tombstoned
+				// rows stay hidden by the disk store itself).
+				for id := 0; id < int(ext.TotalRows()); id++ {
+					p.vers.InsertCommitted(id, 1)
+				}
+			}
+			p.ext = ext
+		case meta.Placement == catalog.PlacementRow:
+			p.row = rowstore.NewTable(meta.Schema.Clone(), meta.PrimaryKey)
+		default:
+			p.hot = colstore.NewTable(meta.Schema.Clone())
+		}
+		return p, nil
+	}
+
+	switch meta.Placement {
+	case catalog.PlacementHybrid:
+		for i, pm := range meta.Partitions {
+			p, err := mk(pm, pm.Cold, fmt.Sprintf("$p%d", i))
+			if err != nil {
+				return nil, err
+			}
+			t.parts = append(t.parts, p)
+		}
+	case catalog.PlacementExtended:
+		p, err := mk(catalog.PartitionMeta{Others: true, Cold: true}, true, "")
+		if err != nil {
+			return nil, err
+		}
+		t.parts = append(t.parts, p)
+	default:
+		p, err := mk(catalog.PartitionMeta{Others: true}, false, "")
+		if err != nil {
+			return nil, err
+		}
+		t.parts = append(t.parts, p)
+	}
+	return t, nil
+}
+
+// alterTable adds columns to a table: the hybrid-table concept includes
+// uniform schema modification across hot and cold fragments (§3.1: "the
+// extended storage technique supports schema modifications like any other
+// table in SAP HANA").
+func (e *Engine) alterTable(st *sqlparse.AlterTableStmt) (*Result, error) {
+	t, err := e.table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, cd := range st.Add {
+		if t.meta.Schema.Find(cd.Name) >= 0 {
+			return nil, fmt.Errorf("column %s already exists in %s", cd.Name, st.Table)
+		}
+		col := value.Column{Name: cd.Name, Kind: cd.Kind, Nullable: !cd.NotNull}
+		if cd.NotNull {
+			return nil, fmt.Errorf("ALTER TABLE ADD cannot add NOT NULL column %s to populated table", cd.Name)
+		}
+		for _, p := range t.parts {
+			switch {
+			case p.hot != nil:
+				p.hot.AddColumn(col)
+			case p.row != nil:
+				return nil, fmt.Errorf("row-store tables do not support ALTER TABLE ADD")
+			case p.ext != nil:
+				if err := p.ext.AddColumn(col); err != nil {
+					return nil, err
+				}
+			}
+		}
+		t.meta.Schema.Cols = append(t.meta.Schema.Cols, col)
+	}
+	return &Result{Message: fmt.Sprintf("altered table %s (+%d column(s))", st.Table, len(st.Add))}, nil
+}
+
+func (e *Engine) drop(st *sqlparse.DropStmt) (*Result, error) {
+	switch st.Kind {
+	case "TABLE":
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		key := strings.ToUpper(st.Name)
+		t, ok := e.tables[key]
+		if !ok {
+			if st.IfExists {
+				return &Result{Message: "nothing to drop"}, nil
+			}
+			return nil, fmt.Errorf("table %s not found", st.Name)
+		}
+		for i, p := range t.parts {
+			if p.ext != nil {
+				suffix := ""
+				if t.meta.Placement == catalog.PlacementHybrid {
+					suffix = fmt.Sprintf("$p%d", i)
+				}
+				_ = e.ext.DropTable(t.meta.Name + suffix)
+			}
+		}
+		delete(e.tables, key)
+		_ = e.cat.DropTable(st.Name)
+	case "REMOTE SOURCE":
+		if err := e.cat.DropSource(st.Name); err != nil {
+			if st.IfExists {
+				return &Result{Message: "nothing to drop"}, nil
+			}
+			return nil, err
+		}
+		e.mu.Lock()
+		delete(e.adapters, strings.ToUpper(st.Name))
+		e.mu.Unlock()
+	case "VIRTUAL TABLE":
+		if err := e.cat.DropVirtualTable(st.Name); err != nil && !st.IfExists {
+			return nil, err
+		}
+	case "VIRTUAL FUNCTION":
+		if err := e.cat.DropVirtualFunction(st.Name); err != nil && !st.IfExists {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("unsupported DROP %s", st.Kind)
+	}
+	return &Result{Message: fmt.Sprintf("dropped %s %s", strings.ToLower(st.Kind), st.Name)}, nil
+}
+
+func (e *Engine) createRemoteSource(st *sqlparse.CreateRemoteSourceStmt) (*Result, error) {
+	src := &catalog.RemoteSource{
+		Name:           st.Name,
+		Adapter:        st.Adapter,
+		Configuration:  catalog.ParseProps(st.Configuration),
+		CredentialType: st.CredentialType,
+		Credentials:    catalog.ParseProps(st.Credentials),
+	}
+	a, err := e.registry.Open(st.Adapter, src.Configuration, src.Credentials)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.cat.AddSource(src); err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.adapters[strings.ToUpper(st.Name)] = a
+	e.mu.Unlock()
+	return &Result{Message: fmt.Sprintf("created remote source %s (adapter %s)", st.Name, st.Adapter)}, nil
+}
+
+func (e *Engine) createVirtualTable(st *sqlparse.CreateVirtualTableStmt) (*Result, error) {
+	a, err := e.adapter(st.Source)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := a.TableSchema(st.Remote)
+	if err != nil {
+		return nil, fmt.Errorf("resolving remote object %s: %w", strings.Join(st.Remote, "."), err)
+	}
+	vt := &catalog.VirtualTable{
+		Name:   st.Name,
+		Source: st.Source,
+		Remote: st.Remote,
+		Schema: schema,
+	}
+	if err := e.cat.AddVirtualTable(vt); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("created virtual table %s at %s", st.Name, strings.Join(st.Remote, "."))}, nil
+}
+
+func (e *Engine) createVirtualFunction(st *sqlparse.CreateVirtualFunctionStmt) (*Result, error) {
+	if _, err := e.adapter(st.Source); err != nil {
+		return nil, err
+	}
+	schema := &value.Schema{}
+	for _, cd := range st.Returns {
+		schema.Cols = append(schema.Cols, value.Column{Name: cd.Name, Kind: cd.Kind, Nullable: !cd.NotNull})
+	}
+	vf := &catalog.VirtualFunction{
+		Name:          st.Name,
+		Source:        st.Source,
+		Returns:       schema,
+		Configuration: catalog.ParseProps(st.Configuration),
+	}
+	if err := e.cat.AddVirtualFunction(vf); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("created virtual function %s at %s", st.Name, st.Source)}, nil
+}
+
+// Analyze collects optimizer statistics (row counts and q-error
+// histograms) for a table, like an ANALYZE/UPDATE STATISTICS command.
+func (e *Engine) Analyze(table string) error {
+	t, err := e.table(table)
+	if err != nil {
+		return err
+	}
+	snapshot := e.mgr.LastCID()
+	var rows []value.Row
+	for _, p := range t.parts {
+		pr, err := p.visibleRows(snapshot, 0, nil)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, pr...)
+	}
+	stats := catalog.TableStats{
+		RowCount:   int64(len(rows)),
+		Histograms: map[string]*catalog.Histogram{},
+	}
+	for i, col := range t.meta.Schema.Cols {
+		vals := make([]value.Value, len(rows))
+		for j, r := range rows {
+			vals[j] = r[i]
+		}
+		stats.Histograms[strings.ToUpper(col.Name)] = catalog.BuildHistogram(vals, 2, 64)
+	}
+	t.meta.Stats = stats
+	return nil
+}
+
+// RunAging implements the hybrid-table aging mechanism of §3.1: rows in hot
+// partitions whose aging-flag column is true move to the first cold
+// partition that accepts them. The move runs as one distributed
+// transaction spanning the in-memory store and the extended storage.
+func (e *Engine) RunAging(table string) (int64, error) {
+	t, err := e.table(table)
+	if err != nil {
+		return 0, err
+	}
+	if t.meta.AgingColumn == "" {
+		return 0, fmt.Errorf("table %s has no aging column", table)
+	}
+	flagOrd := t.meta.Schema.Find(t.meta.AgingColumn)
+	cold := t.coldParts()
+	if len(cold) == 0 {
+		return 0, fmt.Errorf("table %s has no cold partition", table)
+	}
+	tx := e.Begin()
+	var moved int64
+	for _, p := range t.parts {
+		if p.cold || p.hot == nil {
+			continue
+		}
+		type victim struct {
+			id  int
+			row value.Row
+		}
+		var victims []victim
+		p.hot.Scan(func(id int, row value.Row) bool {
+			if p.vers.Visible(id, tx.Snapshot, tx.TID) && row[flagOrd].K == value.KindBool && row[flagOrd].Bool() {
+				victims = append(victims, victim{id: id, row: row.Clone()})
+			}
+			return true
+		})
+		for _, v := range victims {
+			if err := t.deleteRow(tx, p, v.id); err != nil {
+				_ = e.Rollback(tx)
+				return 0, err
+			}
+			target := cold[0]
+			// Respect range routing when the cold partitions are ranged.
+			if len(t.parts) > 1 && t.meta.PartitionBy != "" {
+				if routed, err := t.partitionFor(v.row); err == nil && routed.cold {
+					target = routed
+				}
+			}
+			t.part2pc.bufferInsert(tx.TID, target, v.row)
+			tx.Enlist(t.part2pc)
+			moved++
+		}
+	}
+	if err := e.CommitTx(tx); err != nil {
+		return 0, err
+	}
+	return moved, nil
+}
+
+// bindToSchema clones and binds an expression against a schema.
+func bindToSchema(ex expr.Expr, s *value.Schema) (expr.Expr, error) {
+	c := expr.Clone(ex)
+	if err := expr.Bind(c, s); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,355 @@
+package engine
+
+import (
+	"fmt"
+
+	"hana/internal/expr"
+	"hana/internal/sqlparse"
+	"hana/internal/txn"
+	"hana/internal/value"
+)
+
+func (e *Engine) insert(tx *txn.Txn, st *sqlparse.InsertStmt) (*Result, error) {
+	t, err := e.table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := t.meta.Schema
+	// Map the insert column list to schema ordinals (full schema if absent).
+	ords := make([]int, 0, len(st.Cols))
+	if len(st.Cols) > 0 {
+		for _, c := range st.Cols {
+			o := schema.Find(c)
+			if o < 0 {
+				if t.meta.Flexible {
+					// Flexible tables extend their schema on insert (§1
+					// "Variety": "extend the schema during insert operations
+					// without the need to explicitly trigger DDL").
+					o = e.extendFlexible(t, c)
+				} else {
+					return nil, fmt.Errorf("column %s not in table %s", c, st.Table)
+				}
+			}
+			ords = append(ords, o)
+		}
+	} else {
+		for i := range schema.Cols {
+			ords = append(ords, i)
+		}
+	}
+
+	buildRow := func(vals []value.Value) (value.Row, error) {
+		if len(vals) != len(ords) {
+			return nil, fmt.Errorf("expected %d values, got %d", len(ords), len(vals))
+		}
+		row := make(value.Row, schema.Len())
+		for i := range row {
+			row[i] = value.Null
+		}
+		for i, o := range ords {
+			v, err := value.Cast(vals[i], schema.Cols[o].Kind)
+			if err != nil {
+				return nil, fmt.Errorf("column %s: %w", schema.Cols[o].Name, err)
+			}
+			if v.IsNull() && !schema.Cols[o].Nullable {
+				return nil, fmt.Errorf("column %s is NOT NULL", schema.Cols[o].Name)
+			}
+			row[o] = v
+		}
+		return row, nil
+	}
+
+	var count int64
+	if st.Select != nil {
+		res, err := e.query(tx, st.Select)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range res.Rows {
+			row, err := buildRow(r)
+			if err != nil {
+				return nil, err
+			}
+			if err := t.insertRow(tx, row); err != nil {
+				return nil, err
+			}
+			count++
+		}
+	} else {
+		for _, exprRow := range st.Values {
+			vals := make([]value.Value, len(exprRow))
+			for i, ex := range exprRow {
+				v, err := ex.Eval(nil)
+				if err != nil {
+					return nil, fmt.Errorf("INSERT values must be constant: %w", err)
+				}
+				vals[i] = v
+			}
+			row, err := buildRow(vals)
+			if err != nil {
+				return nil, err
+			}
+			if err := t.insertRow(tx, row); err != nil {
+				return nil, err
+			}
+			count++
+		}
+	}
+	return &Result{Affected: count, Message: fmt.Sprintf("%d row(s) inserted", count)}, nil
+}
+
+// extendFlexible adds a VARCHAR column to a flexible table on the fly.
+func (e *Engine) extendFlexible(t *storedTable, col string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if o := t.meta.Schema.Find(col); o >= 0 {
+		return o
+	}
+	nc := value.Column{Name: col, Kind: value.KindVarchar, Nullable: true}
+	// The partition's column store extends its own schema copy; the catalog
+	// schema (shared with the meta) extends alongside.
+	for _, p := range t.parts {
+		if p.hot != nil {
+			p.hot.AddColumn(nc)
+		}
+	}
+	t.meta.Schema.Cols = append(t.meta.Schema.Cols, nc)
+	return t.meta.Schema.Len() - 1
+}
+
+// target identifies one visible row of a table (partition + row id) that a
+// DML statement affects.
+type target struct {
+	p   *partition
+	id  int
+	row value.Row
+}
+
+func (e *Engine) collectTargets(tx *txn.Txn, t *storedTable, st sqlparse.Statement) ([]target, error) {
+	where := extractWhere(st)
+	var bound expr.Expr
+	if where != nil {
+		var err error
+		bound, err = bindToSchema(where, t.meta.Schema)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var out []target
+	for _, p := range t.parts {
+		var scanErr error
+		collect := func(id int, row value.Row) bool {
+			if !p.vers.Visible(id, tx.Snapshot, tx.TID) {
+				return true
+			}
+			if bound != nil {
+				keep, err := expr.Truthy(bound, row)
+				if err != nil {
+					scanErr = err
+					return false
+				}
+				if !keep {
+					return true
+				}
+			}
+			out = append(out, target{p: p, id: id, row: row.Clone()})
+			return true
+		}
+		switch {
+		case p.hot != nil:
+			p.hot.Scan(collect)
+		case p.row != nil:
+			p.row.Scan(collect)
+		case p.ext != nil:
+			_ = p.ext.Scan(nil, nil, func(id int64, row value.Row) bool {
+				return collect(int(id), row)
+			})
+		}
+		if scanErr != nil {
+			return nil, scanErr
+		}
+	}
+	return out, nil
+}
+
+func (e *Engine) delete(tx *txn.Txn, st *sqlparse.DeleteStmt) (*Result, error) {
+	t, err := e.table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	targets, err := e.collectTargets(tx, t, st)
+	if err != nil {
+		return nil, err
+	}
+	for _, tg := range targets {
+		if err := t.deleteRow(tx, tg.p, tg.id); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: int64(len(targets)), Message: fmt.Sprintf("%d row(s) deleted", len(targets))}, nil
+}
+
+// update is MVCC delete + insert of the modified row (column-store
+// semantics; row-store tables share the path for uniformity).
+func (e *Engine) update(tx *txn.Txn, st *sqlparse.UpdateStmt) (*Result, error) {
+	t, err := e.table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := t.meta.Schema
+	type setter struct {
+		ord int
+		ex  func(value.Row) (value.Value, error)
+	}
+	var setters []setter
+	for _, s := range st.Set {
+		ord := schema.Find(s.Col)
+		if ord < 0 {
+			return nil, fmt.Errorf("column %s not in table %s", s.Col, st.Table)
+		}
+		bex, err := bindToSchema(s.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		kind := schema.Cols[ord].Kind
+		setters = append(setters, setter{ord: ord, ex: func(r value.Row) (value.Value, error) {
+			v, err := bex.Eval(r)
+			if err != nil {
+				return value.Null, err
+			}
+			return value.Cast(v, kind)
+		}})
+	}
+	targets, err := e.collectTargets(tx, t, st)
+	if err != nil {
+		return nil, err
+	}
+	for _, tg := range targets {
+		newRow := tg.row.Clone()
+		for _, s := range setters {
+			v, err := s.ex(tg.row)
+			if err != nil {
+				return nil, err
+			}
+			newRow[s.ord] = v
+		}
+		if err := t.deleteRow(tx, tg.p, tg.id); err != nil {
+			return nil, err
+		}
+		if err := t.insertRow(tx, newRow); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: int64(len(targets)), Message: fmt.Sprintf("%d row(s) updated", len(targets))}, nil
+}
+
+// extractWhere pulls the WHERE clause out of a DML statement.
+func extractWhere(st sqlparse.Statement) expr.Expr {
+	switch s := st.(type) {
+	case *sqlparse.DeleteStmt:
+		return s.Where
+	case *sqlparse.UpdateStmt:
+		return s.Where
+	}
+	return nil
+}
+
+// BulkLoad loads rows directly into a table outside transactional DML —
+// the direct-load path for extended tables and the generator path for
+// benchmarks. Rows become immediately visible.
+func (e *Engine) BulkLoad(table string, rows []value.Row) error {
+	t, err := e.table(table)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cid := e.mgr.LastCID()
+	// Group rows per partition so extended partitions get one bulk write.
+	perPart := map[*partition][]value.Row{}
+	for _, r := range rows {
+		if len(r) != t.meta.Schema.Len() {
+			return fmt.Errorf("row arity %d does not match table %s", len(r), table)
+		}
+		p, err := t.partitionFor(r)
+		if err != nil {
+			return err
+		}
+		perPart[p] = append(perPart[p], r)
+	}
+	for p, rs := range perPart {
+		switch {
+		case p.hot != nil:
+			for _, r := range rs {
+				id, err := p.hot.Append(r)
+				if err != nil {
+					return err
+				}
+				p.vers.InsertCommitted(id, cid)
+			}
+		case p.row != nil:
+			for _, r := range rs {
+				id, err := p.row.Append(r)
+				if err != nil {
+					return err
+				}
+				p.vers.InsertCommitted(id, cid)
+			}
+		case p.ext != nil:
+			base := p.numRows()
+			if err := p.ext.BulkLoad(rs); err != nil {
+				return err
+			}
+			for i := range rs {
+				p.vers.InsertCommitted(base+i, cid)
+			}
+		}
+	}
+	return nil
+}
+
+// TableRowCount returns the number of visible rows (current snapshot).
+func (e *Engine) TableRowCount(table string) (int64, error) {
+	t, err := e.table(table)
+	if err != nil {
+		return 0, err
+	}
+	snapshot := e.mgr.LastCID()
+	var n int64
+	for _, p := range t.parts {
+		rows, err := p.visibleRows(snapshot, 0, nil)
+		if err != nil {
+			return 0, err
+		}
+		n += int64(len(rows))
+	}
+	return n, nil
+}
+
+// PartitionRowCounts reports visible rows per partition, flagging cold
+// partitions — used by examples and the aging bench.
+func (e *Engine) PartitionRowCounts(table string) ([]struct {
+	Cold bool
+	Rows int64
+}, error) {
+	t, err := e.table(table)
+	if err != nil {
+		return nil, err
+	}
+	snapshot := e.mgr.LastCID()
+	var out []struct {
+		Cold bool
+		Rows int64
+	}
+	for _, p := range t.parts {
+		rows, err := p.visibleRows(snapshot, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, struct {
+			Cold bool
+			Rows int64
+		}{Cold: p.cold, Rows: int64(len(rows))})
+	}
+	return out, nil
+}

@@ -1,0 +1,337 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"hana/internal/catalog"
+	"hana/internal/diskstore"
+	"hana/internal/fed"
+	"hana/internal/sqlparse"
+	"hana/internal/txn"
+	"hana/internal/value"
+)
+
+// Config tunes the engine. The remote-cache parameters mirror §4.4:
+// enable_remote_cache gates the feature globally and remote_cache_validity
+// bounds the age of served materializations.
+type Config struct {
+	// ExtendedStorageDir is where the extended (IQ) store keeps its files;
+	// empty uses an in-process temp directory created lazily on first use.
+	ExtendedStorageDir string
+	// EnableRemoteCache corresponds to the enable_remote_cache parameter;
+	// remote materialization is off by default, as in the paper.
+	EnableRemoteCache bool
+	// RemoteCacheValidity corresponds to remote_cache_validity.
+	RemoteCacheValidity time.Duration
+	// SemiJoinThreshold is the maximum estimated row count of a local input
+	// for which the optimizer picks the semijoin strategy against a remote
+	// or extended relation.
+	SemiJoinThreshold int64
+	// WAL optionally persists transaction state for recovery.
+	WAL *txn.Log
+}
+
+// Metrics counts engine activity for the benchmark harness.
+type Metrics struct {
+	mu                sync.Mutex
+	RemoteQueries     int64
+	RemoteCacheHits   int64
+	RemoteRowsFetched int64
+	SemiJoinsChosen   int64
+	UnionPlansChosen  int64
+	RelocationsChosen int64
+	RemoteScansChosen int64
+}
+
+func (m *Metrics) add(f func(*Metrics)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f(m)
+}
+
+// MetricsSnapshot is a point-in-time copy of the counters.
+type MetricsSnapshot struct {
+	RemoteQueries     int64
+	RemoteCacheHits   int64
+	RemoteRowsFetched int64
+	SemiJoinsChosen   int64
+	UnionPlansChosen  int64
+	RelocationsChosen int64
+	RemoteScansChosen int64
+}
+
+// Snapshot returns a copy of the counters.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MetricsSnapshot{
+		RemoteQueries:     m.RemoteQueries,
+		RemoteCacheHits:   m.RemoteCacheHits,
+		RemoteRowsFetched: m.RemoteRowsFetched,
+		SemiJoinsChosen:   m.SemiJoinsChosen,
+		UnionPlansChosen:  m.UnionPlansChosen,
+		RelocationsChosen: m.RelocationsChosen,
+		RemoteScansChosen: m.RemoteScansChosen,
+	}
+}
+
+// Engine is one database instance — the "SAP HANA core database engine" of
+// the platform, orchestrating the in-memory stores, the extended storage
+// and federated remote sources behind a single SQL interface.
+type Engine struct {
+	mu        sync.RWMutex
+	cfg       Config
+	cat       *catalog.Catalog
+	mgr       *txn.Manager
+	registry  *fed.Registry
+	adapters  map[string]fed.Adapter // keyed by upper-case source name
+	tables    map[string]*storedTable
+	providers map[string]TableProvider
+	ext       *diskstore.Store
+	extDir    string
+
+	// Metrics is exported for benchmarks and monitoring.
+	Metrics Metrics
+}
+
+// New creates an engine.
+func New(cfg Config) *Engine {
+	if cfg.SemiJoinThreshold == 0 {
+		cfg.SemiJoinThreshold = 1024
+	}
+	if cfg.RemoteCacheValidity == 0 {
+		cfg.RemoteCacheValidity = time.Hour
+	}
+	e := &Engine{
+		cfg:       cfg,
+		cat:       catalog.New(),
+		mgr:       txn.NewManager(cfg.WAL),
+		registry:  fed.NewRegistry(),
+		adapters:  map[string]fed.Adapter{},
+		tables:    map[string]*storedTable{},
+		providers: map[string]TableProvider{},
+	}
+	e.installSystemViews()
+	return e
+}
+
+// TableProvider supplies dynamic rows for a locally registered table
+// function — the mechanism behind the "HANA join" stream integration
+// (§3.2 use case 3): "a native HANA query may refer to the current state
+// of an ESP window and use the content of this window as join partner".
+type TableProvider func() (*value.Rows, error)
+
+// RegisterTableProvider publishes a local table function; queries call it
+// as name().
+func (e *Engine) RegisterTableProvider(name string, p TableProvider) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.providers[strings.ToUpper(name)] = p
+}
+
+// UnregisterTableProvider removes a local table function.
+func (e *Engine) UnregisterTableProvider(name string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.providers, strings.ToUpper(name))
+}
+
+func (e *Engine) provider(name string) (TableProvider, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	p, ok := e.providers[strings.ToUpper(name)]
+	return p, ok
+}
+
+// Catalog exposes the metadata registry.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// TxnManager exposes the transaction coordinator.
+func (e *Engine) TxnManager() *txn.Manager { return e.mgr }
+
+// Registry exposes the SDA adapter registry so adapter packages (Hive,
+// Hadoop) can be plugged in.
+func (e *Engine) Registry() *fed.Registry { return e.registry }
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// SetRemoteCache toggles the enable_remote_cache parameter at runtime.
+func (e *Engine) SetRemoteCache(enabled bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cfg.EnableRemoteCache = enabled
+}
+
+// SetRemoteCacheValidity adjusts remote_cache_validity at runtime.
+func (e *Engine) SetRemoteCacheValidity(d time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cfg.RemoteCacheValidity = d
+}
+
+// ExtendedStore returns the extended storage, initializing it on first use.
+func (e *Engine) ExtendedStore() (*diskstore.Store, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.extStoreLocked()
+}
+
+func (e *Engine) extStoreLocked() (*diskstore.Store, error) {
+	if e.ext != nil {
+		return e.ext, nil
+	}
+	dir := e.cfg.ExtendedStorageDir
+	if dir == "" {
+		dir = fmt.Sprintf("%s/hana-extstore-%d", tempDir(), time.Now().UnixNano())
+	}
+	s, err := diskstore.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("extended storage: %w", err)
+	}
+	e.ext = s
+	e.extDir = dir
+	return s, nil
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	Schema   *value.Schema
+	Rows     []value.Row
+	Affected int64
+	Message  string
+	Plan     string // EXPLAIN output
+}
+
+// Execute parses and runs one statement in an autonomous transaction
+// (DDL/queries) — the common path for clients.
+func (e *Engine) Execute(sql string) (*Result, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecuteStmt(st)
+}
+
+// ExecuteScript runs a semicolon-separated script, returning the last
+// result.
+func (e *Engine) ExecuteScript(sql string) (*Result, error) {
+	stmts, err := sqlparse.ParseAll(sql)
+	if err != nil {
+		return nil, err
+	}
+	var last *Result
+	for _, st := range stmts {
+		last, err = e.ExecuteStmt(st)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+// ExecuteStmt runs one parsed statement autonomously.
+func (e *Engine) ExecuteStmt(st sqlparse.Statement) (*Result, error) {
+	switch s := st.(type) {
+	case *sqlparse.SelectStmt:
+		return e.query(nil, s)
+	case *sqlparse.ExplainStmt:
+		return e.explain(s.Sel)
+	case *sqlparse.CreateTableStmt:
+		return e.createTable(s)
+	case *sqlparse.AlterTableStmt:
+		return e.alterTable(s)
+	case *sqlparse.DropStmt:
+		return e.drop(s)
+	case *sqlparse.CreateRemoteSourceStmt:
+		return e.createRemoteSource(s)
+	case *sqlparse.CreateVirtualTableStmt:
+		return e.createVirtualTable(s)
+	case *sqlparse.CreateVirtualFunctionStmt:
+		return e.createVirtualFunction(s)
+	case *sqlparse.InsertStmt, *sqlparse.UpdateStmt, *sqlparse.DeleteStmt:
+		tx := e.Begin()
+		res, err := e.ExecuteStmtTx(tx, st)
+		if err != nil {
+			_ = e.Rollback(tx)
+			return nil, err
+		}
+		if err := e.CommitTx(tx); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	return nil, fmt.Errorf("unsupported statement %T", st)
+}
+
+// Begin starts an explicit transaction.
+func (e *Engine) Begin() *txn.Txn { return e.mgr.Begin() }
+
+// CommitTx commits the transaction, stamping MVCC versions after the
+// two-phase commit succeeds.
+func (e *Engine) CommitTx(tx *txn.Txn) error {
+	cid, err := e.mgr.Commit(tx)
+	if err != nil {
+		dropStamps(tx)
+		return err
+	}
+	commitStamps(tx, cid)
+	return nil
+}
+
+// Rollback aborts the transaction.
+func (e *Engine) Rollback(tx *txn.Txn) error {
+	dropStamps(tx)
+	return e.mgr.Abort(tx)
+}
+
+// ExecuteTx parses and runs a statement inside an explicit transaction.
+func (e *Engine) ExecuteTx(tx *txn.Txn, sql string) (*Result, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecuteStmtTx(tx, st)
+}
+
+// ExecuteStmtTx runs a parsed DML/SELECT statement inside a transaction.
+func (e *Engine) ExecuteStmtTx(tx *txn.Txn, st sqlparse.Statement) (*Result, error) {
+	switch s := st.(type) {
+	case *sqlparse.SelectStmt:
+		return e.query(tx, s)
+	case *sqlparse.InsertStmt:
+		return e.insert(tx, s)
+	case *sqlparse.UpdateStmt:
+		return e.update(tx, s)
+	case *sqlparse.DeleteStmt:
+		return e.delete(tx, s)
+	}
+	return nil, fmt.Errorf("statement %T not allowed in a transaction", st)
+}
+
+// table resolves a runtime table.
+func (e *Engine) table(name string) (*storedTable, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t, ok := e.tables[strings.ToUpper(name)]
+	if !ok {
+		return nil, fmt.Errorf("table %s not found", name)
+	}
+	return t, nil
+}
+
+// adapter resolves the adapter instance behind a remote source name.
+func (e *Engine) adapter(source string) (fed.Adapter, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	a, ok := e.adapters[strings.ToUpper(source)]
+	if !ok {
+		return nil, fmt.Errorf("remote source %s not connected", source)
+	}
+	return a, nil
+}
+
+func tempDir() string { return "/tmp" }

@@ -1,0 +1,482 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hana/internal/catalog"
+	"hana/internal/diskstore"
+	"hana/internal/exec"
+	"hana/internal/expr"
+	"hana/internal/fed"
+	"hana/internal/sqlparse"
+	"hana/internal/value"
+)
+
+// planNode is one node of the EXPLAIN tree.
+type planNode struct {
+	label    string
+	children []*planNode
+}
+
+func node(label string, children ...*planNode) *planNode {
+	return &planNode{label: label, children: children}
+}
+
+func (n *planNode) render(b *strings.Builder, indent int) {
+	for i := 0; i < indent; i++ {
+		b.WriteString("  ")
+	}
+	b.WriteString(n.label)
+	b.WriteByte('\n')
+	for _, c := range n.children {
+		c.render(b, indent+1)
+	}
+}
+
+// String renders the plan tree.
+func (n *planNode) String() string {
+	var b strings.Builder
+	n.render(&b, 0)
+	return b.String()
+}
+
+// relation is the planner's intermediate: either already-materialized local
+// rows, a shippable remote query under construction, or an extended-storage
+// scan under construction. Conjuncts attach to unrealized relations so the
+// chosen federated strategy can push them down.
+type relation struct {
+	schema *value.Schema
+	rows   []value.Row // local, materialized (nil unless local)
+	local  bool
+
+	remote *remoteRel
+	ext    *extRel
+
+	est  float64
+	node *planNode
+}
+
+// remoteRel is a query being assembled for one SDA remote source.
+type remoteRel struct {
+	source  string
+	adapter fed.Adapter
+	// tables are the remote objects with their local bindings.
+	tables []remoteTable
+	conjs  []expr.Expr
+}
+
+type remoteTable struct {
+	path    []string
+	binding string
+	schema  *value.Schema // qualified by binding
+}
+
+// extRel is a pending scan over extended-storage (cold) partitions plus the
+// hot fragments of the same hybrid table.
+type extRel struct {
+	t     *storedTable
+	conjs []expr.Expr
+}
+
+// addConj pushes a predicate into the unrealized relation.
+func (r *relation) addConj(c expr.Expr) {
+	switch {
+	case r.remote != nil:
+		r.remote.conjs = append(r.remote.conjs, c)
+	case r.ext != nil:
+		r.ext.conjs = append(r.ext.conjs, c)
+	}
+}
+
+// covers reports whether every column in the expression resolves in the
+// relation's schema.
+func (r *relation) covers(e expr.Expr) bool {
+	for _, c := range expr.Columns(e) {
+		if r.schema.Find(c) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// realize turns the relation into materialized local rows.
+func (p *planner) realize(r *relation) error {
+	switch {
+	case r.local:
+		return nil
+	case r.remote != nil:
+		return p.realizeRemote(r)
+	case r.ext != nil:
+		return p.realizeExt(r)
+	}
+	return fmt.Errorf("empty relation")
+}
+
+// realizeRemote ships the assembled query to the remote source ("Remote
+// Scan" in SDA terms) and materializes the result as a transient virtual
+// table.
+func (p *planner) realizeRemote(r *relation) error {
+	rr := r.remote
+	sel := &sqlparse.SelectStmt{Limit: -1}
+	for _, col := range r.schema.Cols {
+		sel.Items = append(sel.Items, sqlparse.SelectItem{Expr: expr.Col(col.Name)})
+	}
+	var from sqlparse.TableExpr
+	for _, t := range rr.tables {
+		ref := &sqlparse.TableRef{Parts: t.path, Alias: t.binding}
+		if from == nil {
+			from = ref
+		} else {
+			from = &sqlparse.JoinExpr{Type: sqlparse.JoinCross, L: from, R: ref}
+		}
+	}
+	sel.From = from
+	sel.Where = expr.And(cloneAll(rr.conjs)...)
+	sql := sqlparse.RenderSelect(sel)
+
+	opts := p.remoteOpts(sel.Where != nil)
+	res, err := rr.adapter.Query(sql, opts)
+	if err != nil {
+		return fmt.Errorf("remote source %s: %w", rr.source, err)
+	}
+	p.e.Metrics.add(func(m *Metrics) {
+		m.RemoteQueries++
+		m.RemoteRowsFetched += int64(res.Rows.Len())
+		if res.FromCache {
+			m.RemoteCacheHits++
+		}
+	})
+	label := fmt.Sprintf("Remote Row Scan [%s] (%d rows)", rr.source, res.Rows.Len())
+	if res.FromCache {
+		label += " [remote cache hit]"
+	}
+	r.node = node(label, node("shipped: "+sql))
+	if err := conformRows(res.Rows, r.schema); err != nil {
+		return fmt.Errorf("remote source %s returned incompatible rows: %w", rr.source, err)
+	}
+	r.rows = res.Rows.Data
+	r.local = true
+	r.remote = nil
+	r.est = float64(len(r.rows))
+	return nil
+}
+
+// remoteOpts derives QueryOptions from the session hint and engine config
+// (§4.4: hint + enable_remote_cache + predicate-only rule; the adapter
+// enforces remote_cache_validity).
+func (p *planner) remoteOpts(hasPredicates bool) fed.QueryOptions {
+	use := p.useCache && p.e.cfg.EnableRemoteCache && hasPredicates
+	return fed.QueryOptions{UseCache: use, Validity: p.e.cfg.RemoteCacheValidity}
+}
+
+// conformRows casts remote result rows to the expected schema (SDA
+// "applies the required data type conversions").
+func conformRows(rows *value.Rows, want *value.Schema) error {
+	if rows.Schema.Len() != want.Len() {
+		return fmt.Errorf("arity %d, want %d", rows.Schema.Len(), want.Len())
+	}
+	for i, r := range rows.Data {
+		for j := range r {
+			v, err := value.Cast(r[j], want.Cols[j].Kind)
+			if err != nil {
+				return err
+			}
+			rows.Data[i][j] = v
+		}
+	}
+	return nil
+}
+
+// realizeExt executes the pending extended-storage scan: predicates are
+// pushed into the scan (zone-map ranges on cold chunks), hot and cold
+// fragments are combined with a union ("Union Plan"), and hot-only or
+// cold-only access is pruned via the partition bounds.
+func (p *planner) realizeExt(r *relation) error {
+	er := r.ext
+	t := er.t
+	// Bind pushed conjuncts against the (qualified) leaf schema.
+	var bound []expr.Expr
+	for _, c := range er.conjs {
+		bc, err := bindToSchema(c, r.schema)
+		if err != nil {
+			return err
+		}
+		bound = append(bound, bc)
+	}
+	pred := expr.And(bound...)
+	ranges, inCount := extractRanges(bound, t.meta.Schema)
+
+	var hotRows, coldRows int
+	var out []value.Row
+	var usedCold, usedHot bool
+	partOrd := -1
+	if t.meta.PartitionBy != "" {
+		partOrd = t.meta.Schema.Find(t.meta.PartitionBy)
+	}
+	for _, part := range t.parts {
+		if partOrd >= 0 && prunePartition(part, t, partOrd, ranges) {
+			continue
+		}
+		var scanRanges map[int]diskstore.Range
+		if part.ext != nil {
+			scanRanges = ranges
+		}
+		rows, err := part.visibleRows(p.snapshot, p.tid, scanRanges)
+		if err != nil {
+			return err
+		}
+		for _, row := range rows {
+			keep, err := expr.Truthy(pred, row)
+			if err != nil {
+				return err
+			}
+			if keep {
+				out = append(out, row)
+			}
+		}
+		if part.cold {
+			usedCold = true
+			coldRows += len(rows)
+		} else {
+			usedHot = true
+			hotRows += len(rows)
+		}
+	}
+	// Plan labeling + strategy metrics.
+	switch {
+	case usedHot && usedCold:
+		label := fmt.Sprintf("Union Plan [%s] (hot %d ∪ cold %d rows scanned)", t.meta.Name, hotRows, coldRows)
+		if inCount > 0 {
+			label += fmt.Sprintf(" + Semijoin (%d values shipped)", inCount)
+		}
+		r.node = node(label)
+		p.e.Metrics.add(func(m *Metrics) {
+			m.UnionPlansChosen++
+			if inCount > 0 {
+				m.SemiJoinsChosen++
+			}
+		})
+	case usedCold && inCount > 0:
+		r.node = node(fmt.Sprintf("Semijoin → Extended Storage [%s] (%d values shipped, %d rows scanned)", t.meta.Name, inCount, coldRows))
+		p.e.Metrics.add(func(m *Metrics) { m.SemiJoinsChosen++ })
+	case usedCold:
+		r.node = node(fmt.Sprintf("Remote Scan → Extended Storage [%s] (%d rows scanned)", t.meta.Name, coldRows))
+		p.e.Metrics.add(func(m *Metrics) { m.RemoteScansChosen++ })
+	default:
+		r.node = node(fmt.Sprintf("Column Scan [%s] (%d rows)", t.meta.Name, hotRows))
+	}
+	if pred != nil {
+		r.node.children = append(r.node.children, node("pushed filter: "+pred.SQL()))
+	}
+	r.rows = out
+	r.local = true
+	r.ext = nil
+	r.est = float64(len(out))
+	return nil
+}
+
+// prunePartition reports whether the partition's value range provably
+// misses the pushed ranges on the partitioning column.
+func prunePartition(part *partition, t *storedTable, partOrd int, ranges map[int]diskstore.Range) bool {
+	rg, ok := ranges[partOrd]
+	if !ok {
+		return false
+	}
+	// Determine the partition's [lower, upper) window from the ordered
+	// bound list.
+	var lower, upper *value.Value
+	var prev *value.Value
+	for i := range t.meta.Partitions {
+		pm := &t.meta.Partitions[i]
+		if pm.Others {
+			continue
+		}
+		b := pm.UpperBound
+		if t.parts[i] == part {
+			lower, upper = prev, &b
+		}
+		prev = &b
+	}
+	if part.meta.Others {
+		lower, upper = prev, nil
+	}
+	if upper != nil && rg.Lo != nil && value.Compare(*upper, *rg.Lo) <= 0 {
+		return true
+	}
+	if lower != nil && rg.Hi != nil && value.Compare(*lower, *rg.Hi) > 0 {
+		return true
+	}
+	return false
+}
+
+// extractRanges derives zone-map ranges per column ordinal from bound
+// conjuncts (col CMP literal, BETWEEN, IN-lists). It also reports how many
+// IN-list values were pushed (the semijoin strategy's shipped values).
+func extractRanges(conjs []expr.Expr, schema *value.Schema) (map[int]diskstore.Range, int) {
+	ranges := map[int]diskstore.Range{}
+	inCount := 0
+	setLo := func(ord int, v value.Value) {
+		r := ranges[ord]
+		if r.Lo == nil || value.Compare(v, *r.Lo) > 0 {
+			r.Lo = &v
+		}
+		ranges[ord] = r
+	}
+	setHi := func(ord int, v value.Value) {
+		r := ranges[ord]
+		if r.Hi == nil || value.Compare(v, *r.Hi) < 0 {
+			r.Hi = &v
+		}
+		ranges[ord] = r
+	}
+	for _, c := range conjs {
+		switch n := c.(type) {
+		case *expr.BinOp:
+			col, lit, op := colOpLiteral(n)
+			if col == nil {
+				continue
+			}
+			ord := schema.Find(col.Name)
+			if ord < 0 {
+				continue
+			}
+			switch op {
+			case expr.OpEq:
+				setLo(ord, lit)
+				setHi(ord, lit)
+			case expr.OpGt, expr.OpGe:
+				setLo(ord, lit)
+			case expr.OpLt, expr.OpLe:
+				setHi(ord, lit)
+			}
+		case *expr.Between:
+			col, ok := n.E.(*expr.ColRef)
+			if !ok || n.Negate {
+				continue
+			}
+			ord := schema.Find(col.Name)
+			if ord < 0 {
+				continue
+			}
+			if lo, ok := n.Lo.(*expr.Literal); ok {
+				setLo(ord, lo.Val)
+			}
+			if hi, ok := n.Hi.(*expr.Literal); ok {
+				setHi(ord, hi.Val)
+			}
+		case *expr.In:
+			if n.Negate {
+				continue
+			}
+			col, ok := n.E.(*expr.ColRef)
+			if !ok {
+				continue
+			}
+			ord := schema.Find(col.Name)
+			if ord < 0 {
+				continue
+			}
+			var vals []value.Value
+			allLit := true
+			for _, el := range n.List {
+				if l, ok := el.(*expr.Literal); ok {
+					vals = append(vals, l.Val)
+				} else {
+					allLit = false
+					break
+				}
+			}
+			if !allLit || len(vals) == 0 {
+				continue
+			}
+			inCount += len(vals)
+			sort.Slice(vals, func(i, j int) bool { return value.Compare(vals[i], vals[j]) < 0 })
+			setLo(ord, vals[0])
+			setHi(ord, vals[len(vals)-1])
+		}
+	}
+	return ranges, inCount
+}
+
+// colOpLiteral decomposes col OP literal (or literal OP col, flipped).
+func colOpLiteral(b *expr.BinOp) (*expr.ColRef, value.Value, expr.Op) {
+	if !b.Op.Comparison() {
+		return nil, value.Null, expr.OpInvalid
+	}
+	if c, ok := b.L.(*expr.ColRef); ok {
+		if l, ok := b.R.(*expr.Literal); ok {
+			return c, l.Val, b.Op
+		}
+	}
+	if c, ok := b.R.(*expr.ColRef); ok {
+		if l, ok := b.L.(*expr.Literal); ok {
+			flip := map[expr.Op]expr.Op{
+				expr.OpLt: expr.OpGt, expr.OpLe: expr.OpGe,
+				expr.OpGt: expr.OpLt, expr.OpGe: expr.OpLe,
+				expr.OpEq: expr.OpEq, expr.OpNe: expr.OpNe,
+			}
+			return c, l.Val, flip[b.Op]
+		}
+	}
+	return nil, value.Null, expr.OpInvalid
+}
+
+func cloneAll(es []expr.Expr) []expr.Expr {
+	out := make([]expr.Expr, len(es))
+	for i, e := range es {
+		out[i] = expr.Clone(e)
+	}
+	return out
+}
+
+// iterOf exposes a realized relation as an executor input.
+func iterOf(r *relation) exec.Iter {
+	return exec.NewSlice(r.schema, r.rows)
+}
+
+// estimateLeaf computes the expected row count of a leaf after its pushed
+// predicates, using q-error histograms when available and textbook default
+// selectivities otherwise.
+func estimateLeaf(meta *catalog.TableMeta, baseRows int64, conjs []expr.Expr) float64 {
+	est := float64(baseRows)
+	for _, c := range conjs {
+		sel := 0.25
+		switch n := c.(type) {
+		case *expr.BinOp:
+			col, lit, op := colOpLiteral(n)
+			if col != nil && meta != nil {
+				if h := meta.Histogram(col.Name); h != nil && h.Total > 0 {
+					switch op {
+					case expr.OpEq:
+						sel = h.Selectivity(h.EstimateEq(lit))
+					case expr.OpGt, expr.OpGe:
+						sel = h.Selectivity(h.EstimateRange(&lit, nil))
+					case expr.OpLt, expr.OpLe:
+						sel = h.Selectivity(h.EstimateRange(nil, &lit))
+					default:
+						sel = 0.5
+					}
+					break
+				}
+			}
+			if op == expr.OpEq {
+				sel = 0.05
+			} else {
+				sel = 0.33
+			}
+		case *expr.Between:
+			sel = 0.25
+		case *expr.In:
+			sel = 0.1
+		case *expr.Like:
+			sel = 0.25
+		}
+		est *= sel
+	}
+	if est < 1 {
+		est = 1
+	}
+	return est
+}

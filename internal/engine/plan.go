@@ -1,0 +1,656 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"hana/internal/exec"
+	"hana/internal/expr"
+	"hana/internal/fed"
+	"hana/internal/sqlparse"
+	"hana/internal/txn"
+	"hana/internal/value"
+)
+
+// planner plans and executes one query block under a snapshot.
+type planner struct {
+	e        *Engine
+	snapshot uint64
+	tid      uint64
+	useCache bool
+}
+
+func (e *Engine) newPlanner(tx *txn.Txn, sel *sqlparse.SelectStmt) *planner {
+	p := &planner{e: e}
+	if tx != nil {
+		p.snapshot = tx.Snapshot
+		p.tid = tx.TID
+	} else {
+		p.snapshot = e.mgr.LastCID()
+	}
+	if sel != nil {
+		p.useCache = sel.HasHint("USE_REMOTE_CACHE")
+	}
+	return p
+}
+
+// query plans, executes and materializes a SELECT.
+func (e *Engine) query(tx *txn.Txn, sel *sqlparse.SelectStmt) (*Result, error) {
+	p := e.newPlanner(tx, sel)
+	it, root, err := p.planQueryBlock(sel)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := exec.Materialize(it)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schema: rows.Schema, Rows: rows.Data, Plan: root.String()}, nil
+}
+
+// explain plans (and for federated parts executes the shipping decision)
+// without returning data rows.
+func (e *Engine) explain(sel *sqlparse.SelectStmt) (*Result, error) {
+	p := e.newPlanner(nil, sel)
+	it, root, err := p.planQueryBlock(sel)
+	if err != nil {
+		return nil, err
+	}
+	// Drain to complete lazy plan annotations.
+	if _, err := exec.Materialize(it); err != nil {
+		return nil, err
+	}
+	return &Result{Plan: root.String(), Message: "explained"}, nil
+}
+
+// planQueryBlock plans one SELECT block: whole-statement shipping when
+// every referenced table lives in one remote source (§4.2 "It is even
+// possible that complete queries are processed via Hive and Hadoop"),
+// otherwise local planning with per-leaf pushdown.
+func (p *planner) planQueryBlock(sel *sqlparse.SelectStmt) (exec.Iter, *planNode, error) {
+	if it, n, ok, err := p.tryShipWhole(sel); err != nil {
+		return nil, nil, err
+	} else if ok {
+		return it, n, nil
+	}
+
+	// Split WHERE into plain conjuncts and subquery transforms.
+	var pool []expr.Expr
+	var transforms []subqueryTransform
+	for _, c := range expr.SplitConjuncts(sel.Where) {
+		if tf, ok := asSubqueryTransform(c); ok {
+			transforms = append(transforms, tf)
+			continue
+		}
+		c2, err := p.inlineScalarSubqueries(c)
+		if err != nil {
+			return nil, nil, err
+		}
+		pool = append(pool, c2)
+	}
+
+	rel, err := p.planFromExpr(sel.From, &pool)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := p.realize(rel); err != nil {
+		return nil, nil, err
+	}
+	it := exec.Iter(iterOf(rel))
+	root := rel.node
+	if root == nil {
+		root = node("Row Source")
+	}
+
+	// Residual conjuncts that never found a single home (cross-relation
+	// non-equi predicates).
+	if len(pool) > 0 {
+		pred, err := bindToSchema(expr.And(cloneAll(pool)...), it.Schema())
+		if err != nil {
+			return nil, nil, err
+		}
+		it = &exec.Filter{In: it, Pred: pred}
+		root = node("Filter: "+pred.SQL(), root)
+	}
+
+	// Apply EXISTS / IN subquery transforms as semi/anti joins.
+	for _, tf := range transforms {
+		var err error
+		it, root, err = p.applyTransform(it, root, tf)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	return p.finishBlock(sel, it, root)
+}
+
+// planFromExpr plans a FROM tree. Inner/cross joins are flattened with the
+// conjunct pool driving join keys and pushdown; left outer joins keep their
+// structure.
+func (p *planner) planFromExpr(te sqlparse.TableExpr, pool *[]expr.Expr) (*relation, error) {
+	if te == nil {
+		// SELECT without FROM: one empty row.
+		return &relation{
+			schema: value.NewSchema(),
+			rows:   []value.Row{{}},
+			local:  true,
+			est:    1,
+			node:   node("Single Row"),
+		}, nil
+	}
+	switch t := te.(type) {
+	case *sqlparse.JoinExpr:
+		switch t.Type {
+		case sqlparse.JoinInner, sqlparse.JoinCross:
+			if t.On != nil {
+				*pool = append(*pool, expr.SplitConjuncts(t.On)...)
+			}
+			l, err := p.planFromExpr(t.L, pool)
+			if err != nil {
+				return nil, err
+			}
+			r, err := p.planFromExpr(t.R, pool)
+			if err != nil {
+				return nil, err
+			}
+			return p.joinRelations(l, r, pool)
+		case sqlparse.JoinLeft:
+			l, err := p.planFromExpr(t.L, pool)
+			if err != nil {
+				return nil, err
+			}
+			var empty []expr.Expr
+			r, err := p.planFromExpr(t.R, &empty)
+			if err != nil {
+				return nil, err
+			}
+			return p.leftOuterJoin(l, r, t.On)
+		default:
+			return nil, fmt.Errorf("%s JOIN is not supported", t.Type)
+		}
+	case *sqlparse.TableRef:
+		return p.planTableLeaf(t, pool)
+	case *sqlparse.SubqueryTable:
+		res, _, err := p.blockRows(t.Sel)
+		if err != nil {
+			return nil, err
+		}
+		schema := res.Schema.Qualify(t.Alias)
+		return &relation{
+			schema: schema, rows: res.Data, local: true,
+			est:  float64(len(res.Data)),
+			node: node(fmt.Sprintf("Derived Table %s (%d rows)", t.Alias, len(res.Data))),
+		}, nil
+	case *sqlparse.TableFuncRef:
+		return p.planTableFunc(t)
+	}
+	return nil, fmt.Errorf("unsupported FROM element %T", te)
+}
+
+// planTableLeaf builds a relation for a stored or virtual table, attaching
+// pool conjuncts the leaf alone can evaluate.
+func (p *planner) planTableLeaf(t *sqlparse.TableRef, pool *[]expr.Expr) (*relation, error) {
+	name := t.Name()
+	binding := t.Binding()
+
+	if vt, ok := p.e.cat.VirtualTable(name); ok {
+		a, err := p.e.adapter(vt.Source)
+		if err != nil {
+			return nil, err
+		}
+		schema := vt.Schema.Qualify(binding)
+		rel := &relation{
+			schema: schema,
+			remote: &remoteRel{
+				source:  vt.Source,
+				adapter: a,
+				tables:  []remoteTable{{path: vt.Remote, binding: binding, schema: schema}},
+			},
+		}
+		base := int64(100000)
+		if st, ok := a.TableStats(vt.Remote); ok {
+			base = st.RowCount
+		}
+		conjs := takeCovered(rel, pool)
+		for _, c := range conjs {
+			rel.addConj(c)
+		}
+		rel.est = estimateLeaf(nil, base, conjs)
+		return rel, nil
+	}
+
+	st, err := p.e.table(name)
+	if err != nil {
+		return nil, err
+	}
+	meta := st.meta
+	schema := meta.Schema.Qualify(binding)
+
+	// Extended / hybrid tables stay unrealized so the planner can choose a
+	// federated strategy (remote scan, semijoin, union plan).
+	if hasColdParts(st) {
+		rel := &relation{schema: schema, ext: &extRel{t: st}}
+		conjs := takeCovered(rel, pool)
+		for _, c := range conjs {
+			rel.addConj(c)
+		}
+		rel.est = estimateLeaf(meta, approxRowCount(st), conjs)
+		return rel, nil
+	}
+
+	// Pure in-memory leaf: materialize visible rows and filter immediately.
+	var rows []value.Row
+	for _, part := range st.parts {
+		pr, err := part.visibleRows(p.snapshot, p.tid, nil)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, pr...)
+	}
+	rel := &relation{schema: schema, local: true}
+	conjs := takeCovered(rel, pool)
+	if len(conjs) > 0 {
+		pred, err := bindToSchema(expr.And(cloneAll(conjs)...), schema)
+		if err != nil {
+			return nil, err
+		}
+		kept := rows[:0:0]
+		for _, r := range rows {
+			ok, err := expr.Truthy(pred, r)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+		rel.node = node(fmt.Sprintf("%s Scan [%s] (%d rows)", storeLabel(st), name, len(rows)),
+			node("filter: "+pred.SQL()))
+	} else {
+		rel.node = node(fmt.Sprintf("%s Scan [%s] (%d rows)", storeLabel(st), name, len(rows)))
+	}
+	rel.rows = rows
+	rel.est = float64(len(rows))
+	return rel, nil
+}
+
+func storeLabel(st *storedTable) string {
+	if len(st.parts) > 0 && st.parts[0].row != nil {
+		return "Row"
+	}
+	return "Column"
+}
+
+func hasColdParts(st *storedTable) bool {
+	for _, p := range st.parts {
+		if p.cold {
+			return true
+		}
+	}
+	return false
+}
+
+func approxRowCount(st *storedTable) int64 {
+	if st.meta.Stats.RowCount > 0 {
+		return st.meta.Stats.RowCount
+	}
+	var n int64
+	for _, p := range st.parts {
+		n += int64(p.numRows())
+	}
+	return n
+}
+
+// planTableFunc invokes a local table provider (HANA join over ESP window
+// state) or a virtual function (§4.3) on its remote source.
+func (p *planner) planTableFunc(t *sqlparse.TableFuncRef) (*relation, error) {
+	if prov, ok := p.e.provider(t.Name); ok {
+		rows, err := prov()
+		if err != nil {
+			return nil, fmt.Errorf("table provider %s: %w", t.Name, err)
+		}
+		schema := rows.Schema.Qualify(t.Binding())
+		return &relation{
+			schema: schema, rows: rows.Data, local: true,
+			est:  float64(rows.Len()),
+			node: node(fmt.Sprintf("Table Provider %s (%d rows)", t.Name, rows.Len())),
+		}, nil
+	}
+	vf, ok := p.e.cat.VirtualFunction(t.Name)
+	if !ok {
+		return nil, fmt.Errorf("table function %s not found", t.Name)
+	}
+	a, err := p.e.adapter(vf.Source)
+	if err != nil {
+		return nil, err
+	}
+	fa, ok := a.(fed.FunctionAdapter)
+	if !ok {
+		return nil, fmt.Errorf("remote source %s cannot execute virtual functions", vf.Source)
+	}
+	rows, err := fa.CallFunction(vf.Configuration, vf.Returns)
+	if err != nil {
+		return nil, fmt.Errorf("virtual function %s: %w", t.Name, err)
+	}
+	schema := vf.Returns.Qualify(t.Binding())
+	if err := conformRows(rows, schema); err != nil {
+		return nil, err
+	}
+	p.e.Metrics.add(func(m *Metrics) { m.RemoteQueries++; m.RemoteRowsFetched += int64(rows.Len()) })
+	return &relation{
+		schema: schema, rows: rows.Data, local: true,
+		est:  float64(rows.Len()),
+		node: node(fmt.Sprintf("Virtual Function %s [%s] (%d rows)", t.Name, vf.Source, rows.Len())),
+	}, nil
+}
+
+// takeCovered removes and returns pool conjuncts the relation can evaluate
+// alone.
+func takeCovered(rel *relation, pool *[]expr.Expr) []expr.Expr {
+	var taken []expr.Expr
+	rest := (*pool)[:0:0]
+	for _, c := range *pool {
+		if rel.covers(c) {
+			taken = append(taken, c)
+		} else {
+			rest = append(rest, c)
+		}
+	}
+	*pool = rest
+	return taken
+}
+
+// joinRelations joins two relations choosing among the federated
+// strategies: merge into one shipped remote query, semijoin (IN-list
+// pushdown), table relocation, or local hash join.
+func (p *planner) joinRelations(l, r *relation, pool *[]expr.Expr) (*relation, error) {
+	combined := l.schema.Concat(r.schema)
+
+	// Strategy: merge same-source remote relations into one shipped query.
+	if l.remote != nil && r.remote != nil &&
+		strings.EqualFold(l.remote.source, r.remote.source) &&
+		l.remote.adapter.Capabilities().Joins {
+		merged := &relation{
+			schema: combined,
+			remote: &remoteRel{
+				source:  l.remote.source,
+				adapter: l.remote.adapter,
+				tables:  append(append([]remoteTable{}, l.remote.tables...), r.remote.tables...),
+				conjs:   append(append([]expr.Expr{}, l.remote.conjs...), r.remote.conjs...),
+			},
+			est: maxf(l.est, r.est),
+		}
+		for _, c := range takeCovered(merged, pool) {
+			merged.remote.conjs = append(merged.remote.conjs, c)
+		}
+		return merged, nil
+	}
+
+	// Identify equi-join keys from the pool.
+	var leftKeys, rightKeys []expr.Expr
+	var residual []expr.Expr
+	rest := (*pool)[:0:0]
+	for _, c := range *pool {
+		if lk, rk, ok := equiKeys(c, l, r); ok {
+			leftKeys = append(leftKeys, lk)
+			rightKeys = append(rightKeys, rk)
+			continue
+		}
+		if coversSchema(combined, c) {
+			residual = append(residual, c)
+			continue
+		}
+		rest = append(rest, c)
+	}
+	*pool = rest
+
+	// Strategy: semijoin — ship the small side's join-key values as an
+	// IN-list filter into the unrealized (remote or extended) side.
+	if len(leftKeys) > 0 {
+		if err := p.maybeSemiJoin(l, r, leftKeys, rightKeys); err != nil {
+			return nil, err
+		}
+		if err := p.maybeSemiJoin(r, l, rightKeys, leftKeys); err != nil {
+			return nil, err
+		}
+	}
+
+	// Strategy: table relocation — when the extended side is joined with a
+	// too-large local table, execute the join at the extended store (local
+	// build side shipped there).
+	relocated := false
+	if r.ext != nil && l.local && l.est > float64(p.e.cfg.SemiJoinThreshold) {
+		relocated = true
+		p.e.Metrics.add(func(m *Metrics) { m.RelocationsChosen++ })
+	}
+
+	if err := p.realize(l); err != nil {
+		return nil, err
+	}
+	if err := p.realize(r); err != nil {
+		return nil, err
+	}
+
+	out := &relation{schema: combined, local: true}
+	var it exec.Iter
+	var label string
+	if len(leftKeys) > 0 {
+		blk, brk, err := bindKeys(leftKeys, l.schema, rightKeys, r.schema)
+		if err != nil {
+			return nil, err
+		}
+		it = &exec.HashJoin{
+			Kind: exec.JoinInner, Left: iterOf(l), Right: iterOf(r),
+			LeftKeys: blk, RightKeys: brk,
+		}
+		label = "Hash Join (INNER) on " + keySQL(leftKeys, rightKeys)
+	} else {
+		var on expr.Expr
+		if len(residual) > 0 {
+			var err error
+			on, err = bindToSchema(expr.And(cloneAll(residual)...), combined)
+			if err != nil {
+				return nil, err
+			}
+			residual = nil
+			label = "Nested Loop Join on " + on.SQL()
+		} else {
+			label = "Nested Loop Join (cross)"
+		}
+		it = &exec.NestedLoopJoin{Kind: exec.JoinInner, Left: iterOf(l), Right: iterOf(r), On: on}
+	}
+	if len(residual) > 0 {
+		pred, err := bindToSchema(expr.And(cloneAll(residual)...), combined)
+		if err != nil {
+			return nil, err
+		}
+		it = &exec.Filter{In: it, Pred: pred}
+	}
+	if relocated {
+		label = "Table Relocation → Extended Storage: " + label
+	}
+	rows, err := exec.Materialize(it)
+	if err != nil {
+		return nil, err
+	}
+	out.rows = rows.Data
+	out.est = float64(len(out.rows))
+	out.node = node(fmt.Sprintf("%s (%d rows)", label, len(out.rows)), l.node, r.node)
+	return out, nil
+}
+
+// maybeSemiJoin pushes small's distinct join-key values into big as an
+// IN-list when big is unrealized and small is cheap (§3.1 Semijoin: "data
+// is passed from SAP HANA to the extended storage where it is used for
+// filtering … in an IN-clause").
+func (p *planner) maybeSemiJoin(small, big *relation, smallKeys, bigKeys []expr.Expr) error {
+	if big.remote == nil && big.ext == nil {
+		return nil
+	}
+	if small.est > float64(p.e.cfg.SemiJoinThreshold) {
+		return nil
+	}
+	if err := p.realize(small); err != nil {
+		return err
+	}
+	if float64(len(small.rows)) > float64(p.e.cfg.SemiJoinThreshold) {
+		return nil
+	}
+	for i := range smallKeys {
+		key, err := bindToSchema(smallKeys[i], small.schema)
+		if err != nil {
+			return err
+		}
+		seen := map[value.Value]bool{}
+		var list []expr.Expr
+		for _, row := range small.rows {
+			v, err := key.Eval(row)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() || seen[v] {
+				continue
+			}
+			seen[v] = true
+			list = append(list, expr.Lit(v))
+		}
+		if len(list) == 0 {
+			// Empty build side: the join is empty; an impossible filter
+			// short-circuits the remote scan.
+			list = append(list, expr.Lit(value.Null))
+		}
+		big.addConj(&expr.In{E: expr.Clone(bigKeys[i]), List: list})
+		if big.remote != nil {
+			p.e.Metrics.add(func(m *Metrics) { m.SemiJoinsChosen++ })
+		}
+	}
+	return nil
+}
+
+// equiKeys decomposes an equality conjunct into left/right key expressions
+// when each side is covered by a different relation.
+func equiKeys(c expr.Expr, l, r *relation) (lk, rk expr.Expr, ok bool) {
+	b, isBin := c.(*expr.BinOp)
+	if !isBin || b.Op != expr.OpEq {
+		return nil, nil, false
+	}
+	if l.covers(b.L) && r.covers(b.R) && !isLiteral(b.L) && !isLiteral(b.R) {
+		return b.L, b.R, true
+	}
+	if l.covers(b.R) && r.covers(b.L) && !isLiteral(b.L) && !isLiteral(b.R) {
+		return b.R, b.L, true
+	}
+	return nil, nil, false
+}
+
+func isLiteral(e expr.Expr) bool {
+	_, ok := e.(*expr.Literal)
+	return ok
+}
+
+func coversSchema(s *value.Schema, e expr.Expr) bool {
+	for _, c := range expr.Columns(e) {
+		if s.Find(c) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func bindKeys(lk []expr.Expr, ls *value.Schema, rk []expr.Expr, rs *value.Schema) ([]expr.Expr, []expr.Expr, error) {
+	bl := make([]expr.Expr, len(lk))
+	br := make([]expr.Expr, len(rk))
+	for i := range lk {
+		var err error
+		if bl[i], err = bindToSchema(lk[i], ls); err != nil {
+			return nil, nil, err
+		}
+		if br[i], err = bindToSchema(rk[i], rs); err != nil {
+			return nil, nil, err
+		}
+	}
+	return bl, br, nil
+}
+
+func keySQL(lk, rk []expr.Expr) string {
+	parts := make([]string, len(lk))
+	for i := range lk {
+		parts[i] = lk[i].SQL() + " = " + rk[i].SQL()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// leftOuterJoin plans a structural LEFT OUTER JOIN with its ON condition.
+func (p *planner) leftOuterJoin(l, r *relation, on expr.Expr) (*relation, error) {
+	if err := p.realize(l); err != nil {
+		return nil, err
+	}
+	if err := p.realize(r); err != nil {
+		return nil, err
+	}
+	combined := l.schema.Concat(r.schema)
+	var leftKeys, rightKeys []expr.Expr
+	var residual []expr.Expr
+	for _, c := range expr.SplitConjuncts(on) {
+		if lk, rk, ok := equiKeys(c, l, r); ok {
+			leftKeys = append(leftKeys, lk)
+			rightKeys = append(rightKeys, rk)
+		} else {
+			residual = append(residual, c)
+		}
+	}
+	out := &relation{schema: combined, local: true}
+	var it exec.Iter
+	if len(leftKeys) > 0 {
+		blk, brk, err := bindKeys(leftKeys, l.schema, rightKeys, r.schema)
+		if err != nil {
+			return nil, err
+		}
+		var res expr.Expr
+		if len(residual) > 0 {
+			if res, err = bindToSchema(expr.And(cloneAll(residual)...), combined); err != nil {
+				return nil, err
+			}
+		}
+		it = &exec.HashJoin{
+			Kind: exec.JoinLeftOuter, Left: iterOf(l), Right: iterOf(r),
+			LeftKeys: blk, RightKeys: brk, Residual: res,
+		}
+	} else {
+		bon, err := bindToSchema(on, combined)
+		if err != nil {
+			return nil, err
+		}
+		it = &exec.NestedLoopJoin{Kind: exec.JoinLeftOuter, Left: iterOf(l), Right: iterOf(r), On: bon}
+	}
+	rows, err := exec.Materialize(it)
+	if err != nil {
+		return nil, err
+	}
+	out.rows = rows.Data
+	out.est = float64(len(out.rows))
+	out.node = node(fmt.Sprintf("Hash Join (LEFT OUTER) (%d rows)", len(out.rows)), l.node, r.node)
+	return out, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// blockRows plans and materializes a nested query block.
+func (p *planner) blockRows(sel *sqlparse.SelectStmt) (*value.Rows, *planNode, error) {
+	it, n, err := p.planQueryBlock(sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := exec.Materialize(it)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rows, n, nil
+}

@@ -1,0 +1,259 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hana/internal/expr"
+	"hana/internal/sqlparse"
+	"hana/internal/txn"
+	"hana/internal/value"
+)
+
+// Monitoring views, exposed as built-in table functions (query with
+// SELECT * FROM M_TABLES()): the single-administration-surface idea of §2
+// — one interface reports on every component.
+
+// installSystemViews registers the M_* providers.
+func (e *Engine) installSystemViews() {
+	e.RegisterTableProvider("M_TABLES", e.mTables)
+	e.RegisterTableProvider("M_REMOTE_SOURCES", e.mRemoteSources)
+	e.RegisterTableProvider("M_VIRTUAL_TABLES", e.mVirtualTables)
+	e.RegisterTableProvider("M_FEDERATION_STATISTICS", e.mFederationStats)
+	e.RegisterTableProvider("M_TRANSACTIONS", e.mTransactions)
+}
+
+func (e *Engine) mTables() (*value.Rows, error) {
+	out := value.NewRows(value.NewSchema(
+		value.Column{Name: "table_name", Kind: value.KindVarchar},
+		value.Column{Name: "placement", Kind: value.KindVarchar},
+		value.Column{Name: "partitions", Kind: value.KindInt},
+		value.Column{Name: "row_count", Kind: value.KindInt},
+		value.Column{Name: "aging_column", Kind: value.KindVarchar},
+	))
+	for _, name := range e.cat.TableNames() {
+		meta, _ := e.cat.Table(name)
+		n, err := e.TableRowCount(name)
+		if err != nil {
+			return nil, err
+		}
+		parts := int64(len(meta.Partitions))
+		if parts == 0 {
+			parts = 1
+		}
+		aging := value.Null
+		if meta.AgingColumn != "" {
+			aging = value.NewString(meta.AgingColumn)
+		}
+		out.Append(value.Row{
+			value.NewString(meta.Name),
+			value.NewString(meta.Placement.String()),
+			value.NewInt(parts),
+			value.NewInt(n),
+			aging,
+		})
+	}
+	return out, nil
+}
+
+func (e *Engine) mRemoteSources() (*value.Rows, error) {
+	out := value.NewRows(value.NewSchema(
+		value.Column{Name: "source_name", Kind: value.KindVarchar},
+		value.Column{Name: "adapter", Kind: value.KindVarchar},
+		value.Column{Name: "capabilities", Kind: value.KindVarchar},
+	))
+	e.mu.RLock()
+	names := make([]string, 0, len(e.adapters))
+	for n := range e.adapters {
+		names = append(names, n)
+	}
+	e.mu.RUnlock()
+	sort.Strings(names)
+	for _, n := range names {
+		a, err := e.adapter(n)
+		if err != nil {
+			continue
+		}
+		caps := a.Capabilities().Map()
+		var on []string
+		for c, v := range caps {
+			if v {
+				on = append(on, c)
+			}
+		}
+		sort.Strings(on)
+		out.Append(value.Row{
+			value.NewString(n),
+			value.NewString(a.Name()),
+			value.NewString(strings.Join(on, ",")),
+		})
+	}
+	return out, nil
+}
+
+func (e *Engine) mVirtualTables() (*value.Rows, error) {
+	out := value.NewRows(value.NewSchema(
+		value.Column{Name: "table_name", Kind: value.KindVarchar},
+		value.Column{Name: "source_name", Kind: value.KindVarchar},
+		value.Column{Name: "remote_object", Kind: value.KindVarchar},
+	))
+	// The catalog does not expose iteration over virtual tables directly;
+	// list through known sources' registrations.
+	for _, vt := range e.cat.VirtualTableList() {
+		out.Append(value.Row{
+			value.NewString(vt.Name),
+			value.NewString(vt.Source),
+			value.NewString(strings.Join(vt.Remote, ".")),
+		})
+	}
+	return out, nil
+}
+
+func (e *Engine) mFederationStats() (*value.Rows, error) {
+	m := e.Metrics.Snapshot()
+	out := value.NewRows(value.NewSchema(
+		value.Column{Name: "metric", Kind: value.KindVarchar},
+		value.Column{Name: "val", Kind: value.KindInt},
+	))
+	for _, kv := range []struct {
+		k string
+		v int64
+	}{
+		{"remote_queries", m.RemoteQueries},
+		{"remote_cache_hits", m.RemoteCacheHits},
+		{"remote_rows_fetched", m.RemoteRowsFetched},
+		{"semijoins_chosen", m.SemiJoinsChosen},
+		{"union_plans_chosen", m.UnionPlansChosen},
+		{"relocations_chosen", m.RelocationsChosen},
+		{"remote_scans_chosen", m.RemoteScansChosen},
+	} {
+		out.Append(value.Row{value.NewString(kv.k), value.NewInt(kv.v)})
+	}
+	return out, nil
+}
+
+func (e *Engine) mTransactions() (*value.Rows, error) {
+	out := value.NewRows(value.NewSchema(
+		value.Column{Name: "metric", Kind: value.KindVarchar},
+		value.Column{Name: "val", Kind: value.KindInt},
+	))
+	out.Append(value.Row{value.NewString("active_transactions"), value.NewInt(int64(e.mgr.ActiveCount()))})
+	out.Append(value.Row{value.NewString("last_commit_id"), value.NewInt(int64(e.mgr.LastCID()))})
+	out.Append(value.Row{value.NewString("in_doubt_transactions"), value.NewInt(int64(len(e.mgr.InDoubt())))})
+	return out, nil
+}
+
+// ExecuteParams parses and runs a statement with positional ? parameters
+// bound to the given values. Parameterized remote-materialization keys
+// incorporate the parameter values (§4.4: "a hash key is computed from the
+// HiveQL statement, parameters, and the host information").
+func (e *Engine) ExecuteParams(sql string, params ...value.Value) (*Result, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	bound, err := substituteStmtParams(st, params)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecuteStmt(bound)
+}
+
+// substituteStmtParams replaces parameter placeholders across the
+// statement's expressions.
+func substituteStmtParams(st sqlparse.Statement, params []value.Value) (sqlparse.Statement, error) {
+	sub := func(ex expr.Expr) (expr.Expr, error) {
+		if ex == nil {
+			return nil, nil
+		}
+		return expr.SubstituteParams(ex, params)
+	}
+	switch s := st.(type) {
+	case *sqlparse.SelectStmt:
+		out := *s
+		var err error
+		if out.Where, err = sub(s.Where); err != nil {
+			return nil, err
+		}
+		if out.Having, err = sub(s.Having); err != nil {
+			return nil, err
+		}
+		items := make([]sqlparse.SelectItem, len(s.Items))
+		for i, it := range s.Items {
+			items[i] = it
+			if it.Expr != nil {
+				if items[i].Expr, err = sub(it.Expr); err != nil {
+					return nil, err
+				}
+			}
+		}
+		out.Items = items
+		return &out, nil
+	case *sqlparse.DeleteStmt:
+		out := *s
+		var err error
+		if out.Where, err = sub(s.Where); err != nil {
+			return nil, err
+		}
+		return &out, nil
+	case *sqlparse.UpdateStmt:
+		out := *s
+		var err error
+		if out.Where, err = sub(s.Where); err != nil {
+			return nil, err
+		}
+		set := make([]struct {
+			Col string
+			E   expr.Expr
+		}, len(s.Set))
+		for i, sc := range s.Set {
+			set[i].Col = sc.Col
+			if set[i].E, err = sub(sc.E); err != nil {
+				return nil, err
+			}
+		}
+		out.Set = set
+		return &out, nil
+	case *sqlparse.InsertStmt:
+		out := *s
+		vals := make([][]expr.Expr, len(s.Values))
+		for i, row := range s.Values {
+			vals[i] = make([]expr.Expr, len(row))
+			for j, ex := range row {
+				var err error
+				if vals[i][j], err = sub(ex); err != nil {
+					return nil, err
+				}
+			}
+		}
+		out.Values = vals
+		return &out, nil
+	}
+	return st, nil
+}
+
+// ResolveInDoubt exposes manual resolution of an in-doubt extended-storage
+// transaction branch (§3.1: "Clients will have the ability to manually
+// abort these 'in-doubt' transactions").
+func (e *Engine) ResolveInDoubt(tid uint64, commit bool) error {
+	ind := e.mgr.InDoubt()
+	name, ok := ind[tid]
+	if !ok {
+		return fmt.Errorf("transaction %d is not in-doubt", tid)
+	}
+	// Find the participant by name among the stored tables.
+	e.mu.RLock()
+	var part txn.Participant
+	for _, t := range e.tables {
+		if t.part2pc.Name() == name {
+			part = t.part2pc
+			break
+		}
+	}
+	e.mu.RUnlock()
+	if part == nil {
+		return fmt.Errorf("participant %s for transaction %d not found", name, tid)
+	}
+	return e.mgr.Resolve(tid, part, commit)
+}

@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"hana/internal/value"
+)
+
+func TestSystemViewMTables(t *testing.T) {
+	e := newTestEngine(t)
+	exec1(t, e, `CREATE TABLE plain (a BIGINT)`)
+	exec1(t, e, `CREATE TABLE arch (a BIGINT) USING EXTENDED STORAGE`)
+	exec1(t, e, `INSERT INTO plain VALUES (1), (2)`)
+	res := exec1(t, e, `SELECT table_name, placement, row_count FROM M_TABLES() ORDER BY table_name`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0].String() != "arch" || res.Rows[0][1].String() != "EXTENDED" {
+		t.Fatalf("arch row = %v", res.Rows[0])
+	}
+	if res.Rows[1][2].Int() != 2 {
+		t.Fatalf("plain row_count = %v", res.Rows[1])
+	}
+}
+
+func TestSystemViewTransactions(t *testing.T) {
+	e := newTestEngine(t)
+	tx := e.Begin()
+	res := exec1(t, e, `SELECT val FROM M_TRANSACTIONS() WHERE metric = 'active_transactions'`)
+	if res.Rows[0][0].Int() != 1 {
+		t.Fatalf("active = %v", res.Rows[0][0])
+	}
+	_ = e.Rollback(tx)
+}
+
+func TestFederationStatsView(t *testing.T) {
+	e, _ := newFederatedSetup(t)
+	exec1(t, e, `SELECT c_name FROM V_CUSTOMER WHERE c_custkey = 1`)
+	res := exec1(t, e, `SELECT val FROM M_FEDERATION_STATISTICS() WHERE metric = 'remote_queries'`)
+	if res.Rows[0][0].Int() < 1 {
+		t.Fatalf("remote_queries = %v", res.Rows[0][0])
+	}
+	res = exec1(t, e, `SELECT COUNT(*) FROM M_VIRTUAL_TABLES()`)
+	if res.Rows[0][0].Int() != 2 {
+		t.Fatalf("virtual tables = %v", res.Rows[0][0])
+	}
+	res = exec1(t, e, `SELECT capabilities FROM M_REMOTE_SOURCES() WHERE source_name = 'HIVE1'`)
+	if !strings.Contains(res.Rows[0][0].String(), "CAP_JOINS") {
+		t.Fatalf("caps = %v", res.Rows[0][0])
+	}
+}
+
+func TestExecuteParams(t *testing.T) {
+	e := newTestEngine(t)
+	exec1(t, e, `CREATE TABLE t (a BIGINT, s VARCHAR(10))`)
+	if _, err := e.ExecuteParams(`INSERT INTO t VALUES (?, ?)`,
+		value.NewInt(1), value.NewString("one")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ExecuteParams(`INSERT INTO t VALUES (?, ?)`,
+		value.NewInt(2), value.NewString("two")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.ExecuteParams(`SELECT s FROM t WHERE a = ?`, value.NewInt(2))
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].String() != "two" {
+		t.Fatalf("param select: %v %v", res, err)
+	}
+	// Update and delete with parameters.
+	if _, err := e.ExecuteParams(`UPDATE t SET s = ? WHERE a = ?`,
+		value.NewString("uno"), value.NewInt(1)); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = e.ExecuteParams(`SELECT s FROM t WHERE a = ?`, value.NewInt(1))
+	if res.Rows[0][0].String() != "uno" {
+		t.Fatal("param update")
+	}
+	if _, err := e.ExecuteParams(`DELETE FROM t WHERE a = ?`, value.NewInt(1)); err != nil {
+		t.Fatal(err)
+	}
+	res = exec1(t, e, `SELECT COUNT(*) FROM t`)
+	if res.Rows[0][0].Int() != 1 {
+		t.Fatal("param delete")
+	}
+	// Missing parameter errors.
+	if _, err := e.ExecuteParams(`SELECT * FROM t WHERE a = ?`); err == nil {
+		t.Fatal("missing parameter must error")
+	}
+}
+
+func TestResolveInDoubtThroughEngine(t *testing.T) {
+	e := newTestEngine(t)
+	exec1(t, e, `CREATE TABLE psa (id BIGINT) USING EXTENDED STORAGE`)
+	// Inject a commit-phase failure on the extended-store participant.
+	e.TxnManager().FailNext("commit", "extstore:psa")
+	tx := e.Begin()
+	if _, err := e.ExecuteTx(tx, `INSERT INTO psa VALUES (1)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CommitTx(tx); err != nil {
+		t.Fatalf("decision was commit: %v", err)
+	}
+	ind := e.TxnManager().InDoubt()
+	if len(ind) != 1 {
+		t.Fatalf("in-doubt = %v", ind)
+	}
+	// Manual resolution re-delivers the commit; the row becomes visible.
+	if err := e.ResolveInDoubt(tx.TID, true); err != nil {
+		t.Fatal(err)
+	}
+	res := exec1(t, e, `SELECT COUNT(*) FROM psa`)
+	if res.Rows[0][0].Int() != 1 {
+		t.Fatalf("post-resolve count = %v", res.Rows[0][0])
+	}
+	if err := e.ResolveInDoubt(999, true); err == nil {
+		t.Fatal("unknown tid must error")
+	}
+}
+
+func TestGeoSpatialFunctions(t *testing.T) {
+	e := newTestEngine(t)
+	exec1(t, e, `CREATE TABLE stations (name VARCHAR(20), lat DOUBLE, lon DOUBLE)`)
+	exec1(t, e, `INSERT INTO stations VALUES
+		('walldorf',  49.306, 8.642),
+		('brussels',  50.850, 4.352),
+		('tokyo',     35.676, 139.650)`)
+	// Distance Walldorf→Brussels ≈ 350 km.
+	res := exec1(t, e, `SELECT name, ST_DISTANCE(lat, lon, 49.306, 8.642) d
+		FROM stations WHERE ST_DISTANCE(lat, lon, 49.306, 8.642) < 1000000 ORDER BY d`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("within 1000km = %v", res.Rows)
+	}
+	if res.Rows[0][0].String() != "walldorf" || res.Rows[1][0].String() != "brussels" {
+		t.Fatalf("order = %v", res.Rows)
+	}
+	d := res.Rows[1][1].Float()
+	if d < 300000 || d > 420000 {
+		t.Fatalf("walldorf-brussels distance = %f m", d)
+	}
+	// Bounding box over central Europe excludes Tokyo.
+	res = exec1(t, e, `SELECT COUNT(*) FROM stations WHERE ST_WITHIN_RECT(lat, lon, 45, 2, 55, 12)`)
+	if res.Rows[0][0].Int() != 2 {
+		t.Fatalf("bbox count = %v", res.Rows[0][0])
+	}
+}
+
+func TestAlterTableAddColumn(t *testing.T) {
+	e := newTestEngine(t)
+	exec1(t, e, `CREATE TABLE t (a BIGINT)`)
+	exec1(t, e, `INSERT INTO t VALUES (1)`)
+	exec1(t, e, `ALTER TABLE t ADD (b VARCHAR(10), c DOUBLE)`)
+	exec1(t, e, `INSERT INTO t VALUES (2, 'x', 1.5)`)
+	res := exec1(t, e, `SELECT a, b, c FROM t ORDER BY a`)
+	if !res.Rows[0][1].IsNull() || res.Rows[1][1].String() != "x" {
+		t.Fatalf("altered rows = %v", res.Rows)
+	}
+	if _, err := e.Execute(`ALTER TABLE t ADD (a BIGINT)`); err == nil {
+		t.Fatal("duplicate column must error")
+	}
+	if _, err := e.Execute(`ALTER TABLE t ADD (d BIGINT NOT NULL)`); err == nil {
+		t.Fatal("NOT NULL add must error")
+	}
+}
+
+func TestAlterExtendedTable(t *testing.T) {
+	e := newTestEngine(t)
+	exec1(t, e, `CREATE TABLE arch (id BIGINT) USING EXTENDED STORAGE`)
+	exec1(t, e, `INSERT INTO arch VALUES (1), (2)`)
+	exec1(t, e, `ALTER TABLE arch ADD (note VARCHAR(20))`)
+	exec1(t, e, `INSERT INTO arch VALUES (3, 'new')`)
+	res := exec1(t, e, `SELECT id, note FROM arch ORDER BY id`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if !res.Rows[0][1].IsNull() || res.Rows[2][1].String() != "new" {
+		t.Fatalf("extended alter = %v", res.Rows)
+	}
+	// Old rows remain updatable after the schema change.
+	exec1(t, e, `UPDATE arch SET note = 'backfilled' WHERE id = 1`)
+	res = exec1(t, e, `SELECT note FROM arch WHERE id = 1`)
+	if res.Rows[0][0].String() != "backfilled" {
+		t.Fatalf("post-alter update = %v", res.Rows)
+	}
+}
+
+func TestAlterHybridTable(t *testing.T) {
+	e := newTestEngine(t)
+	exec1(t, e, `CREATE TABLE h (id BIGINT, d DATE)
+		PARTITION BY RANGE (d) (
+			PARTITION VALUES < DATE '2014-01-01' USING EXTENDED STORAGE,
+			PARTITION OTHERS)`)
+	exec1(t, e, `INSERT INTO h VALUES (1, DATE '2013-01-01'), (2, DATE '2015-01-01')`)
+	exec1(t, e, `ALTER TABLE h ADD (tag VARCHAR(8))`)
+	res := exec1(t, e, `SELECT COUNT(*) FROM h WHERE tag IS NULL`)
+	if res.Rows[0][0].Int() != 2 {
+		t.Fatalf("hybrid alter = %v", res.Rows)
+	}
+}

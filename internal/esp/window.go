@@ -1,0 +1,346 @@
+package esp
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"hana/internal/exec"
+	"hana/internal/expr"
+	"hana/internal/sqlparse"
+	"hana/internal/value"
+)
+
+// Window is a continuous query over a stream with a CCL retention clause.
+// Raw matching events are retained per KEEP; the (optionally aggregated)
+// window content is computed on read, so HANA-join readers always see the
+// current state.
+type Window struct {
+	name   string
+	sel    *sqlparse.SelectStmt
+	source *Stream
+	keep   *sqlparse.KeepClause
+
+	where expr.Expr
+
+	mu    sync.Mutex
+	buf   []Event // retained raw events, in arrival order; live region is buf[start:]
+	start int     // eviction cursor; compacted lazily to keep offer() amortized O(1)
+	last  time.Time
+}
+
+// CreateWindow compiles a CCL continuous query:
+//
+//	CREATE WINDOW name AS SELECT … FROM stream [WHERE …] [GROUP BY …] KEEP …
+//
+// expressed here as the SELECT text.
+func (p *Project) CreateWindow(name, ccl string) (*Window, error) {
+	st, err := sqlparse.Parse(ccl)
+	if err != nil {
+		return nil, fmt.Errorf("esp: %w", err)
+	}
+	sel, ok := st.(*sqlparse.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("esp: window definition must be a SELECT")
+	}
+	if sel.Keep == nil {
+		return nil, fmt.Errorf("esp: window definition requires a KEEP clause")
+	}
+	ref, ok := sel.From.(*sqlparse.TableRef)
+	if !ok {
+		return nil, fmt.Errorf("esp: window source must be a single stream")
+	}
+	src, ok := p.Stream(ref.Name())
+	if !ok {
+		return nil, fmt.Errorf("esp: stream %s not found", ref.Name())
+	}
+	w := &Window{name: name, sel: sel, source: src, keep: sel.Keep}
+	if sel.Where != nil {
+		pred := expr.Clone(sel.Where)
+		if err := expr.Bind(pred, src.schema); err != nil {
+			return nil, err
+		}
+		w.where = pred
+	}
+	p.mu.Lock()
+	key := strings.ToUpper(name)
+	if _, exists := p.windows[key]; exists {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("esp: window %s already exists", name)
+	}
+	p.windows[key] = w
+	p.mu.Unlock()
+	src.mu.Lock()
+	src.windows = append(src.windows, w)
+	src.mu.Unlock()
+	return w, nil
+}
+
+// offer ingests one event (filtered, retained).
+func (w *Window) offer(ev Event) error {
+	if w.where != nil {
+		keep, err := expr.Truthy(w.where, ev.Row)
+		if err != nil {
+			return err
+		}
+		if !keep {
+			return nil
+		}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf = append(w.buf, Event{Time: ev.Time, Row: ev.Row.Clone()})
+	if ev.Time.After(w.last) {
+		w.last = ev.Time
+	}
+	w.evictLocked(ev.Time)
+	return nil
+}
+
+func (w *Window) evictLocked(now time.Time) {
+	if w.keep.Unit == sqlparse.KeepRows {
+		if over := (len(w.buf) - w.start) - int(w.keep.N); over > 0 {
+			w.start += over
+		}
+	} else {
+		horizon := now.Add(-time.Duration(w.keep.Duration()) * time.Microsecond)
+		for w.start < len(w.buf) && w.buf[w.start].Time.Before(horizon) {
+			w.start++
+		}
+	}
+	// Amortized compaction: reclaim the dead prefix once it dominates.
+	if w.start > 1024 && w.start*2 > len(w.buf) {
+		live := len(w.buf) - w.start
+		copy(w.buf, w.buf[w.start:])
+		for i := live; i < len(w.buf); i++ {
+			w.buf[i] = Event{} // release retained rows
+		}
+		w.buf = w.buf[:live]
+		w.start = 0
+	}
+}
+
+// RawCount reports retained raw events (after filtering and eviction).
+func (w *Window) RawCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.buf) - w.start
+}
+
+// Rows computes the current window content at the given time: time-based
+// retention is applied, then the projection/aggregation of the CCL query.
+// This is the surface the HANA-join integration reads (use case 3).
+func (w *Window) Rows(now time.Time) (*value.Rows, error) {
+	w.mu.Lock()
+	w.evictLocked(now)
+	live := w.buf[w.start:]
+	raw := make([]value.Row, len(live))
+	for i, ev := range live {
+		raw[i] = ev.Row
+	}
+	w.mu.Unlock()
+
+	in := exec.Iter(exec.NewSlice(w.source.schema, raw))
+	sel := w.sel
+
+	// Aggregation.
+	needAgg := len(sel.GroupBy) > 0
+	for _, it := range sel.Items {
+		if it.Expr != nil && expr.HasAggregate(it.Expr) {
+			needAgg = true
+		}
+	}
+	items := sel.Items
+	if needAgg {
+		var groups []expr.Expr
+		outSchema := &value.Schema{}
+		groupNames := make([]string, len(sel.GroupBy))
+		for i, g := range sel.GroupBy {
+			bg := expr.Clone(g)
+			if err := expr.Bind(bg, w.source.schema); err != nil {
+				return nil, err
+			}
+			groups = append(groups, bg)
+			name := g.SQL()
+			if c, ok := g.(*expr.ColRef); ok {
+				name = c.Name
+			}
+			groupNames[i] = name
+			outSchema.Cols = append(outSchema.Cols, value.Column{Name: name, Kind: value.KindVarchar, Nullable: true})
+		}
+		// Collect aggregates.
+		var specs []exec.AggSpec
+		aggNames := map[string]bool{}
+		for _, it := range sel.Items {
+			expr.Walk(it.Expr, func(n expr.Expr) bool {
+				f, ok := n.(*expr.Func)
+				if !ok || !f.IsAggregate() || aggNames[f.SQL()] {
+					return true
+				}
+				aggNames[f.SQL()] = true
+				spec := exec.AggSpec{Func: f.Name, Distinct: f.Distinct}
+				if !f.Star {
+					arg := expr.Clone(f.Args[0])
+					if err := expr.Bind(arg, w.source.schema); err == nil {
+						spec.Arg = arg
+					}
+				}
+				specs = append(specs, spec)
+				outSchema.Cols = append(outSchema.Cols, value.Column{Name: f.SQL(), Kind: value.KindDouble, Nullable: true})
+				return false
+			})
+		}
+		in = &exec.HashAggregate{In: in, GroupBy: groups, Aggs: specs, Out: outSchema}
+		// Rewrite items over the aggregate output.
+		groupSQL := map[string]string{}
+		for i, g := range sel.GroupBy {
+			groupSQL[g.SQL()] = groupNames[i]
+		}
+		newItems := make([]sqlparse.SelectItem, len(items))
+		for i, it := range items {
+			e := expr.Rewrite(it.Expr, func(n expr.Expr) expr.Expr {
+				if f, ok := n.(*expr.Func); ok && f.IsAggregate() {
+					return expr.Col(f.SQL())
+				}
+				if name, ok := groupSQL[n.SQL()]; ok {
+					return expr.Col(name)
+				}
+				return nil
+			})
+			newItems[i] = sqlparse.SelectItem{Expr: e, Alias: it.Alias, Star: it.Star, Qual: it.Qual}
+		}
+		items = newItems
+	}
+
+	// Projection (star = all source columns pre-aggregation).
+	inSchema := in.Schema()
+	out := &value.Schema{}
+	var exprs []expr.Expr
+	for _, it := range items {
+		if it.Star {
+			for i, c := range inSchema.Cols {
+				cr := expr.Col(c.Name)
+				cr.Ord = i
+				exprs = append(exprs, cr)
+				out.Cols = append(out.Cols, c)
+			}
+			continue
+		}
+		be := expr.Clone(it.Expr)
+		if err := expr.Bind(be, inSchema); err != nil {
+			return nil, err
+		}
+		exprs = append(exprs, be)
+		name := it.Alias
+		if name == "" {
+			if c, ok := it.Expr.(*expr.ColRef); ok {
+				name = c.Name
+			} else {
+				name = it.Expr.SQL()
+			}
+		}
+		out.Cols = append(out.Cols, value.Column{Name: name, Kind: value.KindDouble, Nullable: true})
+	}
+	return exec.Materialize(&exec.Project{In: in, Exprs: exprs, Out: out})
+}
+
+// Forward pushes the current window content into a sink (use case 1 for
+// aggregated windows: periodic forwarding of pre-aggregated state).
+func (w *Window) Forward(now time.Time, sink Sink) error {
+	rows, err := w.Rows(now)
+	if err != nil {
+		return err
+	}
+	return sink.Consume(rows.Data, rows.Schema)
+}
+
+// Pattern detects an ordered sequence of predicate matches within a time
+// bound and fires an action — the paper's "detect predefined patterns in
+// the event stream and trigger corresponding actions".
+type Pattern struct {
+	name   string
+	steps  []expr.Expr
+	within time.Duration
+	action func(matched []Event)
+
+	mu      sync.Mutex
+	partial [][]Event
+	Matches int64
+}
+
+// CreatePattern compiles step filter expressions against the stream schema
+// and attaches the pattern.
+func (p *Project) CreatePattern(name, stream string, stepFilters []string, within time.Duration, action func([]Event)) (*Pattern, error) {
+	s, ok := p.Stream(stream)
+	if !ok {
+		return nil, fmt.Errorf("esp: stream %s not found", stream)
+	}
+	if len(stepFilters) == 0 {
+		return nil, fmt.Errorf("esp: pattern needs at least one step")
+	}
+	pat := &Pattern{name: name, within: within, action: action}
+	for _, f := range stepFilters {
+		e, err := sqlparse.ParseExpr(f)
+		if err != nil {
+			return nil, fmt.Errorf("esp: pattern step: %w", err)
+		}
+		if err := expr.Bind(e, s.schema); err != nil {
+			return nil, err
+		}
+		pat.steps = append(pat.steps, e)
+	}
+	s.mu.Lock()
+	s.patterns = append(s.patterns, pat)
+	s.mu.Unlock()
+	return pat, nil
+}
+
+func (pat *Pattern) offer(ev Event) {
+	pat.mu.Lock()
+	defer pat.mu.Unlock()
+	// Expire partial matches outside the window.
+	horizon := ev.Time.Add(-pat.within)
+	kept := pat.partial[:0]
+	for _, pm := range pat.partial {
+		if !pm[0].Time.Before(horizon) {
+			kept = append(kept, pm)
+		}
+	}
+	pat.partial = kept
+	// Advance existing partials.
+	var complete [][]Event
+	for i, pm := range pat.partial {
+		next := pat.steps[len(pm)]
+		if ok, _ := expr.Truthy(next, ev.Row); ok {
+			extended := append(append([]Event{}, pm...), ev)
+			if len(extended) == len(pat.steps) {
+				complete = append(complete, extended)
+				pat.partial[i] = nil
+			} else {
+				pat.partial[i] = extended
+			}
+		}
+	}
+	kept = pat.partial[:0]
+	for _, pm := range pat.partial {
+		if pm != nil {
+			kept = append(kept, pm)
+		}
+	}
+	pat.partial = kept
+	// Start a new partial.
+	if ok, _ := expr.Truthy(pat.steps[0], ev.Row); ok {
+		if len(pat.steps) == 1 {
+			complete = append(complete, []Event{ev})
+		} else {
+			pat.partial = append(pat.partial, []Event{ev})
+		}
+	}
+	for _, m := range complete {
+		pat.Matches++
+		if pat.action != nil {
+			pat.action(m)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"hana/internal/expr"
+	"hana/internal/value"
+)
+
+// AggSpec describes one aggregate output: FuncName(Arg) with optional
+// DISTINCT. Arg nil means COUNT(*).
+type AggSpec struct {
+	Func     string
+	Arg      expr.Expr // bound to the input schema; nil for COUNT(*)
+	Distinct bool
+}
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	count   int64
+	sum     float64
+	sumI    int64
+	intOnly bool
+	min     value.Value
+	max     value.Value
+	sumSq   float64
+	seen    map[value.Value]bool // DISTINCT
+	hasVal  bool
+}
+
+func newAggState(distinct bool) *aggState {
+	s := &aggState{intOnly: true, min: value.Null, max: value.Null}
+	if distinct {
+		s.seen = map[value.Value]bool{}
+	}
+	return s
+}
+
+func (s *aggState) add(v value.Value) {
+	if v.IsNull() {
+		return
+	}
+	if s.seen != nil {
+		if s.seen[v] {
+			return
+		}
+		s.seen[v] = true
+	}
+	s.hasVal = true
+	s.count++
+	switch v.K {
+	case value.KindInt:
+		s.sumI += v.I
+		s.sum += float64(v.I)
+	case value.KindDouble:
+		s.intOnly = false
+		s.sum += v.F
+	default:
+		s.intOnly = false
+	}
+	s.sumSq += v.Float() * v.Float()
+	if s.min.IsNull() || value.Compare(v, s.min) < 0 {
+		s.min = v
+	}
+	if s.max.IsNull() || value.Compare(v, s.max) > 0 {
+		s.max = v
+	}
+}
+
+func (s *aggState) result(fn string) (value.Value, error) {
+	switch fn {
+	case "COUNT":
+		return value.NewInt(s.count), nil
+	case "SUM":
+		if !s.hasVal {
+			return value.Null, nil
+		}
+		if s.intOnly {
+			return value.NewInt(s.sumI), nil
+		}
+		return value.NewDouble(s.sum), nil
+	case "AVG":
+		if s.count == 0 {
+			return value.Null, nil
+		}
+		return value.NewDouble(s.sum / float64(s.count)), nil
+	case "MIN":
+		return s.min, nil
+	case "MAX":
+		return s.max, nil
+	case "VAR":
+		if s.count < 2 {
+			return value.Null, nil
+		}
+		mean := s.sum / float64(s.count)
+		return value.NewDouble(s.sumSq/float64(s.count) - mean*mean), nil
+	case "STDDEV":
+		if s.count < 2 {
+			return value.Null, nil
+		}
+		mean := s.sum / float64(s.count)
+		return value.NewDouble(math.Sqrt(math.Max(0, s.sumSq/float64(s.count)-mean*mean))), nil
+	}
+	return value.Null, fmt.Errorf("unknown aggregate %s", fn)
+}
+
+// HashAggregate groups by the bound GroupBy expressions and computes Aggs.
+// The output schema is [group cols…, agg results…] with the provided
+// column names. With no group-by expressions it produces the single global
+// group (even for empty input, per SQL).
+type HashAggregate struct {
+	In      Iter
+	GroupBy []expr.Expr
+	Aggs    []AggSpec
+	Out     *value.Schema
+
+	done   bool
+	groups []value.Row
+	i      int
+}
+
+// Schema implements Iter.
+func (h *HashAggregate) Schema() *value.Schema { return h.Out }
+
+type aggGroup struct {
+	key    value.Row
+	states []*aggState
+}
+
+// Next implements Iter.
+func (h *HashAggregate) Next() (value.Row, bool, error) {
+	if !h.done {
+		if err := h.run(); err != nil {
+			return nil, false, err
+		}
+	}
+	if h.i >= len(h.groups) {
+		return nil, false, nil
+	}
+	r := h.groups[h.i]
+	h.i++
+	return r, true, nil
+}
+
+func (h *HashAggregate) run() error {
+	table := map[uint64][]*aggGroup{}
+	var order []*aggGroup
+	keyOrds := make([]int, len(h.GroupBy))
+	for i := range keyOrds {
+		keyOrds[i] = i
+	}
+	for {
+		row, ok, err := h.In.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		key := make(value.Row, len(h.GroupBy))
+		for i, g := range h.GroupBy {
+			v, err := g.Eval(row)
+			if err != nil {
+				return err
+			}
+			key[i] = v
+		}
+		hsh := key.Hash(keyOrds)
+		var grp *aggGroup
+		for _, g := range table[hsh] {
+			if key.EqualAt(g.key, keyOrds, keyOrds) {
+				grp = g
+				break
+			}
+		}
+		if grp == nil {
+			grp = &aggGroup{key: key.Clone()}
+			for _, a := range h.Aggs {
+				grp.states = append(grp.states, newAggState(a.Distinct))
+			}
+			table[hsh] = append(table[hsh], grp)
+			order = append(order, grp)
+		}
+		for i, a := range h.Aggs {
+			if a.Arg == nil { // COUNT(*)
+				grp.states[i].count++
+				grp.states[i].hasVal = true
+				continue
+			}
+			v, err := a.Arg.Eval(row)
+			if err != nil {
+				return err
+			}
+			grp.states[i].add(v)
+		}
+	}
+	if len(order) == 0 && len(h.GroupBy) == 0 {
+		// Global aggregate over empty input still yields one row.
+		g := &aggGroup{}
+		for _, a := range h.Aggs {
+			g.states = append(g.states, newAggState(a.Distinct))
+		}
+		order = append(order, g)
+	}
+	for _, g := range order {
+		out := make(value.Row, 0, len(g.key)+len(h.Aggs))
+		out = append(out, g.key...)
+		for i, a := range h.Aggs {
+			v, err := g.states[i].result(a.Func)
+			if err != nil {
+				return err
+			}
+			out = append(out, v)
+		}
+		h.groups = append(h.groups, out)
+	}
+	h.done = true
+	return nil
+}

@@ -1,0 +1,328 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"hana/internal/value"
+)
+
+// Func is a scalar or aggregate function call. Aggregate functions (SUM,
+// COUNT, AVG, MIN, MAX) are recognized by name; the executor's aggregation
+// operator intercepts them, so Eval on an aggregate is an error. COUNT(*)
+// is represented with Star=true and no arguments.
+type Func struct {
+	Name     string
+	Args     []Expr
+	Distinct bool // COUNT(DISTINCT x)
+	Star     bool // COUNT(*)
+}
+
+// Call builds a function node.
+func Call(name string, args ...Expr) *Func {
+	return &Func{Name: strings.ToUpper(name), Args: args}
+}
+
+// AggregateFuncs is the set of supported aggregate function names.
+var AggregateFuncs = map[string]bool{
+	"SUM": true, "COUNT": true, "AVG": true, "MIN": true, "MAX": true,
+	"STDDEV": true, "VAR": true, "CORR": true,
+}
+
+// IsAggregate reports whether the function is an aggregate.
+func (f *Func) IsAggregate() bool { return AggregateFuncs[f.Name] }
+
+// Eval evaluates a scalar function.
+func (f *Func) Eval(row value.Row) (value.Value, error) {
+	if f.IsAggregate() {
+		return value.Null, fmt.Errorf("aggregate %s evaluated outside aggregation operator", f.Name)
+	}
+	args := make([]value.Value, len(f.Args))
+	for i, a := range f.Args {
+		v, err := a.Eval(row)
+		if err != nil {
+			return value.Null, err
+		}
+		args[i] = v
+	}
+	return evalScalar(f.Name, args)
+}
+
+// SQL renders the call.
+func (f *Func) SQL() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.SQL()
+	}
+	d := ""
+	if f.Distinct {
+		d = "DISTINCT "
+	}
+	return f.Name + "(" + d + strings.Join(parts, ", ") + ")"
+}
+
+func needArgs(name string, args []value.Value, n int) error {
+	if len(args) != n {
+		return fmt.Errorf("%s expects %d argument(s), got %d", name, n, len(args))
+	}
+	return nil
+}
+
+func evalScalar(name string, args []value.Value) (value.Value, error) {
+	switch name {
+	case "UPPER":
+		if err := needArgs(name, args, 1); err != nil {
+			return value.Null, err
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		return value.NewString(strings.ToUpper(args[0].String())), nil
+	case "LOWER":
+		if err := needArgs(name, args, 1); err != nil {
+			return value.Null, err
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		return value.NewString(strings.ToLower(args[0].String())), nil
+	case "LENGTH":
+		if err := needArgs(name, args, 1); err != nil {
+			return value.Null, err
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		return value.NewInt(int64(len(args[0].String()))), nil
+	case "SUBSTR", "SUBSTRING":
+		if len(args) != 2 && len(args) != 3 {
+			return value.Null, fmt.Errorf("%s expects 2 or 3 arguments", name)
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		s := args[0].String()
+		start := int(args[1].Int()) - 1 // SQL is 1-based
+		if start < 0 {
+			start = 0
+		}
+		if start > len(s) {
+			return value.NewString(""), nil
+		}
+		end := len(s)
+		if len(args) == 3 {
+			if e := start + int(args[2].Int()); e < end {
+				end = e
+			}
+			if end < start {
+				end = start
+			}
+		}
+		return value.NewString(s[start:end]), nil
+	case "TRIM":
+		if err := needArgs(name, args, 1); err != nil {
+			return value.Null, err
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		return value.NewString(strings.TrimSpace(args[0].String())), nil
+	case "ABS":
+		if err := needArgs(name, args, 1); err != nil {
+			return value.Null, err
+		}
+		v := args[0]
+		switch v.K {
+		case value.KindNull:
+			return value.Null, nil
+		case value.KindInt:
+			if v.I < 0 {
+				return value.NewInt(-v.I), nil
+			}
+			return v, nil
+		case value.KindDouble:
+			return value.NewDouble(math.Abs(v.F)), nil
+		}
+		return value.Null, fmt.Errorf("ABS on %s", v.K)
+	case "ROUND":
+		if len(args) != 1 && len(args) != 2 {
+			return value.Null, fmt.Errorf("ROUND expects 1 or 2 arguments")
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		scale := 0.0
+		if len(args) == 2 {
+			scale = float64(args[1].Int())
+		}
+		p := math.Pow(10, scale)
+		return value.NewDouble(math.Round(args[0].Float()*p) / p), nil
+	case "SQRT":
+		if err := needArgs(name, args, 1); err != nil {
+			return value.Null, err
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		return value.NewDouble(math.Sqrt(args[0].Float())), nil
+	case "FLOOR":
+		if err := needArgs(name, args, 1); err != nil {
+			return value.Null, err
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		return value.NewInt(int64(math.Floor(args[0].Float()))), nil
+	case "CEIL", "CEILING":
+		if err := needArgs(name, args, 1); err != nil {
+			return value.Null, err
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		return value.NewInt(int64(math.Ceil(args[0].Float()))), nil
+	case "MOD":
+		if err := needArgs(name, args, 2); err != nil {
+			return value.Null, err
+		}
+		if args[0].IsNull() || args[1].IsNull() {
+			return value.Null, nil
+		}
+		if args[1].Int() == 0 {
+			return value.Null, fmt.Errorf("MOD by zero")
+		}
+		return value.NewInt(args[0].Int() % args[1].Int()), nil
+	case "COALESCE", "IFNULL":
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return value.Null, nil
+	case "NULLIF":
+		if err := needArgs(name, args, 2); err != nil {
+			return value.Null, err
+		}
+		if !args[0].IsNull() && !args[1].IsNull() && value.Compare(args[0], args[1]) == 0 {
+			return value.Null, nil
+		}
+		return args[0], nil
+	case "YEAR":
+		if err := needArgs(name, args, 1); err != nil {
+			return value.Null, err
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		return value.NewInt(int64(args[0].Time().Year())), nil
+	case "MONTH":
+		if err := needArgs(name, args, 1); err != nil {
+			return value.Null, err
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		return value.NewInt(int64(args[0].Time().Month())), nil
+	case "DAY", "DAYOFMONTH":
+		if err := needArgs(name, args, 1); err != nil {
+			return value.Null, err
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		return value.NewInt(int64(args[0].Time().Day())), nil
+	case "CONCAT":
+		var b strings.Builder
+		for _, a := range args {
+			if a.IsNull() {
+				return value.Null, nil
+			}
+			b.WriteString(a.String())
+		}
+		return value.NewString(b.String()), nil
+	case "CAST_INT", "TO_INT", "TO_INTEGER", "TO_BIGINT":
+		if err := needArgs(name, args, 1); err != nil {
+			return value.Null, err
+		}
+		return value.Cast(args[0], value.KindInt)
+	case "TO_DOUBLE", "TO_DECIMAL":
+		if err := needArgs(name, args, 1); err != nil {
+			return value.Null, err
+		}
+		return value.Cast(args[0], value.KindDouble)
+	case "TO_VARCHAR", "TO_CHAR":
+		if err := needArgs(name, args, 1); err != nil {
+			return value.Null, err
+		}
+		return value.Cast(args[0], value.KindVarchar)
+	case "TO_DATE":
+		if err := needArgs(name, args, 1); err != nil {
+			return value.Null, err
+		}
+		return value.Cast(args[0], value.KindDate)
+	case "ST_DISTANCE":
+		// Geo-spatial support (§1 Variety): great-circle distance in
+		// meters between (lat1, lon1) and (lat2, lon2), WGS84 haversine.
+		if err := needArgs(name, args, 4); err != nil {
+			return value.Null, err
+		}
+		for _, a := range args {
+			if a.IsNull() {
+				return value.Null, nil
+			}
+		}
+		return value.NewDouble(haversineMeters(
+			args[0].Float(), args[1].Float(), args[2].Float(), args[3].Float())), nil
+	case "ST_WITHIN_RECT":
+		// Point-in-bounding-box test: (lat, lon, minLat, minLon, maxLat, maxLon).
+		if err := needArgs(name, args, 6); err != nil {
+			return value.Null, err
+		}
+		for _, a := range args {
+			if a.IsNull() {
+				return value.Null, nil
+			}
+		}
+		lat, lon := args[0].Float(), args[1].Float()
+		in := lat >= args[2].Float() && lat <= args[4].Float() &&
+			lon >= args[3].Float() && lon <= args[5].Float()
+		return value.NewBool(in), nil
+	}
+	return value.Null, fmt.Errorf("unknown function %s", name)
+}
+
+// haversineMeters computes the great-circle distance on the WGS84 mean
+// sphere.
+func haversineMeters(lat1, lon1, lat2, lon2 float64) float64 {
+	const r = 6371008.8 // mean earth radius in meters
+	toRad := math.Pi / 180
+	dLat := (lat2 - lat1) * toRad
+	dLon := (lon2 - lon1) * toRad
+	a := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1*toRad)*math.Cos(lat2*toRad)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * r * math.Asin(math.Min(1, math.Sqrt(a)))
+}
+
+// Cast is an explicit CAST(e AS type) node.
+type Cast struct {
+	E  Expr
+	To value.Kind
+}
+
+// Eval performs the conversion.
+func (c *Cast) Eval(row value.Row) (value.Value, error) {
+	v, err := c.E.Eval(row)
+	if err != nil {
+		return value.Null, err
+	}
+	return value.Cast(v, c.To)
+}
+
+// SQL renders the cast.
+func (c *Cast) SQL() string {
+	return "CAST(" + c.E.SQL() + " AS " + c.To.String() + ")"
+}

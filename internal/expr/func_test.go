@@ -1,0 +1,220 @@
+package expr
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hana/internal/value"
+)
+
+func ev(t *testing.T, e Expr) value.Value {
+	t.Helper()
+	v, err := e.Eval(nil)
+	if err != nil {
+		t.Fatalf("%s: %v", e.SQL(), err)
+	}
+	return v
+}
+
+func TestMoreScalarFunctions(t *testing.T) {
+	if ev(t, Call("LOWER", Str("ABC"))).String() != "abc" {
+		t.Error("LOWER")
+	}
+	if ev(t, Call("TRIM", Str("  x "))).String() != "x" {
+		t.Error("TRIM")
+	}
+	if ev(t, Call("LENGTH", Str("hello"))).Int() != 5 {
+		t.Error("LENGTH")
+	}
+	if ev(t, Call("SQRT", Lit(value.NewDouble(16)))).Float() != 4 {
+		t.Error("SQRT")
+	}
+	if ev(t, Call("FLOOR", Lit(value.NewDouble(2.9)))).Int() != 2 {
+		t.Error("FLOOR")
+	}
+	if ev(t, Call("CEIL", Lit(value.NewDouble(2.1)))).Int() != 3 {
+		t.Error("CEIL")
+	}
+	if ev(t, Call("CEILING", Lit(value.NewDouble(-2.1)))).Int() != -2 {
+		t.Error("CEILING")
+	}
+	if !ev(t, Call("NULLIF", Int(3), Int(3))).IsNull() {
+		t.Error("NULLIF equal")
+	}
+	if ev(t, Call("NULLIF", Int(3), Int(4))).Int() != 3 {
+		t.Error("NULLIF differ")
+	}
+	if ev(t, Call("CONCAT", Str("a"), Str("b"), Str("c"))).String() != "abc" {
+		t.Error("CONCAT")
+	}
+	if !ev(t, Call("CONCAT", Str("a"), Lit(value.Null))).IsNull() {
+		t.Error("CONCAT with NULL")
+	}
+	if ev(t, Call("IFNULL", Lit(value.Null), Str("d"))).String() != "d" {
+		t.Error("IFNULL")
+	}
+	d, _ := value.ParseDate("2015-03-23")
+	if ev(t, Call("DAY", Lit(d))).Int() != 23 {
+		t.Error("DAY")
+	}
+	if ev(t, Call("TO_VARCHAR", Int(5))).String() != "5" {
+		t.Error("TO_VARCHAR")
+	}
+	if ev(t, Call("TO_INTEGER", Str("12"))).Int() != 12 {
+		t.Error("TO_INTEGER")
+	}
+	if ev(t, Call("TO_DOUBLE", Str("1.5"))).Float() != 1.5 {
+		t.Error("TO_DOUBLE")
+	}
+	if ev(t, Call("TO_DATE", Str("2015-03-23"))).K != value.KindDate {
+		t.Error("TO_DATE")
+	}
+	if ev(t, Call("SUBSTR", Str("abc"), Int(10))).String() != "" {
+		t.Error("SUBSTR past end")
+	}
+	if ev(t, Call("SUBSTR", Str("abcdef"), Int(2))).String() != "bcdef" {
+		t.Error("SUBSTR two-arg")
+	}
+	// NULL propagation.
+	for _, fn := range []string{"UPPER", "LOWER", "LENGTH", "TRIM", "ABS", "ROUND", "SQRT", "FLOOR", "CEIL", "YEAR", "MONTH", "DAY"} {
+		if !ev(t, Call(fn, Lit(value.Null))).IsNull() {
+			t.Errorf("%s(NULL) must be NULL", fn)
+		}
+	}
+	// Arity errors.
+	for _, bad := range []Expr{Call("UPPER"), Call("MOD", Int(1)), Call("SUBSTR", Str("x"))} {
+		if _, err := bad.Eval(nil); err == nil {
+			t.Errorf("%s must fail arity check", bad.SQL())
+		}
+	}
+	if _, err := Call("MOD", Int(1), Int(0)).Eval(nil); err == nil {
+		t.Error("MOD by zero must error")
+	}
+	if _, err := Call("ABS", Str("x")).Eval(nil); err == nil {
+		t.Error("ABS on string must error")
+	}
+}
+
+func TestGeoFunctions(t *testing.T) {
+	// Walldorf → Brussels ≈ 352 km.
+	d := ev(t, Call("ST_DISTANCE",
+		Lit(value.NewDouble(49.306)), Lit(value.NewDouble(8.642)),
+		Lit(value.NewDouble(50.850)), Lit(value.NewDouble(4.352))))
+	if d.Float() < 300e3 || d.Float() > 420e3 {
+		t.Errorf("distance = %f", d.Float())
+	}
+	// Zero distance to self.
+	z := ev(t, Call("ST_DISTANCE",
+		Lit(value.NewDouble(10)), Lit(value.NewDouble(20)),
+		Lit(value.NewDouble(10)), Lit(value.NewDouble(20))))
+	if z.Float() != 0 {
+		t.Errorf("self distance = %f", z.Float())
+	}
+	in := ev(t, Call("ST_WITHIN_RECT",
+		Lit(value.NewDouble(49)), Lit(value.NewDouble(8)),
+		Lit(value.NewDouble(45)), Lit(value.NewDouble(2)),
+		Lit(value.NewDouble(55)), Lit(value.NewDouble(12))))
+	if !in.Bool() {
+		t.Error("ST_WITHIN_RECT inside")
+	}
+	if !ev(t, Call("ST_DISTANCE", Lit(value.Null), Int(0), Int(0), Int(0))).IsNull() {
+		t.Error("ST_DISTANCE NULL propagation")
+	}
+}
+
+func TestCastNodeAndSQL(t *testing.T) {
+	c := &Cast{E: Str("42"), To: value.KindInt}
+	if ev(t, c).Int() != 42 {
+		t.Error("CAST eval")
+	}
+	if c.SQL() != "CAST('42' AS BIGINT)" {
+		t.Errorf("CAST sql = %s", c.SQL())
+	}
+	if _, err := (&Cast{E: Str("xx"), To: value.KindInt}).Eval(nil); err == nil {
+		t.Error("bad cast must error")
+	}
+}
+
+func TestSQLRenderers(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{&Between{E: Col("a"), Lo: Int(1), Hi: Int(2)}, "(a BETWEEN 1 AND 2)"},
+		{&Between{E: Col("a"), Lo: Int(1), Hi: Int(2), Negate: true}, "(a NOT BETWEEN 1 AND 2)"},
+		{&IsNull{E: Col("a")}, "(a IS NULL)"},
+		{&IsNull{E: Col("a"), Negate: true}, "(a IS NOT NULL)"},
+		{&Like{E: Col("a"), Pattern: Str("x%")}, "(a LIKE 'x%')"},
+		{&Like{E: Col("a"), Pattern: Str("x%"), Negate: true}, "(a NOT LIKE 'x%')"},
+		{&In{E: Col("a"), List: []Expr{Int(1), Int(2)}, Negate: true}, "(a NOT IN (1, 2))"},
+		{Not(Col("p")), "(NOT p)"},
+		{&UnOp{Op: OpNeg, E: Col("a")}, "(-a)"},
+		{Bin(OpConcat, Str("a"), Str("b")), "('a' || 'b')"},
+		{&Param{Index: 0}, "?"},
+	}
+	for _, c := range cases {
+		if got := c.e.SQL(); got != c.want {
+			t.Errorf("SQL = %q want %q", got, c.want)
+		}
+	}
+	cw := &CaseWhen{Else: Str("e")}
+	cw.Whens = append(cw.Whens, struct {
+		Cond Expr
+		Then Expr
+	}{Col("c"), Str("t")})
+	if got := cw.SQL(); !strings.Contains(got, "WHEN c THEN 't' ELSE 'e' END") {
+		t.Errorf("CASE sql = %q", got)
+	}
+	f := &Func{Name: "COUNT", Star: true}
+	if f.SQL() != "COUNT(*)" {
+		t.Error("COUNT(*) sql")
+	}
+	fd := &Func{Name: "COUNT", Distinct: true, Args: []Expr{Col("a")}}
+	if fd.SQL() != "COUNT(DISTINCT a)" {
+		t.Errorf("distinct sql = %s", fd.SQL())
+	}
+}
+
+func TestConcatOperatorEval(t *testing.T) {
+	v := ev(t, Bin(OpConcat, Str("foo"), Int(7)))
+	if v.String() != "foo7" {
+		t.Errorf("concat = %v", v)
+	}
+	if !ev(t, Bin(OpConcat, Lit(value.Null), Str("x"))).IsNull() {
+		t.Error("NULL || x is NULL")
+	}
+}
+
+func TestNegationEval(t *testing.T) {
+	if ev(t, &UnOp{Op: OpNeg, E: Int(5)}).Int() != -5 {
+		t.Error("negate int")
+	}
+	if ev(t, &UnOp{Op: OpNeg, E: Lit(value.NewDouble(2.5))}).Float() != -2.5 {
+		t.Error("negate double")
+	}
+	if _, err := (&UnOp{Op: OpNeg, E: Str("x")}).Eval(nil); err == nil {
+		t.Error("negate string must error")
+	}
+}
+
+func TestRoundHalfAndVariance(t *testing.T) {
+	if ev(t, Call("ROUND", Lit(value.NewDouble(2.5)))).Float() != 3 {
+		t.Error("ROUND half")
+	}
+	if v := ev(t, Call("ROUND", Lit(value.NewDouble(math.Pi)), Int(4))).Float(); v != 3.1416 {
+		t.Errorf("ROUND(pi,4) = %v", v)
+	}
+}
+
+func TestWalkStopsOnFalse(t *testing.T) {
+	e := Bin(OpAnd, Col("a"), Bin(OpOr, Col("b"), Col("c")))
+	var visited int
+	Walk(e, func(Expr) bool {
+		visited++
+		return visited < 2 // stop descending after the second node
+	})
+	if visited >= 6 {
+		t.Errorf("walk did not stop: %d nodes", visited)
+	}
+}

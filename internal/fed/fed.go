@@ -1,0 +1,190 @@
+// Package fed implements the Smart Data Access (SDA) federation framework
+// of §4.2: a capability-based adapter abstraction over remote data sources.
+// Remote sources are registered through adapter factories, expose remote
+// tables as virtual tables, describe what query constructs they can process
+// (CAP_* flags), and execute shipped subqueries. The remote-materialization
+// cache key and validity logic of §4.4 also lives here.
+package fed
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hana/internal/value"
+)
+
+// Capabilities describes what a remote source can execute, mirroring the
+// paper's capability property files ("CAP_JOINS : true, CAP_JOINS_OUTER :
+// true").
+type Capabilities struct {
+	Select       bool // plain projections and predicates
+	Joins        bool // CAP_JOINS
+	JoinsOuter   bool // CAP_JOINS_OUTER
+	GroupBy      bool // CAP_GROUP_BY
+	OrderBy      bool // CAP_ORDER_BY
+	Limit        bool // CAP_LIMIT
+	Subqueries   bool // CAP_SUBQUERIES (EXISTS / IN subselects)
+	Insert       bool // DML support (IQ yes; Hive no)
+	Transactions bool // transactional guarantees (IQ yes; Hive no)
+	RemoteCache  bool // supports materializing query results remotely (§4.4)
+}
+
+// Map renders the capabilities as a property map for display, in the
+// paper's CAP_* notation.
+func (c Capabilities) Map() map[string]bool {
+	return map[string]bool{
+		"CAP_SELECT":       c.Select,
+		"CAP_JOINS":        c.Joins,
+		"CAP_JOINS_OUTER":  c.JoinsOuter,
+		"CAP_GROUP_BY":     c.GroupBy,
+		"CAP_ORDER_BY":     c.OrderBy,
+		"CAP_LIMIT":        c.Limit,
+		"CAP_SUBQUERIES":   c.Subqueries,
+		"CAP_INSERT":       c.Insert,
+		"CAP_TRANSACTIONS": c.Transactions,
+		"CAP_REMOTE_CACHE": c.RemoteCache,
+	}
+}
+
+// TableStats are remote statistics the optimizer consults ("we rely on the
+// statistics available in the Hive MetaStore, e.g. the row count and number
+// of files used for a table").
+type TableStats struct {
+	RowCount int64
+	Files    int
+	Bytes    int64
+}
+
+// QueryOptions modify shipped-query execution.
+type QueryOptions struct {
+	// UseCache requests remote materialization (the USE_REMOTE_CACHE hint).
+	UseCache bool
+	// Validity is the maximum acceptable age of a cached result
+	// (remote_cache_validity).
+	Validity time.Duration
+}
+
+// QueryResult is the result of a shipped query plus execution metadata.
+type QueryResult struct {
+	Rows *value.Rows
+	// FromCache reports whether the result was served from a remote
+	// materialization.
+	FromCache bool
+	// MaterializeTime is the extra time spent creating the remote
+	// materialization (zero on cache hits and uncached runs).
+	MaterializeTime time.Duration
+}
+
+// Adapter is one connection to a remote source. Implementations: the Hive
+// adapter (hiveodbc) in internal/hive, the direct-HDFS/map-reduce adapter
+// (hadoop) in internal/hive, and the test adapters.
+type Adapter interface {
+	// Name returns the adapter type name (e.g. "hiveodbc").
+	Name() string
+	// Capabilities describes supported pushdown constructs.
+	Capabilities() Capabilities
+	// TableSchema resolves a remote object path to a schema.
+	TableSchema(path []string) (*value.Schema, error)
+	// TableStats returns remote statistics if available.
+	TableStats(path []string) (TableStats, bool)
+	// Query executes a shipped statement in the platform's SQL dialect.
+	Query(sql string, opts QueryOptions) (*QueryResult, error)
+}
+
+// FunctionAdapter is implemented by adapters that can invoke remote jobs as
+// table functions (§4.3 CREATE VIRTUAL FUNCTION … AT source).
+type FunctionAdapter interface {
+	Adapter
+	// CallFunction runs the remote job described by config and returns its
+	// rows under the declared schema.
+	CallFunction(config map[string]string, schema *value.Schema) (*value.Rows, error)
+}
+
+// WriteAdapter is implemented by adapters supporting DML pushdown (the
+// extended storage: "a data load issued against such an external table
+// directly moves the data into the external store").
+type WriteAdapter interface {
+	Adapter
+	Insert(path []string, rows []value.Row) error
+}
+
+// Factory instantiates an adapter from CREATE REMOTE SOURCE clauses.
+type Factory func(config, credentials map[string]string) (Adapter, error)
+
+// Registry maps adapter type names to factories. A process-wide default
+// registry is populated by adapter packages at init time.
+type Registry struct {
+	mu        sync.RWMutex
+	factories map[string]Factory
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{factories: map[string]Factory{}} }
+
+// Register adds a factory (case-insensitive name), replacing any previous
+// registration.
+func (r *Registry) Register(name string, f Factory) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.factories[strings.ToLower(name)] = f
+}
+
+// Open instantiates an adapter by type name.
+func (r *Registry) Open(name string, config, credentials map[string]string) (Adapter, error) {
+	r.mu.RLock()
+	f, ok := r.factories[strings.ToLower(name)]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("no SDA adapter registered for %q (have %v)", name, r.Names())
+	}
+	return f(config, credentials)
+}
+
+// Names lists registered adapter types, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.factories))
+	for n := range r.factories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CacheKey computes the remote-materialization key of §4.4: "a hash key is
+// computed from the HiveQL statement, parameters, and the host
+// information. With this hash key we can ensure that the same query is
+// cached at most once."
+func CacheKey(statement string, params []value.Value, host string) string {
+	h := sha256.New()
+	h.Write([]byte(statement))
+	for _, p := range params {
+		h.Write([]byte{0})
+		h.Write([]byte(p.SQLLiteral()))
+	}
+	h.Write([]byte{0})
+	h.Write([]byte(host))
+	return hex.EncodeToString(h.Sum(nil))[:24]
+}
+
+// CacheEntry is one remote materialization.
+type CacheEntry struct {
+	Key       string
+	TempTable string
+	Created   time.Time
+	Rows      int64
+}
+
+// Expired reports whether the entry is older than the validity window.
+func (e CacheEntry) Expired(validity time.Duration, now time.Time) bool {
+	if validity <= 0 {
+		return false
+	}
+	return now.Sub(e.Created) > validity
+}

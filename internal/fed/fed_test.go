@@ -1,0 +1,85 @@
+package fed
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hana/internal/value"
+)
+
+type dummyAdapter struct{ name string }
+
+func (d *dummyAdapter) Name() string               { return d.name }
+func (d *dummyAdapter) Capabilities() Capabilities { return Capabilities{Select: true} }
+func (d *dummyAdapter) TableSchema([]string) (*value.Schema, error) {
+	return value.NewSchema(), nil
+}
+func (d *dummyAdapter) TableStats([]string) (TableStats, bool) { return TableStats{}, false }
+func (d *dummyAdapter) Query(string, QueryOptions) (*QueryResult, error) {
+	return &QueryResult{Rows: value.NewRows(value.NewSchema())}, nil
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Register("HiveODBC", func(cfg, cred map[string]string) (Adapter, error) {
+		if cfg["DSN"] == "" {
+			return nil, errors.New("missing DSN")
+		}
+		return &dummyAdapter{name: "hiveodbc"}, nil
+	})
+	a, err := r.Open("hiveodbc", map[string]string{"DSN": "hive1"}, nil)
+	if err != nil || a.Name() != "hiveodbc" {
+		t.Fatalf("open: %v %v", a, err)
+	}
+	if _, err := r.Open("hiveodbc", map[string]string{}, nil); err == nil {
+		t.Fatal("factory error must propagate")
+	}
+	if _, err := r.Open("nope", nil, nil); err == nil {
+		t.Fatal("unknown adapter must error")
+	}
+	if len(r.Names()) != 1 || r.Names()[0] != "hiveodbc" {
+		t.Fatalf("names = %v", r.Names())
+	}
+}
+
+func TestCacheKeyProperties(t *testing.T) {
+	k1 := CacheKey("SELECT * FROM t WHERE a > 1", nil, "hive1:10000")
+	k2 := CacheKey("SELECT * FROM t WHERE a > 1", nil, "hive1:10000")
+	if k1 != k2 {
+		t.Fatal("same statement+host must key identically")
+	}
+	if CacheKey("SELECT * FROM t WHERE a > 2", nil, "hive1:10000") == k1 {
+		t.Fatal("different statements must key differently")
+	}
+	if CacheKey("SELECT * FROM t WHERE a > 1", nil, "other:9") == k1 {
+		t.Fatal("different hosts must key differently")
+	}
+	p1 := CacheKey("SELECT * FROM t WHERE a = ?", []value.Value{value.NewInt(1)}, "h")
+	p2 := CacheKey("SELECT * FROM t WHERE a = ?", []value.Value{value.NewInt(2)}, "h")
+	if p1 == p2 {
+		t.Fatal("different parameters must key differently")
+	}
+}
+
+func TestCacheEntryExpiry(t *testing.T) {
+	now := time.Now()
+	e := CacheEntry{Created: now.Add(-10 * time.Minute)}
+	if !e.Expired(5*time.Minute, now) {
+		t.Fatal("entry older than validity must expire")
+	}
+	if e.Expired(20*time.Minute, now) {
+		t.Fatal("entry within validity must not expire")
+	}
+	if e.Expired(0, now) {
+		t.Fatal("zero validity means no expiry")
+	}
+}
+
+func TestCapabilityMap(t *testing.T) {
+	c := Capabilities{Select: true, Joins: true, JoinsOuter: true}
+	m := c.Map()
+	if !m["CAP_JOINS"] || !m["CAP_JOINS_OUTER"] || m["CAP_GROUP_BY"] {
+		t.Fatalf("capability map = %v", m)
+	}
+}

@@ -1,0 +1,157 @@
+package graph
+
+import (
+	"testing"
+
+	"hana/internal/value"
+)
+
+func buildSocial(t *testing.T) *Graph {
+	t.Helper()
+	g := New(value.Column{Name: "age", Kind: value.KindInt})
+	for _, v := range []struct {
+		key   string
+		label string
+		age   int64
+	}{
+		{"alice", "person", 30}, {"bob", "person", 25}, {"carol", "person", 35},
+		{"dave", "person", 40}, {"acme", "company", 0},
+	} {
+		if err := g.AddVertex(v.key, v.label, value.NewInt(v.age)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	edges := []struct{ s, d, l string }{
+		{"alice", "bob", "knows"}, {"bob", "carol", "knows"},
+		{"carol", "dave", "knows"}, {"alice", "acme", "works_at"},
+		{"bob", "acme", "works_at"}, {"dave", "alice", "knows"},
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(e.s, e.d, e.l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestAddAndCounts(t *testing.T) {
+	g := buildSocial(t)
+	if g.NumVertices() != 5 || g.NumEdges() != 6 {
+		t.Fatalf("v=%d e=%d", g.NumVertices(), g.NumEdges())
+	}
+	if err := g.AddVertex("alice", "person"); err == nil {
+		t.Fatal("duplicate vertex must error")
+	}
+	if err := g.AddEdge("alice", "nobody", "knows"); err == nil {
+		t.Fatal("dangling edge must error")
+	}
+}
+
+func TestNeighborsWithLabelFilter(t *testing.T) {
+	g := buildSocial(t)
+	n, err := g.Neighbors("alice", "")
+	if err != nil || len(n) != 2 {
+		t.Fatalf("neighbors = %v %v", n, err)
+	}
+	n, _ = g.Neighbors("alice", "knows")
+	if len(n) != 1 || n[0] != "bob" {
+		t.Fatalf("knows-neighbors = %v", n)
+	}
+	if _, err := g.Neighbors("nobody", ""); err == nil {
+		t.Fatal("missing vertex")
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := buildSocial(t)
+	path, ok, err := g.ShortestPath("alice", "dave")
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	want := []string{"alice", "bob", "carol", "dave"}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v", path)
+		}
+	}
+	// acme has no outgoing edges.
+	_, ok, err = g.ShortestPath("acme", "alice")
+	if err != nil || ok {
+		t.Fatal("unreachable must be ok=false")
+	}
+	// Self path.
+	p, ok, _ := g.ShortestPath("bob", "bob")
+	if !ok || len(p) != 1 {
+		t.Fatal("self path")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := buildSocial(t)
+	r, err := g.Reachable("alice", 1)
+	if err != nil || len(r) != 2 {
+		t.Fatalf("1-hop = %v", r)
+	}
+	r, _ = g.Reachable("alice", 3)
+	if len(r) != 4 { // bob, carol, dave, acme
+		t.Fatalf("3-hop = %v", r)
+	}
+}
+
+func TestDegree(t *testing.T) {
+	g := buildSocial(t)
+	out, in, err := g.Degree("alice")
+	if err != nil || out != 2 || in != 1 {
+		t.Fatalf("degree = %d/%d", out, in)
+	}
+}
+
+func TestMatchPath(t *testing.T) {
+	g := buildSocial(t)
+	// person -knows-> x -works_at-> y
+	rows, err := g.MatchPath("person", []string{"knows", "works_at"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// alice→bob→acme and dave→alice→acme match.
+	if rows.Len() != 2 {
+		t.Fatalf("matches = %v", rows.Data)
+	}
+	seen := map[string]bool{}
+	for _, r := range rows.Data {
+		seen[r[0].S+">"+r[1].S+">"+r[2].S] = true
+	}
+	if !seen["alice>bob>acme"] || !seen["dave>alice>acme"] {
+		t.Fatalf("matches = %v", rows.Data)
+	}
+	if rows.Schema.Len() != 3 {
+		t.Fatal("path schema")
+	}
+}
+
+func TestVerticesRelationalSurface(t *testing.T) {
+	g := buildSocial(t)
+	rows := g.Vertices()
+	if rows.Len() != 5 || rows.Schema.Find("age") < 0 {
+		t.Fatalf("vertices = %d", rows.Len())
+	}
+}
+
+func TestMutationAfterTraversalRebuilds(t *testing.T) {
+	g := buildSocial(t)
+	if _, err := g.Neighbors("alice", ""); err != nil {
+		t.Fatal(err)
+	}
+	_ = g.AddVertex("eve", "person", value.NewInt(22))
+	_ = g.AddEdge("alice", "eve", "knows")
+	n, _ := g.Neighbors("alice", "knows")
+	if len(n) != 2 {
+		t.Fatalf("CSR not rebuilt: %v", n)
+	}
+	if g.MemSize() <= 0 {
+		t.Fatal("mem size")
+	}
+}

@@ -1,0 +1,153 @@
+package hdfs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	c := NewCluster(3, WithBlockSize(16), WithReplication(2))
+	data := []byte("hello hadoop distributed file system, this spans several blocks")
+	if err := c.WriteFile("/data/f.txt", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadFile("/data/f.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip mismatch: %q", got)
+	}
+	fi, err := c.Stat("/data/f.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size != int64(len(data)) {
+		t.Fatalf("size = %d", fi.Size)
+	}
+	if len(fi.Blocks) != (len(data)+15)/16 {
+		t.Fatalf("blocks = %d", len(fi.Blocks))
+	}
+	for _, b := range fi.Blocks {
+		if len(b.Replicas) != 2 {
+			t.Fatalf("replicas = %d", len(b.Replicas))
+		}
+	}
+}
+
+func TestReplicaFailover(t *testing.T) {
+	c := NewCluster(3, WithBlockSize(8), WithReplication(2))
+	data := []byte("abcdefghijklmnopqrstuvwxyz")
+	_ = c.WriteFile("/f", data)
+	// Kill one node: every block still has a live replica.
+	c.KillNode(0)
+	got, err := c.ReadFile("/f")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("failover read: %v", err)
+	}
+	// Kill all nodes → unreadable.
+	c.KillNode(1)
+	c.KillNode(2)
+	if _, err := c.ReadFile("/f"); err == nil {
+		t.Fatal("read must fail with all replicas dead")
+	}
+	// Reviving nodes 1 and 2 covers every block's replica set again
+	// (round-robin placement spreads pairs over (0,1), (1,2), (2,0)).
+	c.ReviveNode(1)
+	c.ReviveNode(2)
+	if _, err := c.ReadFile("/f"); err != nil {
+		t.Fatal("revive must restore reads")
+	}
+}
+
+func TestListAndRemove(t *testing.T) {
+	c := NewCluster(2)
+	for i := 0; i < 3; i++ {
+		_ = c.WriteFile(fmt.Sprintf("/warehouse/t1/part-%05d", i), []byte("x"))
+	}
+	_ = c.WriteFile("/warehouse/t2/part-00000", []byte("y"))
+	files := c.List("/warehouse/t1")
+	if len(files) != 3 {
+		t.Fatalf("list = %d", len(files))
+	}
+	if files[0].Path != "/warehouse/t1/part-00000" {
+		t.Fatalf("sorted list: %s", files[0].Path)
+	}
+	// Directory remove is recursive.
+	if err := c.Remove("/warehouse/t1"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Exists("/warehouse/t1/part-00000") {
+		t.Fatal("removed file still exists")
+	}
+	if !c.Exists("/warehouse/t2/part-00000") {
+		t.Fatal("sibling removed")
+	}
+	// Blocks are freed on the datanodes.
+	used := c.TotalUsed()
+	if used == 0 {
+		t.Fatal("t2 should still use space")
+	}
+	_ = c.Remove("/warehouse")
+	if c.TotalUsed() != 0 {
+		t.Fatalf("space not freed: %d", c.TotalUsed())
+	}
+}
+
+func TestOverwriteFreesOldBlocks(t *testing.T) {
+	c := NewCluster(1, WithReplication(1))
+	_ = c.WriteFile("/f", bytes.Repeat([]byte("a"), 1000))
+	_ = c.WriteFile("/f", []byte("tiny"))
+	if c.TotalUsed() != 4 {
+		t.Fatalf("old blocks leaked: %d", c.TotalUsed())
+	}
+	got, _ := c.ReadFile("/f")
+	if string(got) != "tiny" {
+		t.Fatal("overwrite content")
+	}
+}
+
+func TestRename(t *testing.T) {
+	c := NewCluster(1)
+	_ = c.WriteFile("/tmp/x", []byte("data"))
+	if err := c.Rename("/tmp/x", "/final/y"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Exists("/tmp/x") || !c.Exists("/final/y") {
+		t.Fatal("rename")
+	}
+	if err := c.Rename("/nope", "/z"); err == nil {
+		t.Fatal("missing source must error")
+	}
+}
+
+func TestAppendFile(t *testing.T) {
+	c := NewCluster(1)
+	_ = c.AppendFile("/log", []byte("line1\n"))
+	_ = c.AppendFile("/log", []byte("line2\n"))
+	got, _ := c.ReadFile("/log")
+	if string(got) != "line1\nline2\n" {
+		t.Fatalf("append = %q", got)
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	c := NewCluster(1)
+	if err := c.WriteFile("/empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadFile("/empty")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty read: %v %q", err, got)
+	}
+}
+
+func TestReplicationCappedAtNodeCount(t *testing.T) {
+	c := NewCluster(2, WithReplication(5))
+	_ = c.WriteFile("/f", []byte("x"))
+	fi, _ := c.Stat("/f")
+	if len(fi.Blocks[0].Replicas) != 2 {
+		t.Fatalf("replicas = %d", len(fi.Blocks[0].Replicas))
+	}
+}

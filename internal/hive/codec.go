@@ -1,0 +1,116 @@
+// Package hive implements the SQL-on-Hadoop layer the paper federates with
+// (§4): a metastore holding table schemas, warehouse directories and the
+// statistics the SDA optimizer consults; a compiler translating query
+// blocks into DAGs of map-reduce jobs (scan jobs with pushed filters,
+// reduce-side joins, aggregation jobs with combiners); the two-phase CREATE
+// TABLE AS SELECT used for remote materialization (§4.4); and the
+// `hiveodbc` and `hadoop` SDA adapters.
+package hive
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hana/internal/value"
+)
+
+// Rows are stored in HDFS as text lines, tab-separated, with \N for NULL —
+// Hive's classic LazySimpleSerDe text format.
+
+// EncodeRow serializes one row.
+func EncodeRow(row value.Row) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		parts[i] = encodeField(v)
+	}
+	return strings.Join(parts, "\t")
+}
+
+func encodeField(v value.Value) string {
+	if v.IsNull() {
+		return `\N`
+	}
+	s := v.String()
+	if strings.ContainsAny(s, "\t\n\\") {
+		s = strings.NewReplacer("\\", `\\`, "\t", `\t`, "\n", `\n`).Replace(s)
+	}
+	return s
+}
+
+func decodeField(s string) (string, bool) {
+	if s == `\N` {
+		return "", true
+	}
+	if strings.ContainsRune(s, '\\') {
+		s = strings.NewReplacer(`\\`, "\\", `\t`, "\t", `\n`, "\n").Replace(s)
+	}
+	return s, false
+}
+
+// DecodeRow parses one line under the schema.
+func DecodeRow(line string, schema *value.Schema) (value.Row, error) {
+	fields := strings.Split(line, "\t")
+	if len(fields) != schema.Len() {
+		return nil, fmt.Errorf("hive: row has %d fields, schema %d: %q", len(fields), schema.Len(), line)
+	}
+	row := make(value.Row, len(fields))
+	for i, f := range fields {
+		s, isNull := decodeField(f)
+		if isNull {
+			row[i] = value.Null
+			continue
+		}
+		v, err := parseTyped(s, schema.Cols[i].Kind)
+		if err != nil {
+			return nil, fmt.Errorf("hive: column %s: %w", schema.Cols[i].Name, err)
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
+func parseTyped(s string, k value.Kind) (value.Value, error) {
+	switch k {
+	case value.KindInt:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewInt(i), nil
+	case value.KindDouble:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewDouble(f), nil
+	case value.KindBool:
+		return value.NewBool(strings.EqualFold(s, "true")), nil
+	case value.KindDate:
+		return value.ParseDate(s)
+	case value.KindTimestamp:
+		return value.ParseTimestamp(s)
+	default:
+		return value.NewString(s), nil
+	}
+}
+
+// EncodeKey serializes join/group key values into a sortable string.
+func EncodeKey(vals []value.Value) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = encodeField(v)
+	}
+	return strings.Join(parts, "\x01")
+}
+
+// keyHasNull reports whether an encoded key contains a NULL component
+// (NULL join keys never match).
+func keyHasNull(key string) bool {
+	for _, part := range strings.Split(key, "\x01") {
+		if part == `\N` {
+			return true
+		}
+	}
+	return false
+}

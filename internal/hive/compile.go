@@ -1,0 +1,599 @@
+package hive
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"hana/internal/expr"
+	"hana/internal/mapreduce"
+	"hana/internal/sqlparse"
+	"hana/internal/value"
+)
+
+// Executor compiles query blocks into DAGs of map-reduce jobs and runs
+// them — the Hive query compiler of §4.4: "the Hive compiler generates a
+// DAG of map-reduce jobs corresponding to the federated query".
+type Executor struct {
+	ms  *Metastore
+	mr  *mapreduce.Engine
+	seq atomic.Int64
+}
+
+// NewExecutor creates an executor.
+func NewExecutor(ms *Metastore, mr *mapreduce.Engine) *Executor {
+	return &Executor{ms: ms, mr: mr}
+}
+
+// interRel is an intermediate relation: an HDFS directory of encoded rows
+// plus filters not yet applied.
+type interRel struct {
+	dir     string
+	schema  *value.Schema
+	pending []expr.Expr
+	temps   []string // temp dirs to clean up
+}
+
+func (x *Executor) tmpDir() string {
+	return fmt.Sprintf("/tmp/hive-exec/%06d", x.seq.Add(1))
+}
+
+// Query parses and executes a statement, returning the result rows.
+func (x *Executor) Query(sql string) (*value.Rows, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, fmt.Errorf("hive: %w", err)
+	}
+	sel, ok := st.(*sqlparse.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("hive: only SELECT is supported, got %T", st)
+	}
+	return x.Select(sel)
+}
+
+// Select executes one query block.
+func (x *Executor) Select(sel *sqlparse.SelectStmt) (*value.Rows, error) {
+	rel, transforms, err := x.buildRel(sel)
+	if err != nil {
+		return nil, err
+	}
+	defer x.cleanup(rel)
+	for _, tf := range transforms {
+		rel, err = x.applyTransform(rel, tf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return x.finish(sel, rel)
+}
+
+func (x *Executor) cleanup(rel *interRel) {
+	for _, d := range rel.temps {
+		_ = x.ms.cluster.Remove(d)
+	}
+}
+
+type hiveTransform struct {
+	anti      bool
+	outerExpr expr.Expr
+	sel       *sqlparse.SelectStmt
+}
+
+// buildRel plans FROM and WHERE into an intermediate relation plus pending
+// subquery transforms.
+func (x *Executor) buildRel(sel *sqlparse.SelectStmt) (*interRel, []hiveTransform, error) {
+	var pool []expr.Expr
+	var transforms []hiveTransform
+	for _, c := range expr.SplitConjuncts(sel.Where) {
+		switch n := c.(type) {
+		case *sqlparse.InSubqueryExpr:
+			transforms = append(transforms, hiveTransform{anti: n.Negate, outerExpr: n.E, sel: n.Sel})
+			continue
+		case *sqlparse.ExistsExpr:
+			transforms = append(transforms, hiveTransform{anti: n.Negate, sel: n.Sel})
+			continue
+		case *expr.UnOp:
+			if n.Op == expr.OpNot {
+				if ex, ok := n.E.(*sqlparse.ExistsExpr); ok {
+					transforms = append(transforms, hiveTransform{anti: !ex.Negate, sel: ex.Sel})
+					continue
+				}
+				if in, ok := n.E.(*sqlparse.InSubqueryExpr); ok {
+					transforms = append(transforms, hiveTransform{anti: !in.Negate, outerExpr: in.E, sel: in.Sel})
+					continue
+				}
+			}
+		}
+		pool = append(pool, c)
+	}
+	rel, err := x.planFrom(sel.From, &pool)
+	if err != nil {
+		return nil, nil, err
+	}
+	rel.pending = append(rel.pending, pool...)
+	return rel, transforms, nil
+}
+
+func (x *Executor) planFrom(te sqlparse.TableExpr, pool *[]expr.Expr) (*interRel, error) {
+	switch t := te.(type) {
+	case nil:
+		return nil, fmt.Errorf("hive: SELECT without FROM is not supported")
+	case *sqlparse.TableRef:
+		return x.planLeaf(t, pool)
+	case *sqlparse.JoinExpr:
+		switch t.Type {
+		case sqlparse.JoinInner, sqlparse.JoinCross:
+			if t.On != nil {
+				*pool = append(*pool, expr.SplitConjuncts(t.On)...)
+			}
+			l, err := x.planFrom(t.L, pool)
+			if err != nil {
+				return nil, err
+			}
+			r, err := x.planFrom(t.R, pool)
+			if err != nil {
+				return nil, err
+			}
+			return x.joinRels(l, r, pool, false, nil)
+		case sqlparse.JoinLeft:
+			l, err := x.planFrom(t.L, pool)
+			if err != nil {
+				return nil, err
+			}
+			var empty []expr.Expr
+			r, err := x.planFrom(t.R, &empty)
+			if err != nil {
+				return nil, err
+			}
+			return x.joinRels(l, r, nil, true, t.On)
+		default:
+			return nil, fmt.Errorf("hive: %s JOIN is not supported", t.Type)
+		}
+	case *sqlparse.SubqueryTable:
+		rows, err := x.Select(t.Sel)
+		if err != nil {
+			return nil, err
+		}
+		dir := x.tmpDir()
+		if err := x.writeRows(dir, rows.Data); err != nil {
+			return nil, err
+		}
+		return &interRel{dir: dir, schema: rows.Schema.Qualify(t.Alias), temps: []string{dir}}, nil
+	}
+	return nil, fmt.Errorf("hive: unsupported FROM element %T", te)
+}
+
+// planLeaf resolves a base table and pushes its covered filters into a
+// map-only scan job.
+func (x *Executor) planLeaf(t *sqlparse.TableRef, pool *[]expr.Expr) (*interRel, error) {
+	ti, ok := x.ms.Table(t.Name())
+	if !ok {
+		return nil, fmt.Errorf("hive: table %s not found in metastore", t.Name())
+	}
+	schema := ti.Schema.Qualify(t.Binding())
+	rel := &interRel{dir: ti.Dir, schema: schema}
+	var covered []expr.Expr
+	rest := (*pool)[:0:0]
+	for _, c := range *pool {
+		if coversSchema(schema, c) {
+			covered = append(covered, c)
+		} else {
+			rest = append(rest, c)
+		}
+	}
+	*pool = rest
+	if len(covered) == 0 {
+		return rel, nil
+	}
+	// Map-only filter scan.
+	pred, err := bindClone(expr.And(cloneAll(covered)...), schema)
+	if err != nil {
+		return nil, err
+	}
+	out := x.tmpDir()
+	job := &mapreduce.Job{
+		Name:   "scan-" + ti.Name,
+		Inputs: []string{ti.Dir},
+		Output: out,
+		Map:    filterMap(schema, pred),
+	}
+	if _, err := x.mr.Run(job); err != nil {
+		return nil, err
+	}
+	return &interRel{dir: out, schema: schema, temps: []string{out}}, nil
+}
+
+func filterMap(schema *value.Schema, pred expr.Expr) mapreduce.MapFunc {
+	return func(line string, emit func(k, v string)) {
+		row, err := DecodeRow(line, schema)
+		if err != nil {
+			return
+		}
+		ok, err := expr.Truthy(pred, row)
+		if err != nil || !ok {
+			return
+		}
+		emit("", line)
+	}
+}
+
+// joinRels runs a reduce-side join job.
+func (x *Executor) joinRels(l, r *interRel, pool *[]expr.Expr, outer bool, on expr.Expr) (*interRel, error) {
+	combined := l.schema.Concat(r.schema)
+
+	var leftKeys, rightKeys []expr.Expr
+	var residual []expr.Expr
+	consider := func(conjs []expr.Expr) []expr.Expr {
+		var rest []expr.Expr
+		for _, c := range conjs {
+			if lk, rk, ok := equiPair(c, l.schema, r.schema); ok {
+				leftKeys = append(leftKeys, lk)
+				rightKeys = append(rightKeys, rk)
+				continue
+			}
+			if coversSchema(r.schema, c) && outer {
+				// Right-side-only ON conjuncts of an outer join filter the
+				// right input before the join.
+				r.pending = append(r.pending, c)
+				continue
+			}
+			if coversSchema(combined, c) {
+				residual = append(residual, c)
+				continue
+			}
+			rest = append(rest, c)
+		}
+		return rest
+	}
+	if outer {
+		consider(expr.SplitConjuncts(on))
+	} else if pool != nil {
+		*pool = consider(*pool)
+	}
+	if len(leftKeys) == 0 {
+		return nil, fmt.Errorf("hive: join without equality keys is not supported")
+	}
+
+	lMap, err := x.sideMapper("L", l, leftKeys)
+	if err != nil {
+		return nil, err
+	}
+	rMap, err := x.sideMapper("R", r, rightKeys)
+	if err != nil {
+		return nil, err
+	}
+	var res expr.Expr
+	if len(residual) > 0 {
+		if res, err = bindClone(expr.And(cloneAll(residual)...), combined); err != nil {
+			return nil, err
+		}
+	}
+	out := x.tmpDir()
+	rightWidth := r.schema.Len()
+	job := &mapreduce.Job{
+		Name:   "join",
+		Output: out,
+		TaggedInputs: []mapreduce.TaggedInput{
+			{Paths: []string{l.dir}, Map: lMap},
+			{Paths: []string{r.dir}, Map: rMap},
+		},
+		Reduce: joinReduce(l.schema, r.schema, rightWidth, outer, res),
+	}
+	if _, err := x.mr.Run(job); err != nil {
+		return nil, err
+	}
+	temps := append(append([]string{}, l.temps...), r.temps...)
+	return &interRel{dir: out, schema: combined, temps: append(temps, out)}, nil
+}
+
+// sideMapper tags and keys one join input, applying the side's pending
+// filters.
+func (x *Executor) sideMapper(tag string, rel *interRel, keys []expr.Expr) (mapreduce.MapFunc, error) {
+	var pred expr.Expr
+	if len(rel.pending) > 0 {
+		var err error
+		pred, err = bindClone(expr.And(cloneAll(rel.pending)...), rel.schema)
+		if err != nil {
+			return nil, err
+		}
+		rel.pending = nil
+	}
+	bound := make([]expr.Expr, len(keys))
+	for i, k := range keys {
+		bk, err := bindClone(k, rel.schema)
+		if err != nil {
+			return nil, err
+		}
+		bound[i] = bk
+	}
+	schema := rel.schema
+	return func(line string, emit func(k, v string)) {
+		row, err := DecodeRow(line, schema)
+		if err != nil {
+			return
+		}
+		if pred != nil {
+			ok, err := expr.Truthy(pred, row)
+			if err != nil || !ok {
+				return
+			}
+		}
+		vals := make([]value.Value, len(bound))
+		for i, k := range bound {
+			v, err := k.Eval(row)
+			if err != nil {
+				return
+			}
+			vals[i] = v
+		}
+		emit(EncodeKey(vals), tag+"\x00"+line)
+	}, nil
+}
+
+func joinReduce(ls, rs *value.Schema, rightWidth int, outer bool, residual expr.Expr) mapreduce.ReduceFunc {
+	return func(key string, values []string, emit func(k, v string)) {
+		nullKey := keyHasNull(key)
+		var lefts, rights []string
+		for _, v := range values {
+			i := strings.IndexByte(v, 0)
+			if i < 0 {
+				continue
+			}
+			if v[:i] == "L" {
+				lefts = append(lefts, v[i+1:])
+			} else {
+				rights = append(rights, v[i+1:])
+			}
+		}
+		if nullKey {
+			rights = nil // NULL keys never match
+		}
+		for _, ll := range lefts {
+			lrow, err := DecodeRow(ll, ls)
+			if err != nil {
+				continue
+			}
+			matched := false
+			for _, rl := range rights {
+				rrow, err := DecodeRow(rl, rs)
+				if err != nil {
+					continue
+				}
+				combined := append(append(value.Row{}, lrow...), rrow...)
+				if residual != nil {
+					ok, err := expr.Truthy(residual, combined)
+					if err != nil || !ok {
+						continue
+					}
+				}
+				matched = true
+				emit("", EncodeRow(combined))
+			}
+			if outer && !matched {
+				nulls := make(value.Row, rightWidth)
+				for i := range nulls {
+					nulls[i] = value.Null
+				}
+				emit("", EncodeRow(append(append(value.Row{}, lrow...), nulls...)))
+			}
+		}
+	}
+}
+
+// applyTransform runs a semi/anti join MR job for an IN/EXISTS subquery.
+func (x *Executor) applyTransform(rel *interRel, tf hiveTransform) (*interRel, error) {
+	var outerKeys, innerKeys []expr.Expr
+	innerSel := tf.sel
+
+	if tf.outerExpr != nil {
+		// IN subquery: inner block as written must yield one column.
+		outerKeys = []expr.Expr{tf.outerExpr}
+	} else {
+		// Correlated EXISTS: extract equality correlation.
+		innerSchema, err := x.fromSchemaPreview(tf.sel.From)
+		if err != nil {
+			return nil, err
+		}
+		var remaining []expr.Expr
+		for _, c := range expr.SplitConjuncts(tf.sel.Where) {
+			if o, in := corrPair(c, rel.schema, innerSchema); o != nil {
+				outerKeys = append(outerKeys, o)
+				innerKeys = append(innerKeys, in)
+				continue
+			}
+			remaining = append(remaining, c)
+		}
+		if len(outerKeys) == 0 {
+			return nil, fmt.Errorf("hive: uncorrelated EXISTS is not supported")
+		}
+		items := make([]sqlparse.SelectItem, len(innerKeys))
+		for i, k := range innerKeys {
+			items[i] = sqlparse.SelectItem{Expr: expr.Clone(k)}
+		}
+		innerSel = &sqlparse.SelectStmt{Items: items, From: tf.sel.From, Where: expr.And(remaining...), Limit: -1}
+	}
+
+	innerRows, err := x.Select(innerSel)
+	if err != nil {
+		return nil, err
+	}
+	innerDir := x.tmpDir()
+	if err := x.writeRows(innerDir, innerRows.Data); err != nil {
+		return nil, err
+	}
+	innerSchema := innerRows.Schema
+	innerKeyExprs := make([]expr.Expr, innerSchema.Len())
+	for i, c := range innerSchema.Cols {
+		k := expr.Col(c.Name)
+		k.Ord = i
+		innerKeyExprs[i] = k
+	}
+	if tf.outerExpr != nil && innerSchema.Len() != 1 {
+		return nil, fmt.Errorf("hive: IN subquery must return one column")
+	}
+
+	lMap, err := x.sideMapper("L", rel, outerKeys)
+	if err != nil {
+		return nil, err
+	}
+	innerRel := &interRel{dir: innerDir, schema: innerSchema}
+	rMap, err := x.sideMapper("R", innerRel, innerKeyExprs)
+	if err != nil {
+		return nil, err
+	}
+	out := x.tmpDir()
+	anti := tf.anti
+	job := &mapreduce.Job{
+		Name:   "semijoin",
+		Output: out,
+		TaggedInputs: []mapreduce.TaggedInput{
+			{Paths: []string{rel.dir}, Map: lMap},
+			{Paths: []string{innerDir}, Map: rMap},
+		},
+		Reduce: func(key string, values []string, emit func(k, v string)) {
+			hasRight := false
+			var lefts []string
+			for _, v := range values {
+				i := strings.IndexByte(v, 0)
+				if i < 0 {
+					continue
+				}
+				if v[:i] == "L" {
+					lefts = append(lefts, v[i+1:])
+				} else {
+					hasRight = true
+				}
+			}
+			if keyHasNull(key) {
+				hasRight = false
+			}
+			if hasRight != anti {
+				for _, l := range lefts {
+					emit("", l)
+				}
+			}
+		},
+	}
+	if _, err := x.mr.Run(job); err != nil {
+		return nil, err
+	}
+	temps := append(append([]string{}, rel.temps...), innerDir, out)
+	return &interRel{dir: out, schema: rel.schema, temps: temps}, nil
+}
+
+func (x *Executor) writeRows(dir string, rows []value.Row) error {
+	var b strings.Builder
+	for _, r := range rows {
+		b.WriteString(EncodeRow(r))
+		b.WriteByte('\n')
+	}
+	return x.ms.cluster.WriteFile(dir+"/part-00000", []byte(b.String()))
+}
+
+// fromSchemaPreview resolves the schema a FROM tree produces.
+func (x *Executor) fromSchemaPreview(te sqlparse.TableExpr) (*value.Schema, error) {
+	switch t := te.(type) {
+	case *sqlparse.TableRef:
+		ti, ok := x.ms.Table(t.Name())
+		if !ok {
+			return nil, fmt.Errorf("hive: table %s not found", t.Name())
+		}
+		return ti.Schema.Qualify(t.Binding()), nil
+	case *sqlparse.JoinExpr:
+		l, err := x.fromSchemaPreview(t.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := x.fromSchemaPreview(t.R)
+		if err != nil {
+			return nil, err
+		}
+		return l.Concat(r), nil
+	}
+	return nil, fmt.Errorf("hive: unsupported FROM element %T", te)
+}
+
+// helpers
+
+func cloneAll(es []expr.Expr) []expr.Expr {
+	out := make([]expr.Expr, len(es))
+	for i, e := range es {
+		out[i] = expr.Clone(e)
+	}
+	return out
+}
+
+func bindClone(e expr.Expr, s *value.Schema) (expr.Expr, error) {
+	c := expr.Clone(e)
+	if err := expr.Bind(c, s); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func coversSchema(s *value.Schema, e expr.Expr) bool {
+	for _, c := range expr.Columns(e) {
+		if s.Find(c) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func equiPair(c expr.Expr, ls, rs *value.Schema) (lk, rk expr.Expr, ok bool) {
+	b, isBin := c.(*expr.BinOp)
+	if !isBin || b.Op != expr.OpEq {
+		return nil, nil, false
+	}
+	if _, lit := b.L.(*expr.Literal); lit {
+		return nil, nil, false
+	}
+	if _, lit := b.R.(*expr.Literal); lit {
+		return nil, nil, false
+	}
+	if coversSchema(ls, b.L) && coversSchema(rs, b.R) {
+		return b.L, b.R, true
+	}
+	if coversSchema(ls, b.R) && coversSchema(rs, b.L) {
+		return b.R, b.L, true
+	}
+	return nil, nil, false
+}
+
+func corrPair(c expr.Expr, outer, inner *value.Schema) (expr.Expr, expr.Expr) {
+	b, ok := c.(*expr.BinOp)
+	if !ok || b.Op != expr.OpEq {
+		return nil, nil
+	}
+	isOuterSide := func(e expr.Expr) bool {
+		cols := expr.Columns(e)
+		if len(cols) == 0 {
+			return false
+		}
+		for _, col := range cols {
+			if inner.Find(col) >= 0 || outer.Find(col) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	isInnerSide := func(e expr.Expr) bool {
+		cols := expr.Columns(e)
+		if len(cols) == 0 {
+			return false
+		}
+		for _, col := range cols {
+			if inner.Find(col) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if isOuterSide(b.L) && isInnerSide(b.R) {
+		return b.L, b.R
+	}
+	if isOuterSide(b.R) && isInnerSide(b.L) {
+		return b.R, b.L
+	}
+	return nil, nil
+}

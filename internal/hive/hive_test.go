@@ -1,0 +1,531 @@
+package hive
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"hana/internal/fed"
+	"hana/internal/hdfs"
+	"hana/internal/mapreduce"
+	"hana/internal/value"
+)
+
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	cluster := hdfs.NewCluster(3, hdfs.WithBlockSize(4096), hdfs.WithReplication(2))
+	ms := NewMetastore(cluster, "/warehouse")
+	mr := mapreduce.NewEngine(cluster, mapreduce.Config{MapSlots: 8, ReduceSlots: 4, DefaultReducers: 2})
+	return NewServer("hive1", ms, mr)
+}
+
+func loadCustomersOrders(t *testing.T, s *Server) {
+	t.Helper()
+	custSchema := value.NewSchema(
+		value.Column{Name: "c_custkey", Kind: value.KindInt},
+		value.Column{Name: "c_name", Kind: value.KindVarchar},
+		value.Column{Name: "c_mktsegment", Kind: value.KindVarchar},
+	)
+	ordSchema := value.NewSchema(
+		value.Column{Name: "o_orderkey", Kind: value.KindInt},
+		value.Column{Name: "o_custkey", Kind: value.KindInt},
+		value.Column{Name: "o_total", Kind: value.KindDouble},
+		value.Column{Name: "o_comment", Kind: value.KindVarchar},
+	)
+	if _, err := s.MS.CreateTable("customer", custSchema, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.MS.CreateTable("orders", ordSchema, false); err != nil {
+		t.Fatal(err)
+	}
+	var custs, ords []value.Row
+	segs := []string{"HOUSEHOLD", "AUTOMOBILE", "BUILDING"}
+	for i := 1; i <= 30; i++ {
+		custs = append(custs, value.Row{
+			value.NewInt(int64(i)),
+			value.NewString(fmt.Sprintf("Customer#%03d", i)),
+			value.NewString(segs[i%3]),
+		})
+	}
+	for i := 1; i <= 100; i++ {
+		ords = append(ords, value.Row{
+			value.NewInt(int64(i)),
+			value.NewInt(int64(i%30 + 1)),
+			value.NewDouble(float64(i) * 10),
+			value.NewString(fmt.Sprintf("order comment %d", i)),
+		})
+	}
+	if err := s.MS.LoadRows("customer", custs, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MS.LoadRows("orders", ords, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowCodecRoundTrip(t *testing.T) {
+	schema := value.NewSchema(
+		value.Column{Name: "a", Kind: value.KindInt},
+		value.Column{Name: "b", Kind: value.KindVarchar},
+		value.Column{Name: "c", Kind: value.KindDouble},
+		value.Column{Name: "d", Kind: value.KindDate},
+	)
+	d, _ := value.ParseDate("1995-03-15")
+	rows := []value.Row{
+		{value.NewInt(1), value.NewString("plain"), value.NewDouble(1.5), d},
+		{value.NewInt(-2), value.NewString("tab\tand\nnewline\\"), value.Null, value.Null},
+		{value.Null, value.NewString(`\N literal-ish`), value.NewDouble(0), d},
+	}
+	for _, r := range rows {
+		line := EncodeRow(r)
+		got, err := DecodeRow(line, schema)
+		if err != nil {
+			t.Fatalf("%v: %v", r, err)
+		}
+		for i := range r {
+			if r[i].IsNull() != got[i].IsNull() {
+				t.Fatalf("null mismatch at %d: %v vs %v", i, r[i], got[i])
+			}
+			if !r[i].IsNull() && value.Compare(r[i], got[i]) != 0 {
+				t.Fatalf("value mismatch at %d: %v vs %v", i, r[i], got[i])
+			}
+		}
+	}
+}
+
+func TestMetastoreAndStats(t *testing.T) {
+	s := newTestServer(t)
+	loadCustomersOrders(t, s)
+	ti, ok := s.MS.Table("ORDERS")
+	if !ok || ti.RowCount != 100 || ti.Files != 3 {
+		t.Fatalf("stats = %+v", ti)
+	}
+	rows, err := s.MS.ReadTable("customer")
+	if err != nil || rows.Len() != 30 {
+		t.Fatalf("read table: %v %d", err, rows.Len())
+	}
+	if err := s.MS.DropTable("customer"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.MS.Table("customer"); ok {
+		t.Fatal("dropped")
+	}
+}
+
+func TestSimpleScanQuery(t *testing.T) {
+	s := newTestServer(t)
+	loadCustomersOrders(t, s)
+	rows, err := s.Exec.Query(`SELECT c_name FROM customer WHERE c_mktsegment = 'HOUSEHOLD'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 10 {
+		t.Fatalf("rows = %d", rows.Len())
+	}
+	if s.MR.JobsRun.Load() == 0 {
+		t.Fatal("expected a map-reduce scan job")
+	}
+}
+
+func TestJoinQuery(t *testing.T) {
+	s := newTestServer(t)
+	loadCustomersOrders(t, s)
+	rows, err := s.Exec.Query(`SELECT c_name, o_total FROM customer JOIN orders ON c_custkey = o_custkey
+		WHERE c_mktsegment = 'HOUSEHOLD' AND o_total > 500`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// customers in HOUSEHOLD: keys where i%3==0 → custkey 1..30 with i%3==0;
+	// orders with total > 500: 51..100 (50 orders), distributed over custkeys.
+	if rows.Len() == 0 {
+		t.Fatal("join returned nothing")
+	}
+	for _, r := range rows.Data {
+		if r[1].Float() <= 500 {
+			t.Fatalf("filter leak: %v", r)
+		}
+	}
+}
+
+func TestAggregationQuery(t *testing.T) {
+	s := newTestServer(t)
+	loadCustomersOrders(t, s)
+	rows, err := s.Exec.Query(`SELECT c_mktsegment, COUNT(*), SUM(o_total), AVG(o_total), MIN(o_total), MAX(o_total)
+		FROM customer JOIN orders ON c_custkey = o_custkey
+		GROUP BY c_mktsegment`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 3 {
+		t.Fatalf("groups = %d", rows.Len())
+	}
+	var totalCount, totalSum float64
+	for _, r := range rows.Data {
+		totalCount += float64(r[1].Int())
+		totalSum += r[2].Float()
+		if r[4].Float() > r[5].Float() {
+			t.Fatalf("min > max: %v", r)
+		}
+	}
+	if totalCount != 100 {
+		t.Fatalf("total count = %f", totalCount)
+	}
+	if totalSum != 50500 { // sum of 10..1000 step 10
+		t.Fatalf("total sum = %f", totalSum)
+	}
+}
+
+func TestGlobalAggregate(t *testing.T) {
+	s := newTestServer(t)
+	loadCustomersOrders(t, s)
+	rows, err := s.Exec.Query(`SELECT COUNT(*), SUM(o_total) FROM orders WHERE o_total > 900`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 || rows.Data[0][0].Int() != 10 {
+		t.Fatalf("global agg = %v", rows.Data)
+	}
+}
+
+func TestHavingAndOrderLimit(t *testing.T) {
+	s := newTestServer(t)
+	loadCustomersOrders(t, s)
+	rows, err := s.Exec.Query(`SELECT o_custkey, SUM(o_total) total FROM orders
+		GROUP BY o_custkey HAVING SUM(o_total) > 1500 ORDER BY total DESC LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 3 {
+		t.Fatalf("rows = %d", rows.Len())
+	}
+	if rows.Data[0][1].Float() < rows.Data[1][1].Float() {
+		t.Fatal("order")
+	}
+}
+
+func TestLeftOuterJoinWithOnFilter(t *testing.T) {
+	s := newTestServer(t)
+	loadCustomersOrders(t, s)
+	// Every order total is <= 1000, so the ON filter drops all matches for
+	// most customers → COUNT(o_orderkey) = 0 for them (Q13 shape).
+	rows, err := s.Exec.Query(`SELECT c_custkey, COUNT(o_orderkey) FROM customer
+		LEFT OUTER JOIN orders ON c_custkey = o_custkey AND o_total > 990
+		GROUP BY c_custkey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 30 {
+		t.Fatalf("left join must keep all customers: %d", rows.Len())
+	}
+	var withOrders int
+	for _, r := range rows.Data {
+		if r[1].Int() > 0 {
+			withOrders++
+		}
+	}
+	if withOrders != 1 { // only order 100 (total 1000) passes
+		t.Fatalf("customers with orders = %d", withOrders)
+	}
+}
+
+func TestInSubquery(t *testing.T) {
+	s := newTestServer(t)
+	loadCustomersOrders(t, s)
+	rows, err := s.Exec.Query(`SELECT c_name FROM customer WHERE c_custkey IN
+		(SELECT o_custkey FROM orders WHERE o_total > 970)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// orders 98,99,100 → custkeys 9,10,11.
+	if rows.Len() != 3 {
+		t.Fatalf("IN subquery rows = %d", rows.Len())
+	}
+}
+
+func TestCorrelatedExists(t *testing.T) {
+	s := newTestServer(t)
+	loadCustomersOrders(t, s)
+	rows, err := s.Exec.Query(`SELECT COUNT(*) FROM customer WHERE EXISTS
+		(SELECT * FROM orders WHERE o_custkey = c_custkey AND o_total > 970)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Data[0][0].Int() != 3 {
+		t.Fatalf("EXISTS count = %v", rows.Data)
+	}
+	// NOT EXISTS complements.
+	rows, err = s.Exec.Query(`SELECT COUNT(*) FROM customer WHERE NOT EXISTS
+		(SELECT * FROM orders WHERE o_custkey = c_custkey AND o_total > 970)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Data[0][0].Int() != 27 {
+		t.Fatalf("NOT EXISTS count = %v", rows.Data)
+	}
+}
+
+func TestDistinctAggFallsBackToDriver(t *testing.T) {
+	s := newTestServer(t)
+	loadCustomersOrders(t, s)
+	rows, err := s.Exec.Query(`SELECT COUNT(DISTINCT c_mktsegment) FROM customer`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Data[0][0].Int() != 3 {
+		t.Fatalf("count distinct = %v", rows.Data)
+	}
+}
+
+func TestCaseExpressionAggregate(t *testing.T) {
+	s := newTestServer(t)
+	loadCustomersOrders(t, s)
+	rows, err := s.Exec.Query(`SELECT SUM(CASE WHEN o_total > 500 THEN 1 ELSE 0 END) FROM orders`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Data[0][0].Int() != 50 {
+		t.Fatalf("case sum = %v", rows.Data)
+	}
+}
+
+func TestAdapterQueryAndCaps(t *testing.T) {
+	s := newTestServer(t)
+	loadCustomersOrders(t, s)
+	RegisterServer(s)
+	defer UnregisterServer(s.Host)
+	factory := NewAdapterFactory()
+	a, err := factory(map[string]string{"DSN": "hive1"}, map[string]string{"user": "dfuser", "password": "dfpass"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := a.Capabilities()
+	if !caps.Joins || !caps.JoinsOuter || !caps.GroupBy || caps.Insert || caps.Transactions {
+		t.Fatalf("caps = %+v", caps)
+	}
+	schema, err := a.TableSchema([]string{"dflo", "dflo", "customer"})
+	if err != nil || schema.Len() != 3 {
+		t.Fatalf("schema: %v %v", schema, err)
+	}
+	st, ok := a.TableStats([]string{"orders"})
+	if !ok || st.RowCount != 100 || st.Files != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	res, err := a.Query(`SELECT COUNT(*) FROM orders`, fed.QueryOptions{})
+	if err != nil || res.Rows.Data[0][0].Int() != 100 {
+		t.Fatalf("query: %v %v", res, err)
+	}
+	if res.FromCache {
+		t.Fatal("uncached query must not report cache")
+	}
+}
+
+func TestRemoteMaterializationCache(t *testing.T) {
+	s := newTestServer(t)
+	loadCustomersOrders(t, s)
+	RegisterServer(s)
+	defer UnregisterServer(s.Host)
+	a, err := NewAdapterFactory()(map[string]string{"DSN": "hive1"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := `SELECT c_name FROM customer WHERE c_mktsegment = 'HOUSEHOLD'`
+	opts := fed.QueryOptions{UseCache: true, Validity: time.Hour}
+
+	jobsBefore := s.MR.JobsRun.Load()
+	res1, err := a.Query(sql, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.FromCache || res1.MaterializeTime <= 0 {
+		t.Fatalf("first run must materialize: %+v", res1)
+	}
+	jobsCold := s.MR.JobsRun.Load() - jobsBefore
+	if jobsCold == 0 {
+		t.Fatal("cold run must execute MR jobs")
+	}
+
+	res2, err := a.Query(sql, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.FromCache {
+		t.Fatal("second run must hit the cache")
+	}
+	if s.MR.JobsRun.Load() != jobsBefore+jobsCold {
+		t.Fatal("cache hit must not run MR jobs")
+	}
+	if res2.Rows.Len() != res1.Rows.Len() {
+		t.Fatal("cache returned different rows")
+	}
+
+	// Different statements key separately.
+	res3, err := a.Query(`SELECT c_name FROM customer WHERE c_mktsegment = 'BUILDING'`, opts)
+	if err != nil || res3.FromCache {
+		t.Fatal("different statement must not hit the cache")
+	}
+	if s.MS.CacheSize() != 2 {
+		t.Fatalf("cache entries = %d", s.MS.CacheSize())
+	}
+
+	// Expiry: a zero-age validity expires everything.
+	time.Sleep(2 * time.Millisecond)
+	res4, err := a.Query(sql, fed.QueryOptions{UseCache: true, Validity: time.Millisecond})
+	if err != nil || res4.FromCache {
+		t.Fatal("expired entry must be recomputed")
+	}
+
+	// Invalidate-all drops temp tables.
+	s.MS.CacheInvalidateAll()
+	if s.MS.CacheSize() != 0 {
+		t.Fatal("invalidate all")
+	}
+}
+
+func TestHadoopVirtualFunctionDriver(t *testing.T) {
+	s := newTestServer(t)
+	RegisterServer(s)
+	defer UnregisterServer(s.Host)
+	// Raw sensor lines in HDFS, outside any Hive table.
+	_ = s.MS.Cluster().WriteFile("/plant100/sensors.log",
+		[]byte("EQ1 95.5\nEQ2 30.0\nEQ1 99.1\nEQ3 91.0\n"))
+	RegisterDriver("com.customer.hadoop.SensorMRDriver", func(server *Server, config map[string]string) (*mapreduce.Job, error) {
+		return &mapreduce.Job{
+			Name:   "sensor-extract",
+			Inputs: []string{"/plant100/sensors.log"},
+			Output: "/tmp/sensor-out",
+			Map: func(line string, emit func(k, v string)) {
+				f := strings.Fields(line)
+				if len(f) == 2 {
+					emit("", f[0]+"\t"+f[1])
+				}
+			},
+		}, nil
+	})
+	a, err := NewHadoopAdapterFactory()(map[string]string{
+		"webhdfs":     "http://hive1:50070",
+		"webhcatalog": "http://hive1:50111",
+	}, map[string]string{"user": "hadoop"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa := a.(fed.FunctionAdapter)
+	schema := value.NewSchema(
+		value.Column{Name: "EQUIP_ID", Kind: value.KindVarchar},
+		value.Column{Name: "PRESSURE", Kind: value.KindDouble},
+	)
+	rows, err := fa.CallFunction(map[string]string{
+		"hana.mapred.driver.class": "com.customer.hadoop.SensorMRDriver",
+	}, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 4 {
+		t.Fatalf("function rows = %d", rows.Len())
+	}
+	if _, err := fa.CallFunction(map[string]string{"hana.mapred.driver.class": "nope"}, schema); err == nil {
+		t.Fatal("unknown driver must error")
+	}
+}
+
+func TestExecutorErrors(t *testing.T) {
+	s := newTestServer(t)
+	if _, err := s.Exec.Query(`SELECT * FROM missing`); err == nil {
+		t.Fatal("missing table")
+	}
+	if _, err := s.Exec.Query(`INSERT INTO x VALUES (1)`); err == nil {
+		t.Fatal("non-select must error")
+	}
+	if _, err := s.Exec.Query(`SELECT 1`); err == nil {
+		t.Fatal("select without from unsupported in hive")
+	}
+}
+
+func TestCacheInvalidationOnLoad(t *testing.T) {
+	s := newTestServer(t)
+	loadCustomersOrders(t, s)
+	s.MS.SetInvalidateCacheOnLoad(true)
+	RegisterServer(s)
+	defer UnregisterServer(s.Host)
+	a, _ := NewAdapterFactory()(map[string]string{"DSN": s.Host}, nil)
+	opts := fed.QueryOptions{UseCache: true, Validity: time.Hour}
+	sql := `SELECT c_name FROM customer WHERE c_mktsegment = 'HOUSEHOLD'`
+	if _, err := a.Query(sql, opts); err != nil {
+		t.Fatal(err)
+	}
+	if s.MS.CacheSize() != 1 {
+		t.Fatal("materialization missing")
+	}
+	// Loading new base data invalidates every materialization.
+	if err := s.MS.LoadRows("customer", []value.Row{{
+		value.NewInt(999), value.NewString("Customer#999"), value.NewString("HOUSEHOLD"),
+	}}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.MS.CacheSize() != 0 {
+		t.Fatal("cache must be invalidated on load")
+	}
+	// The recomputed result includes the new row.
+	res, err := a.Query(sql, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FromCache {
+		t.Fatal("must recompute after invalidation")
+	}
+	if res.Rows.Len() != 11 {
+		t.Fatalf("rows = %d, want 11 (10 + new)", res.Rows.Len())
+	}
+}
+
+func TestDerivedTableAggregation(t *testing.T) {
+	// Q13 shape entirely inside Hive: aggregate over a derived table that
+	// itself aggregates an outer join.
+	s := newTestServer(t)
+	loadCustomersOrders(t, s)
+	rows, err := s.Exec.Query(`
+		SELECT c_count, COUNT(*) custdist FROM (
+			SELECT c_custkey, COUNT(o_orderkey) c_count
+			FROM customer LEFT OUTER JOIN orders ON c_custkey = o_custkey
+			GROUP BY c_custkey
+		) c_orders
+		GROUP BY c_count ORDER BY custdist DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 orders over custkeys (i%30)+1: keys 1..10 get 4 orders, 11..30
+	// get 3 → two distinct c_count groups.
+	if rows.Len() != 2 {
+		t.Fatalf("groups = %v", rows.Data)
+	}
+	var total int64
+	for _, r := range rows.Data {
+		total += r[1].Int()
+	}
+	if total != 30 {
+		t.Fatalf("customers accounted = %d", total)
+	}
+}
+
+func TestDateFiltersThroughMapReduce(t *testing.T) {
+	s := newTestServer(t)
+	schema := value.NewSchema(
+		value.Column{Name: "id", Kind: value.KindInt},
+		value.Column{Name: "d", Kind: value.KindDate},
+	)
+	_, _ = s.MS.CreateTable("events", schema, false)
+	base, _ := value.ParseDate("2014-01-01")
+	var rows []value.Row
+	for i := 0; i < 300; i++ {
+		rows = append(rows, value.Row{value.NewInt(int64(i)), value.NewDate(base.I + int64(i))})
+	}
+	_ = s.MS.LoadRows("events", rows, 2)
+	got, err := s.Exec.Query(`SELECT COUNT(*) FROM events
+		WHERE d >= DATE '2014-02-01' AND d < DATE '2014-03-01'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Data[0][0].Int() != 28 {
+		t.Fatalf("feb count = %v", got.Data[0][0])
+	}
+}

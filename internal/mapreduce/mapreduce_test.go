@@ -1,0 +1,251 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hana/internal/hdfs"
+)
+
+func newTestEngine(t *testing.T) (*Engine, *hdfs.Cluster) {
+	t.Helper()
+	c := hdfs.NewCluster(3, hdfs.WithBlockSize(256), hdfs.WithReplication(2))
+	return NewEngine(c, Config{MapSlots: 8, ReduceSlots: 4, DefaultReducers: 3}), c
+}
+
+func readOutput(t *testing.T, c *hdfs.Cluster, dir string) []string {
+	t.Helper()
+	var lines []string
+	for _, fi := range c.List(dir) {
+		data, err := c.ReadFile(fi.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range strings.Split(strings.TrimSuffix(string(data), "\n"), "\n") {
+			if l != "" {
+				lines = append(lines, l)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func TestWordCount(t *testing.T) {
+	e, c := newTestEngine(t)
+	doc := "the quick brown fox\nthe lazy dog\nthe fox"
+	_ = c.WriteFile("/in/doc.txt", []byte(doc))
+	job := &Job{
+		Name:   "wordcount",
+		Inputs: []string{"/in/doc.txt"},
+		Output: "/out/wc",
+		Map: func(line string, emit func(k, v string)) {
+			for _, w := range strings.Fields(line) {
+				emit(w, "1")
+			}
+		},
+		Reduce: func(key string, values []string, emit func(k, v string)) {
+			sum := 0
+			for _, v := range values {
+				n, _ := strconv.Atoi(v)
+				sum += n
+			}
+			emit(key, strconv.Itoa(sum))
+		},
+	}
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReduceTasks != 3 {
+		t.Fatalf("reducers = %d", res.ReduceTasks)
+	}
+	lines := readOutput(t, c, "/out/wc")
+	want := map[string]string{"the": "3", "fox": "2", "quick": "1", "brown": "1", "lazy": "1", "dog": "1"}
+	if len(lines) != len(want) {
+		t.Fatalf("lines = %v", lines)
+	}
+	for _, l := range lines {
+		parts := strings.SplitN(l, "\t", 2)
+		if want[parts[0]] != parts[1] {
+			t.Fatalf("count %s = %s", parts[0], parts[1])
+		}
+	}
+}
+
+func TestCombinerReducesShuffleVolume(t *testing.T) {
+	e, c := newTestEngine(t)
+	var b strings.Builder
+	for i := 0; i < 1000; i++ {
+		fmt.Fprintf(&b, "k%d\n", i%4)
+	}
+	_ = c.WriteFile("/in/keys.txt", []byte(b.String()))
+	sum := func(key string, values []string, emit func(k, v string)) {
+		total := 0
+		for _, v := range values {
+			n, _ := strconv.Atoi(v)
+			total += n
+		}
+		emit(key, strconv.Itoa(total))
+	}
+	job := &Job{
+		Name:   "combined",
+		Inputs: []string{"/in/keys.txt"},
+		Output: "/out/comb",
+		Map: func(line string, emit func(k, v string)) {
+			emit(line, "1")
+		},
+		Combine: sum,
+		Reduce:  sum,
+	}
+	if _, err := e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	lines := readOutput(t, c, "/out/comb")
+	if len(lines) != 4 {
+		t.Fatalf("groups = %v", lines)
+	}
+	for _, l := range lines {
+		if !strings.HasSuffix(l, "\t250") {
+			t.Fatalf("combiner sum wrong: %s", l)
+		}
+	}
+	if e.Counters.CombineOutRecords.Load() == 0 {
+		t.Fatal("combiner did not run")
+	}
+}
+
+func TestMapOnlyJob(t *testing.T) {
+	e, c := newTestEngine(t)
+	_ = c.WriteFile("/in/nums.txt", []byte("1\n2\n3\n4\n5"))
+	job := &Job{
+		Name:   "filter",
+		Inputs: []string{"/in/nums.txt"},
+		Output: "/out/filtered",
+		Map: func(line string, emit func(k, v string)) {
+			n, _ := strconv.Atoi(line)
+			if n%2 == 0 {
+				emit("", line)
+			}
+		},
+	}
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReduceTasks != 0 {
+		t.Fatal("map-only must not run reducers")
+	}
+	lines := readOutput(t, c, "/out/filtered")
+	if len(lines) != 2 || lines[0] != "2" || lines[1] != "4" {
+		t.Fatalf("filtered = %v", lines)
+	}
+}
+
+func TestDirectoryInputAndMultiBlockSplits(t *testing.T) {
+	e, c := newTestEngine(t)
+	// Two part files; one spans multiple 256-byte blocks.
+	var big strings.Builder
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&big, "row-%04d\n", i)
+	}
+	_ = c.WriteFile("/warehouse/t/part-00000", []byte(big.String()))
+	_ = c.WriteFile("/warehouse/t/part-00001", []byte("row-x\nrow-y\n"))
+	job := &Job{
+		Name:   "count",
+		Inputs: []string{"/warehouse/t"},
+		Output: "/out/count",
+		Map:    func(line string, emit func(k, v string)) { emit("all", "1") },
+		Reduce: func(key string, values []string, emit func(k, v string)) {
+			emit(key, strconv.Itoa(len(values)))
+		},
+		NumReducers: 1,
+	}
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MapTasks < 3 {
+		t.Fatalf("expected multiple block splits, got %d map tasks", res.MapTasks)
+	}
+	lines := readOutput(t, c, "/out/count")
+	if len(lines) != 1 || lines[0] != "all\t202" {
+		t.Fatalf("count = %v", lines)
+	}
+}
+
+func TestChainOfJobs(t *testing.T) {
+	e, c := newTestEngine(t)
+	_ = c.WriteFile("/in/data", []byte("a 1\nb 2\na 3\nb 4"))
+	j1 := &Job{
+		Name: "stage1", Inputs: []string{"/in/data"}, Output: "/tmp/s1",
+		Map: func(line string, emit func(k, v string)) {
+			f := strings.Fields(line)
+			emit(f[0], f[1])
+		},
+		Reduce: func(key string, values []string, emit func(k, v string)) {
+			sum := 0
+			for _, v := range values {
+				n, _ := strconv.Atoi(v)
+				sum += n
+			}
+			emit(key, strconv.Itoa(sum))
+		},
+		NumReducers: 2,
+	}
+	j2 := &Job{
+		Name: "stage2", Inputs: []string{"/tmp/s1"}, Output: "/out/final",
+		Map: func(line string, emit func(k, v string)) {
+			parts := strings.SplitN(line, "\t", 2)
+			emit("total", parts[1])
+		},
+		Reduce: func(key string, values []string, emit func(k, v string)) {
+			sum := 0
+			for _, v := range values {
+				n, _ := strconv.Atoi(v)
+				sum += n
+			}
+			emit("", strconv.Itoa(sum))
+		},
+		NumReducers: 1,
+	}
+	results, err := e.RunChain([]*Job{j1, j2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || e.JobsRun.Load() != 2 {
+		t.Fatal("chain accounting")
+	}
+	lines := readOutput(t, c, "/out/final")
+	if len(lines) != 1 || lines[0] != "10" {
+		t.Fatalf("final = %v", lines)
+	}
+}
+
+func TestMissingInputFails(t *testing.T) {
+	e, _ := newTestEngine(t)
+	job := &Job{Name: "x", Inputs: []string{"/nope"}, Output: "/out",
+		Map: func(string, func(k, v string)) {}}
+	if _, err := e.Run(job); err == nil {
+		t.Fatal("missing input must fail")
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	e, c := newTestEngine(t)
+	_ = c.WriteFile("/in/d", []byte("x\ny\nz"))
+	job := &Job{Name: "c", Inputs: []string{"/in/d"}, Output: "/out/c",
+		Map:         func(line string, emit func(k, v string)) { emit(line, "1") },
+		Reduce:      func(k string, vs []string, emit func(k, v string)) { emit(k, "1") },
+		NumReducers: 1,
+	}
+	if _, err := e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if e.Counters.MapInputRecords.Load() != 3 || e.Counters.ReduceInputGroups.Load() != 3 {
+		t.Fatalf("counters: %+v", e.Counters.MapInputRecords.Load())
+	}
+}

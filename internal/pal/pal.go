@@ -1,0 +1,249 @@
+// Package pal is the predictive analysis library used in the paper's
+// automotive warranty scenario (§4.1): "With the SAP predictive analysis
+// library using the apriori algorithm thousands of association rules were
+// discovered with confidence between 80% and 100%. The derived models then
+// were used to classify new readouts as warranty candidates in real-time."
+//
+// It implements the apriori frequent-itemset algorithm, association-rule
+// derivation with support/confidence/lift, and a rule-based classifier.
+package pal
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Transaction is one basket of items (e.g. diagnostic codes of one car).
+type Transaction []string
+
+// Rule is an association rule Antecedent ⇒ Consequent.
+type Rule struct {
+	Antecedent []string
+	Consequent string
+	Support    float64 // fraction of transactions containing both sides
+	Confidence float64 // support(both) / support(antecedent)
+	Lift       float64 // confidence / support(consequent)
+}
+
+// String renders the rule.
+func (r Rule) String() string {
+	return fmt.Sprintf("{%s} => %s (sup %.3f, conf %.3f, lift %.2f)",
+		strings.Join(r.Antecedent, ","), r.Consequent, r.Support, r.Confidence, r.Lift)
+}
+
+// AprioriParams tunes the mining run.
+type AprioriParams struct {
+	MinSupport    float64 // minimum itemset support (0..1)
+	MinConfidence float64 // minimum rule confidence (0..1)
+	MaxItemsetLen int     // cap on itemset size (0 = 4)
+}
+
+// Apriori mines association rules from transactions.
+func Apriori(txns []Transaction, p AprioriParams) ([]Rule, error) {
+	if len(txns) == 0 {
+		return nil, fmt.Errorf("pal: no transactions")
+	}
+	if p.MinSupport <= 0 {
+		p.MinSupport = 0.1
+	}
+	if p.MinConfidence <= 0 {
+		p.MinConfidence = 0.8
+	}
+	if p.MaxItemsetLen <= 0 {
+		p.MaxItemsetLen = 4
+	}
+	n := float64(len(txns))
+	minCount := int(p.MinSupport*n + 0.999999)
+	if minCount < 1 {
+		minCount = 1
+	}
+
+	// Deduplicate and sort items within transactions.
+	sets := make([][]string, len(txns))
+	for i, t := range txns {
+		seen := map[string]bool{}
+		var s []string
+		for _, it := range t {
+			if !seen[it] {
+				seen[it] = true
+				s = append(s, it)
+			}
+		}
+		sort.Strings(s)
+		sets[i] = s
+	}
+
+	// L1.
+	counts := map[string]int{}
+	for _, s := range sets {
+		for _, it := range s {
+			counts[it]++
+		}
+	}
+	supports := map[string]int{} // canonical itemset key → count
+	var current [][]string
+	for it, c := range counts {
+		if c >= minCount {
+			current = append(current, []string{it})
+			supports[it] = c
+		}
+	}
+	sortItemsets(current)
+
+	// Level-wise candidate generation.
+	all := append([][]string{}, current...)
+	for k := 2; k <= p.MaxItemsetLen && len(current) > 0; k++ {
+		cands := generateCandidates(current)
+		next := current[:0:0]
+		for _, cand := range cands {
+			c := 0
+			for _, s := range sets {
+				if containsAll(s, cand) {
+					c++
+				}
+			}
+			if c >= minCount {
+				next = append(next, cand)
+				supports[key(cand)] = c
+			}
+		}
+		current = next
+		all = append(all, current...)
+	}
+
+	// Rules: for each frequent itemset of size ≥ 2, each item can be the
+	// consequent.
+	var rules []Rule
+	for _, is := range all {
+		if len(is) < 2 {
+			continue
+		}
+		both := supports[key(is)]
+		for i, cons := range is {
+			ant := append(append([]string{}, is[:i]...), is[i+1:]...)
+			antCount, ok := supports[key(ant)]
+			if !ok || antCount == 0 {
+				continue
+			}
+			conf := float64(both) / float64(antCount)
+			if conf < p.MinConfidence {
+				continue
+			}
+			consSup := float64(supports[cons]) / n
+			r := Rule{
+				Antecedent: ant,
+				Consequent: cons,
+				Support:    float64(both) / n,
+				Confidence: conf,
+			}
+			if consSup > 0 {
+				r.Lift = conf / consSup
+			}
+			rules = append(rules, r)
+		}
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		if rules[i].Confidence != rules[j].Confidence {
+			return rules[i].Confidence > rules[j].Confidence
+		}
+		return rules[i].Support > rules[j].Support
+	})
+	return rules, nil
+}
+
+func key(items []string) string { return strings.Join(items, "\x00") }
+
+func sortItemsets(sets [][]string) {
+	sort.Slice(sets, func(i, j int) bool { return key(sets[i]) < key(sets[j]) })
+}
+
+// generateCandidates joins k-1 itemsets sharing a prefix (classic apriori
+// join + prune).
+func generateCandidates(prev [][]string) [][]string {
+	var out [][]string
+	prevSet := map[string]bool{}
+	for _, p := range prev {
+		prevSet[key(p)] = true
+	}
+	for i := 0; i < len(prev); i++ {
+		for j := i + 1; j < len(prev); j++ {
+			a, b := prev[i], prev[j]
+			k := len(a)
+			if key(a[:k-1]) != key(b[:k-1]) {
+				continue
+			}
+			cand := append(append([]string{}, a...), b[k-1])
+			sort.Strings(cand)
+			// Prune: all (k)-subsets must be frequent.
+			ok := true
+			for d := 0; d < len(cand); d++ {
+				sub := append(append([]string{}, cand[:d]...), cand[d+1:]...)
+				if !prevSet[key(sub)] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, cand)
+			}
+		}
+	}
+	sortItemsets(out)
+	return out
+}
+
+// containsAll reports whether sorted transaction s contains all sorted
+// items.
+func containsAll(s, items []string) bool {
+	i := 0
+	for _, it := range items {
+		for i < len(s) && s[i] < it {
+			i++
+		}
+		if i >= len(s) || s[i] != it {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// Classifier scores new transactions against mined rules whose consequent
+// is the target class — "classify new readouts as warranty candidates in
+// real-time".
+type Classifier struct {
+	target string
+	rules  []Rule
+}
+
+// NewClassifier keeps the rules predicting the target consequent.
+func NewClassifier(rules []Rule, target string) *Classifier {
+	c := &Classifier{target: target}
+	for _, r := range rules {
+		if r.Consequent == target {
+			c.rules = append(c.rules, r)
+		}
+	}
+	return c
+}
+
+// NumRules reports the model size.
+func (c *Classifier) NumRules() int { return len(c.rules) }
+
+// Score returns the maximum confidence of any rule whose antecedent is
+// satisfied by the transaction, with the matching rule; 0 when none fires.
+func (c *Classifier) Score(t Transaction) (float64, *Rule) {
+	s := append([]string{}, t...)
+	sort.Strings(s)
+	var best float64
+	var bestRule *Rule
+	for i := range c.rules {
+		r := &c.rules[i]
+		if containsAll(s, r.Antecedent) && r.Confidence > best {
+			best = r.Confidence
+			bestRule = r
+		}
+	}
+	return best, bestRule
+}

@@ -1,0 +1,142 @@
+package pal
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestAprioriClassicExample(t *testing.T) {
+	txns := []Transaction{
+		{"bread", "milk"},
+		{"bread", "diapers", "beer", "eggs"},
+		{"milk", "diapers", "beer", "cola"},
+		{"bread", "milk", "diapers", "beer"},
+		{"bread", "milk", "diapers", "cola"},
+	}
+	rules, err := Apriori(txns, AprioriParams{MinSupport: 0.4, MinConfidence: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 {
+		t.Fatal("no rules mined")
+	}
+	// {beer} => diapers has confidence 1.0 (all 3 beer baskets have diapers).
+	found := false
+	for _, r := range rules {
+		if len(r.Antecedent) == 1 && r.Antecedent[0] == "beer" && r.Consequent == "diapers" {
+			found = true
+			if r.Confidence != 1.0 {
+				t.Fatalf("beer=>diapers confidence = %f", r.Confidence)
+			}
+			if r.Support != 0.6 {
+				t.Fatalf("beer=>diapers support = %f", r.Support)
+			}
+			if r.Lift < 1.24 || r.Lift > 1.26 { // 1.0 / 0.8
+				t.Fatalf("lift = %f", r.Lift)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("beer=>diapers not mined; got %v", rules)
+	}
+	// Rules are sorted by confidence.
+	for i := 1; i < len(rules); i++ {
+		if rules[i].Confidence > rules[i-1].Confidence {
+			t.Fatal("rules not sorted by confidence")
+		}
+	}
+}
+
+func TestAprioriMinSupportPrunes(t *testing.T) {
+	txns := []Transaction{
+		{"a", "b"}, {"a", "b"}, {"a", "b"}, {"c", "d"},
+	}
+	rules, err := Apriori(txns, AprioriParams{MinSupport: 0.5, MinConfidence: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rules {
+		for _, it := range append(r.Antecedent, r.Consequent) {
+			if it == "c" || it == "d" {
+				t.Fatalf("infrequent item leaked into %v", r)
+			}
+		}
+	}
+}
+
+func TestAprioriEmptyAndDuplicates(t *testing.T) {
+	if _, err := Apriori(nil, AprioriParams{}); err == nil {
+		t.Fatal("empty input must error")
+	}
+	// Duplicate items within a transaction count once.
+	txns := []Transaction{{"x", "x", "y"}, {"x", "y"}}
+	rules, err := Apriori(txns, AprioriParams{MinSupport: 0.9, MinConfidence: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rules {
+		if r.Support > 1.0 {
+			t.Fatalf("support > 1: %v", r)
+		}
+	}
+}
+
+func TestThreeItemRules(t *testing.T) {
+	// a,b together always imply c.
+	var txns []Transaction
+	for i := 0; i < 10; i++ {
+		txns = append(txns, Transaction{"a", "b", "c"})
+	}
+	txns = append(txns, Transaction{"a", "d"}, Transaction{"b", "d"})
+	rules, err := Apriori(txns, AprioriParams{MinSupport: 0.5, MinConfidence: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rules {
+		if len(r.Antecedent) == 2 && r.Consequent == "c" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no {a,b}=>c rule in %v", rules)
+	}
+}
+
+func TestClassifierWarrantyScenario(t *testing.T) {
+	// Synthetic diagnosis readouts: code P0301+P0171 strongly predicts a
+	// warranty claim, mirroring §4.1.
+	rng := rand.New(rand.NewSource(5))
+	var txns []Transaction
+	for i := 0; i < 500; i++ {
+		tx := Transaction{fmt.Sprintf("code%d", rng.Intn(20))}
+		if rng.Float64() < 0.3 {
+			tx = append(tx, "P0301", "P0171")
+			if rng.Float64() < 0.9 {
+				tx = append(tx, "WARRANTY_CLAIM")
+			}
+		} else if rng.Float64() < 0.05 {
+			tx = append(tx, "WARRANTY_CLAIM")
+		}
+		txns = append(txns, tx)
+	}
+	rules, err := Apriori(txns, AprioriParams{MinSupport: 0.05, MinConfidence: 0.8, MaxItemsetLen: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf := NewClassifier(rules, "WARRANTY_CLAIM")
+	if clf.NumRules() == 0 {
+		t.Fatal("no warranty rules mined")
+	}
+	// A readout with the risky pattern scores high…
+	score, rule := clf.Score(Transaction{"code3", "P0301", "P0171"})
+	if score < 0.8 || rule == nil {
+		t.Fatalf("risky readout score = %f", score)
+	}
+	// …a clean readout scores zero.
+	score, _ = clf.Score(Transaction{"code3"})
+	if score != 0 {
+		t.Fatalf("clean readout score = %f", score)
+	}
+}

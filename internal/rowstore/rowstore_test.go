@@ -1,0 +1,116 @@
+package rowstore
+
+import (
+	"fmt"
+	"testing"
+
+	"hana/internal/value"
+)
+
+func newTbl(keyed bool) *Table {
+	s := value.NewSchema(
+		value.Column{Name: "id", Kind: value.KindInt},
+		value.Column{Name: "name", Kind: value.KindVarchar},
+	)
+	ord := -1
+	if keyed {
+		ord = 0
+	}
+	return NewTable(s, ord)
+}
+
+func TestAppendGetLookup(t *testing.T) {
+	tbl := newTbl(true)
+	for i := 0; i < 50; i++ {
+		if _, err := tbl.Append(value.Row{value.NewInt(int64(i)), value.NewString(fmt.Sprintf("n%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := tbl.Lookup(value.NewInt(33))
+	if len(ids) != 1 {
+		t.Fatalf("lookup ids = %v", ids)
+	}
+	row, err := tbl.Get(ids[0])
+	if err != nil || row[1].String() != "n33" {
+		t.Fatalf("get: %v %v", row, err)
+	}
+}
+
+func TestDuplicateKeyRejected(t *testing.T) {
+	tbl := newTbl(true)
+	_, _ = tbl.Append(value.Row{value.NewInt(1), value.NewString("a")})
+	if _, err := tbl.Append(value.Row{value.NewInt(1), value.NewString("b")}); err == nil {
+		t.Fatal("duplicate key must error")
+	}
+}
+
+func TestUpdateInPlaceAndReindex(t *testing.T) {
+	tbl := newTbl(true)
+	id, _ := tbl.Append(value.Row{value.NewInt(1), value.NewString("a")})
+	if err := tbl.Update(id, value.Row{value.NewInt(2), value.NewString("z")}); err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Lookup(value.NewInt(1))) != 0 {
+		t.Fatal("old key still indexed")
+	}
+	got := tbl.Lookup(value.NewInt(2))
+	if len(got) != 1 || got[0] != id {
+		t.Fatalf("new key lookup = %v", got)
+	}
+	if err := tbl.Update(99, value.Row{value.NewInt(3), value.NewString("x")}); err == nil {
+		t.Fatal("out of range update must error")
+	}
+}
+
+func TestScanAndTruncate(t *testing.T) {
+	tbl := newTbl(false)
+	for i := 0; i < 10; i++ {
+		_, _ = tbl.Append(value.Row{value.NewInt(int64(i)), value.NewString("x")})
+	}
+	n := 0
+	tbl.Scan(func(id int, row value.Row) bool { n++; return true })
+	if n != 10 {
+		t.Fatalf("scanned %d", n)
+	}
+	tbl.Truncate()
+	if tbl.NumRows() != 0 {
+		t.Fatal("truncate")
+	}
+}
+
+func TestAppendClonesRow(t *testing.T) {
+	tbl := newTbl(false)
+	row := value.Row{value.NewInt(1), value.NewString("a")}
+	_, _ = tbl.Append(row)
+	row[1] = value.NewString("mutated")
+	got, _ := tbl.Get(0)
+	if got[1].String() != "a" {
+		t.Fatal("table must not alias caller's row")
+	}
+}
+
+func TestMemSizeGrowsPerRow(t *testing.T) {
+	tbl := newTbl(false)
+	_, _ = tbl.Append(value.Row{value.NewInt(1), value.NewString("abcdefgh")})
+	one := tbl.MemSize()
+	for i := 0; i < 99; i++ {
+		_, _ = tbl.Append(value.Row{value.NewInt(int64(i)), value.NewString("abcdefgh")})
+	}
+	if tbl.MemSize() != 100*one {
+		t.Fatalf("row store size must be linear: 1=%d 100=%d", one, tbl.MemSize())
+	}
+}
+
+func TestArityErrors(t *testing.T) {
+	tbl := newTbl(false)
+	if _, err := tbl.Append(value.Row{value.NewInt(1)}); err == nil {
+		t.Fatal("arity mismatch append")
+	}
+	_, _ = tbl.Append(value.Row{value.NewInt(1), value.NewString("a")})
+	if err := tbl.Update(0, value.Row{value.NewInt(1)}); err == nil {
+		t.Fatal("arity mismatch update")
+	}
+	if _, err := tbl.Get(-1); err == nil {
+		t.Fatal("negative id")
+	}
+}

@@ -1,0 +1,606 @@
+package sqlparse
+
+import (
+	"strconv"
+	"strings"
+
+	"hana/internal/expr"
+	"hana/internal/value"
+)
+
+// parseCreate dispatches the CREATE statements of the dialect.
+func (p *parser) parseCreate() (Statement, error) {
+	if err := p.expectKw("CREATE"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.matchKws("REMOTE", "SOURCE"):
+		return p.parseCreateRemoteSource()
+	case p.matchKws("VIRTUAL", "TABLE"):
+		return p.parseCreateVirtualTable()
+	case p.matchKws("VIRTUAL", "FUNCTION"):
+		return p.parseCreateVirtualFunction()
+	case p.matchKws("ROW", "TABLE"):
+		return p.parseCreateTable(StorageRow, false)
+	case p.matchKws("COLUMN", "TABLE"):
+		return p.parseCreateTable(StorageColumn, false)
+	case p.matchKws("FLEXIBLE", "TABLE"):
+		return p.parseCreateTable(StorageColumn, true)
+	case p.matchKw("TABLE"):
+		return p.parseCreateTable(StorageColumn, false)
+	}
+	return nil, p.errorf("unsupported CREATE %q", p.peek().text)
+}
+
+func (p *parser) parseCreateTable(storage StorageClass, flexible bool) (Statement, error) {
+	st := &CreateTableStmt{Storage: storage, Flexible: flexible}
+	if p.matchKws("IF", "NOT", "EXISTS") {
+		st.IfNotExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Name = name
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.parseColumnDef()
+		if err != nil {
+			return nil, err
+		}
+		st.Cols = append(st.Cols, col)
+		if !p.matchPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	// USING [HYBRID] EXTENDED STORAGE
+	if p.matchKw("USING") {
+		if p.matchKw("HYBRID") {
+			st.Hybrid = true
+		}
+		if err := p.expectKw("EXTENDED"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("STORAGE"); err != nil {
+			return nil, err
+		}
+		st.Storage = StorageExtended
+	}
+	// PARTITION BY RANGE (col) (PARTITION VALUES < lit [USING EXTENDED STORAGE], …, PARTITION OTHERS […])
+	if p.matchKws("PARTITION", "BY") {
+		if err := p.expectKw("RANGE"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st.PartitionBy = col
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		for {
+			if err := p.expectKw("PARTITION"); err != nil {
+				return nil, err
+			}
+			var pd PartitionDef
+			if p.matchKw("OTHERS") {
+				pd.Others = true
+			} else {
+				if err := p.expectKw("VALUES"); err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct("<"); err != nil {
+					return nil, err
+				}
+				bound, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				pd.Bound = bound
+			}
+			if p.matchKw("USING") {
+				if err := p.expectKw("EXTENDED"); err != nil {
+					return nil, err
+				}
+				if err := p.expectKw("STORAGE"); err != nil {
+					return nil, err
+				}
+				pd.Storage = StorageExtended
+			} else {
+				pd.Storage = StorageColumn
+			}
+			st.Partitions = append(st.Partitions, pd)
+			if !p.matchPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if len(st.Partitions) > 0 {
+			st.Hybrid = true
+		}
+	}
+	// WITH AGING ON (col): flag column controlling hot→cold movement.
+	if p.matchKws("WITH", "AGING", "ON") {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st.AgingColumn = col
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) parseColumnDef() (ColumnDef, error) {
+	var cd ColumnDef
+	name, err := p.ident()
+	if err != nil {
+		return cd, err
+	}
+	cd.Name = name
+	tn, err := p.typeName()
+	if err != nil {
+		return cd, err
+	}
+	cd.TypeName = tn
+	k, ok := value.KindFromSQL(tn)
+	if !ok {
+		return cd, p.errorf("unknown column type %q", tn)
+	}
+	cd.Kind = k
+	for {
+		switch {
+		case p.matchKws("NOT", "NULL"):
+			cd.NotNull = true
+		case p.matchKws("PRIMARY", "KEY"):
+			cd.PrimKey = true
+			cd.NotNull = true
+		case p.matchKw("NULL"):
+			// explicit nullable, default
+		default:
+			return cd, nil
+		}
+	}
+}
+
+func (p *parser) parseCreateRemoteSource() (Statement, error) {
+	st := &CreateRemoteSourceStmt{}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Name = name
+	if err := p.expectKw("ADAPTER"); err != nil {
+		return nil, err
+	}
+	adapter := p.peek()
+	if adapter.kind != tokIdent && adapter.kind != tokQuotedIdent && adapter.kind != tokString {
+		return nil, p.errorf("expected adapter name, got %q", adapter.text)
+	}
+	p.pos++
+	st.Adapter = adapter.text
+	if p.matchKw("CONFIGURATION") {
+		cfg := p.peek()
+		if cfg.kind != tokString {
+			return nil, p.errorf("CONFIGURATION expects a string literal")
+		}
+		p.pos++
+		st.Configuration = cfg.text
+	}
+	if p.matchKws("WITH", "CREDENTIAL", "TYPE") {
+		ct := p.peek()
+		if ct.kind != tokString {
+			return nil, p.errorf("CREDENTIAL TYPE expects a string literal")
+		}
+		p.pos++
+		st.CredentialType = ct.text
+		if err := p.expectKw("USING"); err != nil {
+			return nil, err
+		}
+		cr := p.peek()
+		if cr.kind != tokString {
+			return nil, p.errorf("USING expects a string literal")
+		}
+		p.pos++
+		st.Credentials = cr.text
+	}
+	return st, nil
+}
+
+func (p *parser) parseCreateVirtualTable() (Statement, error) {
+	st := &CreateVirtualTableStmt{}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Name = name
+	if err := p.expectKw("AT"); err != nil {
+		return nil, err
+	}
+	var parts []string
+	for {
+		part, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, part)
+		if !p.matchPunct(".") {
+			break
+		}
+	}
+	if len(parts) < 2 {
+		return nil, p.errorf("CREATE VIRTUAL TABLE AT requires source and remote object path")
+	}
+	st.Source = parts[0]
+	st.Remote = parts[1:]
+	return st, nil
+}
+
+func (p *parser) parseCreateVirtualFunction() (Statement, error) {
+	st := &CreateVirtualFunctionStmt{}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Name = name
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("RETURNS"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("TABLE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.parseColumnDef()
+		if err != nil {
+			return nil, err
+		}
+		st.Returns = append(st.Returns, col)
+		if !p.matchPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if p.matchKw("CONFIGURATION") {
+		cfg := p.peek()
+		if cfg.kind != tokString {
+			return nil, p.errorf("CONFIGURATION expects a string literal")
+		}
+		p.pos++
+		st.Configuration = cfg.text
+	}
+	if err := p.expectKw("AT"); err != nil {
+		return nil, err
+	}
+	src, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Source = src
+	return st, nil
+}
+
+// parseAlter handles ALTER TABLE t ADD (col type [, col type …]).
+func (p *parser) parseAlter() (Statement, error) {
+	if err := p.expectKw("ALTER"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("TABLE"); err != nil {
+		return nil, err
+	}
+	st := &AlterTableStmt{}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name
+	if err := p.expectKw("ADD"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for {
+		cd, err := p.parseColumnDef()
+		if err != nil {
+			return nil, err
+		}
+		st.Add = append(st.Add, cd)
+		if !p.matchPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) parseDrop() (Statement, error) {
+	if err := p.expectKw("DROP"); err != nil {
+		return nil, err
+	}
+	st := &DropStmt{}
+	switch {
+	case p.matchKws("REMOTE", "SOURCE"):
+		st.Kind = "REMOTE SOURCE"
+	case p.matchKws("VIRTUAL", "TABLE"):
+		st.Kind = "VIRTUAL TABLE"
+	case p.matchKws("VIRTUAL", "FUNCTION"):
+		st.Kind = "VIRTUAL FUNCTION"
+	case p.matchKw("TABLE"):
+		st.Kind = "TABLE"
+	default:
+		return nil, p.errorf("unsupported DROP %q", p.peek().text)
+	}
+	if p.matchKws("IF", "EXISTS") {
+		st.IfExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Name = name
+	return st, nil
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	if err := p.expectKw("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name
+	if p.matchPunct("(") {
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Cols = append(st.Cols, c)
+			if !p.matchPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	if p.matchKw("VALUES") {
+		for {
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			var row []expr.Expr
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, e)
+				if !p.matchPunct(",") {
+					break
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			st.Values = append(st.Values, row)
+			if !p.matchPunct(",") {
+				break
+			}
+		}
+		return st, nil
+	}
+	if p.isKw("SELECT") {
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		st.Select = sel
+		return st, nil
+	}
+	return nil, p.errorf("INSERT expects VALUES or SELECT")
+}
+
+func (p *parser) parseUpdate() (Statement, error) {
+	if err := p.expectKw("UPDATE"); err != nil {
+		return nil, err
+	}
+	st := &UpdateStmt{}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name
+	if err := p.expectKw("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Set = append(st.Set, struct {
+			Col string
+			E   expr.Expr
+		}{col, e})
+		if !p.matchPunct(",") {
+			break
+		}
+	}
+	if p.matchKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	return st, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	if err := p.expectKw("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name
+	if p.matchKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	return st, nil
+}
+
+// RenderSelect regenerates SQL text from a SelectStmt; the federation layer
+// uses it to ship subqueries to remote sources (the remote dialect is the
+// same).
+func RenderSelect(s *SelectStmt) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case it.Star && it.Qual != "":
+			b.WriteString(it.Qual + ".*")
+		case it.Star:
+			b.WriteString("*")
+		default:
+			b.WriteString(it.Expr.SQL())
+			if it.Alias != "" {
+				b.WriteString(" AS " + it.Alias)
+			}
+		}
+	}
+	if s.From != nil {
+		b.WriteString(" FROM ")
+		renderTableExpr(&b, s.From)
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.SQL())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.SQL())
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING " + s.Having.SQL())
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Expr.SQL())
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		b.WriteString(" LIMIT " + strconv.FormatInt(s.Limit, 10))
+	}
+	return b.String()
+}
+
+func renderTableExpr(b *strings.Builder, te TableExpr) {
+	switch t := te.(type) {
+	case *TableRef:
+		b.WriteString(strings.Join(t.Parts, "."))
+		if t.Alias != "" {
+			b.WriteString(" " + t.Alias)
+		}
+	case *JoinExpr:
+		renderTableExpr(b, t.L)
+		if t.Type == JoinCross {
+			b.WriteString(", ")
+			renderTableExpr(b, t.R)
+			return
+		}
+		b.WriteString(" " + t.Type.String() + " JOIN ")
+		renderTableExpr(b, t.R)
+		if t.On != nil {
+			b.WriteString(" ON " + t.On.SQL())
+		}
+	case *SubqueryTable:
+		b.WriteString("(" + RenderSelect(t.Sel) + ")")
+		if t.Alias != "" {
+			b.WriteString(" " + t.Alias)
+		}
+	case *TableFuncRef:
+		b.WriteString(t.Name + "(")
+		for i, a := range t.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.SQL())
+		}
+		b.WriteString(")")
+		if t.Alias != "" {
+			b.WriteString(" " + t.Alias)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func start() time.Time { return time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC) }
+
+func TestAppendValuesRoundTrip(t *testing.T) {
+	s := New(start(), time.Second, CompensateNone)
+	want := []float64{20.5, 20.5, 20.7, 21.0, 21.0, 21.0, 19.8, -3.25, 0, 1e9}
+	for _, v := range want {
+		s.Append(v)
+	}
+	got := s.Values()
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("value %d = %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestXORRoundTripProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		s := New(start(), time.Second, CompensateNone)
+		for _, v := range vals {
+			if math.IsNaN(v) {
+				v = 0
+			}
+			s.Append(v)
+		}
+		got := s.Values()
+		if len(got) != len(vals) {
+			return false
+		}
+		for i, v := range vals {
+			if math.IsNaN(v) {
+				v = 0
+			}
+			if got[i] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMissingValueCompensation(t *testing.T) {
+	// Series: 10, _, 20 on a 1s grid.
+	mk := func(c Compensation) *Series {
+		s := New(start(), time.Second, c)
+		s.Append(10)
+		s.AppendMissing()
+		s.Append(20)
+		return s
+	}
+	if _, ok := mk(CompensateNone).Value(1); ok {
+		t.Fatal("None must report missing")
+	}
+	v, ok := mk(CompensateLOCF).Value(1)
+	if !ok || v != 10 {
+		t.Fatalf("LOCF = %v %v", v, ok)
+	}
+	v, ok = mk(CompensateLinear).Value(1)
+	if !ok || v != 15 {
+		t.Fatalf("Linear = %v %v", v, ok)
+	}
+	// Leading gap: LOCF has nothing to carry.
+	s := New(start(), time.Second, CompensateLOCF)
+	s.AppendMissing()
+	s.Append(5)
+	if _, ok := s.Value(0); ok {
+		t.Fatal("leading gap under LOCF must be absent")
+	}
+	// Linear falls back to the next observation.
+	s2 := New(start(), time.Second, CompensateLinear)
+	s2.AppendMissing()
+	s2.Append(5)
+	if v, ok := s2.Value(0); !ok || v != 5 {
+		t.Fatalf("linear leading = %v %v", v, ok)
+	}
+}
+
+func TestAppendAtGridAlignment(t *testing.T) {
+	s := New(start(), time.Minute, CompensateLinear)
+	if err := s.AppendAt(start(), 1); err != nil {
+		t.Fatal(err)
+	}
+	// Skipping two slots fills them as missing.
+	if err := s.AppendAt(start().Add(3*time.Minute), 4); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if v, ok := s.Value(1); !ok || v != 2 {
+		t.Fatalf("interpolated slot 1 = %v", v)
+	}
+	if v, ok := s.Value(2); !ok || v != 3 {
+		t.Fatalf("interpolated slot 2 = %v", v)
+	}
+	if err := s.AppendAt(start().Add(90*time.Second), 9); err == nil {
+		t.Fatal("off-grid timestamp must error")
+	}
+	if err := s.AppendAt(start(), 9); err == nil {
+		t.Fatal("past timestamp must error")
+	}
+	if v, ok := s.At(start().Add(3 * time.Minute)); !ok || v != 4 {
+		t.Fatalf("At = %v", v)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := New(start(), time.Second, CompensateNone)
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Append(v)
+	}
+	s.AppendMissing()
+	st := s.Stats()
+	if st.Count != 8 || st.Mean != 5 || st.Min != 2 || st.Max != 9 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if math.Abs(st.Stddev-2) > 1e-9 {
+		t.Fatalf("stddev = %v", st.Stddev)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	a := New(start(), time.Second, CompensateNone)
+	b := New(start(), time.Second, CompensateNone)
+	c := New(start(), time.Second, CompensateNone)
+	for i := 0; i < 100; i++ {
+		x := float64(i)
+		a.Append(x)
+		b.Append(2*x + 5) // perfectly correlated
+		c.Append(100 - x) // perfectly anti-correlated
+	}
+	r, err := Correlate(a, b)
+	if err != nil || math.Abs(r-1) > 1e-9 {
+		t.Fatalf("corr(a,b) = %v %v", r, err)
+	}
+	r, err = Correlate(a, c)
+	if err != nil || math.Abs(r+1) > 1e-9 {
+		t.Fatalf("corr(a,c) = %v %v", r, err)
+	}
+	if _, err := Correlate(New(start(), time.Second, CompensateNone), a); err == nil {
+		t.Fatal("empty series must error")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	s := New(start(), time.Second, CompensateNone)
+	for i := 0; i < 10; i++ {
+		s.Append(float64(i))
+	}
+	d := s.Downsample(5)
+	if d.Len() != 2 {
+		t.Fatalf("downsampled len = %d", d.Len())
+	}
+	if v, _ := d.Value(0); v != 2 {
+		t.Fatalf("bucket 0 mean = %v", v)
+	}
+	if d.Interval != 5*time.Second {
+		t.Fatal("interval scaling")
+	}
+}
+
+func TestCompressionOnSensorData(t *testing.T) {
+	// Slowly-varying sensor data: the XOR stream must be far below 8
+	// bytes/sample, and missing slots nearly free.
+	s := New(start(), time.Second, CompensateLinear)
+	rng := rand.New(rand.NewSource(42))
+	v := 100.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if i%50 == 17 {
+			s.AppendMissing()
+			continue
+		}
+		// Quantized sensor readings change rarely.
+		if rng.Float64() < 0.1 {
+			v += float64(rng.Intn(3)-1) * 0.25
+		}
+		s.Append(v)
+	}
+	raw := int64(n * 8)
+	if s.MemSize()*4 > raw {
+		t.Fatalf("compression < 4x: %d vs %d raw", s.MemSize(), raw)
+	}
+	// Integrity.
+	if got := s.Values(); len(got) != n {
+		t.Fatalf("len = %d", len(got))
+	}
+}
+
+func TestTimeOf(t *testing.T) {
+	s := New(start(), time.Minute, CompensateNone)
+	s.Append(1)
+	s.Append(2)
+	if s.TimeOf(1) != start().Add(time.Minute) {
+		t.Fatal("TimeOf")
+	}
+}

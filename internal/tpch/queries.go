@@ -1,0 +1,201 @@
+package tpch
+
+import (
+	"sort"
+	"strings"
+)
+
+// Query is one benchmark query as evaluated in the paper.
+type Query struct {
+	ID int
+	// Starred queries had TOP/ORDER BY removed ("marked the modified
+	// queries … with an asterisk (*)").
+	Starred bool
+	// JoinsLocal reports whether the query joins tables kept locally in
+	// HANA (SUPPLIER, NATION, REGION — and PART for Q14/Q19) with federated
+	// tables; these fall in Figure 14's lower-gain group.
+	JoinsLocal bool
+	SQL        string
+}
+
+// FederatedTables are kept at Hive in the paper's evaluation.
+var FederatedTables = []string{"lineitem", "customer", "orders", "partsupp", "part"}
+
+// LocalTables are kept in the HANA engine in the paper's evaluation
+// ("SUPPLIER, NATION, REGION (, and PART only for Q14 and Q19)").
+var LocalTables = []string{"supplier", "nation", "region"}
+
+// LocalPartQueries use the locally-stored PART copy.
+var LocalPartQueries = map[int]bool{14: true, 19: true}
+
+// Queries returns the twelve queries of Figure 14/15, keyed by number.
+// Date constants are pre-computed (the dialect has no INTERVAL
+// arithmetic), and Q19's join predicate is factored out of the OR branches
+// (semantically equivalent to the spec text).
+func Queries() map[int]Query {
+	return map[int]Query{
+		1: {ID: 1, Starred: true, SQL: `
+			SELECT l_returnflag, l_linestatus,
+				SUM(l_quantity) AS sum_qty,
+				SUM(l_extendedprice) AS sum_base_price,
+				SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+				SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+				AVG(l_quantity) AS avg_qty,
+				AVG(l_extendedprice) AS avg_price,
+				AVG(l_discount) AS avg_disc,
+				COUNT(*) AS count_order
+			FROM lineitem
+			WHERE l_shipdate <= DATE '1998-09-02'
+			GROUP BY l_returnflag, l_linestatus`},
+		3: {ID: 3, Starred: true, SQL: `
+			SELECT l_orderkey,
+				SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+				o_orderdate, o_shippriority
+			FROM customer, orders, lineitem
+			WHERE c_mktsegment = 'BUILDING'
+				AND c_custkey = o_custkey
+				AND l_orderkey = o_orderkey
+				AND o_orderdate < DATE '1995-03-15'
+				AND l_shipdate > DATE '1995-03-15'
+			GROUP BY l_orderkey, o_orderdate, o_shippriority`},
+		4: {ID: 4, SQL: `
+			SELECT o_orderpriority, COUNT(*) AS order_count
+			FROM orders
+			WHERE o_orderdate >= DATE '1993-07-01'
+				AND o_orderdate < DATE '1993-10-01'
+				AND EXISTS (
+					SELECT * FROM lineitem
+					WHERE l_orderkey = o_orderkey AND l_commitdate < l_receiptdate)
+			GROUP BY o_orderpriority
+			ORDER BY o_orderpriority`},
+		5: {ID: 5, Starred: true, JoinsLocal: true, SQL: `
+			SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+			FROM customer, orders, lineitem, supplier, nation, region
+			WHERE c_custkey = o_custkey
+				AND l_orderkey = o_orderkey
+				AND l_suppkey = s_suppkey
+				AND c_nationkey = s_nationkey
+				AND s_nationkey = n_nationkey
+				AND n_regionkey = r_regionkey
+				AND r_name = 'ASIA'
+				AND o_orderdate >= DATE '1994-01-01'
+				AND o_orderdate < DATE '1995-01-01'
+			GROUP BY n_name`},
+		6: {ID: 6, SQL: `
+			SELECT SUM(l_extendedprice * l_discount) AS revenue
+			FROM lineitem
+			WHERE l_shipdate >= DATE '1994-01-01'
+				AND l_shipdate < DATE '1995-01-01'
+				AND l_discount BETWEEN 0.05 AND 0.07
+				AND l_quantity < 24`},
+		10: {ID: 10, JoinsLocal: true, SQL: `
+			SELECT c_custkey, c_name,
+				SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+				c_acctbal, n_name, c_address, c_phone, c_comment
+			FROM customer, orders, lineitem, nation
+			WHERE c_custkey = o_custkey
+				AND l_orderkey = o_orderkey
+				AND o_orderdate >= DATE '1993-10-01'
+				AND o_orderdate < DATE '1994-01-01'
+				AND l_returnflag = 'R'
+				AND c_nationkey = n_nationkey
+			GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment
+			ORDER BY revenue DESC
+			LIMIT 20`},
+		12: {ID: 12, Starred: true, SQL: `
+			SELECT l_shipmode,
+				SUM(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH'
+					THEN 1 ELSE 0 END) AS high_line_count,
+				SUM(CASE WHEN o_orderpriority <> '1-URGENT' AND o_orderpriority <> '2-HIGH'
+					THEN 1 ELSE 0 END) AS low_line_count
+			FROM orders, lineitem
+			WHERE o_orderkey = l_orderkey
+				AND l_shipmode IN ('MAIL', 'SHIP')
+				AND l_commitdate < l_receiptdate
+				AND l_shipdate < l_commitdate
+				AND l_receiptdate >= DATE '1994-01-01'
+				AND l_receiptdate < DATE '1995-01-01'
+			GROUP BY l_shipmode`},
+		13: {ID: 13, Starred: true, SQL: `
+			SELECT c_count, COUNT(*) AS custdist
+			FROM (
+				SELECT c_custkey, COUNT(o_orderkey) AS c_count
+				FROM customer LEFT OUTER JOIN orders
+					ON c_custkey = o_custkey
+					AND o_comment NOT LIKE '%special%requests%'
+				GROUP BY c_custkey
+			) c_orders
+			GROUP BY c_count`},
+		14: {ID: 14, JoinsLocal: true, SQL: `
+			SELECT 100.00 * SUM(CASE WHEN p_type LIKE 'PROMO%'
+					THEN l_extendedprice * (1 - l_discount) ELSE 0 END)
+				/ SUM(l_extendedprice * (1 - l_discount)) AS promo_revenue
+			FROM lineitem, part
+			WHERE l_partkey = p_partkey
+				AND l_shipdate >= DATE '1995-09-01'
+				AND l_shipdate < DATE '1995-10-01'`},
+		16: {ID: 16, JoinsLocal: true, SQL: `
+			SELECT p_brand, p_type, p_size, COUNT(DISTINCT ps_suppkey) AS supplier_cnt
+			FROM partsupp, part
+			WHERE p_partkey = ps_partkey
+				AND p_brand <> 'Brand#45'
+				AND p_type NOT LIKE 'MEDIUM POLISHED%'
+				AND p_size IN (49, 14, 23, 45, 19, 3, 36, 9)
+				AND ps_suppkey NOT IN (
+					SELECT s_suppkey FROM supplier
+					WHERE s_comment LIKE '%Customer%Complaints%')
+			GROUP BY p_brand, p_type, p_size
+			ORDER BY supplier_cnt DESC, p_brand, p_type, p_size`},
+		18: {ID: 18, Starred: true, SQL: `
+			SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, SUM(l_quantity)
+			FROM customer, orders, lineitem
+			WHERE o_orderkey IN (
+					SELECT l_orderkey FROM lineitem
+					GROUP BY l_orderkey HAVING SUM(l_quantity) > 212)
+				AND c_custkey = o_custkey
+				AND o_orderkey = l_orderkey
+			GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice`},
+		19: {ID: 19, JoinsLocal: true, SQL: `
+			SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue
+			FROM lineitem, part
+			WHERE p_partkey = l_partkey
+				AND l_shipinstruct = 'DELIVER IN PERSON'
+				AND l_shipmode IN ('AIR', 'REG AIR')
+				AND (
+					(p_brand = 'Brand#12'
+						AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+						AND l_quantity >= 1 AND l_quantity <= 11
+						AND p_size BETWEEN 1 AND 5)
+					OR (p_brand = 'Brand#23'
+						AND p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK')
+						AND l_quantity >= 10 AND l_quantity <= 20
+						AND p_size BETWEEN 1 AND 10)
+					OR (p_brand = 'Brand#34'
+						AND p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG')
+						AND l_quantity >= 20 AND l_quantity <= 30
+						AND p_size BETWEEN 1 AND 15))`},
+	}
+}
+
+// QueryIDs returns the query numbers sorted.
+func QueryIDs() []int {
+	qs := Queries()
+	out := make([]int, 0, len(qs))
+	for id := range qs {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// UsesLocalPart rewrites the query text to reference the local PART copy
+// when the paper kept PART in HANA for this query (Q14 and Q19). The local
+// copy is named part_local to avoid colliding with the virtual table.
+func UsesLocalPart(q Query) string {
+	if !LocalPartQueries[q.ID] {
+		return q.SQL
+	}
+	// Replace the table name (FROM position only — column names are
+	// prefixed p_ and do not collide with the bare identifier "part").
+	return strings.ReplaceAll(q.SQL, "FROM lineitem, part\n", "FROM lineitem, part_local\n")
+}

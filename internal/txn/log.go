@@ -1,0 +1,141 @@
+package txn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// RecordType tags WAL records.
+type RecordType uint8
+
+// WAL record types.
+const (
+	RecBegin RecordType = iota + 1
+	RecPrepare
+	RecCommit
+	RecAbort
+	RecInDoubt
+	RecResolve
+	RecData // opaque payload logged by storage engines for redo
+)
+
+// Record is one WAL entry. Note carries the participant name for RecInDoubt
+// and arbitrary redo payloads for RecData.
+type Record struct {
+	Type RecordType
+	TID  uint64
+	CID  uint64
+	Note string
+}
+
+// Log is an append-only write-ahead log backed by a file (or purely
+// in-memory when created with NewMemLog). Appends are synchronous and
+// serialized.
+type Log struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	path string
+	mem  []Record // used when f == nil
+}
+
+// OpenLog opens (creating if needed) a file-backed WAL.
+func OpenLog(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("open wal: %w", err)
+	}
+	return &Log{f: f, w: bufio.NewWriter(f), path: path}, nil
+}
+
+// NewMemLog creates an in-memory log (tests, ephemeral engines).
+func NewMemLog() *Log { return &Log{} }
+
+// Append writes one record durably (flushed through the bufio layer; fsync
+// is deliberately omitted — crash-consistency at the process level is
+// enough for this reproduction).
+func (l *Log) Append(r Record) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		l.mem = append(l.mem, r)
+		return
+	}
+	var buf [25]byte
+	buf[0] = byte(r.Type)
+	binary.LittleEndian.PutUint64(buf[1:], r.TID)
+	binary.LittleEndian.PutUint64(buf[9:], r.CID)
+	binary.LittleEndian.PutUint64(buf[17:], uint64(len(r.Note)))
+	l.w.Write(buf[:])
+	l.w.WriteString(r.Note)
+	l.w.Flush()
+}
+
+// Replay streams every record to fn in append order.
+func (l *Log) Replay(fn func(Record) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		for _, r := range l.mem {
+			if err := fn(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	r := bufio.NewReader(l.f)
+	for {
+		var buf [25]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return fmt.Errorf("wal replay: %w", err)
+		}
+		rec := Record{
+			Type: RecordType(buf[0]),
+			TID:  binary.LittleEndian.Uint64(buf[1:]),
+			CID:  binary.LittleEndian.Uint64(buf[9:]),
+		}
+		noteLen := binary.LittleEndian.Uint64(buf[17:])
+		if noteLen > 0 {
+			nb := make([]byte, noteLen)
+			if _, err := io.ReadFull(r, nb); err != nil {
+				return fmt.Errorf("wal replay note: %w", err)
+			}
+			rec.Note = string(nb)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	// Restore append position.
+	_, err := l.f.Seek(0, io.SeekEnd)
+	return err
+}
+
+// Close flushes and closes the log file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	return l.f.Close()
+}
+
+// Path returns the backing file path ("" for in-memory logs).
+func (l *Log) Path() string { return l.path }

@@ -1,0 +1,330 @@
+package txn
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// fakePart is a scripted participant.
+type fakePart struct {
+	name       string
+	prepareErr error
+	commitErr  error
+	mu         sync.Mutex
+	prepared   []uint64
+	committed  []uint64
+	aborted    []uint64
+}
+
+func (f *fakePart) Name() string { return f.name }
+func (f *fakePart) Prepare(tid uint64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.prepareErr != nil {
+		return f.prepareErr
+	}
+	f.prepared = append(f.prepared, tid)
+	return nil
+}
+func (f *fakePart) Commit(tid, cid uint64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.commitErr != nil {
+		err := f.commitErr
+		f.commitErr = nil
+		return err
+	}
+	f.committed = append(f.committed, tid)
+	return nil
+}
+func (f *fakePart) Abort(tid uint64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.aborted = append(f.aborted, tid)
+	return nil
+}
+
+func TestCommitAssignsMonotonicCIDs(t *testing.T) {
+	m := NewManager(nil)
+	t1 := m.Begin()
+	t2 := m.Begin()
+	c1, err := m.Commit(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := m.Commit(t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 <= c1 {
+		t.Fatalf("cids not monotonic: %d %d", c1, c2)
+	}
+	if m.ActiveCount() != 0 {
+		t.Fatal("active txns remain")
+	}
+}
+
+func TestSnapshotIsolationOrdering(t *testing.T) {
+	m := NewManager(nil)
+	t1 := m.Begin()
+	snap1 := t1.Snapshot
+	cid, _ := m.Commit(t1)
+	t2 := m.Begin()
+	if t2.Snapshot < cid {
+		t.Fatal("later txn must see earlier commit")
+	}
+	if snap1 >= cid {
+		t.Fatal("snapshot must precede own commit id")
+	}
+}
+
+func TestTwoPhaseCommitHappyPath(t *testing.T) {
+	m := NewManager(nil)
+	p := &fakePart{name: "extstore"}
+	tx := m.Begin()
+	tx.Enlist(p)
+	tx.Enlist(p) // duplicate enlist is a no-op
+	cid, err := m.Commit(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.prepared) != 1 || len(p.committed) != 1 {
+		t.Fatalf("prepare=%v commit=%v", p.prepared, p.committed)
+	}
+	if cid == 0 || tx.State() != StateCommitted {
+		t.Fatal("commit state")
+	}
+}
+
+func TestPrepareFailureAbortsAll(t *testing.T) {
+	m := NewManager(nil)
+	good := &fakePart{name: "good"}
+	bad := &fakePart{name: "bad", prepareErr: errors.New("disk full")}
+	tx := m.Begin()
+	tx.Enlist(good)
+	tx.Enlist(bad)
+	undone := false
+	tx.OnAbort(func() { undone = true })
+	if _, err := m.Commit(tx); err == nil {
+		t.Fatal("commit must fail")
+	}
+	if tx.State() != StateAborted || !undone {
+		t.Fatal("abort not propagated")
+	}
+	if len(good.aborted) != 1 {
+		t.Fatal("previously-prepared participant must be aborted")
+	}
+	if len(good.committed) != 0 {
+		t.Fatal("nothing may commit")
+	}
+}
+
+func TestCommitPhaseFailureLeavesInDoubt(t *testing.T) {
+	m := NewManager(nil)
+	p := &fakePart{name: "extstore", commitErr: errors.New("network down")}
+	tx := m.Begin()
+	tx.Enlist(p)
+	cid, err := m.Commit(tx)
+	if err != nil {
+		t.Fatalf("decision was commit; coordinator must not fail: %v", err)
+	}
+	if cid == 0 {
+		t.Fatal("cid must be assigned")
+	}
+	ind := m.InDoubt()
+	if ind[tx.TID] != "extstore" {
+		t.Fatalf("in-doubt = %v", ind)
+	}
+	// Manual resolution re-delivers the commit.
+	if err := m.Resolve(tx.TID, p, true); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.InDoubt()) != 0 || len(p.committed) != 1 {
+		t.Fatal("resolution failed")
+	}
+	if err := m.Resolve(tx.TID, p, true); err == nil {
+		t.Fatal("resolving a resolved txn must error")
+	}
+}
+
+func TestAbortRunsUndoInReverseOrder(t *testing.T) {
+	m := NewManager(nil)
+	tx := m.Begin()
+	var order []int
+	tx.OnAbort(func() { order = append(order, 1) })
+	tx.OnAbort(func() { order = append(order, 2) })
+	if err := m.Abort(tx); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Fatalf("undo order = %v", order)
+	}
+	if err := m.Abort(tx); err == nil {
+		t.Fatal("double abort must error")
+	}
+	if _, err := m.Commit(tx); err == nil {
+		t.Fatal("commit after abort must error")
+	}
+}
+
+func TestInjectedFailures(t *testing.T) {
+	m := NewManager(nil)
+	p := &fakePart{name: "ext"}
+	m.FailNext("prepare", "ext")
+	tx := m.Begin()
+	tx.Enlist(p)
+	if _, err := m.Commit(tx); err == nil {
+		t.Fatal("injected prepare failure must abort")
+	}
+	m.FailNext("commit", "ext")
+	tx2 := m.Begin()
+	tx2.Enlist(p)
+	if _, err := m.Commit(tx2); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.InDoubt()) != 1 {
+		t.Fatal("injected commit failure must leave in-doubt")
+	}
+}
+
+func TestWALReplayAndRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	log, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(log)
+	t1 := m.Begin()
+	cid1, _ := m.Commit(t1)
+	t2 := m.Begin()
+	_ = m.Abort(t2)
+	p := &fakePart{name: "ext", commitErr: errors.New("down")}
+	t3 := m.Begin()
+	t3.Enlist(p)
+	_, _ = m.Commit(t3) // leaves t3 in-doubt
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Recover from the log.
+	log2, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	m2, err := Recover(log2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.LastCID() < cid1 {
+		t.Fatalf("recovered lastCID %d < %d", m2.LastCID(), cid1)
+	}
+	if got := m2.InDoubtTIDs(); len(got) != 1 || got[0] != t3.TID {
+		t.Fatalf("recovered in-doubt = %v", got)
+	}
+	// New TIDs must not collide.
+	t4 := m2.Begin()
+	if t4.TID <= t3.TID {
+		t.Fatalf("tid reuse: %d <= %d", t4.TID, t3.TID)
+	}
+}
+
+func TestMemLog(t *testing.T) {
+	log := NewMemLog()
+	log.Append(Record{Type: RecBegin, TID: 7})
+	log.Append(Record{Type: RecCommit, TID: 7, CID: 9})
+	var types []RecordType
+	_ = log.Replay(func(r Record) error {
+		types = append(types, r.Type)
+		return nil
+	})
+	if len(types) != 2 || types[1] != RecCommit {
+		t.Fatalf("mem log replay = %v", types)
+	}
+}
+
+func TestRowVersionsVisibility(t *testing.T) {
+	v := NewRowVersions()
+	// Row 0: committed at CID 5.
+	v.InsertCommitted(0, 5)
+	// Row 1: in-flight insert by TID 100.
+	v.Insert(1, 100)
+	if !v.Visible(0, 5, 0) || v.Visible(0, 4, 0) {
+		t.Fatal("committed insert visibility by snapshot")
+	}
+	if v.Visible(1, 10, 0) {
+		t.Fatal("uncommitted insert visible to others")
+	}
+	if !v.Visible(1, 10, 100) {
+		t.Fatal("own uncommitted insert must be visible")
+	}
+	v.CommitTID(100, 7)
+	if !v.Visible(1, 7, 0) || v.Visible(1, 6, 0) {
+		t.Fatal("post-commit visibility")
+	}
+}
+
+func TestRowVersionsDeleteAndConflict(t *testing.T) {
+	v := NewRowVersions()
+	v.InsertCommitted(0, 1)
+	if err := v.Delete(0, 50); err != nil {
+		t.Fatal(err)
+	}
+	// Second in-flight deleter conflicts.
+	if err := v.Delete(0, 51); !errors.Is(err, ErrConflict) {
+		t.Fatalf("conflict expected, got %v", err)
+	}
+	// Own re-delete is idempotent.
+	if err := v.Delete(0, 50); err != nil {
+		t.Fatal("own delete must not conflict")
+	}
+	// Deleter sees the row as gone; others still see it.
+	if v.Visible(0, 10, 50) {
+		t.Fatal("own delete must hide row")
+	}
+	if !v.Visible(0, 10, 0) {
+		t.Fatal("uncommitted delete must not hide row from others")
+	}
+	v.CommitTID(50, 9)
+	if v.Visible(0, 9, 0) || !v.Visible(0, 8, 0) {
+		t.Fatal("committed delete snapshot visibility")
+	}
+	// Deleting an already-deleted row conflicts.
+	if err := v.Delete(0, 60); !errors.Is(err, ErrConflict) {
+		t.Fatal("delete of deleted row must conflict")
+	}
+}
+
+func TestRowVersionsAbort(t *testing.T) {
+	v := NewRowVersions()
+	v.Insert(0, 10)
+	v.InsertCommitted(1, 1)
+	_ = v.Delete(1, 10)
+	v.AbortTID(10)
+	if v.Visible(0, 100, 0) || v.Visible(0, 100, 10) {
+		t.Fatal("aborted insert must never be visible")
+	}
+	if !v.Visible(1, 100, 0) {
+		t.Fatal("aborted delete must restore row")
+	}
+	// Row can be deleted again after the abort.
+	if err := v.Delete(1, 11); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiveCount(t *testing.T) {
+	v := NewRowVersions()
+	for i := 0; i < 10; i++ {
+		v.InsertCommitted(i, uint64(i+1))
+	}
+	_ = v.Delete(3, 99)
+	v.CommitTID(99, 20)
+	if got := v.LiveCount(20); got != 9 {
+		t.Fatalf("live at 20 = %d", got)
+	}
+	if got := v.LiveCount(5); got != 5 {
+		t.Fatalf("live at 5 = %d", got)
+	}
+}

@@ -1,0 +1,140 @@
+package txn
+
+import "sync"
+
+// RowVersions tracks MVCC visibility for the rows of one table fragment.
+// Each row id carries an insert stamp and an optional delete stamp; a stamp
+// is either a commit ID (committed) or a transaction ID of an in-flight
+// writer. Readers see a row when its insert is visible in their snapshot
+// and its delete (if any) is not.
+type RowVersions struct {
+	mu sync.RWMutex
+
+	insCID []uint64 // 0 = inserted by in-flight txn (see insTID)
+	insTID []uint64
+	delCID []uint64 // 0 = not deleted (unless delTID set)
+	delTID []uint64
+}
+
+// NewRowVersions creates an empty version store.
+func NewRowVersions() *RowVersions { return &RowVersions{} }
+
+// Len returns the number of tracked rows.
+func (v *RowVersions) Len() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.insCID)
+}
+
+// Insert registers a new row written by tid. Row ids must be appended in
+// order.
+func (v *RowVersions) Insert(rowID int, tid uint64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for len(v.insCID) <= rowID {
+		v.insCID = append(v.insCID, 0)
+		v.insTID = append(v.insTID, 0)
+		v.delCID = append(v.delCID, 0)
+		v.delTID = append(v.delTID, 0)
+	}
+	v.insTID[rowID] = tid
+}
+
+// InsertCommitted registers a row that is immediately visible (bulk loads
+// outside transactions).
+func (v *RowVersions) InsertCommitted(rowID int, cid uint64) {
+	v.Insert(rowID, 0)
+	v.mu.Lock()
+	v.insCID[rowID] = cid
+	v.insTID[rowID] = 0
+	v.mu.Unlock()
+}
+
+// Delete stamps a row as deleted by tid. It returns ErrConflict when the
+// row is already deleted (committed) or being deleted by another in-flight
+// transaction — the platform's write-write conflict rule (first writer
+// wins).
+func (v *RowVersions) Delete(rowID int, tid uint64) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if rowID >= len(v.insCID) {
+		return ErrNotActive
+	}
+	if v.delCID[rowID] != 0 {
+		return ErrConflict
+	}
+	if v.delTID[rowID] != 0 && v.delTID[rowID] != tid {
+		return ErrConflict
+	}
+	v.delTID[rowID] = tid
+	return nil
+}
+
+// CommitTID stamps every change of tid with the commit ID.
+func (v *RowVersions) CommitTID(tid, cid uint64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for i := range v.insTID {
+		if v.insTID[i] == tid {
+			v.insTID[i] = 0
+			v.insCID[i] = cid
+		}
+		if v.delTID[i] == tid {
+			v.delTID[i] = 0
+			v.delCID[i] = cid
+		}
+	}
+}
+
+// AbortTID reverts every change of tid. Aborted inserts become permanently
+// invisible.
+func (v *RowVersions) AbortTID(tid uint64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for i := range v.insTID {
+		if v.insTID[i] == tid {
+			v.insTID[i] = 0
+			v.insCID[i] = ^uint64(0) // never visible
+		}
+		if v.delTID[i] == tid {
+			v.delTID[i] = 0
+		}
+	}
+}
+
+// Visible reports whether rowID is visible to a reader with the given
+// snapshot CID and own transaction ID (0 for autonomous statements).
+func (v *RowVersions) Visible(rowID int, snapshot, tid uint64) bool {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if rowID >= len(v.insCID) {
+		return false
+	}
+	insVisible := false
+	if v.insTID[rowID] != 0 {
+		insVisible = tid != 0 && v.insTID[rowID] == tid // own uncommitted write
+	} else {
+		insVisible = v.insCID[rowID] != 0 && v.insCID[rowID] <= snapshot
+	}
+	if !insVisible {
+		return false
+	}
+	if v.delTID[rowID] != 0 {
+		return !(tid != 0 && v.delTID[rowID] == tid) // own delete hides it
+	}
+	return v.delCID[rowID] == 0 || v.delCID[rowID] > snapshot
+}
+
+// LiveCount counts rows visible at the snapshot (tid 0).
+func (v *RowVersions) LiveCount(snapshot uint64) int {
+	v.mu.RLock()
+	n := len(v.insCID)
+	v.mu.RUnlock()
+	count := 0
+	for i := 0; i < n; i++ {
+		if v.Visible(i, snapshot, 0) {
+			count++
+		}
+	}
+	return count
+}
