@@ -1,0 +1,120 @@
+// Command hanalint runs the project's static-analysis suite (internal/lint)
+// over the repository and prints file:line:col diagnostics. It exits 0 when
+// clean, 1 on findings, and 2 on load/usage errors.
+//
+// Usage:
+//
+//	go run ./cmd/hanalint ./...            # whole repo
+//	go run ./cmd/hanalint ./internal/esp   # one package
+//	go run ./cmd/hanalint -list            # list analyzers
+//
+// Deliberate violations are suppressed in source with
+// //lint:ignore <analyzer> <reason> on the offending line or the line
+// above. The suite is stdlib-only: go/ast, go/parser, go/token.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hana/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	root := flag.String("root", "", "module root (default: nearest dir with go.mod)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: hanalint [-list] [-root dir] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	dir := *root
+	if dir == "" {
+		var err error
+		dir, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hanalint:", err)
+			os.Exit(2)
+		}
+	}
+
+	pkgs, err := lint.Load(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hanalint:", err)
+		os.Exit(2)
+	}
+	module, err := lint.ModulePath(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hanalint:", err)
+		os.Exit(2)
+	}
+	selected := lint.Filter(pkgs, module, flag.Args())
+	if len(selected) == 0 {
+		fmt.Fprintln(os.Stderr, "hanalint: no packages match", flag.Args())
+		os.Exit(2)
+	}
+
+	// Analyzers always see the full repo for cross-package facts; only the
+	// reporting set is filtered.
+	diags := lint.Run(pkgs, analyzers)
+	shown := 0
+	for _, d := range diags {
+		if _, ok := selected[pkgOf(pkgs, d.Pos.Filename)]; !ok && len(flag.Args()) > 0 {
+			continue
+		}
+		fmt.Println(d)
+		shown++
+	}
+	if shown > 0 {
+		fmt.Fprintf(os.Stderr, "hanalint: %d finding(s)\n", shown)
+		os.Exit(1)
+	}
+}
+
+// pkgOf maps a diagnostic filename back to its package's import path.
+func pkgOf(pkgs map[string]*lint.Package, filename string) string {
+	for path, p := range pkgs {
+		for _, f := range p.Files {
+			if p.Fset.Position(f.Pos()).Filename == filename {
+				return path
+			}
+		}
+	}
+	return ""
+}
+
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(dir + "/go.mod"); err == nil {
+			return dir, nil
+		}
+		parent := dir[:max(0, lastSlash(dir))]
+		if parent == "" || parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' || s[i] == '\\' {
+			return i
+		}
+	}
+	return -1
+}

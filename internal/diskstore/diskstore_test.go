@@ -246,10 +246,20 @@ func TestDeleteTombstoneAndCompact(t *testing.T) {
 		rows = append(rows, mkRow(i))
 	}
 	_ = tbl.BulkLoad(rows)
-	if !tbl.Delete(10) || tbl.Delete(10) {
+	first, err := tbl.Delete(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := tbl.Delete(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first || again {
 		t.Fatal("delete semantics")
 	}
-	tbl.Delete(20)
+	if _, err := tbl.Delete(20); err != nil {
+		t.Fatal(err)
+	}
 	if tbl.NumRows() != 48 {
 		t.Fatalf("rows after delete = %d", tbl.NumRows())
 	}

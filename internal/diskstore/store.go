@@ -321,15 +321,20 @@ func (t *Table) flushLocked() error {
 }
 
 // Delete tombstones a row by global id and returns whether it was live.
-func (t *Table) Delete(id int64) bool {
+// The manifest persists the tombstone; losing that write would resurrect
+// the row after a restart, so the error propagates.
+func (t *Table) Delete(id int64) (bool, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.deleted[id] {
-		return false
+		return false, nil
 	}
 	t.deleted[id] = true
-	_ = t.saveManifest()
-	return true
+	if err := t.saveManifest(); err != nil {
+		delete(t.deleted, id)
+		return false, err
+	}
+	return true, nil
 }
 
 // Range restricts a scan on one column: Lo/Hi nil mean unbounded.

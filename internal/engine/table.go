@@ -249,6 +249,10 @@ func (x *extParticipant) Prepare(tid uint64) error {
 	if !ok {
 		return nil // read-only branch
 	}
+	// Each partition's rows, version stamps and prepared-ID list are keyed
+	// by that partition alone, so cross-partition iteration order cannot
+	// change any observable state.
+	//lint:ignore mapdeterminism per-partition state is independent; scans read t.parts in slice order
 	for p, rows := range o.inserts {
 		for _, r := range rows {
 			id := p.numRows()
@@ -283,7 +287,9 @@ func (x *extParticipant) Commit(tid, cid uint64) error {
 	for p, ids := range o.deletes {
 		parts[p] = true
 		for _, id := range ids {
-			p.ext.Delete(int64(id))
+			if _, err := p.ext.Delete(int64(id)); err != nil {
+				return err
+			}
 		}
 	}
 	for p := range parts {
@@ -304,7 +310,9 @@ func (x *extParticipant) Abort(tid uint64) error {
 	}
 	for p, ids := range o.preparedIDs {
 		for _, id := range ids {
-			p.ext.Delete(int64(id))
+			if _, err := p.ext.Delete(int64(id)); err != nil {
+				return err
+			}
 		}
 		p.vers.AbortTID(tid)
 	}

@@ -192,7 +192,7 @@ func TestPatternDetection(t *testing.T) {
 	_ = p.Publish("s", ev(1, "CALL_START", 0), t0().Add(time.Second))
 	_ = p.Publish("s", ev(1, "CALL_DROP", 0), t0().Add(2*time.Second))
 	_ = p.Publish("s", ev(1, "CALL_DROP", 0), t0().Add(3*time.Second))
-	if fired != 1 || pat.Matches != 1 {
+	if fired != 1 || pat.MatchCount() != 1 {
 		t.Fatalf("fired = %d", fired)
 	}
 	// Drops spread beyond the window do not match.

@@ -1,0 +1,173 @@
+package esp
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentPublishAndRead hammers one window from four publisher and
+// four reader goroutines. Run under `go test -race`, it guards the
+// project/stream/window locking: unsynchronized access to the retained
+// event slice or the per-pattern counters shows up immediately.
+func TestConcurrentPublishAndRead(t *testing.T) {
+	p := NewProject()
+	if _, err := p.CreateInputStream("s", eventSchema()); err != nil {
+		t.Fatal(err)
+	}
+	w, err := p.CreateWindow("w", `SELECT * FROM s KEEP 100 ROWS`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = w.RawCount()
+				if _, err := w.Rows(t0().Add(time.Hour)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+
+	var writers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < 250; i++ {
+				ts := t0().Add(time.Duration(i) * time.Millisecond)
+				if err := p.Publish("s", ev(int64(g*1000+i), "CALL_START", 1), ts); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	if w.RawCount() != 100 {
+		t.Fatalf("window retained %d rows, want 100", w.RawCount())
+	}
+}
+
+// TestPatternActionRepublishes wires a pattern action that publishes back
+// into a second stream of the same project — the re-entrancy that used to
+// deadlock when actions fired while the pattern mutex was held. The action
+// must run strictly after the lock is released.
+func TestPatternActionRepublishes(t *testing.T) {
+	p := NewProject()
+	if _, err := p.CreateInputStream("calls", eventSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CreateInputStream("alerts", eventSchema()); err != nil {
+		t.Fatal(err)
+	}
+	aw, err := p.CreateWindow("aw", `SELECT * FROM alerts KEEP 100 ROWS`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, err := p.CreatePattern("outage", "calls", []string{
+		`event_type = 'CALL_DROP'`,
+		`event_type = 'CALL_DROP'`,
+	}, time.Minute, func(evs []Event) {
+		if err := p.Publish("alerts", ev(99, "ALERT", 0), evs[len(evs)-1].Time); err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10; i++ {
+			ts := t0().Add(time.Duration(i) * time.Second)
+			if err := p.Publish("calls", ev(1, "CALL_DROP", 0), ts); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("publish deadlocked: pattern action re-entered the project while a lock was held")
+	}
+
+	if pat.MatchCount() == 0 {
+		t.Fatal("pattern never matched")
+	}
+	if aw.RawCount() == 0 {
+		t.Fatal("action's re-published alerts never reached the alert window")
+	}
+}
+
+// TestConcurrentPatternMatching publishes matching event sequences from
+// several goroutines while others poll MatchCount — the counter is only
+// reachable through the locked getter.
+func TestConcurrentPatternMatching(t *testing.T) {
+	p := NewProject()
+	if _, err := p.CreateInputStream("s", eventSchema()); err != nil {
+		t.Fatal(err)
+	}
+	pat, err := p.CreatePattern("pair", "s", []string{
+		`event_type = 'CALL_DROP'`,
+		`event_type = 'CALL_DROP'`,
+	}, time.Hour, func([]Event) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = pat.MatchCount()
+				}
+			}
+		}()
+	}
+	var writers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < 100; i++ {
+				ts := t0().Add(time.Duration(g*100+i) * time.Second)
+				if err := p.Publish("s", ev(int64(g), "CALL_DROP", 0), ts); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	if pat.MatchCount() == 0 {
+		t.Fatal("no matches under concurrency")
+	}
+}

@@ -266,7 +266,14 @@ type Pattern struct {
 
 	mu      sync.Mutex
 	partial [][]Event
-	Matches int64
+	matches int64
+}
+
+// MatchCount reports how many times the pattern has fired.
+func (pat *Pattern) MatchCount() int64 {
+	pat.mu.Lock()
+	defer pat.mu.Unlock()
+	return pat.matches
 }
 
 // CreatePattern compiles step filter expressions against the stream schema
@@ -297,6 +304,19 @@ func (p *Project) CreatePattern(name, stream string, stepFilters []string, withi
 }
 
 func (pat *Pattern) offer(ev Event) {
+	complete := pat.advance(ev)
+	// Fire actions after releasing pat.mu: an action that publishes back
+	// into the stream re-enters offer, and sync.Mutex is not reentrant.
+	for _, m := range complete {
+		if pat.action != nil {
+			pat.action(m)
+		}
+	}
+}
+
+// advance updates partial matches under the lock and returns completed
+// sequences.
+func (pat *Pattern) advance(ev Event) [][]Event {
 	pat.mu.Lock()
 	defer pat.mu.Unlock()
 	// Expire partial matches outside the window.
@@ -337,10 +357,6 @@ func (pat *Pattern) offer(ev Event) {
 			pat.partial = append(pat.partial, []Event{ev})
 		}
 	}
-	for _, m := range complete {
-		pat.Matches++
-		if pat.action != nil {
-			pat.action(m)
-		}
-	}
+	pat.matches += int64(len(complete))
+	return complete
 }

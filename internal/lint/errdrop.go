@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ErrDrop flags discarded error results on the storage and transaction
+// paths — internal/diskstore, internal/txn, internal/hdfs — where a
+// swallowed error means silent data loss (an unflushed WAL record, a
+// manifest that never hit disk, a missing HDFS block).
+//
+// Two rules:
+//
+//  1. anywhere in the repo, a call pkg.F(...) into one of the monitored
+//     packages whose F returns error, used as a bare statement or with
+//     every result assigned to _;
+//  2. inside the monitored packages themselves, a discarded call to a
+//     local function/method that returns error, or to one of the
+//     well-known IO methods (Flush/Close/Sync/Write/WriteString/WriteByte)
+//     — the bufio/file layer under the WAL and chunk files. Writes into
+//     in-memory bytes.Buffer/strings.Builder values are exempt (they
+//     cannot fail), as are _test.go files, where discarded errors are part
+//     of arranging negative cases and failures surface as assertions.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "discarded error results from diskstore/txn/hdfs storage paths",
+	Run:  runErrDrop,
+}
+
+var errDropMonitored = map[string]bool{
+	"hana/internal/diskstore": true,
+	"hana/internal/txn":       true,
+	"hana/internal/hdfs":      true,
+}
+
+var wellKnownIOErr = map[string]bool{
+	"Flush": true, "Close": true, "Sync": true,
+	"Write": true, "WriteString": true, "WriteByte": true,
+}
+
+func runErrDrop(pass *Pass) {
+	inMonitored := errDropMonitored[pass.Pkg.Path]
+	var localErrFuncs map[string]bool
+	if inMonitored {
+		localErrFuncs = errorFuncs(pass.Pkg)
+	}
+	monitoredFacts := map[string]map[string]bool{} // import path → error funcs
+
+	for _, file := range pass.Pkg.Files {
+		if strings.HasSuffix(pass.Pkg.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		imports := importMap(file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			buffers := inMemoryBufferNames(fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := discardedCall(n)
+				if !ok {
+					return true
+				}
+				switch fun := call.Fun.(type) {
+				case *ast.SelectorExpr:
+					name := fun.Sel.Name
+					if id, ok := fun.X.(*ast.Ident); ok {
+						if path, imported := imports[id.Name]; imported && errDropMonitored[path] {
+							facts := monitoredFacts[path]
+							if facts == nil {
+								facts = errorFuncs(pass.All[path])
+								monitoredFacts[path] = facts
+							}
+							if facts[name] {
+								pass.Reportf(call.Pos(), "error from %s.%s is discarded", id.Name, name)
+							}
+							return true
+						}
+					}
+					if !inMonitored {
+						return true
+					}
+					if localErrFuncs[name] {
+						pass.Reportf(call.Pos(), "error from .%s is discarded on a storage path", name)
+						return true
+					}
+					if wellKnownIOErr[name] && !buffers[exprKey(fun.X)] {
+						pass.Reportf(call.Pos(), "error from .%s is discarded on a storage path", name)
+					}
+				case *ast.Ident:
+					if inMonitored && localErrFuncs[fun.Name] {
+						pass.Reportf(call.Pos(), "error from %s is discarded on a storage path", fun.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// inMemoryBufferNames collects local names bound to bytes.Buffer or
+// strings.Builder values in fd (var decls, params, &bytes.Buffer{},
+// new(...), bytes.NewBuffer*). Their Write* methods cannot fail.
+func inMemoryBufferNames(fd *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	if fd.Type.Params != nil {
+		for _, fl := range fd.Type.Params.List {
+			if isBufferType(fl.Type) {
+				for _, name := range fl.Names {
+					out[name.Name] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ValueSpec:
+			if isBufferType(x.Type) {
+				for _, name := range x.Names {
+					out[name.Name] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				if i >= len(x.Lhs) {
+					break
+				}
+				id, ok := x.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if isBufferValue(rhs) {
+					out[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isBufferType(t ast.Expr) bool {
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return (id.Name == "bytes" && sel.Sel.Name == "Buffer") ||
+		(id.Name == "strings" && sel.Sel.Name == "Builder")
+}
+
+func isBufferValue(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.UnaryExpr:
+		if cl, ok := x.X.(*ast.CompositeLit); ok {
+			return isBufferType(cl.Type)
+		}
+	case *ast.CompositeLit:
+		return isBufferType(x.Type)
+	case *ast.CallExpr:
+		switch fun := x.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "new" && len(x.Args) == 1 {
+				return isBufferType(x.Args[0])
+			}
+		case *ast.SelectorExpr:
+			if id, ok := fun.X.(*ast.Ident); ok && id.Name == "bytes" &&
+				strings.HasPrefix(fun.Sel.Name, "NewBuffer") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// discardedCall matches a call whose results are thrown away: a bare
+// expression statement, an assignment with every left-hand side blank, or
+// a defer of such a call. Deferred cleanup calls count too — that is
+// exactly where Close errors vanish.
+func discardedCall(n ast.Node) (*ast.CallExpr, bool) {
+	switch st := n.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			return call, true
+		}
+	case *ast.DeferStmt:
+		if _, isLit := st.Call.Fun.(*ast.FuncLit); !isLit {
+			return st.Call, true
+		}
+	case *ast.AssignStmt:
+		allBlank := len(st.Lhs) > 0
+		for _, l := range st.Lhs {
+			id, ok := l.(*ast.Ident)
+			if !ok || id.Name != "_" {
+				allBlank = false
+				break
+			}
+		}
+		if allBlank && len(st.Rhs) == 1 {
+			if call, ok := st.Rhs[0].(*ast.CallExpr); ok {
+				return call, true
+			}
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,250 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// MapDeterminism flags `range` over a map whose body builds order-sensitive
+// output — appending to a slice, building SQL/plan text, or min/max cost
+// selection — inside the packages where iteration order becomes plan choice
+// or user-visible listings: internal/engine, internal/catalog, internal/fed.
+// Go's map iteration order is deliberately randomized, so any of these
+// makes federated plan selection or SHOW-style output nondeterministic.
+//
+// A loop is exempt when the same function visibly sorts after it (a sort.*
+// call after the loop), the standard collect-then-sort idiom.
+var MapDeterminism = &Analyzer{
+	Name: "mapdeterminism",
+	Doc:  "order-sensitive work driven by map iteration in planner/catalog/fed code",
+	Run:  runMapDeterminism,
+}
+
+var mapDetPackages = map[string]bool{
+	"hana/internal/engine":  true,
+	"hana/internal/catalog": true,
+	"hana/internal/fed":     true,
+}
+
+func runMapDeterminism(pass *Pass) {
+	if !mapDetPackages[pass.Pkg.Path] {
+		return
+	}
+	pkgMaps := packageMapNames(pass.Pkg)
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			names := map[string]bool{}
+			for k := range pkgMaps {
+				names[k] = true
+			}
+			collectLocalMapNames(fd, names)
+			checkMapRanges(pass, fd, names)
+		}
+	}
+}
+
+// packageMapNames collects identifiers declared with a map type anywhere
+// in the package: struct fields and package-level vars.
+func packageMapNames(pkg *Package) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.StructType:
+				for _, fl := range x.Fields.List {
+					if _, isMap := fl.Type.(*ast.MapType); !isMap {
+						continue
+					}
+					for _, name := range fl.Names {
+						out[name.Name] = true
+					}
+				}
+			case *ast.ValueSpec:
+				if _, isMap := x.Type.(*ast.MapType); isMap {
+					for _, name := range x.Names {
+						out[name.Name] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// collectLocalMapNames adds params and locals of fd that are maps:
+// declared map types, map literals, and make(map[...]...) results.
+func collectLocalMapNames(fd *ast.FuncDecl, out map[string]bool) {
+	if fd.Type.Params != nil {
+		for _, fl := range fd.Type.Params.List {
+			if _, isMap := fl.Type.(*ast.MapType); !isMap {
+				continue
+			}
+			for _, name := range fl.Names {
+				out[name.Name] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if isMapValuedExpr(rhs) {
+				out[id.Name] = true
+			}
+		}
+		return true
+	})
+}
+
+func isMapValuedExpr(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		_, isMap := x.Type.(*ast.MapType)
+		return isMap
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "make" && len(x.Args) >= 1 {
+			_, isMap := x.Args[0].(*ast.MapType)
+			return isMap
+		}
+	}
+	return false
+}
+
+func checkMapRanges(pass *Pass, fd *ast.FuncDecl, mapNames map[string]bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		key := exprKey(rs.X)
+		if key == "" {
+			return true
+		}
+		last := key
+		if i := strings.LastIndexByte(key, '.'); i >= 0 {
+			last = key[i+1:]
+		}
+		if !mapNames[last] {
+			return true
+		}
+		reason := orderSensitiveBody(rs.Body)
+		if reason == "" {
+			return true
+		}
+		if sortedAfter(fd, rs.End()) && reason != "min/max selection" {
+			return true
+		}
+		pass.Reportf(rs.For, "range over map %s drives %s; iteration order is randomized — iterate sorted keys or sort the result", key, reason)
+		return true
+	})
+}
+
+// orderSensitiveBody reports what order-dependent work the loop body does.
+func orderSensitiveBody(body *ast.BlockStmt) string {
+	reason := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "append" {
+				reason = "appends to a slice"
+				return false
+			}
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "WriteString", "WriteByte", "WriteRune":
+					reason = "builds text"
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN {
+				reason = "builds text or accumulates order-dependently"
+				return false
+			}
+		case *ast.IfStmt:
+			if capturesWitness(x) {
+				reason = "min/max selection"
+				return false
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// capturesWitness matches `if cost < best { best = cost; bestPlan = p }` —
+// a comparison whose body assigns a variable that does not appear in the
+// condition. A pure reduction (`if qe > worst { worst = qe }`) is
+// order-independent and not flagged; capturing a witness (the chosen plan,
+// table, adapter) is where map order becomes plan choice.
+func capturesWitness(ifStmt *ast.IfStmt) bool {
+	if !comparisonOp(ifStmt.Cond) {
+		return false
+	}
+	condNames := map[string]bool{}
+	ast.Inspect(ifStmt.Cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			condNames[id.Name] = true
+		}
+		return true
+	})
+	for _, s := range ifStmt.Body.List {
+		as, ok := s.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN {
+			continue
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && !condNames[id.Name] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func comparisonOp(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok {
+			switch b.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ:
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// sortedAfter reports whether fd calls sort.* at a position after end —
+// the collect-then-sort idiom that restores determinism.
+func sortedAfter(fd *ast.FuncDecl, end token.Pos) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < end {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "sort" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// NakedGoroutine flags `go func() { ... }()` literals that neither recover
+// panics nor signal completion. A panic in such a goroutine takes the whole
+// process down with no caller able to intervene, and nothing can ever wait
+// for its work — the two failure modes that turn background flushing or
+// fan-out workers into silent crashes and leaks.
+//
+// A goroutine passes if its body (or a function it defers) does any of:
+//
+//   - call recover()
+//   - call Done() on anything (sync.WaitGroup discipline)
+//   - send on or close a channel (completion/result signaling)
+var NakedGoroutine = &Analyzer{
+	Name: "nakedgoroutine",
+	Doc:  "go func literal with no panic recovery and no completion signal",
+	Run:  runNakedGoroutine,
+}
+
+func runNakedGoroutine(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			fl, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if !goroutineSignals(fl.Body) {
+				pass.Reportf(gs.Go, "goroutine neither recovers panics nor signals completion (no recover, Done, channel send, or close)")
+			}
+			return true
+		})
+	}
+}
+
+func goroutineSignals(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			switch fun := x.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "recover" || fun.Name == "close" {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "Done" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,6 @@
+// Fixture corpus for hanalint. This go.mod lives under testdata, so the
+// go tool ignores it; lint.Load and `hanalint -root` use it to derive the
+// same import paths as the real module.
+module hana
+
+go 1.22

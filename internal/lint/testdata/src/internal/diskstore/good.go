@@ -1,0 +1,28 @@
+// Fixture: every storage error checked or exempt — wrapped propagation and
+// infallible in-memory buffer writes. Must produce zero diagnostics.
+package diskstore
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// flushChecked propagates every storage error with context.
+func (w *wal) flushChecked() error {
+	if err := w.flush(); err != nil {
+		return fmt.Errorf("wal flush: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal sync: %w", err)
+	}
+	return w.f.Close()
+}
+
+// encodeHeader writes into an in-memory buffer; those writes cannot fail
+// and are exempt from the well-known-IO rule.
+func encodeHeader(n int) []byte {
+	var buf bytes.Buffer
+	buf.WriteByte(byte(n))
+	buf.WriteString("hdr")
+	return buf.Bytes()
+}

@@ -1,0 +1,44 @@
+// Fixture: order-sensitive work driven by map iteration inside a planner —
+// the exact shapes that make federated plan choice and listings
+// nondeterministic.
+package engine
+
+import "strings"
+
+type planner struct {
+	sources map[string]int
+}
+
+// candidateNames appends while ranging a map: the listing order changes
+// run to run.
+func (p *planner) candidateNames() []string {
+	var out []string
+	for name := range p.sources { // want mapdeterminism
+		out = append(out, name)
+	}
+	return out
+}
+
+// remoteSQL builds shipped query text in map order.
+func (p *planner) remoteSQL() string {
+	var sb strings.Builder
+	for name := range p.sources { // want mapdeterminism
+		sb.WriteString(name)
+		sb.WriteString(",")
+	}
+	return sb.String()
+}
+
+// choose captures a witness (the chosen source name): cost ties break by
+// whichever key the runtime happens to yield first.
+func (p *planner) choose() string {
+	best := ""
+	bestCost := 1 << 30
+	for name, cost := range p.sources { // want mapdeterminism
+		if cost < bestCost {
+			bestCost = cost
+			best = name
+		}
+	}
+	return best
+}

@@ -1,0 +1,41 @@
+// Fixture: the deterministic counterparts — collect-then-sort, iteration
+// over an already-sorted list, and pure order-independent reductions. Must
+// produce zero diagnostics.
+package engine
+
+import (
+	"sort"
+	"strings"
+)
+
+// sortedNames is the canonical idiom: collect from the map, then sort.
+func (p *planner) sortedNames() []string {
+	var out []string
+	for name := range p.sources {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sortedSQL builds text over the sorted key list, not the map.
+func (p *planner) sortedSQL() string {
+	var sb strings.Builder
+	for _, name := range p.sortedNames() {
+		sb.WriteString(name)
+		sb.WriteString(",")
+	}
+	return sb.String()
+}
+
+// maxCost is a pure reduction: the maximum is the same in every iteration
+// order, and no witness is captured.
+func (p *planner) maxCost() int {
+	worst := 0
+	for _, cost := range p.sources {
+		if cost > worst {
+			worst = cost
+		}
+	}
+	return worst
+}

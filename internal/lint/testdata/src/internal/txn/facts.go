@@ -1,0 +1,23 @@
+// Package txn is the fixture stand-in for hana/internal/txn: it provides
+// the cross-package facts the analyzers consult — it imports sync (so
+// locksafe treats calls into it as lock-ordering hazards) and exports
+// error-returning functions (so errdrop flags discarded calls to them).
+package txn
+
+import "sync"
+
+// Coordinator holds a lock so the package counts as lock-taking.
+type Coordinator struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Save is an exported error-returning function for cross-package errdrop.
+func Save() error { return nil }
+
+// Tick exercises the mutex so it is not dead code.
+func (c *Coordinator) Tick() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}

@@ -1,0 +1,79 @@
+// Fixture: every locksafe hazard class. `// want <analyzer>` markers mark
+// the exact lines the analyzer must report; `// want +N <analyzer>` marks a
+// line N below the comment.
+package locksafe
+
+import (
+	"sync"
+
+	"hana/internal/txn"
+)
+
+type worker struct {
+	mu     sync.Mutex
+	ch     chan int
+	action func()
+	n      int
+}
+
+type failer struct{}
+
+func (failer) Fatal(args ...any) {}
+
+// sendWhileHeld blocks on a channel send with the mutex held: if the
+// reader needs the same lock, both sides wedge forever.
+func (w *worker) sendWhileHeld() {
+	w.mu.Lock()
+	w.ch <- w.n // want locksafe
+	w.mu.Unlock()
+}
+
+// recvWhileHeld is the receive-side variant of the same deadlock.
+func (w *worker) recvWhileHeld() int {
+	w.mu.Lock()
+	v := <-w.ch // want locksafe
+	w.mu.Unlock()
+	return v
+}
+
+// selectWhileHeld can park on the select with the lock held.
+func (w *worker) selectWhileHeld() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	select { // want locksafe
+	case v := <-w.ch:
+		w.n = v
+	}
+}
+
+// fatalWhileHeld: Fatal runs runtime.Goexit, so the deferred code of OTHER
+// frames never runs and the lock leaks into the rest of the test binary.
+func (w *worker) fatalWhileHeld(t failer) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.n < 0 {
+		t.Fatal("negative count") // want locksafe
+	}
+}
+
+// callForeignWhileHeld calls into another internal package that takes its
+// own locks — a lock-ordering hazard.
+func (w *worker) callForeignWhileHeld() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return txn.Save() // want locksafe
+}
+
+// fireWhileHeld invokes a func-valued field under the lock; the callback
+// can re-enter this worker and self-deadlock (sync.Mutex is not reentrant).
+func (w *worker) fireWhileHeld() {
+	w.mu.Lock()
+	w.action() // want locksafe
+	w.mu.Unlock()
+}
+
+// leak never unlocks on any path.
+func (w *worker) leak() {
+	w.mu.Lock() // want locksafe
+	w.n++
+}

@@ -1,0 +1,52 @@
+// Fixture: the safe counterparts — channel work, foreign calls, and
+// callbacks all happen outside the critical section. Must produce zero
+// diagnostics.
+package locksafe
+
+import (
+	"sync"
+
+	"hana/internal/txn"
+)
+
+type safeWorker struct {
+	mu     sync.Mutex
+	ch     chan int
+	action func()
+	n      int
+}
+
+// sendOutsideLock copies state under the lock, releases, then sends.
+func (w *safeWorker) sendOutsideLock() {
+	w.mu.Lock()
+	n := w.n
+	w.mu.Unlock()
+	w.ch <- n
+}
+
+// callAfterUnlock releases before crossing the package boundary.
+func (w *safeWorker) callAfterUnlock() error {
+	w.mu.Lock()
+	w.n++
+	w.mu.Unlock()
+	return txn.Save()
+}
+
+// fireAfterUnlock snapshots the callback under the lock and runs it after.
+func (w *safeWorker) fireAfterUnlock() {
+	w.mu.Lock()
+	cb := w.action
+	w.mu.Unlock()
+	if cb != nil {
+		cb()
+	}
+}
+
+// deferredUnlock is the standard idiom: the deferred Unlock satisfies the
+// must-unlock rule on every return path.
+func (w *safeWorker) deferredUnlock() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.n++
+	return w.n
+}

@@ -1,0 +1,19 @@
+// Fixture: fire-and-forget goroutines with no panic recovery and no
+// completion signal — a panic kills the process, and nothing can ever wait
+// for the work.
+package nakedgo
+
+func spawnFireAndForget(work func()) {
+	go func() { // want nakedgoroutine
+		work()
+	}()
+}
+
+func spawnLoop(items []int, handle func(int)) {
+	for _, it := range items {
+		it := it
+		go func() { // want nakedgoroutine
+			handle(it)
+		}()
+	}
+}

@@ -1,0 +1,33 @@
+// Fixture: goroutines with WaitGroup discipline, a result channel, or
+// panic recovery. Must produce zero diagnostics.
+package nakedgo
+
+import "sync"
+
+func spawnWithWaitGroup(work func()) *sync.WaitGroup {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	return &wg
+}
+
+func spawnWithResult(work func() int) <-chan int {
+	out := make(chan int, 1)
+	go func() {
+		defer close(out)
+		out <- work()
+	}()
+	return out
+}
+
+func spawnWithRecover(work func()) {
+	go func() {
+		defer func() {
+			_ = recover()
+		}()
+		work()
+	}()
+}

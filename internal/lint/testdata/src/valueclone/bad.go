@@ -1,0 +1,26 @@
+// Fixture: writes through views handed out by getters — the mutation is
+// visible to every other reader of the shared buffer.
+package valueclone
+
+import "hana/internal/value"
+
+// window retains rows; its getters return views into the shared buffer,
+// mirroring esp.Window and the column store's chunk cache.
+type window struct {
+	rows []value.Row
+}
+
+func (w *window) Rows() []value.Row   { return w.rows }
+func (w *window) Row(i int) value.Row { return w.rows[i] }
+
+// zeroFirst drops a row in the shared slice in place.
+func zeroFirst(w *window) {
+	rows := w.Rows()
+	rows[0] = nil // want valueclone
+}
+
+// scrubKey overwrites one cell of a shared row.
+func scrubKey(w *window) {
+	row := w.Row(0)
+	row[0] = value.Null // want valueclone
+}

@@ -1,0 +1,20 @@
+// Fixture: the same mutations performed on private copies — rebuilt with
+// append or cloned before the write. Must produce zero diagnostics.
+package valueclone
+
+import "hana/internal/value"
+
+// zeroFirstCopied rebuilds the slice before writing.
+func zeroFirstCopied(w *window) []value.Row {
+	rows := append([]value.Row(nil), w.Rows()...)
+	rows[0] = nil
+	return rows
+}
+
+// scrubKeyCloned clones the row before writing.
+func scrubKeyCloned(w *window) value.Row {
+	row := w.Row(0)
+	row = row.Clone()
+	row[0] = value.Null
+	return row
+}

@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ValueClone flags in-place mutation of value.Value / row / column slices
+// obtained from a getter without an explicit copy. Getters in this
+// codebase (Rows, Values, Data, Chunk, Column, Get*) hand out views into
+// shared buffers — the column store's chunk cache, a window's retained
+// events, a table's materialized rows. Writing through such a view
+// corrupts state for every other reader (and races under concurrency);
+// callers must Clone() first.
+//
+// Heuristic: a local variable assigned directly from a getter-shaped
+// method call is tainted; an element assignment through it (v[i] = …,
+// v.Data[i] = …, v[i].F = …) is reported unless the variable was
+// re-assigned from a Clone()/Copy() call or rebuilt with append(…) in
+// between. Only packages that use hana/internal/value are analyzed.
+var ValueClone = &Analyzer{
+	Name: "valueclone",
+	Doc:  "mutation of shared value buffers obtained from a getter without copying",
+	Run:  runValueClone,
+}
+
+var getterNames = map[string]bool{
+	"Rows": true, "Values": true, "Data": true,
+	"Chunk": true, "Column": true, "Row": true,
+}
+
+func runValueClone(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		if !usesValuePackage(file, pass.Pkg.Path) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkValueCloneFunc(pass, fd)
+		}
+	}
+}
+
+func usesValuePackage(f *ast.File, pkgPath string) bool {
+	if pkgPath == "hana/internal/value" {
+		return true
+	}
+	for _, im := range f.Imports {
+		if strings.Trim(im.Path.Value, `"`) == "hana/internal/value" {
+			return true
+		}
+	}
+	return false
+}
+
+func checkValueCloneFunc(pass *Pass, fd *ast.FuncDecl) {
+	tainted := map[string]bool{} // var name → holds a shared view
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		// Track taint transitions first: v := x.Rows() taints, v = v.Clone()
+		// or v = append([]T{}, v...) clears.
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			if i < len(as.Rhs) {
+				switch classifyRHS(as.Rhs[i]) {
+				case rhsGetter:
+					tainted[id.Name] = true
+					continue
+				case rhsCopy:
+					delete(tainted, id.Name)
+					continue
+				case rhsOther:
+					if len(as.Rhs) == len(as.Lhs) {
+						delete(tainted, id.Name)
+					}
+					continue
+				}
+			}
+		}
+		// Then report writes through tainted views.
+		for _, lhs := range as.Lhs {
+			base, isElem := mutationBase(lhs)
+			if isElem && tainted[base] {
+				pass.Reportf(lhs.Pos(), "write through %s mutates a shared buffer returned by a getter; Clone() it first", base)
+			}
+		}
+		return true
+	})
+}
+
+type rhsKind int
+
+const (
+	rhsOther rhsKind = iota
+	rhsGetter
+	rhsCopy
+)
+
+func classifyRHS(e ast.Expr) rhsKind {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return rhsOther
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if name == "Clone" || name == "Copy" {
+			return rhsCopy
+		}
+		if getterNames[name] || (strings.HasPrefix(name, "Get") && name != "Get") {
+			return rhsGetter
+		}
+	case *ast.Ident:
+		if fun.Name == "append" || fun.Name == "make" {
+			return rhsCopy
+		}
+	}
+	return rhsOther
+}
+
+// mutationBase unwraps an element-write target down to its base
+// identifier: v[i], v[i].F, v.Data[i], v[i][j] all resolve to "v" with
+// isElem true. A plain identifier or a field write without indexing is
+// not an element mutation.
+func mutationBase(e ast.Expr) (string, bool) {
+	indexed := false
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			indexed = true
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.Ident:
+			return x.Name, indexed
+		default:
+			return "", false
+		}
+	}
+}

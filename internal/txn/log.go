@@ -57,22 +57,31 @@ func NewMemLog() *Log { return &Log{} }
 
 // Append writes one record durably (flushed through the bufio layer; fsync
 // is deliberately omitted — crash-consistency at the process level is
-// enough for this reproduction).
-func (l *Log) Append(r Record) {
+// enough for this reproduction). The error matters: a commit decision that
+// never reached the log must not be acted on, so the coordinator checks it
+// at the 2PC decision point.
+func (l *Log) Append(r Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
 		l.mem = append(l.mem, r)
-		return
+		return nil
 	}
 	var buf [25]byte
 	buf[0] = byte(r.Type)
 	binary.LittleEndian.PutUint64(buf[1:], r.TID)
 	binary.LittleEndian.PutUint64(buf[9:], r.CID)
 	binary.LittleEndian.PutUint64(buf[17:], uint64(len(r.Note)))
-	l.w.Write(buf[:])
-	l.w.WriteString(r.Note)
-	l.w.Flush()
+	if _, err := l.w.Write(buf[:]); err != nil {
+		return fmt.Errorf("wal append: %w", err)
+	}
+	if _, err := l.w.WriteString(r.Note); err != nil {
+		return fmt.Errorf("wal append: %w", err)
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal append: %w", err)
+	}
+	return nil
 }
 
 // Replay streams every record to fn in append order.

@@ -232,8 +232,12 @@ func TestWALReplayAndRecovery(t *testing.T) {
 
 func TestMemLog(t *testing.T) {
 	log := NewMemLog()
-	log.Append(Record{Type: RecBegin, TID: 7})
-	log.Append(Record{Type: RecCommit, TID: 7, CID: 9})
+	if err := log.Append(Record{Type: RecBegin, TID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Append(Record{Type: RecCommit, TID: 7, CID: 9}); err != nil {
+		t.Fatal(err)
+	}
 	var types []RecordType
 	_ = log.Replay(func(r Record) error {
 		types = append(types, r.Type)
