@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -114,6 +116,110 @@ func TestResolveInDoubtThroughEngine(t *testing.T) {
 	}
 	if err := e.ResolveInDoubt(999, true); err == nil {
 		t.Fatal("unknown tid must error")
+	}
+}
+
+// blockManifest squats a directory on the table's manifest.json.tmp path so
+// the next diskstore manifest save (and hence ext.Delete) fails; the
+// returned func unblocks it.
+func blockManifest(t *testing.T, dir, table string) func() {
+	t.Helper()
+	block := filepath.Join(dir, table, "manifest.json.tmp")
+	if err := os.Mkdir(block, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return func() {
+		if err := os.Remove(block); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestResolveRetryAfterCommitStorageFailure(t *testing.T) {
+	dir := t.TempDir()
+	e := New(Config{ExtendedStorageDir: dir})
+	exec1(t, e, `CREATE TABLE psb (id BIGINT) USING EXTENDED STORAGE`)
+	exec1(t, e, `INSERT INTO psb VALUES (1), (2)`)
+	unblock := blockManifest(t, dir, "psb")
+	tx := e.Begin()
+	// Delete-only branch: Prepare does no disk IO, so the injected storage
+	// failure strikes inside the participant's Commit tombstone loop.
+	if _, err := e.ExecuteTx(tx, `DELETE FROM psb WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CommitTx(tx); err != nil {
+		t.Fatalf("decision was commit: %v", err)
+	}
+	if ind := e.TxnManager().InDoubt(); len(ind) != 1 {
+		t.Fatalf("in-doubt = %v", ind)
+	}
+	// While storage still fails, resolution must fail too and keep the
+	// branch in-doubt — not "succeed" with the commit silently lost.
+	if err := e.ResolveInDoubt(tx.TID, true); err == nil {
+		t.Fatal("resolve must surface the storage error")
+	}
+	if ind := e.TxnManager().InDoubt(); len(ind) != 1 {
+		t.Fatalf("branch must stay in-doubt after failed resolve, got %v", ind)
+	}
+	unblock()
+	if err := e.ResolveInDoubt(tx.TID, true); err != nil {
+		t.Fatal(err)
+	}
+	if ind := e.TxnManager().InDoubt(); len(ind) != 0 {
+		t.Fatalf("branch still in-doubt after resolve: %v", ind)
+	}
+	res := exec1(t, e, `SELECT COUNT(*) FROM psb`)
+	if res.Rows[0][0].Int() != 1 {
+		t.Fatalf("post-resolve count = %v, want 1 (commit lost on retry)", res.Rows[0][0])
+	}
+}
+
+func TestAbortBestEffortOnStorageFailure(t *testing.T) {
+	dir := t.TempDir()
+	e := New(Config{ExtendedStorageDir: dir})
+	exec1(t, e, `CREATE TABLE psc (id BIGINT) USING EXTENDED STORAGE`)
+	exec1(t, e, `INSERT INTO psc VALUES (1)`)
+	// Park the branch in-doubt with durably prepared inserts.
+	e.TxnManager().FailNext("commit", "extstore:psc")
+	tx := e.Begin()
+	if _, err := e.ExecuteTx(tx, `INSERT INTO psc VALUES (2), (3)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CommitTx(tx); err != nil {
+		t.Fatalf("decision was commit: %v", err)
+	}
+	unblock := blockManifest(t, dir, "psc")
+	// Abort resolution cannot tombstone the prepared rows yet, but it must
+	// still revert every version stamp so they can never become visible.
+	if err := e.ResolveInDoubt(tx.TID, false); err == nil {
+		t.Fatal("abort must surface the storage error")
+	}
+	res := exec1(t, e, `SELECT COUNT(*) FROM psc`)
+	if res.Rows[0][0].Int() != 1 {
+		t.Fatalf("prepared rows leaked into visibility: count = %v", res.Rows[0][0])
+	}
+	// The participant must keep the work order so the retry can actually
+	// tombstone the prepared rows rather than no-op on a vanished entry.
+	e.mu.RLock()
+	part := e.tables["PSC"].part2pc
+	e.mu.RUnlock()
+	part.mu.Lock()
+	_, retained := part.ops[tx.TID]
+	part.mu.Unlock()
+	if !retained {
+		t.Fatal("failed abort must retain the participant's work order")
+	}
+	// The ops entry is retained on failure, so a retry completes the abort.
+	unblock()
+	if err := e.ResolveInDoubt(tx.TID, false); err != nil {
+		t.Fatal(err)
+	}
+	if ind := e.TxnManager().InDoubt(); len(ind) != 0 {
+		t.Fatalf("branch still in-doubt after abort: %v", ind)
+	}
+	res = exec1(t, e, `SELECT COUNT(*) FROM psc`)
+	if res.Rows[0][0].Int() != 1 {
+		t.Fatalf("post-abort count = %v, want 1", res.Rows[0][0])
 	}
 }
 

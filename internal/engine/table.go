@@ -7,6 +7,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -271,11 +272,14 @@ func (x *extParticipant) Prepare(tid uint64) error {
 }
 
 // Commit implements txn.Participant: stamps versions and persists delete
-// tombstones.
+// tombstones. The ops entry is removed only after the whole work order
+// succeeds: diskstore.Delete skips already-applied tombstones and CommitTID
+// re-stamps harmlessly, so when a manifest-save error leaves the branch
+// in-doubt, a coordinator Resolve retry completes the commit instead of
+// no-opping on a vanished entry.
 func (x *extParticipant) Commit(tid, cid uint64) error {
 	x.mu.Lock()
 	o, ok := x.ops[tid]
-	delete(x.ops, tid)
 	x.mu.Unlock()
 	if !ok {
 		return nil
@@ -295,23 +299,30 @@ func (x *extParticipant) Commit(tid, cid uint64) error {
 	for p := range parts {
 		p.vers.CommitTID(tid, cid)
 	}
+	x.mu.Lock()
+	delete(x.ops, tid)
+	x.mu.Unlock()
 	return nil
 }
 
 // Abort implements txn.Participant: tombstones prepared inserts and clears
-// buffered state.
+// buffered state. The coordinator drops abort errors and this participant
+// has no recovery pass, so a tombstone failure must not cut the loop short:
+// every partition still gets its version stamps reverted, errors are
+// collected, and the ops entry is retained on failure so a later Abort
+// retry re-attempts the (idempotent) deletes.
 func (x *extParticipant) Abort(tid uint64) error {
 	x.mu.Lock()
 	o, ok := x.ops[tid]
-	delete(x.ops, tid)
 	x.mu.Unlock()
 	if !ok {
 		return nil
 	}
+	var err error
 	for p, ids := range o.preparedIDs {
 		for _, id := range ids {
-			if _, err := p.ext.Delete(int64(id)); err != nil {
-				return err
+			if _, e := p.ext.Delete(int64(id)); e != nil {
+				err = errors.Join(err, e)
 			}
 		}
 		p.vers.AbortTID(tid)
@@ -319,6 +330,12 @@ func (x *extParticipant) Abort(tid uint64) error {
 	for p := range o.deletes {
 		p.vers.AbortTID(tid)
 	}
+	if err != nil {
+		return err
+	}
+	x.mu.Lock()
+	delete(x.ops, tid)
+	x.mu.Unlock()
 	return nil
 }
 

@@ -155,7 +155,11 @@ func collectDirectives(pkgs map[string]*Package) (directiveSet, []Diagnostic) {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					if !strings.HasPrefix(c.Text, directivePrefix) {
+					// Require the prefix to be followed by a space or
+					// end-of-comment so //lint:ignored is not mistaken
+					// for a (malformed) directive.
+					if c.Text != directivePrefix &&
+						!strings.HasPrefix(c.Text, directivePrefix+" ") {
 						continue
 					}
 					pos := pkg.Fset.Position(c.Pos())

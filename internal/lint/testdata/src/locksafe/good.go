@@ -50,3 +50,9 @@ func (w *safeWorker) deferredUnlock() int {
 	w.n++
 	return w.n
 }
+
+// The next two comments are lookalikes where the directive prefix runs
+// into a longer word; they are not directives and must neither be reported
+// as malformed nor recorded as suppressions.
+//lint:ignored
+//lint:ignorefoo
