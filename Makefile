@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-selftest test race bench check
+.PHONY: all build vet lint lint-selftest test race chaos bench check
 
 all: check
 
@@ -33,8 +33,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Deterministic fault-injection suite (internal/chaos): seeded fault
+# schedules against the full federated stack, run repeatedly under the
+# race detector. See DESIGN.md "Fault model" for the site names.
+chaos:
+	$(GO) test -race -count=3 ./internal/chaos
+
 bench:
 	$(GO) test -bench=. -benchmem
 
 # Everything CI runs.
-check: build vet lint lint-selftest race
+check: build vet lint lint-selftest race chaos

@@ -1,0 +1,20 @@
+// Package chaos holds the deterministic fault-injection ("chaos") suite:
+// seeded fault schedules from internal/faults are replayed against a full
+// federated stack — engine, Hive server, map-reduce, HDFS, ESP sink, and
+// concurrent 2PC commits — while the tests assert the system's resilience
+// invariants instead of exact interleavings:
+//
+//   - no committed transaction is lost and none is applied twice,
+//   - no branch stays in-doubt once the resolver has run,
+//   - every query either succeeds (live, or from the fallback cache while a
+//     breaker is open) or fails with a classified error,
+//   - circuit breakers open under sustained failure and close again through
+//     a half-open probe once the fault schedule drains,
+//   - the archive sink spills under flush failure and later delivers every
+//     buffered row exactly once.
+//
+// The schedules are driven entirely by faults.Injector sites (fed.query.*,
+// txn.prepare.*, txn.commit.*, hdfs.read, hdfs.write, mapreduce.map,
+// mapreduce.reduce, esp.flush), so a failing run reproduces from its seed.
+// Run it via `make chaos`, which executes this package under -race.
+package chaos

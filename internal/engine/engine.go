@@ -8,6 +8,7 @@ import (
 
 	"hana/internal/catalog"
 	"hana/internal/diskstore"
+	"hana/internal/faults"
 	"hana/internal/fed"
 	"hana/internal/sqlparse"
 	"hana/internal/txn"
@@ -32,18 +33,35 @@ type Config struct {
 	SemiJoinThreshold int64
 	// WAL optionally persists transaction state for recovery.
 	WAL *txn.Log
+	// Faults routes every remote boundary the engine owns (federated
+	// queries, virtual functions, 2PC delivery) through a fault injector;
+	// nil disables injection.
+	Faults *faults.Injector
+	// Retry is the template policy applied to remote boundaries; zero-value
+	// fields take the faults package defaults.
+	Retry faults.RetryPolicy
+	// BreakerThreshold is the consecutive-failure count that opens a remote
+	// source's circuit breaker (0 = faults default).
+	BreakerThreshold int
+	// BreakerCooldown is the open-state duration before a half-open probe
+	// (0 = faults default).
+	BreakerCooldown time.Duration
 }
 
 // Metrics counts engine activity for the benchmark harness.
 type Metrics struct {
-	mu                sync.Mutex
-	RemoteQueries     int64
-	RemoteCacheHits   int64
-	RemoteRowsFetched int64
-	SemiJoinsChosen   int64
-	UnionPlansChosen  int64
-	RelocationsChosen int64
-	RemoteScansChosen int64
+	mu                 sync.Mutex
+	RemoteQueries      int64
+	RemoteCacheHits    int64
+	RemoteRowsFetched  int64
+	SemiJoinsChosen    int64
+	UnionPlansChosen   int64
+	RelocationsChosen  int64
+	RemoteScansChosen  int64
+	RemoteRetries      int64
+	RemoteFallbackHits int64
+	PlannerFallbacks   int64
+	InDoubtResolved    int64
 }
 
 func (m *Metrics) add(f func(*Metrics)) {
@@ -54,13 +72,17 @@ func (m *Metrics) add(f func(*Metrics)) {
 
 // MetricsSnapshot is a point-in-time copy of the counters.
 type MetricsSnapshot struct {
-	RemoteQueries     int64
-	RemoteCacheHits   int64
-	RemoteRowsFetched int64
-	SemiJoinsChosen   int64
-	UnionPlansChosen  int64
-	RelocationsChosen int64
-	RemoteScansChosen int64
+	RemoteQueries      int64
+	RemoteCacheHits    int64
+	RemoteRowsFetched  int64
+	SemiJoinsChosen    int64
+	UnionPlansChosen   int64
+	RelocationsChosen  int64
+	RemoteScansChosen  int64
+	RemoteRetries      int64
+	RemoteFallbackHits int64
+	PlannerFallbacks   int64
+	InDoubtResolved    int64
 }
 
 // Snapshot returns a copy of the counters.
@@ -68,13 +90,17 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return MetricsSnapshot{
-		RemoteQueries:     m.RemoteQueries,
-		RemoteCacheHits:   m.RemoteCacheHits,
-		RemoteRowsFetched: m.RemoteRowsFetched,
-		SemiJoinsChosen:   m.SemiJoinsChosen,
-		UnionPlansChosen:  m.UnionPlansChosen,
-		RelocationsChosen: m.RelocationsChosen,
-		RemoteScansChosen: m.RemoteScansChosen,
+		RemoteQueries:      m.RemoteQueries,
+		RemoteCacheHits:    m.RemoteCacheHits,
+		RemoteRowsFetched:  m.RemoteRowsFetched,
+		SemiJoinsChosen:    m.SemiJoinsChosen,
+		UnionPlansChosen:   m.UnionPlansChosen,
+		RelocationsChosen:  m.RelocationsChosen,
+		RemoteScansChosen:  m.RemoteScansChosen,
+		RemoteRetries:      m.RemoteRetries,
+		RemoteFallbackHits: m.RemoteFallbackHits,
+		PlannerFallbacks:   m.PlannerFallbacks,
+		InDoubtResolved:    m.InDoubtResolved,
 	}
 }
 
@@ -92,6 +118,12 @@ type Engine struct {
 	providers map[string]TableProvider
 	ext       *diskstore.Store
 	extDir    string
+
+	health *fed.Health
+	now    func() time.Time
+
+	fbMu     sync.Mutex
+	fallback map[string]*fallbackEntry
 
 	// Metrics is exported for benchmarks and monitoring.
 	Metrics Metrics
@@ -113,9 +145,31 @@ func New(cfg Config) *Engine {
 		adapters:  map[string]fed.Adapter{},
 		tables:    map[string]*storedTable{},
 		providers: map[string]TableProvider{},
+		health:    fed.NewHealth(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		now:       time.Now,
+		fallback:  map[string]*fallbackEntry{},
 	}
+	e.mgr.SetInjector(cfg.Faults)
 	e.installSystemViews()
 	return e
+}
+
+// Health exposes the per-remote-source circuit breakers.
+func (e *Engine) Health() *fed.Health { return e.health }
+
+// SetClock replaces the engine's clock (breaker cooldowns and fallback-
+// cache validity) for deterministic tests.
+func (e *Engine) SetClock(now func() time.Time) {
+	e.mu.Lock()
+	e.now = now
+	e.mu.Unlock()
+	e.health.SetClock(now)
+}
+
+func (e *Engine) clock() func() time.Time {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.now
 }
 
 // TableProvider supplies dynamic rows for a locally registered table

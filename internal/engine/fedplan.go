@@ -137,7 +137,7 @@ func (p *planner) realizeRemote(r *relation) error {
 	sql := sqlparse.RenderSelect(sel)
 
 	opts := p.remoteOpts(sel.Where != nil)
-	res, err := rr.adapter.Query(sql, opts)
+	res, err := p.e.remoteQuery(rr.source, rr.adapter, sql, opts)
 	if err != nil {
 		return fmt.Errorf("remote source %s: %w", rr.source, err)
 	}
@@ -151,6 +151,9 @@ func (p *planner) realizeRemote(r *relation) error {
 	label := fmt.Sprintf("Remote Row Scan [%s] (%d rows)", rr.source, res.Rows.Len())
 	if res.FromCache {
 		label += " [remote cache hit]"
+	}
+	if res.FromFallback {
+		label += " [fallback cache]"
 	}
 	r.node = node(label, node("shipped: "+sql))
 	if err := conformRows(res.Rows, r.schema); err != nil {

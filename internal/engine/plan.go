@@ -330,7 +330,7 @@ func (p *planner) planTableFunc(t *sqlparse.TableFuncRef) (*relation, error) {
 	if !ok {
 		return nil, fmt.Errorf("remote source %s cannot execute virtual functions", vf.Source)
 	}
-	rows, err := fa.CallFunction(vf.Configuration, vf.Returns)
+	rows, err := p.e.remoteCall(vf.Source, fa, vf.Configuration, vf.Returns)
 	if err != nil {
 		return nil, fmt.Errorf("virtual function %s: %w", t.Name, err)
 	}

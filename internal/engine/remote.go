@@ -1,0 +1,199 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"hana/internal/faults"
+	"hana/internal/fed"
+	"hana/internal/txn"
+	"hana/internal/value"
+)
+
+// This file is the engine's resilience layer for remote boundaries: every
+// shipped federated query and virtual-function call goes through a
+// per-source circuit breaker and a retry policy, with a validity-bounded
+// fallback cache of the last good result (§4.4 reads remote caching as a
+// freshness/availability trade the user opts into; here the same trade
+// keeps queries answerable while a source is down). The in-doubt resolver
+// at the bottom retries 2PC phase-2 delivery until the branches drain
+// (§3.1 integrated recovery).
+
+// fallbackEntry is the last good result of one shipped statement.
+type fallbackEntry struct {
+	rows    *value.Rows
+	created time.Time
+}
+
+// retryPolicy instantiates the configured template for one breaker,
+// counting retries in the metrics and against the source's breaker.
+func (e *Engine) retryPolicy(br *faults.Breaker) faults.RetryPolicy {
+	p := e.cfg.Retry
+	onRetry := p.OnRetry
+	p.OnRetry = func(op string, attempt int, err error) {
+		br.NoteRetry()
+		e.Metrics.add(func(m *Metrics) { m.RemoteRetries++ })
+		if onRetry != nil {
+			onRetry(op, attempt, err)
+		}
+	}
+	return p
+}
+
+// remoteQuery ships one statement to a remote source through the breaker
+// and retry layer. While the source's breaker is open — or once retries
+// are exhausted on a transient failure — a still-valid fallback-cache
+// entry for the same statement is served instead, marked FromFallback.
+func (e *Engine) remoteQuery(source string, a fed.Adapter, sql string, opts fed.QueryOptions) (*fed.QueryResult, error) {
+	br := e.health.Breaker(strings.ToUpper(source))
+	site := "fed.query." + strings.ToLower(source)
+	if err := br.Allow(); err != nil {
+		if res, ok := e.fallbackLookup(source, sql); ok {
+			return res, nil
+		}
+		return nil, err
+	}
+	var res *fed.QueryResult
+	err := e.retryPolicy(br).Do(site, func() error {
+		if err := e.cfg.Faults.Check(site); err != nil {
+			return err
+		}
+		r, err := a.Query(sql, opts)
+		if err != nil {
+			return err
+		}
+		res = r
+		return nil
+	})
+	if err != nil {
+		br.Failure(err)
+		if faults.IsTransient(err) {
+			if res, ok := e.fallbackLookup(source, sql); ok {
+				return res, nil
+			}
+		}
+		return nil, err
+	}
+	br.Success()
+	e.fallbackStore(source, sql, res)
+	return res, nil
+}
+
+// remoteCall invokes a virtual function through the breaker and retry
+// layer. Remote jobs have no cached materialization to fall back to, so an
+// open breaker or exhausted retries surface as the classified error.
+func (e *Engine) remoteCall(source string, fa fed.FunctionAdapter, config map[string]string, schema *value.Schema) (*value.Rows, error) {
+	br := e.health.Breaker(strings.ToUpper(source))
+	site := "fed.call." + strings.ToLower(source)
+	if err := br.Allow(); err != nil {
+		return nil, err
+	}
+	var rows *value.Rows
+	err := e.retryPolicy(br).Do(site, func() error {
+		if err := e.cfg.Faults.Check(site); err != nil {
+			return err
+		}
+		r, err := fa.CallFunction(config, schema)
+		if err != nil {
+			return err
+		}
+		rows = r
+		return nil
+	})
+	if err != nil {
+		br.Failure(err)
+		return nil, err
+	}
+	br.Success()
+	return rows, nil
+}
+
+// fallbackKey reuses the §4.4 cache-key derivation: statement + source.
+func fallbackKey(source, sql string) string {
+	return fed.CacheKey(sql, nil, strings.ToUpper(source))
+}
+
+// fallbackStore keeps a deep copy of the last good result. Rows must be
+// cloned because conformRows casts result values in place downstream.
+func (e *Engine) fallbackStore(source, sql string, res *fed.QueryResult) {
+	if res == nil || res.Rows == nil || res.FromFallback {
+		return
+	}
+	e.fbMu.Lock()
+	defer e.fbMu.Unlock()
+	e.fallback[fallbackKey(source, sql)] = &fallbackEntry{
+		rows:    cloneRows(res.Rows),
+		created: e.clock()(),
+	}
+}
+
+// fallbackLookup serves the last good result if it is still inside the
+// remote_cache_validity window.
+func (e *Engine) fallbackLookup(source, sql string) (*fed.QueryResult, bool) {
+	e.fbMu.Lock()
+	ent, ok := e.fallback[fallbackKey(source, sql)]
+	e.fbMu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	validity := e.cfg.RemoteCacheValidity
+	if validity > 0 && e.clock()().Sub(ent.created) > validity {
+		return nil, false
+	}
+	e.Metrics.add(func(m *Metrics) { m.RemoteFallbackHits++ })
+	return &fed.QueryResult{Rows: cloneRows(ent.rows), FromFallback: true}, true
+}
+
+// cloneRows deep-copies a row set (schema shared, rows and values copied).
+func cloneRows(rows *value.Rows) *value.Rows {
+	out := value.NewRows(rows.Schema)
+	for _, r := range rows.Data {
+		c := make(value.Row, len(r))
+		copy(c, r)
+		out.Append(c)
+	}
+	return out
+}
+
+// findParticipant resolves a 2PC participant name to the stored table's
+// extended-storage branch.
+func (e *Engine) findParticipant(name string) txn.Participant {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, t := range e.tables {
+		if t.part2pc != nil && t.part2pc.Name() == name {
+			return t.part2pc
+		}
+	}
+	return nil
+}
+
+// ResolveAllInDoubt is the engine-level in-doubt resolver: it re-delivers
+// the logged decision for every in-doubt branch, retrying each with the
+// configured backoff, until the branches drain or a branch stays
+// unresolvable. The decision is commit when a commit ID was durably
+// allocated, and presumed abort otherwise (branches surfaced by crash
+// recovery before the decision point).
+func (e *Engine) ResolveAllInDoubt() error {
+	var errs []error
+	for _, b := range e.mgr.InDoubtInfo() {
+		part := e.findParticipant(b.Participant)
+		if part == nil {
+			errs = append(errs, fmt.Errorf("transaction %d: participant %s not found", b.TID, b.Participant))
+			continue
+		}
+		commit := b.CID != 0
+		tid := b.TID
+		err := e.cfg.Retry.Do(fmt.Sprintf("txn.resolve.%d", tid), func() error {
+			return e.mgr.Resolve(tid, part, commit)
+		})
+		if err != nil {
+			errs = append(errs, fmt.Errorf("transaction %d: %w", tid, err))
+			continue
+		}
+		e.Metrics.add(func(m *Metrics) { m.InDoubtResolved++ })
+	}
+	return errors.Join(errs...)
+}

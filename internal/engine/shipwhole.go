@@ -1,11 +1,13 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"hana/internal/exec"
 	"hana/internal/expr"
+	"hana/internal/faults"
 	"hana/internal/fed"
 	"hana/internal/sqlparse"
 )
@@ -42,8 +44,15 @@ func (p *planner) tryShipWhole(sel *sqlparse.SelectStmt) (exec.Iter, *planNode, 
 	sql := sqlparse.RenderSelect(shipped)
 
 	opts := p.remoteOpts(hasAnyPredicate(sel))
-	res, err := info.adapter.Query(sql, opts)
+	res, err := p.e.remoteQuery(info.source, info.adapter, sql, opts)
 	if err != nil {
+		if errors.Is(err, faults.ErrCircuitOpen) {
+			// The source's breaker is open and no fallback materialization
+			// is valid: decline ship-whole so the planner can try per-leaf
+			// strategies (which may hit leaf-level fallback entries).
+			p.e.Metrics.add(func(m *Metrics) { m.PlannerFallbacks++ })
+			return nil, nil, false, nil
+		}
 		return nil, nil, false, fmt.Errorf("remote source %s: %w", info.source, err)
 	}
 	p.e.Metrics.add(func(m *Metrics) {
@@ -68,6 +77,9 @@ func (p *planner) tryShipWhole(sel *sqlparse.SelectStmt) (exec.Iter, *planNode, 
 	label := fmt.Sprintf("Remote Query [%s] (%d rows)", info.source, res.Rows.Len())
 	if res.FromCache {
 		label += " [remote cache hit]"
+	}
+	if res.FromFallback {
+		label += " [fallback cache]"
 	}
 	root := node(label, node("shipped: "+sql))
 	it := exec.Iter(exec.Rename(exec.NewSlice(res.Rows.Schema, res.Rows.Data), schema))

@@ -7,7 +7,6 @@ import (
 
 	"hana/internal/expr"
 	"hana/internal/sqlparse"
-	"hana/internal/txn"
 	"hana/internal/value"
 )
 
@@ -22,6 +21,65 @@ func (e *Engine) installSystemViews() {
 	e.RegisterTableProvider("M_VIRTUAL_TABLES", e.mVirtualTables)
 	e.RegisterTableProvider("M_FEDERATION_STATISTICS", e.mFederationStats)
 	e.RegisterTableProvider("M_TRANSACTIONS", e.mTransactions)
+	e.RegisterTableProvider("M_REMOTE_SOURCE_HEALTH", e.mRemoteSourceHealth)
+	e.RegisterTableProvider("M_INDOUBT_TRANSACTIONS", e.mInDoubtTransactions)
+}
+
+// mRemoteSourceHealth reports per-source circuit-breaker state: the
+// operator-facing answer to "is the planner degrading because Hive is
+// down, and when will it probe again?".
+func (e *Engine) mRemoteSourceHealth() (*value.Rows, error) {
+	out := value.NewRows(value.NewSchema(
+		value.Column{Name: "source_name", Kind: value.KindVarchar},
+		value.Column{Name: "breaker_state", Kind: value.KindVarchar},
+		value.Column{Name: "consecutive_failures", Kind: value.KindInt},
+		value.Column{Name: "total_failures", Kind: value.KindInt},
+		value.Column{Name: "times_opened", Kind: value.KindInt},
+		value.Column{Name: "retries", Kind: value.KindInt},
+		value.Column{Name: "last_error", Kind: value.KindVarchar},
+	))
+	for _, st := range e.health.Snapshot() {
+		lastErr := value.Null
+		if st.LastError != "" {
+			lastErr = value.NewString(st.LastError)
+		}
+		out.Append(value.Row{
+			value.NewString(st.Name),
+			value.NewString(st.State.String()),
+			value.NewInt(int64(st.ConsecFails)),
+			value.NewInt(st.TotalFails),
+			value.NewInt(st.Opens),
+			value.NewInt(st.Retries),
+			lastErr,
+		})
+	}
+	return out, nil
+}
+
+// mInDoubtTransactions lists unresolved 2PC branches with their decided
+// commit ID and resolution attempts (§3.1 in-doubt visibility).
+func (e *Engine) mInDoubtTransactions() (*value.Rows, error) {
+	out := value.NewRows(value.NewSchema(
+		value.Column{Name: "transaction_id", Kind: value.KindInt},
+		value.Column{Name: "participant", Kind: value.KindVarchar},
+		value.Column{Name: "commit_id", Kind: value.KindInt},
+		value.Column{Name: "decision", Kind: value.KindVarchar},
+		value.Column{Name: "resolution_attempts", Kind: value.KindInt},
+	))
+	for _, b := range e.mgr.InDoubtInfo() {
+		decision := "COMMIT"
+		if b.CID == 0 {
+			decision = "PRESUMED ABORT"
+		}
+		out.Append(value.Row{
+			value.NewInt(int64(b.TID)),
+			value.NewString(b.Participant),
+			value.NewInt(int64(b.CID)),
+			value.NewString(decision),
+			value.NewInt(int64(b.Retries)),
+		})
+	}
+	return out, nil
 }
 
 func (e *Engine) mTables() (*value.Rows, error) {
@@ -127,6 +185,10 @@ func (e *Engine) mFederationStats() (*value.Rows, error) {
 		{"union_plans_chosen", m.UnionPlansChosen},
 		{"relocations_chosen", m.RelocationsChosen},
 		{"remote_scans_chosen", m.RemoteScansChosen},
+		{"remote_retries", m.RemoteRetries},
+		{"remote_fallback_hits", m.RemoteFallbackHits},
+		{"planner_fallbacks", m.PlannerFallbacks},
+		{"in_doubt_resolved", m.InDoubtResolved},
 	} {
 		out.Append(value.Row{value.NewString(kv.k), value.NewInt(kv.v)})
 	}
@@ -242,16 +304,7 @@ func (e *Engine) ResolveInDoubt(tid uint64, commit bool) error {
 	if !ok {
 		return fmt.Errorf("transaction %d is not in-doubt", tid)
 	}
-	// Find the participant by name among the stored tables.
-	e.mu.RLock()
-	var part txn.Participant
-	for _, t := range e.tables {
-		if t.part2pc.Name() == name {
-			part = t.part2pc
-			break
-		}
-	}
-	e.mu.RUnlock()
+	part := e.findParticipant(name)
 	if part == nil {
 		return fmt.Errorf("participant %s for transaction %d not found", name, tid)
 	}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"hana/internal/faults"
 	"hana/internal/value"
 )
 
@@ -94,7 +95,9 @@ func TestResolveInDoubtThroughEngine(t *testing.T) {
 	e := newTestEngine(t)
 	exec1(t, e, `CREATE TABLE psa (id BIGINT) USING EXTENDED STORAGE`)
 	// Inject a commit-phase failure on the extended-store participant.
-	e.TxnManager().FailNext("commit", "extstore:psa")
+	inj := faults.New(1)
+	e.TxnManager().SetInjector(inj)
+	inj.FailN("txn.commit.extstore:psa", 1)
 	tx := e.Begin()
 	if _, err := e.ExecuteTx(tx, `INSERT INTO psa VALUES (1)`); err != nil {
 		t.Fatal(err)
@@ -180,7 +183,9 @@ func TestAbortBestEffortOnStorageFailure(t *testing.T) {
 	exec1(t, e, `CREATE TABLE psc (id BIGINT) USING EXTENDED STORAGE`)
 	exec1(t, e, `INSERT INTO psc VALUES (1)`)
 	// Park the branch in-doubt with durably prepared inserts.
-	e.TxnManager().FailNext("commit", "extstore:psc")
+	inj := faults.New(1)
+	e.TxnManager().SetInjector(inj)
+	inj.FailN("txn.commit.extstore:psc", 1)
 	tx := e.Begin()
 	if _, err := e.ExecuteTx(tx, `INSERT INTO psc VALUES (2), (3)`); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,141 @@
+package esp
+
+import (
+	"testing"
+	"time"
+
+	"hana/internal/faults"
+	"hana/internal/hdfs"
+	"hana/internal/value"
+)
+
+func sinkRows(lo, hi int) []value.Row {
+	var out []value.Row
+	for i := lo; i < hi; i++ {
+		out = append(out, ev(int64(i), "M", float64(i)))
+	}
+	return out
+}
+
+// countArchivedLines totals data lines across the sink's part files.
+func countArchivedLines(t *testing.T, cluster *hdfs.Cluster, dir string) int {
+	t.Helper()
+	n := 0
+	for _, fi := range cluster.List(dir) {
+		data, err := cluster.ReadFile(fi.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range data {
+			if b == '\n' {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestSinkSpillsOnTransientFlushFailureWithoutDuplication(t *testing.T) {
+	cluster := newTestCluster()
+	inj := faults.New(1)
+	inj.SetSleep(func(time.Duration) {})
+	sink := NewHDFSArchiveSink(cluster, "/arch", 3)
+	sink.SetInjector(inj)
+	sink.SetRetryPolicy(faults.RetryPolicy{MaxAttempts: 2, Sleep: func(time.Duration) {}})
+
+	// Every flush attempt fails for a while: the rotate inside Consume must
+	// spill (keep the rows, keep the stream moving), not error.
+	inj.FailN("esp.flush", 100)
+	if err := sink.Consume(sinkRows(0, 5), eventSchema()); err != nil {
+		t.Fatalf("transient rotate failure must spill, got %v", err)
+	}
+	if sink.Spills() == 0 {
+		t.Fatal("spill not recorded")
+	}
+	if sink.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5 buffered rows", sink.Pending())
+	}
+	if got := countArchivedLines(t, cluster, "/arch"); got != 0 {
+		t.Fatalf("rows leaked to HDFS during outage: %d", got)
+	}
+
+	// Outage over: the next batch triggers a rotation that drains the
+	// spilled rows; nothing is duplicated and nothing is lost.
+	inj.Reset()
+	if err := sink.Consume(sinkRows(5, 7), eventSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Pending() != 0 {
+		t.Fatalf("pending after Close = %d", sink.Pending())
+	}
+	if got := countArchivedLines(t, cluster, "/arch"); got != 7 {
+		t.Fatalf("archived rows = %d, want exactly 7 (no loss, no duplication)", got)
+	}
+	if sink.RowsWritten() != 7 {
+		t.Fatalf("RowsWritten = %d", sink.RowsWritten())
+	}
+}
+
+func TestSinkFlushRetriesTransientFailures(t *testing.T) {
+	cluster := newTestCluster()
+	inj := faults.New(1)
+	inj.SetSleep(func(time.Duration) {})
+	sink := NewHDFSArchiveSink(cluster, "/arch", 100)
+	sink.SetInjector(inj)
+	sink.SetRetryPolicy(faults.RetryPolicy{MaxAttempts: 3, Sleep: func(time.Duration) {}})
+	if err := sink.Consume(sinkRows(0, 4), eventSchema()); err != nil {
+		t.Fatal(err)
+	}
+	// Two injected failures are absorbed by the three flush attempts.
+	inj.FailN("esp.flush", 2)
+	if err := sink.Flush(); err != nil {
+		t.Fatalf("flush retry must absorb transients: %v", err)
+	}
+	if got := countArchivedLines(t, cluster, "/arch"); got != 4 {
+		t.Fatalf("archived rows = %d, want 4", got)
+	}
+}
+
+func TestSinkFatalFlushErrorSurfaces(t *testing.T) {
+	cluster := newTestCluster()
+	inj := faults.New(1)
+	inj.SetSleep(func(time.Duration) {})
+	sink := NewHDFSArchiveSink(cluster, "/arch", 2)
+	sink.SetInjector(inj)
+	sink.SetRetryPolicy(faults.RetryPolicy{MaxAttempts: 3, Sleep: func(time.Duration) {}})
+	inj.FailFatal("esp.flush", 1)
+	err := sink.Consume(sinkRows(0, 2), eventSchema())
+	if err == nil {
+		t.Fatal("fatal flush error must surface")
+	}
+	if !faults.IsFatal(err) {
+		t.Fatalf("classification lost: %v", err)
+	}
+	// The rows are still buffered; a later Flush delivers them exactly once.
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := countArchivedLines(t, cluster, "/arch"); got != 2 {
+		t.Fatalf("archived rows = %d, want 2", got)
+	}
+}
+
+func TestSinkCloseFlushesPartialPart(t *testing.T) {
+	cluster := newTestCluster()
+	sink := NewHDFSArchiveSink(cluster, "/arch", 1000)
+	if err := sink.Consume(sinkRows(0, 3), eventSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if got := countArchivedLines(t, cluster, "/arch"); got != 0 {
+		t.Fatal("below-threshold rows must still be buffered")
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := countArchivedLines(t, cluster, "/arch"); got != 3 {
+		t.Fatalf("Close must flush the partial part, got %d rows", got)
+	}
+}

@@ -1,0 +1,302 @@
+// Package faults is the single fault surface of the platform: a
+// deterministic, seedable fault injector that every remote boundary
+// consults (federated queries, HDFS reads and writes, two-phase-commit
+// delivery, map-reduce tasks, stream-sink flushes), an error taxonomy
+// separating transient from fatal failures, a retry helper with capped
+// exponential backoff and seeded jitter, and a circuit breaker with a
+// half-open probe. The paper's platform promises integrated recovery for
+// extended-storage transactions (§3.1) and usable federated plans over
+// slow or flaky remote sources (§4.2, §4.4); this package is how the
+// reproduction tests those promises.
+//
+// Sites are hierarchical dotted names: a schedule registered at
+// "txn.commit" fires for "txn.commit.extstore:orders" too, while a
+// schedule at the full name only fires for that exact boundary. The
+// boundaries wired in this repository:
+//
+//	fed.query.<source>   shipped SDA queries (engine side, all adapters)
+//	fed.call.<source>    virtual-function invocations (§4.3)
+//	hdfs.write           namenode/datanode file writes
+//	hdfs.read            block reads (per replica set)
+//	txn.prepare.<part>   2PC phase 1 delivery
+//	txn.commit.<part>    2PC phase 2 and in-doubt re-delivery
+//	txn.abort.<part>     abort delivery during resolution
+//	mapreduce.map        map-task execution
+//	mapreduce.reduce     reduce-task execution
+//	esp.flush            HDFS archive sink part-file flushes
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+)
+
+// classified wraps an error with its recovery class.
+type classified struct {
+	err       error
+	transient bool
+}
+
+func (c *classified) Error() string { return c.err.Error() }
+func (c *classified) Unwrap() error { return c.err }
+
+// Transient marks an error as worth retrying: the operation may succeed
+// on a later attempt (timeouts, dead replicas that may revive, injected
+// chaos). Transient(nil) is nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{err: err, transient: true}
+}
+
+// Fatal marks an error as permanent: retrying cannot help (semantic
+// errors, missing tables, capability violations). Fatal(nil) is nil.
+func Fatal(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{err: err, transient: false}
+}
+
+// IsTransient reports whether err carries a transient classification
+// anywhere in its chain. Unclassified errors are not transient: semantic
+// failures must not be retried by default.
+func IsTransient(err error) bool {
+	var c *classified
+	return errors.As(err, &c) && c.transient
+}
+
+// IsFatal reports whether err is explicitly classified fatal.
+func IsFatal(err error) bool {
+	var c *classified
+	return errors.As(err, &c) && !c.transient
+}
+
+// ErrCircuitOpen is wrapped into errors returned when a circuit breaker
+// rejects a call without attempting it.
+var ErrCircuitOpen = errors.New("circuit breaker open")
+
+// IsClassified reports whether err carries any fault classification —
+// transient, fatal, or a breaker rejection. The chaos suite's invariant
+// is that every failed operation returns a classified error.
+func IsClassified(err error) bool {
+	var c *classified
+	return errors.As(err, &c) || errors.Is(err, ErrCircuitOpen)
+}
+
+// schedule is the pending fault plan for one site (or site prefix).
+type schedule struct {
+	failN   int           // remaining forced failures
+	err     error         // error template; nil synthesizes one
+	fatal   bool          // classify injected failures as fatal
+	prob    float64       // per-call failure probability after failN drains
+	latency time.Duration // added to every call at the site
+}
+
+// siteStats counts observations per full site name.
+type siteStats struct {
+	calls    int
+	injected int
+}
+
+// Injector is a deterministic fault source. All mutation and consultation
+// is serialized; randomness comes only from the seed, so a given schedule
+// plus a given sequence of Check calls always yields the same faults. The
+// zero value of *Injector (nil) is a valid no-op injector, which is how
+// production paths run with no chaos configured.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	sites map[string]*schedule
+	stats map[string]*siteStats
+	sleep func(time.Duration)
+}
+
+// New creates an injector whose probabilistic decisions derive only from
+// seed.
+func New(seed int64) *Injector {
+	return &Injector{
+		rng:   rand.New(rand.NewSource(seed)),
+		sites: map[string]*schedule{},
+		stats: map[string]*siteStats{},
+		sleep: time.Sleep,
+	}
+}
+
+// SetSleep replaces the latency sleeper (tests use a no-op to keep
+// injected latency logical rather than wall-clock).
+func (in *Injector) SetSleep(f func(time.Duration)) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.sleep = f
+}
+
+func (in *Injector) site(name string) *schedule {
+	s, ok := in.sites[name]
+	if !ok {
+		s = &schedule{}
+		in.sites[name] = s
+	}
+	return s
+}
+
+// FailN schedules the next n matching calls at site to fail with a
+// transient injected error.
+func (in *Injector) FailN(site string, n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.site(site).failN = n
+}
+
+// FailWith schedules the next n matching calls at site to fail with err
+// (classified transient).
+func (in *Injector) FailWith(site string, n int, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	s := in.site(site)
+	s.failN = n
+	s.err = err
+}
+
+// FailFatal schedules the next n matching calls at site to fail with a
+// fatal injected error — the class retries must not absorb.
+func (in *Injector) FailFatal(site string, n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	s := in.site(site)
+	s.failN = n
+	s.fatal = true
+}
+
+// FailProb makes every matching call at site fail with probability p,
+// drawn from the injector's seeded stream.
+func (in *Injector) FailProb(site string, p float64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.site(site).prob = p
+}
+
+// Latency adds d of delay to every matching call at site.
+func (in *Injector) Latency(site string, d time.Duration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.site(site).latency = d
+}
+
+// Clear removes the schedule at exactly site.
+func (in *Injector) Clear(site string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.sites, site)
+}
+
+// Reset removes every schedule (observation counters are kept).
+func (in *Injector) Reset() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.sites = map[string]*schedule{}
+}
+
+// Check is the boundary hook: every remote operation calls it with its
+// full site name before doing real work. It applies scheduled latency and
+// returns a classified injected error when the schedule says so, walking
+// the site name hierarchically ("a.b.c" consults "a.b.c", then "a.b",
+// then "a"). A nil injector checks nothing.
+func (in *Injector) Check(site string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	st, ok := in.stats[site]
+	if !ok {
+		st = &siteStats{}
+		in.stats[site] = st
+	}
+	st.calls++
+	s := in.lookupLocked(site)
+	var wait time.Duration
+	var err error
+	if s != nil {
+		wait = s.latency
+		fail := false
+		switch {
+		case s.failN > 0:
+			s.failN--
+			fail = true
+		case s.prob > 0:
+			fail = in.rng.Float64() < s.prob
+		}
+		if fail {
+			st.injected++
+			base := s.err
+			if base == nil {
+				base = fmt.Errorf("injected fault at %s", site)
+			}
+			if s.fatal {
+				err = Fatal(base)
+			} else {
+				err = Transient(base)
+			}
+		}
+	}
+	sleep := in.sleep
+	in.mu.Unlock()
+	if wait > 0 {
+		sleep(wait)
+	}
+	return err
+}
+
+// lookupLocked finds the most specific schedule for site.
+func (in *Injector) lookupLocked(site string) *schedule {
+	for {
+		if s, ok := in.sites[site]; ok {
+			return s
+		}
+		i := strings.LastIndexByte(site, '.')
+		if i < 0 {
+			return nil
+		}
+		site = site[:i]
+	}
+}
+
+// Calls reports how many Check calls were observed at site or below it.
+func (in *Injector) Calls(site string) int {
+	return in.count(site, func(s *siteStats) int { return s.calls })
+}
+
+// Injected reports how many faults fired at site or below it.
+func (in *Injector) Injected(site string) int {
+	return in.count(site, func(s *siteStats) int { return s.injected })
+}
+
+func (in *Injector) count(site string, f func(*siteStats) int) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 0
+	for name, s := range in.stats {
+		if name == site || strings.HasPrefix(name, site+".") {
+			n += f(s)
+		}
+	}
+	return n
+}
+
+// seedFor derives a per-operation jitter seed that is stable for a given
+// (policy seed, operation name) pair.
+func seedFor(seed int64, op string) int64 {
+	h := fnv.New64a()
+	//lint:ignore errdrop fnv hash writes cannot fail
+	_, _ = h.Write([]byte(op))
+	return seed ^ int64(h.Sum64())
+}

@@ -1,0 +1,79 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy retries transient failures with capped exponential backoff
+// and seeded jitter. The zero value is usable and applies the defaults
+// documented on each field.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (default 3).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt (default 1ms);
+	// it doubles per attempt.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 50ms).
+	MaxDelay time.Duration
+	// JitterSeed makes the jitter stream deterministic per (seed, op).
+	JitterSeed int64
+	// Sleep replaces time.Sleep (tests use a no-op).
+	Sleep func(time.Duration)
+	// Classify decides retryability (default IsTransient).
+	Classify func(error) bool
+	// OnRetry observes each retry decision (metrics hooks).
+	OnRetry func(op string, attempt int, err error)
+}
+
+// Do runs f until it succeeds, fails non-transiently, or the attempt
+// budget drains. The final error (wrapped with the attempt count when the
+// budget drained) keeps the original error in its chain, so classification
+// survives for callers.
+func (p RetryPolicy) Do(op string, f func() error) error {
+	attempts := p.MaxAttempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	base := p.BaseDelay
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	maxDelay := p.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 50 * time.Millisecond
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	classify := p.Classify
+	if classify == nil {
+		classify = IsTransient
+	}
+	rng := rand.New(rand.NewSource(seedFor(p.JitterSeed, op)))
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = f()
+		if err == nil {
+			return nil
+		}
+		if !classify(err) {
+			// Permanent: retrying cannot help.
+			return err
+		}
+		if attempt >= attempts {
+			return fmt.Errorf("%s: gave up after %d attempts: %w", op, attempts, err)
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(op, attempt, err)
+		}
+		d := base << (attempt - 1)
+		if d > maxDelay || d <= 0 {
+			d = maxDelay
+		}
+		// Jitter in [0.5, 1.0) of the backoff, from the seeded stream.
+		sleep(time.Duration(float64(d) * (0.5 + 0.5*rng.Float64())))
+	}
+}

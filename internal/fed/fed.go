@@ -75,6 +75,10 @@ type QueryResult struct {
 	// FromCache reports whether the result was served from a remote
 	// materialization.
 	FromCache bool
+	// FromFallback reports whether the result was served from the engine's
+	// validity-bounded fallback cache because the source was unreachable
+	// (§4.4 remote caching as degradation, not just acceleration).
+	FromFallback bool
 	// MaterializeTime is the extra time spent creating the remote
 	// materialization (zero on cache hits and uncached runs).
 	MaterializeTime time.Duration

@@ -11,6 +11,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"hana/internal/faults"
 )
 
 // BlockID identifies one block cluster-wide.
@@ -48,10 +50,26 @@ type Cluster struct {
 	dirs      map[string]bool
 	nextBlock BlockID
 	nextNode  int
+	inj       *faults.Injector
 
 	// Stats
 	BytesWritten int64
 	BytesRead    int64
+}
+
+// SetInjector routes cluster IO through a fault injector: writes consult
+// the "hdfs.write" site and block reads "hdfs.read". A nil injector
+// disables injection.
+func (c *Cluster) SetInjector(inj *faults.Injector) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inj = inj
+}
+
+func (c *Cluster) injector() *faults.Injector {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.inj
 }
 
 // Option configures a cluster.
@@ -112,6 +130,9 @@ func (c *Cluster) mkdirLocked(dir string) {
 // WriteFile stores a file, splitting it into replicated blocks. An
 // existing file at the path is replaced.
 func (c *Cluster) WriteFile(p string, data []byte) error {
+	if err := c.injector().Check("hdfs.write"); err != nil {
+		return err
+	}
 	p = clean(p)
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -147,7 +168,9 @@ func (c *Cluster) WriteFile(p string, data []byte) error {
 		}
 		c.nextNode = (c.nextNode + 1) % len(c.nodes)
 		if placed == 0 {
-			return fmt.Errorf("hdfs: no alive datanodes")
+			// Dead nodes may be revived, so placement failure is retryable.
+			//lint:ignore locksafe Transient only wraps the error, it takes no locks
+			return faults.Transient(fmt.Errorf("hdfs: no alive datanodes"))
 		}
 		fi.Blocks = append(fi.Blocks, bi)
 		c.BytesWritten += int64(len(chunk))
@@ -182,6 +205,9 @@ func (c *Cluster) ReadFile(p string) ([]byte, error) {
 
 // ReadBlock reads one block from any alive replica.
 func (c *Cluster) ReadBlock(b BlockInfo) ([]byte, error) {
+	if err := c.injector().Check("hdfs.read"); err != nil {
+		return nil, err
+	}
 	for _, nid := range b.Replicas {
 		n := c.nodes[nid]
 		n.mu.RLock()
@@ -195,7 +221,9 @@ func (c *Cluster) ReadBlock(b BlockInfo) ([]byte, error) {
 			return data, nil
 		}
 	}
-	return nil, fmt.Errorf("hdfs: block %d unavailable (all replicas dead)", b.ID)
+	// Every replica is on a dead node; reviving any of them makes the
+	// block readable again, so the failure is classified transient.
+	return nil, faults.Transient(fmt.Errorf("hdfs: block %d unavailable (all replicas dead)", b.ID))
 }
 
 // Stat returns file metadata.

@@ -21,10 +21,15 @@ import (
 //     — the bufio/file layer under the WAL and chunk files. Writes into
 //     in-memory bytes.Buffer/strings.Builder values are exempt (they
 //     cannot fail), as are _test.go files, where discarded errors are part
-//     of arranging negative cases and failures surface as assertions.
+//     of arranging negative cases and failures surface as assertions;
+//  3. in any file importing hana/internal/faults, a discarded call to a
+//     .Do or .Check method. Those are the retry and fault-injection
+//     boundaries: dropping their error silently swallows an injected
+//     failure or an exhausted retry, which is exactly the outage the
+//     resilience layer exists to surface.
 var ErrDrop = &Analyzer{
 	Name: "errdrop",
-	Doc:  "discarded error results from diskstore/txn/hdfs storage paths",
+	Doc:  "discarded error results from diskstore/txn/hdfs/faults storage paths",
 	Run:  runErrDrop,
 }
 
@@ -32,6 +37,13 @@ var errDropMonitored = map[string]bool{
 	"hana/internal/diskstore": true,
 	"hana/internal/txn":       true,
 	"hana/internal/hdfs":      true,
+	"hana/internal/faults":    true,
+}
+
+// faultBoundaryMethods are the internal/faults entry points consulted at
+// every remote boundary (RetryPolicy.Do, Injector.Check, Breaker.Allow).
+var faultBoundaryMethods = map[string]bool{
+	"Do": true, "Check": true, "Allow": true,
 }
 
 var wellKnownIOErr = map[string]bool{
@@ -52,6 +64,13 @@ func runErrDrop(pass *Pass) {
 			continue
 		}
 		imports := importMap(file)
+		importsFaults := false
+		for _, path := range imports {
+			if path == "hana/internal/faults" {
+				importsFaults = true
+				break
+			}
+		}
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
@@ -78,6 +97,10 @@ func runErrDrop(pass *Pass) {
 							}
 							return true
 						}
+					}
+					if importsFaults && faultBoundaryMethods[name] {
+						pass.Reportf(call.Pos(), "error from .%s is discarded at a fault-injection boundary", name)
+						return true
 					}
 					if !inMonitored {
 						return true

@@ -139,7 +139,10 @@ func TestFilterPatterns(t *testing.T) {
 		paths = append(paths, p)
 	}
 	sort.Strings(paths)
-	want := []string{"hana/internal/diskstore", "hana/internal/engine", "hana/internal/txn"}
+	want := []string{
+		"hana/internal/diskstore", "hana/internal/engine",
+		"hana/internal/faults", "hana/internal/remote", "hana/internal/txn",
+	}
 	if fmt.Sprint(paths) != fmt.Sprint(want) {
 		t.Errorf("Filter(./internal/...) = %v, want %v", paths, want)
 	}

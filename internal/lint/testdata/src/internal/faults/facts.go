@@ -1,0 +1,27 @@
+// Package faults is the fixture stand-in for hana/internal/faults: it
+// exports the boundary shapes errdrop cares about — an error-returning
+// package function (cross-package drops of it are findings) and the
+// Do/Check/Allow methods whose discarded errors mark a swallowed injected
+// failure in any file that imports the package.
+package faults
+
+// Injector is the fault-schedule stand-in.
+type Injector struct{}
+
+// Check consults the schedule for one site.
+func (in *Injector) Check(site string) error { return nil }
+
+// RetryPolicy is the retry-layer stand-in.
+type RetryPolicy struct{}
+
+// Do runs f under the policy.
+func (p RetryPolicy) Do(op string, f func() error) error { return f() }
+
+// Breaker is the circuit-breaker stand-in.
+type Breaker struct{}
+
+// Allow reports whether a call may proceed.
+func (b *Breaker) Allow() error { return nil }
+
+// Transient classifies an error as retryable.
+func Transient(err error) error { return err }

@@ -1,0 +1,33 @@
+// Fixture: swallowed errors at the fault-injection boundaries — discarded
+// Injector.Check, RetryPolicy.Do, and Breaker.Allow results in a file that
+// imports the faults package, plus a cross-package drop of a monitored
+// faults function.
+package remote
+
+import "hana/internal/faults"
+
+type shipper struct {
+	inj   *faults.Injector
+	retry faults.RetryPolicy
+	br    *faults.Breaker
+}
+
+// fire consults the injector but ignores the injected failure.
+func (s *shipper) fire(site string) {
+	s.inj.Check(site) // want errdrop
+}
+
+// run throws away the exhausted-retry error.
+func (s *shipper) run() {
+	_ = s.retry.Do("op", func() error { return nil }) // want errdrop
+}
+
+// admit ignores an open circuit.
+func (s *shipper) admit() {
+	s.br.Allow() // want errdrop
+}
+
+// classifyAndDrop loses the classified error it just built.
+func classifyAndDrop(err error) {
+	faults.Transient(err) // want errdrop
+}

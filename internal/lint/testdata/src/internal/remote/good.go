@@ -1,0 +1,22 @@
+// Fixture: the same boundaries handled properly — errors checked,
+// returned, or suppressed with a reasoned directive.
+package remote
+
+import "hana/internal/faults"
+
+// ship threads every boundary error to the caller.
+func ship(inj *faults.Injector, p faults.RetryPolicy, br *faults.Breaker, site string) error {
+	if err := br.Allow(); err != nil {
+		return err
+	}
+	if err := inj.Check(site); err != nil {
+		return err
+	}
+	return p.Do(site, func() error { return nil })
+}
+
+// probe documents a deliberate drop; the directive suppresses it.
+func probe(inj *faults.Injector) {
+	//lint:ignore errdrop probe outcome is recorded by the breaker, not the caller
+	_ = inj.Check("probe")
+}

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hana/internal/faults"
 	"hana/internal/hdfs"
 )
 
@@ -51,6 +52,13 @@ type Config struct {
 	DefaultReducers int           // reducers per job when the job doesn't say (default 4)
 	JobStartup      time.Duration // simulated job submission overhead
 	TaskStartup     time.Duration // simulated per-task scheduling overhead
+	// Faults injects failures at "mapreduce.map", "mapreduce.reduce" (the
+	// task attempts) on top of the cluster's own "hdfs.*" sites; nil
+	// disables injection.
+	Faults *faults.Injector
+	// Retry governs task re-scheduling and block re-reads; the zero value
+	// takes the faults package defaults (3 attempts).
+	Retry faults.RetryPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +81,18 @@ type Counters struct {
 	CombineOutRecords atomic.Int64
 	ReduceInputGroups atomic.Int64
 	ReduceOutRecords  atomic.Int64
+	TaskRetries       atomic.Int64
+}
+
+// merge folds a task-local scratch counter set into the engine totals.
+// Tasks count into a scratch set and merge only on a successful attempt,
+// so a re-scheduled task never double-counts.
+func (c *Counters) merge(s *Counters) {
+	c.MapInputRecords.Add(s.MapInputRecords.Load())
+	c.MapOutputRecords.Add(s.MapOutputRecords.Load())
+	c.CombineOutRecords.Add(s.CombineOutRecords.Load())
+	c.ReduceInputGroups.Add(s.ReduceInputGroups.Load())
+	c.ReduceOutRecords.Add(s.ReduceOutRecords.Load())
 }
 
 // JobResult reports one job's execution.
@@ -96,6 +116,19 @@ type Engine struct {
 // NewEngine creates an engine over the cluster.
 func NewEngine(c *hdfs.Cluster, cfg Config) *Engine {
 	return &Engine{cluster: c, cfg: cfg.withDefaults()}
+}
+
+// retry returns the task retry policy with retries counted per job run.
+func (e *Engine) retry() faults.RetryPolicy {
+	p := e.cfg.Retry
+	onRetry := p.OnRetry
+	p.OnRetry = func(op string, attempt int, err error) {
+		e.Counters.TaskRetries.Add(1)
+		if onRetry != nil {
+			onRetry(op, attempt, err)
+		}
+	}
+	return p
 }
 
 // Cluster returns the underlying HDFS.
@@ -163,44 +196,61 @@ func (e *Engine) Run(job *Job) (*JobResult, error) {
 			if e.cfg.TaskStartup > 0 {
 				time.Sleep(e.cfg.TaskStartup)
 			}
-			nparts := reducers
-			if nparts == 0 {
-				nparts = 1
-			}
-			parts := make([][]kv, nparts)
-			emit := func(k, v string) {
-				p := 0
-				if reducers > 0 {
-					p = int(hashKey(k) % uint64(reducers))
+			// Each attempt is a fresh task execution on scratch state;
+			// counters merge only once the attempt succeeds, so a
+			// re-scheduled task never double-counts.
+			var parts [][]kv
+			var scratch *Counters
+			err := e.retry().Do("mapreduce.map", func() error {
+				scratch = &Counters{}
+				if err := e.cfg.Faults.Check("mapreduce.map"); err != nil {
+					return err
 				}
-				parts[p] = append(parts[p], kv{k, v})
-				e.Counters.MapOutputRecords.Add(1)
-			}
-			for _, line := range lines {
-				e.Counters.MapInputRecords.Add(1)
-				mapFn(line, emit)
-			}
-			if job.Combine != nil && reducers > 0 {
-				for p := range parts {
-					parts[p] = combine(parts[p], job.Combine, &e.Counters)
+				nparts := reducers
+				if nparts == 0 {
+					nparts = 1
 				}
+				parts = make([][]kv, nparts)
+				emit := func(k, v string) {
+					p := 0
+					if reducers > 0 {
+						p = int(hashKey(k) % uint64(reducers))
+					}
+					parts[p] = append(parts[p], kv{k, v})
+					scratch.MapOutputRecords.Add(1)
+				}
+				for _, line := range lines {
+					scratch.MapInputRecords.Add(1)
+					mapFn(line, emit)
+				}
+				if job.Combine != nil && reducers > 0 {
+					for p := range parts {
+						parts[p] = combine(parts[p], job.Combine, scratch)
+					}
+				}
+				return nil
+			})
+			if err == nil {
+				e.Counters.merge(scratch)
 			}
-			outs[i] = mapOut{parts: parts}
+			outs[i] = mapOut{parts: parts, err: err}
 		}(i, split.lines, split.fn)
 	}
 	wg.Wait()
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, fmt.Errorf("job %s: map task %d: %w", job.Name, i, o.err)
+		}
+	}
 
 	res := &JobResult{MapTasks: len(splits), ReduceTasks: reducers}
 
 	if job.Reduce == nil {
 		// Map-only: write each task's output as a part-m file.
 		for i, o := range outs {
-			if o.err != nil {
-				return nil, o.err
-			}
 			name := fmt.Sprintf("%s/part-m-%05d", job.Output, i)
 			if err := e.writePart(name, o.parts[0]); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("job %s: %w", job.Name, err)
 			}
 			res.OutputFiles = append(res.OutputFiles, name)
 		}
@@ -228,23 +278,37 @@ func (e *Engine) Run(job *Job) (*JobResult, error) {
 			}
 			sort.SliceStable(all, func(i, j int) bool { return all[i].k < all[j].k })
 			var out []kv
-			emit := func(k, v string) {
-				out = append(out, kv{k, v})
-				e.Counters.ReduceOutRecords.Add(1)
-			}
-			for i := 0; i < len(all); {
-				j := i
-				for j < len(all) && all[j].k == all[i].k {
-					j++
+			var scratch *Counters
+			err := e.retry().Do("mapreduce.reduce", func() error {
+				scratch = &Counters{}
+				if err := e.cfg.Faults.Check("mapreduce.reduce"); err != nil {
+					return err
 				}
-				vals := make([]string, 0, j-i)
-				for _, p := range all[i:j] {
-					vals = append(vals, p.v)
+				out = out[:0]
+				emit := func(k, v string) {
+					out = append(out, kv{k, v})
+					scratch.ReduceOutRecords.Add(1)
 				}
-				e.Counters.ReduceInputGroups.Add(1)
-				job.Reduce(all[i].k, vals, emit)
-				i = j
+				for i := 0; i < len(all); {
+					j := i
+					for j < len(all) && all[j].k == all[i].k {
+						j++
+					}
+					vals := make([]string, 0, j-i)
+					for _, p := range all[i:j] {
+						vals = append(vals, p.v)
+					}
+					scratch.ReduceInputGroups.Add(1)
+					job.Reduce(all[i].k, vals, emit)
+					i = j
+				}
+				return nil
+			})
+			if err != nil {
+				rerrs[r] = fmt.Errorf("reduce task %d: %w", r, err)
+				return
 			}
+			e.Counters.merge(scratch)
 			name := fmt.Sprintf("%s/part-r-%05d", job.Output, r)
 			if err := e.writePart(name, out); err != nil {
 				rerrs[r] = err
@@ -318,7 +382,7 @@ func (e *Engine) computeSplits(inputs []string) ([][]string, error) {
 	}
 	var splits [][]string
 	for _, fi := range files {
-		data, err := e.cluster.ReadFile(fi.Path)
+		data, err := e.readInput(fi)
 		if err != nil {
 			return nil, err
 		}
@@ -344,6 +408,30 @@ func (e *Engine) computeSplits(inputs []string) ([][]string, error) {
 	return splits, nil
 }
 
+// readInput assembles a file block by block. hdfs.ReadBlock already fails
+// over across surviving replicas; on top of that the engine retries each
+// block (dead nodes may be revived between attempts) and contextualizes
+// the final error, preserving the cluster's "all replicas dead" cause.
+func (e *Engine) readInput(fi *hdfs.FileInfo) ([]byte, error) {
+	out := make([]byte, 0, fi.Size)
+	for _, b := range fi.Blocks {
+		var data []byte
+		err := e.retry().Do("hdfs.read", func() error {
+			d, err := e.cluster.ReadBlock(b)
+			if err != nil {
+				return err
+			}
+			data = d
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("input %s block %d: %w", fi.Path, b.ID, err)
+		}
+		out = append(out, data...)
+	}
+	return out, nil
+}
+
 func splitLines(s string) []string {
 	s = strings.TrimSuffix(s, "\n")
 	if s == "" {
@@ -352,6 +440,8 @@ func splitLines(s string) []string {
 	return strings.Split(s, "\n")
 }
 
+// writePart writes one task's output file, retrying transient cluster
+// failures. WriteFile replaces the target, so a retry never duplicates.
 func (e *Engine) writePart(name string, pairs []kv) error {
 	var b strings.Builder
 	for _, p := range pairs {
@@ -362,7 +452,10 @@ func (e *Engine) writePart(name string, pairs []kv) error {
 		b.WriteString(p.v)
 		b.WriteByte('\n')
 	}
-	return e.cluster.WriteFile(name, []byte(b.String()))
+	data := []byte(b.String())
+	return e.retry().Do("hdfs.write", func() error {
+		return e.cluster.WriteFile(name, data)
+	})
 }
 
 func hashKey(k string) uint64 {

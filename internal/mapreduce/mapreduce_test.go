@@ -6,7 +6,9 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
+	"hana/internal/faults"
 	"hana/internal/hdfs"
 )
 
@@ -247,5 +249,98 @@ func TestCountersAccumulate(t *testing.T) {
 	}
 	if e.Counters.MapInputRecords.Load() != 3 || e.Counters.ReduceInputGroups.Load() != 3 {
 		t.Fatalf("counters: %+v", e.Counters.MapInputRecords.Load())
+	}
+}
+
+func wordCountJob(name, in, out string) *Job {
+	return &Job{
+		Name:   name,
+		Inputs: []string{in},
+		Output: out,
+		Map: func(line string, emit func(k, v string)) {
+			for _, w := range strings.Fields(line) {
+				emit(w, "1")
+			}
+		},
+		Reduce: func(key string, values []string, emit func(k, v string)) {
+			emit(key, strconv.Itoa(len(values)))
+		},
+		NumReducers: 1,
+	}
+}
+
+func TestJobSurvivesDatanodeLossViaReplicas(t *testing.T) {
+	e, c := newTestEngine(t)
+	var doc strings.Builder
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&doc, "alpha beta gamma line%d\n", i)
+	}
+	_ = c.WriteFile("/in/big.txt", []byte(doc.String()))
+	// Replication factor is 2, so losing any single datanode leaves one
+	// live replica of every input block.
+	c.KillNode(0)
+	res, err := e.Run(wordCountJob("failover", "/in/big.txt", "/out/failover"))
+	if err != nil {
+		t.Fatalf("job must fall back to surviving replicas: %v", err)
+	}
+	if res.MapTasks < 2 {
+		t.Fatalf("want a multi-block input, got %d map tasks", res.MapTasks)
+	}
+	for _, l := range readOutput(t, c, "/out/failover") {
+		parts := strings.SplitN(l, "\t", 2)
+		if (parts[0] == "alpha" || parts[0] == "beta") && parts[1] != "40" {
+			t.Fatalf("lost records reading via replicas: %s", l)
+		}
+	}
+}
+
+func TestAllReplicasDeadIsClassifiedTransient(t *testing.T) {
+	c := hdfs.NewCluster(3, hdfs.WithBlockSize(256), hdfs.WithReplication(2))
+	e := NewEngine(c, Config{MapSlots: 4, ReduceSlots: 2, DefaultReducers: 1,
+		Retry: faults.RetryPolicy{MaxAttempts: 2, Sleep: func(time.Duration) {}}})
+	_ = c.WriteFile("/in/doc.txt", []byte("a b c\nd e f"))
+	for i := 0; i < c.NumNodes(); i++ {
+		c.KillNode(i)
+	}
+	_, err := e.Run(wordCountJob("dead", "/in/doc.txt", "/out/dead"))
+	if err == nil {
+		t.Fatal("job over dead cluster must fail")
+	}
+	if !strings.Contains(err.Error(), "all replicas dead") {
+		t.Fatalf("error must name the replica outage: %v", err)
+	}
+	if !faults.IsTransient(err) {
+		t.Fatalf("replica outage must stay retryable through wrapping: %v", err)
+	}
+	// Reviving the nodes makes the same job succeed: the failure really
+	// was transient.
+	for i := 0; i < c.NumNodes(); i++ {
+		c.ReviveNode(i)
+	}
+	if _, err := e.Run(wordCountJob("dead2", "/in/doc.txt", "/out/dead2")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapTaskRetriesDoNotDoubleCount(t *testing.T) {
+	c := hdfs.NewCluster(3, hdfs.WithBlockSize(256), hdfs.WithReplication(2))
+	inj := faults.New(7)
+	inj.SetSleep(func(time.Duration) {})
+	e := NewEngine(c, Config{MapSlots: 4, ReduceSlots: 2, DefaultReducers: 1,
+		Faults: inj,
+		Retry:  faults.RetryPolicy{MaxAttempts: 3, Sleep: func(time.Duration) {}}})
+	_ = c.WriteFile("/in/doc.txt", []byte("x\ny\nz"))
+	// Two injected map failures are absorbed by the three attempts.
+	inj.FailN("mapreduce.map", 2)
+	if _, err := e.Run(wordCountJob("retry", "/in/doc.txt", "/out/retry")); err != nil {
+		t.Fatalf("transient map failures must be re-scheduled: %v", err)
+	}
+	if got := e.Counters.TaskRetries.Load(); got != 2 {
+		t.Fatalf("TaskRetries = %d, want 2", got)
+	}
+	// Scratch counters merge only on the successful attempt, so retried
+	// tasks never double-count.
+	if got := e.Counters.MapInputRecords.Load(); got != 3 {
+		t.Fatalf("MapInputRecords = %d, want 3 (no double-count on retry)", got)
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+
+	"hana/internal/faults"
 )
 
 // fakePart is a scripted participant.
@@ -171,14 +173,16 @@ func TestAbortRunsUndoInReverseOrder(t *testing.T) {
 
 func TestInjectedFailures(t *testing.T) {
 	m := NewManager(nil)
+	inj := faults.New(1)
+	m.SetInjector(inj)
 	p := &fakePart{name: "ext"}
-	m.FailNext("prepare", "ext")
+	inj.FailN("txn.prepare.ext", 1)
 	tx := m.Begin()
 	tx.Enlist(p)
 	if _, err := m.Commit(tx); err == nil {
 		t.Fatal("injected prepare failure must abort")
 	}
-	m.FailNext("commit", "ext")
+	inj.FailN("txn.commit.ext", 1)
 	tx2 := m.Begin()
 	tx2.Enlist(p)
 	if _, err := m.Commit(tx2); err != nil {
@@ -186,6 +190,13 @@ func TestInjectedFailures(t *testing.T) {
 	}
 	if len(m.InDoubt()) != 1 {
 		t.Fatal("injected commit failure must leave in-doubt")
+	}
+	// The injected schedule is drained: resolution re-delivers the commit.
+	if err := m.Resolve(tx2.TID, p, true); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.InDoubt()) != 0 {
+		t.Fatal("resolve must drain the in-doubt branch")
 	}
 }
 
