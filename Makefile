@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-selftest test race chaos bench check
+.PHONY: all build vet lint lint-selftest test race chaos bench bench-smoke check
 
 all: check
 
@@ -41,6 +41,14 @@ chaos:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# One iteration of every benchmark (compile + run sanity, not timing), plus
+# the morsel-executor report. Speedup > 1 needs GOMAXPROCS > 1; the JSON
+# records num_cpu so single-core runners are self-explaining, and the
+# target never fails on the measured ratio.
+bench-smoke:
+	$(GO) test -bench . -benchtime=1x -run '^$$' .
+	$(GO) run ./cmd/benchpar -sf 0.02 -workers 4 -iters 3 -out BENCH_parallel.json
 
 # Everything CI runs.
 check: build vet lint lint-selftest race chaos

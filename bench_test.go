@@ -11,6 +11,7 @@ package hana
 // benchmark harness.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -70,7 +71,7 @@ func BenchmarkFig14RemoteMaterialization(b *testing.B) {
 			fed.Server.MS.CacheInvalidateAll()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := fed.Engine.Execute(sql); err != nil {
+				if _, err := fed.Engine.ExecuteContext(context.Background(), sql); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -78,12 +79,12 @@ func BenchmarkFig14RemoteMaterialization(b *testing.B) {
 		b.Run(fmt.Sprintf("Q%02d/cached", id), func(b *testing.B) {
 			fed.Server.MS.CacheInvalidateAll()
 			// Populate the materialization outside the timed region.
-			if _, err := fed.Engine.Execute(hinted); err != nil {
+			if _, err := fed.Engine.ExecuteContext(context.Background(), hinted); err != nil {
 				b.Fatal(err)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := fed.Engine.Execute(hinted); err != nil {
+				if _, err := fed.Engine.ExecuteContext(context.Background(), hinted); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -103,7 +104,7 @@ func BenchmarkFig15MaterializationOverhead(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				// Invalidate so every iteration pays the materialization.
 				fed.Server.MS.CacheInvalidateAll()
-				if _, err := fed.Engine.Execute(hinted); err != nil {
+				if _, err := fed.Engine.ExecuteContext(context.Background(), hinted); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -119,7 +120,7 @@ func BenchmarkCapabilityShipping(b *testing.B) {
 	sql := `SELECT COUNT(*) FROM customer JOIN orders ON c_custkey = o_custkey WHERE c_mktsegment = 'BUILDING'`
 	b.Run("with-CAP_JOINS", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := fed.Engine.Execute(sql); err != nil {
+			if _, err := fed.Engine.ExecuteContext(context.Background(), sql); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -129,18 +130,18 @@ func BenchmarkCapabilityShipping(b *testing.B) {
 	b.Run("without-CAP_JOINS", func(b *testing.B) {
 		e2 := engine.New(engine.Config{ExtendedStorageDir: b.TempDir()})
 		e2.Registry().Register("hiveodbc", limitedFactory())
-		if _, err := e2.Execute(fmt.Sprintf(
+		if _, err := e2.ExecuteContext(context.Background(), fmt.Sprintf(
 			`CREATE REMOTE SOURCE H ADAPTER "hiveodbc" CONFIGURATION 'DSN=%s'`, fed.Host)); err != nil {
 			b.Fatal(err)
 		}
 		for _, t := range []string{"customer", "orders"} {
-			if _, err := e2.Execute(fmt.Sprintf(`CREATE VIRTUAL TABLE %s AT "H"."d"."d"."%s"`, t, t)); err != nil {
+			if _, err := e2.ExecuteContext(context.Background(), fmt.Sprintf(`CREATE VIRTUAL TABLE %s AT "H"."d"."d"."%s"`, t, t)); err != nil {
 				b.Fatal(err)
 			}
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := e2.Execute(sql); err != nil {
+			if _, err := e2.ExecuteContext(context.Background(), sql); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -268,7 +269,7 @@ func BenchmarkESPIntegration(b *testing.B) {
 func BenchmarkHybridAging(b *testing.B) {
 	dir := b.TempDir()
 	e := engine.New(engine.Config{ExtendedStorageDir: dir})
-	if _, err := e.Execute(`CREATE TABLE f (id BIGINT, v DOUBLE, d DATE, aged BOOLEAN)
+	if _, err := e.ExecuteContext(context.Background(), `CREATE TABLE f (id BIGINT, v DOUBLE, d DATE, aged BOOLEAN)
 		PARTITION BY RANGE (d) (
 			PARTITION VALUES < DATE '2014-01-01' USING EXTENDED STORAGE,
 			PARTITION OTHERS)`); err != nil {
@@ -288,7 +289,7 @@ func BenchmarkHybridAging(b *testing.B) {
 	run := func(b *testing.B, sql string) {
 		b.Helper()
 		for i := 0; i < b.N; i++ {
-			if _, err := e.Execute(sql); err != nil {
+			if _, err := e.ExecuteContext(context.Background(), sql); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,0 +1,63 @@
+// Command benchpar measures the morsel executor: every workload in
+// bench.ParallelWorkloads at parallelism 1 vs N over an all-local TPC-H
+// fixture, written as JSON (BENCH_parallel.json in CI).
+//
+//	benchpar -sf 0.02 -workers 4 -iters 3 -out BENCH_parallel.json
+//
+// Speedup is wall-clock serial/parallel; it only exceeds 1 when
+// GOMAXPROCS > 1 (the report records num_cpu and gomaxprocs so a 1.0x
+// result on a single-core runner is self-explaining).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"hana/internal/bench"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.02, "TPC-H scale factor")
+	workers := flag.Int("workers", 4, "parallel worker count")
+	iters := flag.Int("iters", 3, "runs per measurement (best is kept)")
+	out := flag.String("out", "", "write JSON report here (default stdout)")
+	flag.Parse()
+
+	dir, err := os.MkdirTemp("", "benchpar")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	e, err := bench.SetupLocalTPCH(*sf, 2015, dir, *workers)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := bench.RunParallelBench(e, *sf, *workers, *iters)
+	if err != nil {
+		fatal(err)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	for _, r := range rep.Results {
+		fmt.Printf("%-6s %8.2fms serial  %8.2fms x%d  speedup %.2fx\n",
+			r.Workload, r.SerialMS, r.ParallelMS, r.Workers, r.Speedup)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchpar:", err)
+	os.Exit(1)
+}

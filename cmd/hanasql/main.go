@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"bufio"
 	"flag"
 	"fmt"
@@ -66,7 +67,7 @@ func main() {
 
 func runStatements(e *engine.Engine, sql string) error {
 	for _, stmt := range splitStatements(sql) {
-		res, err := e.Execute(stmt)
+		res, err := e.ExecuteContext(context.Background(), stmt)
 		if err != nil {
 			return err
 		}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -104,7 +105,7 @@ func demo(p *platform.Platform) error {
 			return err
 		}
 		sys, _ := p.System(step.to)
-		res, err := sys.Engine.Execute(`SELECT region, SUM(kwh) FROM meters GROUP BY region ORDER BY region`)
+		res, err := sys.Engine.ExecuteContext(context.Background(), `SELECT region, SUM(kwh) FROM meters GROUP BY region ORDER BY region`)
 		if err != nil {
 			return err
 		}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -20,7 +21,7 @@ func main() {
 
 	e := engine.New(engine.Config{ExtendedStorageDir: dir})
 	must := func(sql string) *engine.Result {
-		res, err := e.Execute(sql)
+		res, err := e.ExecuteContext(context.Background(), sql)
 		if err != nil {
 			log.Fatalf("%s\n-> %v", sql, err)
 		}
@@ -43,13 +44,13 @@ func main() {
 	fmt.Println("\n== snapshot isolation ==")
 	reader := e.Begin()
 	writer := e.Begin()
-	if _, err := e.ExecuteTx(writer, `INSERT INTO orders VALUES (5,'dave',42.0,DATE '2015-03-01')`); err != nil {
+	if _, err := e.ExecuteContext(context.Background(), `INSERT INTO orders VALUES (5,'dave',42.0,DATE '2015-03-01')`, engine.WithTx(writer)); err != nil {
 		log.Fatal(err)
 	}
 	if err := e.CommitTx(writer); err != nil {
 		log.Fatal(err)
 	}
-	r1, _ := e.ExecuteTx(reader, `SELECT COUNT(*) FROM orders`)
+	r1, _ := e.ExecuteContext(context.Background(), `SELECT COUNT(*) FROM orders`, engine.WithTx(reader))
 	fmt.Printf("  reader (old snapshot) sees %d orders\n", r1.Rows[0][0].Int())
 	_ = e.CommitTx(reader)
 	r2 := must(`SELECT COUNT(*) FROM orders`)

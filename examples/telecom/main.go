@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -37,7 +38,7 @@ func main() {
 	mr := mapreduce.NewEngine(cluster, mapreduce.Config{MapSlots: 8, ReduceSlots: 4})
 
 	must := func(sql string) *engine.Result {
-		res, err := db.Execute(sql)
+		res, err := db.ExecuteContext(context.Background(), sql)
 		if err != nil {
 			log.Fatalf("%s -> %v", sql, err)
 		}
@@ -78,7 +79,7 @@ func main() {
 		"event_type = 'CALL_DROP'", "event_type = 'CALL_DROP'", "event_type = 'CALL_DROP'",
 	}, time.Minute, func(evs []esp.Event) {
 		cell := evs[0].Row[0].Int()
-		_, _ = db.Execute(fmt.Sprintf(
+		_, _ = db.ExecuteContext(context.Background(), fmt.Sprintf(
 			`INSERT INTO alerts VALUES (%d, 'outage pattern: 3 dropped calls within 1 minute')`, cell))
 	}); err != nil {
 		log.Fatal(err)
@@ -113,7 +114,7 @@ func main() {
 	if err := health.Forward(now.Add(5*time.Minute), esp.SinkFunc(
 		func(rows []value.Row, _ *value.Schema) error {
 			for _, r := range rows {
-				_, err := db.Execute(fmt.Sprintf(`INSERT INTO network_health VALUES (%d, %f, %d)`,
+				_, err := db.ExecuteContext(context.Background(), fmt.Sprintf(`INSERT INTO network_health VALUES (%d, %f, %d)`,
 					r[0].Int(), r[1].Float(), r[2].Int()))
 				if err != nil {
 					return err

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -24,7 +25,7 @@ func main() {
 
 	e := engine.New(engine.Config{ExtendedStorageDir: dir, SemiJoinThreshold: 64})
 	must := func(sql string) *engine.Result {
-		res, err := e.Execute(sql)
+		res, err := e.ExecuteContext(context.Background(), sql)
 		if err != nil {
 			log.Fatalf("%s -> %v", sql, err)
 		}

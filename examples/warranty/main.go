@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -80,7 +81,7 @@ func main() {
 	db := engine.New(engine.Config{ExtendedStorageDir: dir})
 	db.Registry().Register("hiveodbc", hive.NewAdapterFactory())
 	must := func(sql string) *engine.Result {
-		res, err := db.Execute(sql)
+		res, err := db.ExecuteContext(context.Background(), sql)
 		if err != nil {
 			log.Fatalf("%s -> %v", sql, err)
 		}

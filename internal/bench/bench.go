@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -96,13 +97,13 @@ func SetupFederation(cfg FederationConfig) (*Federation, error) {
 	e.Registry().Register("hiveodbc", hive.NewAdapterFactory())
 	e.Registry().Register("hadoop", hive.NewHadoopAdapterFactory())
 
-	if _, err := e.Execute(fmt.Sprintf(
+	if _, err := e.ExecuteContext(context.Background(), fmt.Sprintf(
 		`CREATE REMOTE SOURCE HIVE1 ADAPTER "hiveodbc" CONFIGURATION 'DSN=%s'
 		 WITH CREDENTIAL TYPE 'PASSWORD' USING 'user=dfuser;password=dfpass'`, host)); err != nil {
 		return nil, err
 	}
 	for _, t := range tpch.FederatedTables {
-		if _, err := e.Execute(fmt.Sprintf(
+		if _, err := e.ExecuteContext(context.Background(), fmt.Sprintf(
 			`CREATE VIRTUAL TABLE %s AT "HIVE1"."dflo"."dflo"."%s"`, t, t)); err != nil {
 			return nil, err
 		}
@@ -131,7 +132,7 @@ func createLocal(e *engine.Engine, name string, schema *value.Schema, rows []val
 		ddl += c.Name + " " + c.Kind.String()
 	}
 	ddl += ")"
-	if _, err := e.Execute(ddl); err != nil {
+	if _, err := e.ExecuteContext(context.Background(), ddl); err != nil {
 		return err
 	}
 	if err := e.BulkLoad(name, rows); err != nil {
@@ -169,7 +170,7 @@ func (f *Federation) RunFig14() ([]Fig14Row, error) {
 		// Normal execution mode (baseline of the paper's comparison).
 		f.Server.MS.CacheInvalidateAll()
 		start := time.Now()
-		res, err := f.Engine.Execute(sql)
+		res, err := f.Engine.ExecuteContext(context.Background(), sql)
 		if err != nil {
 			return nil, fmt.Errorf("Q%d normal: %w", id, err)
 		}
@@ -177,14 +178,14 @@ func (f *Federation) RunFig14() ([]Fig14Row, error) {
 
 		// First hinted run: executes + materializes remotely.
 		start = time.Now()
-		if _, err := f.Engine.Execute(hinted); err != nil {
+		if _, err := f.Engine.ExecuteContext(context.Background(), hinted); err != nil {
 			return nil, fmt.Errorf("Q%d first hinted: %w", id, err)
 		}
 		first := time.Since(start)
 
 		// Warm run: served from the remote materialization.
 		start = time.Now()
-		res2, err := f.Engine.Execute(hinted)
+		res2, err := f.Engine.ExecuteContext(context.Background(), hinted)
 		if err != nil {
 			return nil, fmt.Errorf("Q%d cached: %w", id, err)
 		}
@@ -333,7 +334,7 @@ type Fig7Result struct {
 // below the join boundary's data movement.
 func RunFig7(extDir string, factRows int) (*Fig7Result, error) {
 	e := engine.New(engine.Config{ExtendedStorageDir: extDir, SemiJoinThreshold: 64})
-	if _, err := e.Execute(`CREATE TABLE dim (d_key BIGINT, d_name VARCHAR(20))`); err != nil {
+	if _, err := e.ExecuteContext(context.Background(), `CREATE TABLE dim (d_key BIGINT, d_name VARCHAR(20))`); err != nil {
 		return nil, err
 	}
 	var dims []value.Row
@@ -346,7 +347,7 @@ func RunFig7(extDir string, factRows int) (*Fig7Result, error) {
 	if err := e.Analyze("dim"); err != nil {
 		return nil, err
 	}
-	if _, err := e.Execute(`CREATE TABLE fact (f_key BIGINT, f_val DOUBLE) USING EXTENDED STORAGE`); err != nil {
+	if _, err := e.ExecuteContext(context.Background(), `CREATE TABLE fact (f_key BIGINT, f_val DOUBLE) USING EXTENDED STORAGE`); err != nil {
 		return nil, err
 	}
 	var facts []value.Row
@@ -356,7 +357,7 @@ func RunFig7(extDir string, factRows int) (*Fig7Result, error) {
 	if err := e.BulkLoad("fact", facts); err != nil {
 		return nil, err
 	}
-	res, err := e.Execute(`SELECT d_name, SUM(f_val) FROM dim, fact
+	res, err := e.ExecuteContext(context.Background(), `SELECT d_name, SUM(f_val) FROM dim, fact
 		WHERE d_key = f_key AND d_name = 'dim-0042' GROUP BY d_name`)
 	if err != nil {
 		return nil, err

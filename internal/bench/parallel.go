@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"hana/internal/engine"
+	"hana/internal/tpch"
+)
+
+// The morsel-executor benchmark: the same TPC-H workloads at parallelism 1
+// and parallelism N over an all-local engine, so the only variable is the
+// worker pool. Results land in BENCH_parallel.json via cmd/benchpar and in
+// the root BenchmarkParallel* benches.
+
+// ParallelWorkloads are the measured queries. Scan exercises the morsel
+// table scan (filter pushed into the morsel loop); Agg exercises the
+// parallel hash aggregation with per-worker partials; Join exercises the
+// partitioned hash-join build/probe.
+var ParallelWorkloads = []struct {
+	Name string
+	SQL  string
+}{
+	{"scan", `SELECT l_orderkey, l_extendedprice FROM lineitem WHERE l_extendedprice > 4000 AND l_discount > 0.05`},
+	{"agg", tpch.Queries()[1].SQL},
+	{"join", `SELECT o_orderpriority, COUNT(*) FROM orders, lineitem
+		WHERE l_orderkey = o_orderkey AND l_shipdate > DATE '1995-03-15'
+		GROUP BY o_orderpriority`},
+}
+
+// SetupLocalTPCH loads the full TPC-H fixture into a single all-local
+// engine whose pool admits up to `parallelism` workers.
+func SetupLocalTPCH(sf float64, seed int64, extDir string, parallelism int) (*engine.Engine, error) {
+	data := tpch.Generate(sf, seed)
+	schemas := tpch.Schemas()
+	e := engine.New(engine.Config{
+		ExtendedStorageDir: extDir,
+		Parallelism:        parallelism,
+	})
+	for name, rows := range data.Tables {
+		if err := createLocal(e, name, schemas[name], rows); err != nil {
+			return nil, fmt.Errorf("load %s: %w", name, err)
+		}
+	}
+	return e, nil
+}
+
+// ParallelResult is one workload's serial-vs-parallel measurement.
+type ParallelResult struct {
+	Workload   string  `json:"workload"`
+	Rows       int     `json:"rows"`
+	SerialMS   float64 `json:"serial_ms"`
+	ParallelMS float64 `json:"parallel_ms"`
+	Workers    int     `json:"workers"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// ParallelReport is the BENCH_parallel.json payload.
+type ParallelReport struct {
+	SF         float64          `json:"sf"`
+	NumCPU     int              `json:"num_cpu"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Iterations int              `json:"iterations"`
+	Results    []ParallelResult `json:"results"`
+}
+
+// RunParallelBench measures every workload at parallelism 1 and
+// `workers`, taking the best of `iters` runs each (min, not mean: the
+// interesting number is the cost of the work, not of the scheduler).
+func RunParallelBench(e *engine.Engine, sf float64, workers, iters int) (*ParallelReport, error) {
+	ctx := context.Background()
+	rep := &ParallelReport{
+		SF:         sf,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Iterations: iters,
+	}
+	best := func(sql string, width int) (time.Duration, int, error) {
+		min := time.Duration(0)
+		rows := 0
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			res, err := e.ExecuteContext(ctx, sql, engine.WithParallelism(width))
+			d := time.Since(start)
+			if err != nil {
+				return 0, 0, err
+			}
+			rows = len(res.Rows)
+			if min == 0 || d < min {
+				min = d
+			}
+		}
+		return min, rows, nil
+	}
+	for _, w := range ParallelWorkloads {
+		serial, rows, err := best(w.SQL, 1)
+		if err != nil {
+			return nil, fmt.Errorf("%s serial: %w", w.Name, err)
+		}
+		par, _, err := best(w.SQL, workers)
+		if err != nil {
+			return nil, fmt.Errorf("%s parallel: %w", w.Name, err)
+		}
+		speedup := 0.0
+		if par > 0 {
+			speedup = float64(serial) / float64(par)
+		}
+		rep.Results = append(rep.Results, ParallelResult{
+			Workload:   w.Name,
+			Rows:       rows,
+			SerialMS:   float64(serial) / float64(time.Millisecond),
+			ParallelMS: float64(par) / float64(time.Millisecond),
+			Workers:    workers,
+			Speedup:    speedup,
+		})
+	}
+	return rep, nil
+}

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -112,7 +113,7 @@ func newChaosStack(t *testing.T, seed int64) *chaosStack {
 
 func mustExec(t *testing.T, e *engine.Engine, sql string) *engine.Result {
 	t.Helper()
-	res, err := e.Execute(sql)
+	res, err := e.ExecuteContext(context.Background(), sql)
 	if err != nil {
 		t.Fatalf("%s: %v", sql, err)
 	}
@@ -188,7 +189,7 @@ func TestChaosFederatedWorkloadSurvivesFaultSchedule(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < queriesEach; i++ {
 				q := chaosQueries[(w+i)%len(chaosQueries)]
-				if _, err := s.e.Execute(q); err != nil {
+				if _, err := s.e.ExecuteContext(context.Background(), q); err != nil {
 					mu.Lock()
 					queryErrs = append(queryErrs, err)
 					mu.Unlock()
@@ -203,7 +204,7 @@ func TestChaosFederatedWorkloadSurvivesFaultSchedule(t *testing.T) {
 			for i := 0; i < txnsEach; i++ {
 				id := int64(w*txnsEach + i + 1)
 				tx := s.e.Begin()
-				if _, err := s.e.ExecuteTx(tx, fmt.Sprintf("INSERT INTO chaos_txn VALUES (%d)", id)); err != nil {
+				if _, err := s.e.ExecuteContext(context.Background(), fmt.Sprintf("INSERT INTO chaos_txn VALUES (%d)", id), engine.WithTx(tx)); err != nil {
 					t.Errorf("insert %d: %v", id, err)
 					return
 				}

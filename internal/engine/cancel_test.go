@@ -1,0 +1,31 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// A cancelled context must surface from ExecuteContext instead of the
+// query running to completion: the pool workers check ctx between
+// morsels and Run reports ctx.Err().
+func TestExecuteContextCancelled(t *testing.T) {
+	e := newTestEngine(t)
+	exec1(t, e, `CREATE TABLE t (a BIGINT)`)
+	exec1(t, e, `INSERT INTO t VALUES (1), (2), (3)`)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.ExecuteContext(ctx, `SELECT COUNT(*) FROM t`); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Federated leaves honour the same context.
+	if _, err := e.ExecuteContext(ctx, `SELECT * FROM M_TABLES()`); !errors.Is(err, context.Canceled) {
+		t.Fatalf("table function: err = %v, want context.Canceled", err)
+	}
+	// The engine recovers: the same query succeeds with a live context.
+	res, err := e.ExecuteContext(context.Background(), `SELECT COUNT(*) FROM t`)
+	if err != nil || res.Rows[0][0].Int() != 3 {
+		t.Fatalf("after cancel: %v %v", res, err)
+	}
+}

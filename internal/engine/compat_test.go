@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"hana/internal/value"
+)
+
+// The deprecated Execute* variants are thin wrappers over ExecuteContext.
+// These tests pin their behaviour: each wrapper must return exactly what
+// the equivalent ExecuteContext call returns, so existing callers can
+// migrate at their own pace.
+
+func sameResult(t *testing.T, name string, got, want *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Rows, want.Rows) {
+		t.Fatalf("%s rows = %v, want %v", name, got.Rows, want.Rows)
+	}
+	if !reflect.DeepEqual(got.Schema, want.Schema) {
+		t.Fatalf("%s schema = %v, want %v", name, got.Schema, want.Schema)
+	}
+	if got.Affected != want.Affected {
+		t.Fatalf("%s affected = %d, want %d", name, got.Affected, want.Affected)
+	}
+}
+
+func TestDeprecatedExecuteMatchesExecuteContext(t *testing.T) {
+	e := newTestEngine(t)
+	exec1(t, e, `CREATE TABLE t (a BIGINT, b VARCHAR(10))`)
+	exec1(t, e, `INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')`)
+
+	const q = `SELECT a, b FROM t WHERE a >= 2 ORDER BY a`
+	want, err := e.ExecuteContext(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "Execute", got, want)
+}
+
+func TestDeprecatedExecuteParamsMatchesExecuteContext(t *testing.T) {
+	e := newTestEngine(t)
+	exec1(t, e, `CREATE TABLE t (a BIGINT, b VARCHAR(10))`)
+	exec1(t, e, `INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')`)
+
+	const q = `SELECT b FROM t WHERE a = ?`
+	p := value.NewInt(2)
+	want, err := e.ExecuteContext(context.Background(), q, WithParams(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.ExecuteParams(q, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "ExecuteParams", got, want)
+	if len(got.Rows) != 1 || got.Rows[0][0].String() != "y" {
+		t.Fatalf("rows = %v", got.Rows)
+	}
+}
+
+func TestDeprecatedExecuteTxMatchesExecuteContext(t *testing.T) {
+	e := newTestEngine(t)
+	exec1(t, e, `CREATE TABLE t (a BIGINT)`)
+	exec1(t, e, `INSERT INTO t VALUES (1), (2)`)
+
+	tx := e.Begin()
+	defer func() { _ = e.Rollback(tx) }()
+	const q = `SELECT COUNT(*) FROM t`
+	want, err := e.ExecuteContext(context.Background(), q, WithTx(tx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.ExecuteTx(tx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "ExecuteTx", got, want)
+	if got.Rows[0][0].Int() != 2 {
+		t.Fatalf("count = %v", got.Rows)
+	}
+}
+
+func TestDeprecatedExecuteScriptMatchesExecuteContext(t *testing.T) {
+	const script = `
+		CREATE TABLE s (a BIGINT);
+		INSERT INTO s VALUES (10), (20);
+		SELECT SUM(a) FROM s`
+
+	e1 := newTestEngine(t)
+	want, err := e1.ExecuteContext(context.Background(), script, WithScript())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := newTestEngine(t)
+	got, err := e2.ExecuteScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "ExecuteScript", got, want)
+	if got.Rows[0][0].Int() != 30 {
+		t.Fatalf("sum = %v", got.Rows)
+	}
+}
+
+// Errors must surface identically through the wrappers.
+func TestDeprecatedWrappersPropagateErrors(t *testing.T) {
+	e := newTestEngine(t)
+	if _, err := e.Execute(`SELECT * FROM nope`); err == nil {
+		t.Fatal("Execute must propagate errors")
+	}
+	if _, err := e.ExecuteParams(`SELECT * FROM nope WHERE a = ?`, value.NewInt(1)); err == nil {
+		t.Fatal("ExecuteParams must propagate errors")
+	}
+	tx := e.Begin()
+	defer func() { _ = e.Rollback(tx) }()
+	if _, err := e.ExecuteTx(tx, `SELECT * FROM nope`); err == nil {
+		t.Fatal("ExecuteTx must propagate errors")
+	}
+	if _, err := e.ExecuteScript(`SELECT * FROM nope; SELECT 1`); err == nil {
+		t.Fatal("ExecuteScript must propagate errors")
+	}
+}

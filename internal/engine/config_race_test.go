@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// SetClock, SetRemoteCache and SetRemoteCacheValidity are documented as
+// safe to call while queries are in flight. Run them concurrently with
+// local and federated reads; `go test -race` flags any unguarded access
+// to the shared config.
+func TestConfigMutationConcurrentWithQueries(t *testing.T) {
+	e, _, _, _ := newResilientSetup(t)
+
+	const iters = 50
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+
+	// Mutators: clock, remote-cache toggle, validity.
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < iters; i++ {
+			fixed := time.Unix(int64(2000+i), 0)
+			e.SetClock(func() time.Time { return fixed })
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < iters; i++ {
+			e.SetRemoteCache(i%2 == 0)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < iters; i++ {
+			e.SetRemoteCacheValidity(time.Duration(i) * time.Millisecond)
+			_ = e.Config()
+		}
+	}()
+
+	// Readers: local scans (parallel executor), federated scans (retry /
+	// breaker / cache paths read the mutable config).
+	for r := 0; r < 2; r++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < iters; i++ {
+				if _, err := e.ExecuteContext(context.Background(), `SELECT COUNT(*) FROM loc`); err != nil {
+					t.Errorf("local query: %v", err)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < iters; i++ {
+				if _, err := e.ExecuteContext(context.Background(), `SELECT k, v FROM V_T`); err != nil {
+					t.Errorf("remote query: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	close(start)
+	wg.Wait()
+}

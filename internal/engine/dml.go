@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"hana/internal/expr"
@@ -9,7 +10,7 @@ import (
 	"hana/internal/value"
 )
 
-func (e *Engine) insert(tx *txn.Txn, st *sqlparse.InsertStmt) (*Result, error) {
+func (e *Engine) insert(ctx context.Context, tx *txn.Txn, st *sqlparse.InsertStmt, width int) (*Result, error) {
 	t, err := e.table(st.Table)
 	if err != nil {
 		return nil, err
@@ -61,7 +62,7 @@ func (e *Engine) insert(tx *txn.Txn, st *sqlparse.InsertStmt) (*Result, error) {
 
 	var count int64
 	if st.Select != nil {
-		res, err := e.query(tx, st.Select)
+		res, err := e.query(ctx, tx, st.Select, width)
 		if err != nil {
 			return nil, err
 		}
@@ -328,28 +329,19 @@ func (e *Engine) TableRowCount(table string) (int64, error) {
 
 // PartitionRowCounts reports visible rows per partition, flagging cold
 // partitions — used by examples and the aging bench.
-func (e *Engine) PartitionRowCounts(table string) ([]struct {
-	Cold bool
-	Rows int64
-}, error) {
+func (e *Engine) PartitionRowCounts(table string) ([]PartitionCount, error) {
 	t, err := e.table(table)
 	if err != nil {
 		return nil, err
 	}
 	snapshot := e.mgr.LastCID()
-	var out []struct {
-		Cold bool
-		Rows int64
-	}
+	var out []PartitionCount
 	for _, p := range t.parts {
 		rows, err := p.visibleRows(snapshot, 0, nil)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, struct {
-			Cold bool
-			Rows int64
-		}{Cold: p.cold, Rows: int64(len(rows))})
+		out = append(out, PartitionCount{Cold: p.cold, Rows: int64(len(rows))})
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"hana/internal/catalog"
 	"hana/internal/diskstore"
+	"hana/internal/exec"
 	"hana/internal/faults"
 	"hana/internal/fed"
 	"hana/internal/sqlparse"
@@ -46,6 +48,10 @@ type Config struct {
 	// BreakerCooldown is the open-state duration before a half-open probe
 	// (0 = faults default).
 	BreakerCooldown time.Duration
+	// Parallelism sizes the engine's shared morsel worker pool (intra-query
+	// parallelism); 0 uses GOMAXPROCS. The pool is shared by all concurrent
+	// statements, so this bounds total executor goroutines, not per-query.
+	Parallelism int
 }
 
 // Metrics counts engine activity for the benchmark harness.
@@ -118,6 +124,7 @@ type Engine struct {
 	providers map[string]TableProvider
 	ext       *diskstore.Store
 	extDir    string
+	pool      *exec.Pool
 
 	health *fed.Health
 	now    func() time.Time
@@ -145,6 +152,7 @@ func New(cfg Config) *Engine {
 		adapters:  map[string]fed.Adapter{},
 		tables:    map[string]*storedTable{},
 		providers: map[string]TableProvider{},
+		pool:      exec.NewPool(cfg.Parallelism),
 		health:    fed.NewHealth(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		now:       time.Now,
 		fallback:  map[string]*fallbackEntry{},
@@ -210,8 +218,29 @@ func (e *Engine) TxnManager() *txn.Manager { return e.mgr }
 // Hadoop) can be plugged in.
 func (e *Engine) Registry() *fed.Registry { return e.registry }
 
-// Config returns the engine configuration.
-func (e *Engine) Config() Config { return e.cfg }
+// Config returns a snapshot of the engine configuration. It takes the
+// engine lock so concurrent Set* mutations are never observed half-written.
+func (e *Engine) Config() Config {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.cfg
+}
+
+// remoteCacheCfg reads the runtime-mutable remote-cache parameters under
+// the engine lock (SetRemoteCache/SetRemoteCacheValidity may race with
+// in-flight queries otherwise).
+func (e *Engine) remoteCacheCfg() (bool, time.Duration) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.cfg.EnableRemoteCache, e.cfg.RemoteCacheValidity
+}
+
+// semiJoinThreshold reads the optimizer threshold under the engine lock.
+func (e *Engine) semiJoinThreshold() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.cfg.SemiJoinThreshold
+}
 
 // SetRemoteCache toggles the enable_remote_cache parameter at runtime.
 func (e *Engine) SetRemoteCache(enabled bool) {
@@ -257,43 +286,37 @@ type Result struct {
 	Rows     []value.Row
 	Affected int64
 	Message  string
-	Plan     string // EXPLAIN output
+	Plan     string    // EXPLAIN output
+	Stats    ExecStats // executor statistics (queries)
 }
 
 // Execute parses and runs one statement in an autonomous transaction
 // (DDL/queries) — the common path for clients.
+//
+// Deprecated: use ExecuteContext.
 func (e *Engine) Execute(sql string) (*Result, error) {
-	st, err := sqlparse.Parse(sql)
-	if err != nil {
-		return nil, err
-	}
-	return e.ExecuteStmt(st)
+	return e.ExecuteContext(context.Background(), sql)
 }
 
 // ExecuteScript runs a semicolon-separated script, returning the last
 // result.
+//
+// Deprecated: use ExecuteContext with WithScript.
 func (e *Engine) ExecuteScript(sql string) (*Result, error) {
-	stmts, err := sqlparse.ParseAll(sql)
-	if err != nil {
-		return nil, err
-	}
-	var last *Result
-	for _, st := range stmts {
-		last, err = e.ExecuteStmt(st)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return last, nil
+	return e.ExecuteContext(context.Background(), sql, WithScript())
 }
 
 // ExecuteStmt runs one parsed statement autonomously.
 func (e *Engine) ExecuteStmt(st sqlparse.Statement) (*Result, error) {
+	return e.execStmt(context.Background(), st, 0)
+}
+
+func (e *Engine) execStmt(ctx context.Context, st sqlparse.Statement, width int) (*Result, error) {
 	switch s := st.(type) {
 	case *sqlparse.SelectStmt:
-		return e.query(nil, s)
+		return e.query(ctx, nil, s, width)
 	case *sqlparse.ExplainStmt:
-		return e.explain(s.Sel)
+		return e.explain(ctx, s.Sel, width)
 	case *sqlparse.CreateTableStmt:
 		return e.createTable(s)
 	case *sqlparse.AlterTableStmt:
@@ -308,7 +331,7 @@ func (e *Engine) ExecuteStmt(st sqlparse.Statement) (*Result, error) {
 		return e.createVirtualFunction(s)
 	case *sqlparse.InsertStmt, *sqlparse.UpdateStmt, *sqlparse.DeleteStmt:
 		tx := e.Begin()
-		res, err := e.ExecuteStmtTx(tx, st)
+		res, err := e.execStmtTx(ctx, tx, st, width)
 		if err != nil {
 			_ = e.Rollback(tx)
 			return nil, err
@@ -343,21 +366,23 @@ func (e *Engine) Rollback(tx *txn.Txn) error {
 }
 
 // ExecuteTx parses and runs a statement inside an explicit transaction.
+//
+// Deprecated: use ExecuteContext with WithTx.
 func (e *Engine) ExecuteTx(tx *txn.Txn, sql string) (*Result, error) {
-	st, err := sqlparse.Parse(sql)
-	if err != nil {
-		return nil, err
-	}
-	return e.ExecuteStmtTx(tx, st)
+	return e.ExecuteContext(context.Background(), sql, WithTx(tx))
 }
 
 // ExecuteStmtTx runs a parsed DML/SELECT statement inside a transaction.
 func (e *Engine) ExecuteStmtTx(tx *txn.Txn, st sqlparse.Statement) (*Result, error) {
+	return e.execStmtTx(context.Background(), tx, st, 0)
+}
+
+func (e *Engine) execStmtTx(ctx context.Context, tx *txn.Txn, st sqlparse.Statement, width int) (*Result, error) {
 	switch s := st.(type) {
 	case *sqlparse.SelectStmt:
-		return e.query(tx, s)
+		return e.query(ctx, tx, s, width)
 	case *sqlparse.InsertStmt:
-		return e.insert(tx, s)
+		return e.insert(ctx, tx, s, width)
 	case *sqlparse.UpdateStmt:
 		return e.update(tx, s)
 	case *sqlparse.DeleteStmt:

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -15,7 +16,7 @@ func newTestEngine(t *testing.T) *Engine {
 
 func exec1(t *testing.T, e *Engine, sql string) *Result {
 	t.Helper()
-	res, err := e.Execute(sql)
+	res, err := e.ExecuteContext(context.Background(), sql)
 	if err != nil {
 		t.Fatalf("%s: %v", sql, err)
 	}
@@ -48,7 +49,7 @@ func TestInsertColumnListAndNulls(t *testing.T) {
 	}
 	// NOT NULL enforcement.
 	exec1(t, e, `CREATE TABLE nn (a BIGINT NOT NULL)`)
-	if _, err := e.Execute(`INSERT INTO nn VALUES (NULL)`); err == nil {
+	if _, err := e.ExecuteContext(context.Background(), `INSERT INTO nn VALUES (NULL)`); err == nil {
 		t.Fatal("NOT NULL must be enforced")
 	}
 }
@@ -82,15 +83,15 @@ func TestSnapshotIsolationAcrossTransactions(t *testing.T) {
 
 	reader := e.Begin() // snapshot before writer commits
 	writer := e.Begin()
-	if _, err := e.ExecuteTx(writer, `INSERT INTO t VALUES (2)`); err != nil {
+	if _, err := e.ExecuteContext(context.Background(), `INSERT INTO t VALUES (2)`, WithTx(writer)); err != nil {
 		t.Fatal(err)
 	}
 	// Writer sees own write; reader does not.
-	res, err := e.ExecuteTx(writer, `SELECT COUNT(*) FROM t`)
+	res, err := e.ExecuteContext(context.Background(), `SELECT COUNT(*) FROM t`, WithTx(writer))
 	if err != nil || res.Rows[0][0].Int() != 2 {
 		t.Fatalf("writer view: %v %v", res, err)
 	}
-	res, err = e.ExecuteTx(reader, `SELECT COUNT(*) FROM t`)
+	res, err = e.ExecuteContext(context.Background(), `SELECT COUNT(*) FROM t`, WithTx(reader))
 	if err != nil || res.Rows[0][0].Int() != 1 {
 		t.Fatalf("reader view: %v %v", res, err)
 	}
@@ -98,7 +99,7 @@ func TestSnapshotIsolationAcrossTransactions(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Reader's snapshot still excludes the commit.
-	res, _ = e.ExecuteTx(reader, `SELECT COUNT(*) FROM t`)
+	res, _ = e.ExecuteContext(context.Background(), `SELECT COUNT(*) FROM t`, WithTx(reader))
 	if res.Rows[0][0].Int() != 1 {
 		t.Fatal("snapshot must be stable")
 	}
@@ -114,7 +115,7 @@ func TestRollbackUndoesWrites(t *testing.T) {
 	e := newTestEngine(t)
 	exec1(t, e, `CREATE TABLE t (id BIGINT)`)
 	tx := e.Begin()
-	if _, err := e.ExecuteTx(tx, `INSERT INTO t VALUES (1)`); err != nil {
+	if _, err := e.ExecuteContext(context.Background(), `INSERT INTO t VALUES (1)`, WithTx(tx)); err != nil {
 		t.Fatal(err)
 	}
 	if err := e.Rollback(tx); err != nil {
@@ -132,10 +133,10 @@ func TestWriteWriteConflict(t *testing.T) {
 	exec1(t, e, `INSERT INTO t VALUES (1)`)
 	t1 := e.Begin()
 	t2 := e.Begin()
-	if _, err := e.ExecuteTx(t1, `DELETE FROM t WHERE id = 1`); err != nil {
+	if _, err := e.ExecuteContext(context.Background(), `DELETE FROM t WHERE id = 1`, WithTx(t1)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.ExecuteTx(t2, `DELETE FROM t WHERE id = 1`); err == nil {
+	if _, err := e.ExecuteContext(context.Background(), `DELETE FROM t WHERE id = 1`, WithTx(t2)); err == nil {
 		t.Fatal("second deleter must conflict")
 	}
 	_ = e.Rollback(t2)
@@ -296,7 +297,7 @@ func TestExtendedStorageRollback(t *testing.T) {
 	e := newTestEngine(t)
 	exec1(t, e, `CREATE TABLE psa (id BIGINT) USING EXTENDED STORAGE`)
 	tx := e.Begin()
-	if _, err := e.ExecuteTx(tx, `INSERT INTO psa VALUES (1)`); err != nil {
+	if _, err := e.ExecuteContext(context.Background(), `INSERT INTO psa VALUES (1)`, WithTx(tx)); err != nil {
 		t.Fatal(err)
 	}
 	_ = e.Rollback(tx)
@@ -408,7 +409,7 @@ func TestDropTable(t *testing.T) {
 	e := newTestEngine(t)
 	exec1(t, e, `CREATE TABLE t (a BIGINT)`)
 	exec1(t, e, `DROP TABLE t`)
-	if _, err := e.Execute(`SELECT * FROM t`); err == nil {
+	if _, err := e.ExecuteContext(context.Background(), `SELECT * FROM t`); err == nil {
 		t.Fatal("dropped table must not resolve")
 	}
 	exec1(t, e, `DROP TABLE IF EXISTS t`)

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -214,7 +215,7 @@ func TestVirtualFunctionEndToEnd(t *testing.T) {
 func TestDropRemoteSourceCascades(t *testing.T) {
 	e, _ := newFederatedSetup(t)
 	exec1(t, e, `DROP REMOTE SOURCE HIVE1`)
-	if _, err := e.Execute(`SELECT * FROM V_CUSTOMER`); err == nil {
+	if _, err := e.ExecuteContext(context.Background(), `SELECT * FROM V_CUSTOMER`); err == nil {
 		t.Fatal("virtual table must be gone with its source")
 	}
 }

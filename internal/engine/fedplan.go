@@ -137,7 +137,7 @@ func (p *planner) realizeRemote(r *relation) error {
 	sql := sqlparse.RenderSelect(sel)
 
 	opts := p.remoteOpts(sel.Where != nil)
-	res, err := p.e.remoteQuery(rr.source, rr.adapter, sql, opts)
+	res, err := p.e.remoteQuery(p.ctx, rr.source, rr.adapter, sql, opts)
 	if err != nil {
 		return fmt.Errorf("remote source %s: %w", rr.source, err)
 	}
@@ -170,8 +170,9 @@ func (p *planner) realizeRemote(r *relation) error {
 // (§4.4: hint + enable_remote_cache + predicate-only rule; the adapter
 // enforces remote_cache_validity).
 func (p *planner) remoteOpts(hasPredicates bool) fed.QueryOptions {
-	use := p.useCache && p.e.cfg.EnableRemoteCache && hasPredicates
-	return fed.QueryOptions{UseCache: use, Validity: p.e.cfg.RemoteCacheValidity}
+	enabled, validity := p.e.remoteCacheCfg()
+	use := p.useCache && enabled && hasPredicates
+	return fed.QueryOptions{UseCache: use, Validity: validity}
 }
 
 // conformRows casts remote result rows to the expected schema (SDA
@@ -211,40 +212,37 @@ func (p *planner) realizeExt(r *relation) error {
 	pred := expr.And(bound...)
 	ranges, inCount := extractRanges(bound, t.meta.Schema)
 
-	var hotRows, coldRows int
-	var out []value.Row
-	var usedCold, usedHot bool
+	// Hot and cold fragments scan in parallel: in-memory partitions as
+	// row-range morsels, extended partitions as whole-partition morsels,
+	// all dispatched through the shared pool and reassembled in partition
+	// order (identical to the serial scan order).
 	partOrd := -1
 	if t.meta.PartitionBy != "" {
 		partOrd = t.meta.Schema.Find(t.meta.PartitionBy)
 	}
+	var survived []*partition
+	var usedCold, usedHot bool
 	for _, part := range t.parts {
 		if partOrd >= 0 && prunePartition(part, t, partOrd, ranges) {
 			continue
 		}
-		var scanRanges map[int]diskstore.Range
-		if part.ext != nil {
-			scanRanges = ranges
-		}
-		rows, err := part.visibleRows(p.snapshot, p.tid, scanRanges)
-		if err != nil {
-			return err
-		}
-		for _, row := range rows {
-			keep, err := expr.Truthy(pred, row)
-			if err != nil {
-				return err
-			}
-			if keep {
-				out = append(out, row)
-			}
-		}
+		survived = append(survived, part)
 		if part.cold {
 			usedCold = true
-			coldRows += len(rows)
 		} else {
 			usedHot = true
-			hotRows += len(rows)
+		}
+	}
+	out, perPart, err := p.scanParts(survived, ranges, pred)
+	if err != nil {
+		return err
+	}
+	var hotRows, coldRows int
+	for i, part := range survived {
+		if part.cold {
+			coldRows += perPart[i]
+		} else {
+			hotRows += perPart[i]
 		}
 	}
 	// Plan labeling + strategy metrics.

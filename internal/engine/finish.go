@@ -248,7 +248,10 @@ func (p *planner) aggregate(sel *sqlparse.SelectStmt, it exec.Iter, items []sqlp
 		}
 	}
 
-	agg := &exec.HashAggregate{In: it, GroupBy: boundGroups, Aggs: specs, Out: outSchema}
+	agg := &exec.ParallelHashAggregate{
+		In: it, GroupBy: boundGroups, Aggs: specs, Out: outSchema,
+		Pool: p.e.pool, Ctx: p.ctx, Width: p.width, Stats: p.stats,
+	}
 
 	// Rewrite expressions over the aggregate output: aggregate calls and
 	// group expressions become column references.

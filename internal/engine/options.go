@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"context"
+
+	"hana/internal/sqlparse"
+	"hana/internal/txn"
+	"hana/internal/value"
+)
+
+// ExecOption configures one ExecuteContext call.
+type ExecOption func(*execOpts)
+
+type execOpts struct {
+	params []value.Value
+	tx     *txn.Txn
+	width  int
+	script bool
+}
+
+// WithParams binds positional ? parameters to the given values.
+// Parameterized remote-materialization keys incorporate the parameter
+// values (§4.4: "a hash key is computed from the HiveQL statement,
+// parameters, and the host information").
+func WithParams(params ...value.Value) ExecOption {
+	return func(o *execOpts) { o.params = params }
+}
+
+// WithTx runs the statement inside an explicit transaction instead of an
+// autonomous one.
+func WithTx(tx *txn.Txn) ExecOption {
+	return func(o *execOpts) { o.tx = tx }
+}
+
+// WithParallelism caps the worker count for this statement's morsel
+// dispatches (1 = run everything on the calling goroutine; 0 or unset =
+// the engine pool size). The result is identical at any setting: morsel
+// boundaries depend only on the data, so parallelism only changes which
+// goroutine computes each partial.
+func WithParallelism(n int) ExecOption {
+	return func(o *execOpts) { o.width = n }
+}
+
+// WithScript treats sql as a semicolon-separated script, executing every
+// statement and returning the last result.
+func WithScript() ExecOption {
+	return func(o *execOpts) { o.script = true }
+}
+
+// ExecStats reports what the executor did for one statement: rows read by
+// table-scan morsels, morsels dispatched across all pool runs, and the
+// high-water worker count of any single dispatch.
+type ExecStats struct {
+	RowsScanned int64
+	Morsels     int64
+	Workers     int64
+}
+
+// PartitionCount is one partition's visible-row count, flagging cold
+// (extended-storage) partitions.
+type PartitionCount struct {
+	Cold bool
+	Rows int64
+}
+
+// ExecuteContext is the engine's core entry point: it parses and runs sql
+// with the given options, under a context that cancels morsel workers,
+// retry backoffs and remote fetches. All other Execute* variants are
+// wrappers over it.
+func (e *Engine) ExecuteContext(ctx context.Context, sql string, opts ...ExecOption) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var o execOpts
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.script {
+		stmts, err := sqlparse.ParseAll(sql)
+		if err != nil {
+			return nil, err
+		}
+		var last *Result
+		for _, st := range stmts {
+			if last, err = e.execParsed(ctx, st, &o); err != nil {
+				return nil, err
+			}
+		}
+		return last, nil
+	}
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.execParsed(ctx, st, &o)
+}
+
+func (e *Engine) execParsed(ctx context.Context, st sqlparse.Statement, o *execOpts) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(o.params) > 0 {
+		var err error
+		if st, err = substituteStmtParams(st, o.params); err != nil {
+			return nil, err
+		}
+	}
+	if o.tx != nil {
+		return e.execStmtTx(ctx, o.tx, st, o.width)
+	}
+	return e.execStmt(ctx, st, o.width)
+}

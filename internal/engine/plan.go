@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -12,16 +13,25 @@ import (
 	"hana/internal/value"
 )
 
-// planner plans and executes one query block under a snapshot.
+// planner plans and executes one query block under a snapshot. ctx, width
+// and stats thread the statement's cancellation scope, parallelism cap and
+// executor counters into every morsel dispatch the plan makes.
 type planner struct {
 	e        *Engine
 	snapshot uint64
 	tid      uint64
 	useCache bool
+
+	ctx   context.Context
+	width int
+	stats *exec.Counters
 }
 
-func (e *Engine) newPlanner(tx *txn.Txn, sel *sqlparse.SelectStmt) *planner {
-	p := &planner{e: e}
+func (e *Engine) newPlanner(ctx context.Context, tx *txn.Txn, sel *sqlparse.SelectStmt, width int) *planner {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p := &planner{e: e, ctx: ctx, width: width, stats: &exec.Counters{}}
 	if tx != nil {
 		p.snapshot = tx.Snapshot
 		p.tid = tx.TID
@@ -34,9 +44,18 @@ func (e *Engine) newPlanner(tx *txn.Txn, sel *sqlparse.SelectStmt) *planner {
 	return p
 }
 
+// execStats snapshots the planner's executor counters for the Result.
+func (p *planner) execStats() ExecStats {
+	return ExecStats{
+		RowsScanned: p.stats.RowsScanned.Load(),
+		Morsels:     p.stats.Morsels.Load(),
+		Workers:     p.stats.Workers.Load(),
+	}
+}
+
 // query plans, executes and materializes a SELECT.
-func (e *Engine) query(tx *txn.Txn, sel *sqlparse.SelectStmt) (*Result, error) {
-	p := e.newPlanner(tx, sel)
+func (e *Engine) query(ctx context.Context, tx *txn.Txn, sel *sqlparse.SelectStmt, width int) (*Result, error) {
+	p := e.newPlanner(ctx, tx, sel, width)
 	it, root, err := p.planQueryBlock(sel)
 	if err != nil {
 		return nil, err
@@ -45,13 +64,13 @@ func (e *Engine) query(tx *txn.Txn, sel *sqlparse.SelectStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Schema: rows.Schema, Rows: rows.Data, Plan: root.String()}, nil
+	return &Result{Schema: rows.Schema, Rows: rows.Data, Plan: root.String(), Stats: p.execStats()}, nil
 }
 
 // explain plans (and for federated parts executes the shipping decision)
 // without returning data rows.
-func (e *Engine) explain(sel *sqlparse.SelectStmt) (*Result, error) {
-	p := e.newPlanner(nil, sel)
+func (e *Engine) explain(ctx context.Context, sel *sqlparse.SelectStmt, width int) (*Result, error) {
+	p := e.newPlanner(ctx, nil, sel, width)
 	it, root, err := p.planQueryBlock(sel)
 	if err != nil {
 		return nil, err
@@ -60,7 +79,7 @@ func (e *Engine) explain(sel *sqlparse.SelectStmt) (*Result, error) {
 	if _, err := exec.Materialize(it); err != nil {
 		return nil, err
 	}
-	return &Result{Plan: root.String(), Message: "explained"}, nil
+	return &Result{Plan: root.String(), Message: "explained", Stats: p.execStats()}, nil
 }
 
 // planQueryBlock plans one SELECT block: whole-statement shipping when
@@ -239,33 +258,23 @@ func (p *planner) planTableLeaf(t *sqlparse.TableRef, pool *[]expr.Expr) (*relat
 		return rel, nil
 	}
 
-	// Pure in-memory leaf: materialize visible rows and filter immediately.
-	var rows []value.Row
-	for _, part := range st.parts {
-		pr, err := part.visibleRows(p.snapshot, p.tid, nil)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, pr...)
-	}
+	// Pure in-memory leaf: morsel-parallel scan over the partitions' row
+	// ranges, with covered conjuncts filtered inside each morsel.
 	rel := &relation{schema: schema, local: true}
 	conjs := takeCovered(rel, pool)
+	var pred expr.Expr
 	if len(conjs) > 0 {
-		pred, err := bindToSchema(expr.And(cloneAll(conjs)...), schema)
+		var err error
+		pred, err = bindToSchema(expr.And(cloneAll(conjs)...), schema)
 		if err != nil {
 			return nil, err
 		}
-		kept := rows[:0:0]
-		for _, r := range rows {
-			ok, err := expr.Truthy(pred, r)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				kept = append(kept, r)
-			}
-		}
-		rows = kept
+	}
+	rows, _, err := p.scanParts(st.parts, nil, pred)
+	if err != nil {
+		return nil, err
+	}
+	if pred != nil {
 		rel.node = node(fmt.Sprintf("%s Scan [%s] (%d rows)", storeLabel(st), name, len(rows)),
 			node("filter: "+pred.SQL()))
 	} else {
@@ -330,7 +339,7 @@ func (p *planner) planTableFunc(t *sqlparse.TableFuncRef) (*relation, error) {
 	if !ok {
 		return nil, fmt.Errorf("remote source %s cannot execute virtual functions", vf.Source)
 	}
-	rows, err := p.e.remoteCall(vf.Source, fa, vf.Configuration, vf.Returns)
+	rows, err := p.e.remoteCall(p.ctx, vf.Source, fa, vf.Configuration, vf.Returns)
 	if err != nil {
 		return nil, fmt.Errorf("virtual function %s: %w", t.Name, err)
 	}
@@ -421,32 +430,36 @@ func (p *planner) joinRelations(l, r *relation, pool *[]expr.Expr) (*relation, e
 	// too-large local table, execute the join at the extended store (local
 	// build side shipped there).
 	relocated := false
-	if r.ext != nil && l.local && l.est > float64(p.e.cfg.SemiJoinThreshold) {
+	if r.ext != nil && l.local && l.est > float64(p.e.semiJoinThreshold()) {
 		relocated = true
 		p.e.Metrics.add(func(m *Metrics) { m.RelocationsChosen++ })
 	}
 
-	if err := p.realize(l); err != nil {
-		return nil, err
-	}
-	if err := p.realize(r); err != nil {
+	if err := p.realizeBoth(l, r); err != nil {
 		return nil, err
 	}
 
 	out := &relation{schema: combined, local: true}
-	var it exec.Iter
 	var label string
 	if len(leftKeys) > 0 {
 		blk, brk, err := bindKeys(leftKeys, l.schema, rightKeys, r.schema)
 		if err != nil {
 			return nil, err
 		}
-		it = &exec.HashJoin{
-			Kind: exec.JoinInner, Left: iterOf(l), Right: iterOf(r),
-			LeftKeys: blk, RightKeys: brk,
+		var res expr.Expr
+		if len(residual) > 0 {
+			if res, err = bindToSchema(expr.And(cloneAll(residual)...), combined); err != nil {
+				return nil, err
+			}
+		}
+		out.rows, err = exec.HashJoinParallel(p.ctx, p.e.pool, p.width, 0, p.stats,
+			exec.JoinInner, l.rows, r.rows, blk, brk, res, r.schema.Len())
+		if err != nil {
+			return nil, err
 		}
 		label = "Hash Join (INNER) on " + keySQL(leftKeys, rightKeys)
 	} else {
+		var it exec.Iter
 		var on expr.Expr
 		if len(residual) > 0 {
 			var err error
@@ -460,25 +473,37 @@ func (p *planner) joinRelations(l, r *relation, pool *[]expr.Expr) (*relation, e
 			label = "Nested Loop Join (cross)"
 		}
 		it = &exec.NestedLoopJoin{Kind: exec.JoinInner, Left: iterOf(l), Right: iterOf(r), On: on}
-	}
-	if len(residual) > 0 {
-		pred, err := bindToSchema(expr.And(cloneAll(residual)...), combined)
+		rows, err := exec.Materialize(it)
 		if err != nil {
 			return nil, err
 		}
-		it = &exec.Filter{In: it, Pred: pred}
+		out.rows = rows.Data
 	}
 	if relocated {
 		label = "Table Relocation → Extended Storage: " + label
 	}
-	rows, err := exec.Materialize(it)
-	if err != nil {
-		return nil, err
-	}
-	out.rows = rows.Data
 	out.est = float64(len(out.rows))
 	out.node = node(fmt.Sprintf("%s (%d rows)", label, len(out.rows)), l.node, r.node)
 	return out, nil
+}
+
+// realizeBoth realizes two join inputs, fetching independent unrealized
+// (remote / extended) leaves concurrently through the worker pool. Errors
+// prefer the left side, matching the serial left-then-right order.
+func (p *planner) realizeBoth(l, r *relation) error {
+	if l.local || r.local {
+		// At most one side does real work — realizing serially avoids
+		// goroutine churn for the common local-join case.
+		if err := p.realize(l); err != nil {
+			return err
+		}
+		return p.realize(r)
+	}
+	rels := [2]*relation{l, r}
+	_, err := p.e.pool.Run(p.ctx, 2, p.width, func(_ context.Context, i int) error {
+		return p.realize(rels[i])
+	})
+	return err
 }
 
 // maybeSemiJoin pushes small's distinct join-key values into big as an
@@ -489,13 +514,14 @@ func (p *planner) maybeSemiJoin(small, big *relation, smallKeys, bigKeys []expr.
 	if big.remote == nil && big.ext == nil {
 		return nil
 	}
-	if small.est > float64(p.e.cfg.SemiJoinThreshold) {
+	threshold := float64(p.e.semiJoinThreshold())
+	if small.est > threshold {
 		return nil
 	}
 	if err := p.realize(small); err != nil {
 		return err
 	}
-	if float64(len(small.rows)) > float64(p.e.cfg.SemiJoinThreshold) {
+	if float64(len(small.rows)) > threshold {
 		return nil
 	}
 	for i := range smallKeys {
@@ -584,10 +610,7 @@ func keySQL(lk, rk []expr.Expr) string {
 
 // leftOuterJoin plans a structural LEFT OUTER JOIN with its ON condition.
 func (p *planner) leftOuterJoin(l, r *relation, on expr.Expr) (*relation, error) {
-	if err := p.realize(l); err != nil {
-		return nil, err
-	}
-	if err := p.realize(r); err != nil {
+	if err := p.realizeBoth(l, r); err != nil {
 		return nil, err
 	}
 	combined := l.schema.Concat(r.schema)
@@ -602,7 +625,6 @@ func (p *planner) leftOuterJoin(l, r *relation, on expr.Expr) (*relation, error)
 		}
 	}
 	out := &relation{schema: combined, local: true}
-	var it exec.Iter
 	if len(leftKeys) > 0 {
 		blk, brk, err := bindKeys(leftKeys, l.schema, rightKeys, r.schema)
 		if err != nil {
@@ -614,22 +636,23 @@ func (p *planner) leftOuterJoin(l, r *relation, on expr.Expr) (*relation, error)
 				return nil, err
 			}
 		}
-		it = &exec.HashJoin{
-			Kind: exec.JoinLeftOuter, Left: iterOf(l), Right: iterOf(r),
-			LeftKeys: blk, RightKeys: brk, Residual: res,
+		out.rows, err = exec.HashJoinParallel(p.ctx, p.e.pool, p.width, 0, p.stats,
+			exec.JoinLeftOuter, l.rows, r.rows, blk, brk, res, r.schema.Len())
+		if err != nil {
+			return nil, err
 		}
 	} else {
 		bon, err := bindToSchema(on, combined)
 		if err != nil {
 			return nil, err
 		}
-		it = &exec.NestedLoopJoin{Kind: exec.JoinLeftOuter, Left: iterOf(l), Right: iterOf(r), On: bon}
+		it := exec.Iter(&exec.NestedLoopJoin{Kind: exec.JoinLeftOuter, Left: iterOf(l), Right: iterOf(r), On: bon})
+		rows, err := exec.Materialize(it)
+		if err != nil {
+			return nil, err
+		}
+		out.rows = rows.Data
 	}
-	rows, err := exec.Materialize(it)
-	if err != nil {
-		return nil, err
-	}
-	out.rows = rows.Data
 	out.est = float64(len(out.rows))
 	out.node = node(fmt.Sprintf("Hash Join (LEFT OUTER) (%d rows)", len(out.rows)), l.node, r.node)
 	return out, nil

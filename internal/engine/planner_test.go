@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -63,14 +64,14 @@ func TestRemoteLikeAndInPushdown(t *testing.T) {
 func TestRemoteErrorPropagates(t *testing.T) {
 	e, _ := newFederatedSetup(t)
 	// Reference a column that does not exist remotely.
-	if _, err := e.Execute(`SELECT no_such_col FROM V_CUSTOMER`); err == nil {
+	if _, err := e.ExecuteContext(context.Background(), `SELECT no_such_col FROM V_CUSTOMER`); err == nil {
 		t.Fatal("remote resolution error must propagate")
 	}
 }
 
 func TestUnknownTableFunction(t *testing.T) {
 	e := newTestEngine(t)
-	if _, err := e.Execute(`SELECT * FROM NOT_A_FUNCTION()`); err == nil {
+	if _, err := e.ExecuteContext(context.Background(), `SELECT * FROM NOT_A_FUNCTION()`); err == nil {
 		t.Fatal("unknown function must error")
 	}
 }
@@ -118,11 +119,11 @@ func TestConcurrentReadersAndWriters(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < 10; i++ {
-				if _, err := e.Execute(fmt.Sprintf(`INSERT INTO counter VALUES (%d, 1)`, 100+w*10+i)); err != nil {
+				if _, err := e.ExecuteContext(context.Background(), fmt.Sprintf(`INSERT INTO counter VALUES (%d, 1)`, 100+w*10+i)); err != nil {
 					errs <- err
 					return
 				}
-				if _, err := e.Execute(`SELECT COUNT(*), SUM(n) FROM counter`); err != nil {
+				if _, err := e.ExecuteContext(context.Background(), `SELECT COUNT(*), SUM(n) FROM counter`); err != nil {
 					errs <- err
 					return
 				}

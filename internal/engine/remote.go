@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -46,7 +47,7 @@ func (e *Engine) retryPolicy(br *faults.Breaker) faults.RetryPolicy {
 // and retry layer. While the source's breaker is open — or once retries
 // are exhausted on a transient failure — a still-valid fallback-cache
 // entry for the same statement is served instead, marked FromFallback.
-func (e *Engine) remoteQuery(source string, a fed.Adapter, sql string, opts fed.QueryOptions) (*fed.QueryResult, error) {
+func (e *Engine) remoteQuery(ctx context.Context, source string, a fed.Adapter, sql string, opts fed.QueryOptions) (*fed.QueryResult, error) {
 	br := e.health.Breaker(strings.ToUpper(source))
 	site := "fed.query." + strings.ToLower(source)
 	if err := br.Allow(); err != nil {
@@ -56,7 +57,7 @@ func (e *Engine) remoteQuery(source string, a fed.Adapter, sql string, opts fed.
 		return nil, err
 	}
 	var res *fed.QueryResult
-	err := e.retryPolicy(br).Do(site, func() error {
+	err := e.retryPolicy(br).DoCtx(ctx, site, func() error {
 		if err := e.cfg.Faults.Check(site); err != nil {
 			return err
 		}
@@ -84,14 +85,14 @@ func (e *Engine) remoteQuery(source string, a fed.Adapter, sql string, opts fed.
 // remoteCall invokes a virtual function through the breaker and retry
 // layer. Remote jobs have no cached materialization to fall back to, so an
 // open breaker or exhausted retries surface as the classified error.
-func (e *Engine) remoteCall(source string, fa fed.FunctionAdapter, config map[string]string, schema *value.Schema) (*value.Rows, error) {
+func (e *Engine) remoteCall(ctx context.Context, source string, fa fed.FunctionAdapter, config map[string]string, schema *value.Schema) (*value.Rows, error) {
 	br := e.health.Breaker(strings.ToUpper(source))
 	site := "fed.call." + strings.ToLower(source)
 	if err := br.Allow(); err != nil {
 		return nil, err
 	}
 	var rows *value.Rows
-	err := e.retryPolicy(br).Do(site, func() error {
+	err := e.retryPolicy(br).DoCtx(ctx, site, func() error {
 		if err := e.cfg.Faults.Check(site); err != nil {
 			return err
 		}
@@ -138,7 +139,7 @@ func (e *Engine) fallbackLookup(source, sql string) (*fed.QueryResult, bool) {
 	if !ok {
 		return nil, false
 	}
-	validity := e.cfg.RemoteCacheValidity
+	_, validity := e.remoteCacheCfg()
 	if validity > 0 && e.clock()().Sub(ent.created) > validity {
 		return nil, false
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -168,7 +169,7 @@ func TestFallbackRespectsValidity(t *testing.T) {
 	inj.FailN("fed.query.fake1", 100)
 	// Entry aged out: the classified failure surfaces instead of stale rows.
 	*now = now.Add(2 * time.Minute)
-	_, err := e.Execute(`SELECT k, v FROM V_T`)
+	_, err := e.ExecuteContext(context.Background(), `SELECT k, v FROM V_T`)
 	if err == nil {
 		t.Fatal("expired fallback must not be served")
 	}
@@ -188,7 +189,7 @@ func TestShipWholeDeclinesOnOpenBreaker(t *testing.T) {
 	// Open the breaker with two exhausted statements that miss the cache.
 	inj.FailN("fed.query.fake1", 100)
 	for i := 0; i < 2; i++ {
-		if _, err := e.Execute(`SELECT k FROM V_T WHERE k > 0`); err == nil {
+		if _, err := e.ExecuteContext(context.Background(), `SELECT k FROM V_T WHERE k > 0`); err == nil {
 			t.Fatal("uncached statement must fail while the source is down")
 		}
 	}
@@ -227,7 +228,7 @@ func TestResolveAllInDoubtDrainsWithRetries(t *testing.T) {
 	// Phase 2 fails at commit time and twice more during resolution.
 	inj.FailN("txn.commit.extstore:psa", 1)
 	tx := e.Begin()
-	if _, err := e.ExecuteTx(tx, `INSERT INTO psa VALUES (1)`); err != nil {
+	if _, err := e.ExecuteContext(context.Background(), `INSERT INTO psa VALUES (1)`, WithTx(tx)); err != nil {
 		t.Fatal(err)
 	}
 	if err := e.CommitTx(tx); err != nil {
@@ -262,7 +263,7 @@ func TestRemoteCallRetriesAndBreaks(t *testing.T) {
 	// remoteCall is exercised through the same breaker as queries; check
 	// the classified error surfaces once retries drain on a fatal fault.
 	inj.FailFatal("fed.query.fake1", 1)
-	_, err := e.Execute(`SELECT k FROM V_T WHERE k = 1`)
+	_, err := e.ExecuteContext(context.Background(), `SELECT k FROM V_T WHERE k = 1`)
 	if err == nil {
 		t.Fatal("fatal fault must fail the statement")
 	}
@@ -282,7 +283,7 @@ func TestRemoteCallRetriesAndBreaks(t *testing.T) {
 func TestClassifiedErrorsSurviveEngineWrapping(t *testing.T) {
 	e, inj, _, _ := newResilientSetup(t)
 	inj.FailN("fed.query.fake1", 100)
-	_, err := e.Execute(`SELECT k, v FROM V_T WHERE v = 'zzz'`)
+	_, err := e.ExecuteContext(context.Background(), `SELECT k, v FROM V_T WHERE v = 'zzz'`)
 	if err == nil {
 		t.Fatal("want error")
 	}

@@ -44,7 +44,7 @@ func (p *planner) tryShipWhole(sel *sqlparse.SelectStmt) (exec.Iter, *planNode, 
 	sql := sqlparse.RenderSelect(shipped)
 
 	opts := p.remoteOpts(hasAnyPredicate(sel))
-	res, err := p.e.remoteQuery(info.source, info.adapter, sql, opts)
+	res, err := p.e.remoteQuery(p.ctx, info.source, info.adapter, sql, opts)
 	if err != nil {
 		if errors.Is(err, faults.ErrCircuitOpen) {
 			// The source's breaker is open and no fallback materialization

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -207,19 +208,11 @@ func (e *Engine) mTransactions() (*value.Rows, error) {
 }
 
 // ExecuteParams parses and runs a statement with positional ? parameters
-// bound to the given values. Parameterized remote-materialization keys
-// incorporate the parameter values (§4.4: "a hash key is computed from the
-// HiveQL statement, parameters, and the host information").
+// bound to the given values.
+//
+// Deprecated: use ExecuteContext with WithParams.
 func (e *Engine) ExecuteParams(sql string, params ...value.Value) (*Result, error) {
-	st, err := sqlparse.Parse(sql)
-	if err != nil {
-		return nil, err
-	}
-	bound, err := substituteStmtParams(st, params)
-	if err != nil {
-		return nil, err
-	}
-	return e.ExecuteStmt(bound)
+	return e.ExecuteContext(context.Background(), sql, WithParams(params...))
 }
 
 // substituteStmtParams replaces parameter placeholders across the

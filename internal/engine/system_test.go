@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -57,28 +58,28 @@ func TestFederationStatsView(t *testing.T) {
 func TestExecuteParams(t *testing.T) {
 	e := newTestEngine(t)
 	exec1(t, e, `CREATE TABLE t (a BIGINT, s VARCHAR(10))`)
-	if _, err := e.ExecuteParams(`INSERT INTO t VALUES (?, ?)`,
-		value.NewInt(1), value.NewString("one")); err != nil {
+	if _, err := e.ExecuteContext(context.Background(), `INSERT INTO t VALUES (?, ?)`,
+		WithParams(value.NewInt(1), value.NewString("one"))); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.ExecuteParams(`INSERT INTO t VALUES (?, ?)`,
-		value.NewInt(2), value.NewString("two")); err != nil {
+	if _, err := e.ExecuteContext(context.Background(), `INSERT INTO t VALUES (?, ?)`,
+		WithParams(value.NewInt(2), value.NewString("two"))); err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.ExecuteParams(`SELECT s FROM t WHERE a = ?`, value.NewInt(2))
+	res, err := e.ExecuteContext(context.Background(), `SELECT s FROM t WHERE a = ?`, WithParams(value.NewInt(2)))
 	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].String() != "two" {
 		t.Fatalf("param select: %v %v", res, err)
 	}
 	// Update and delete with parameters.
-	if _, err := e.ExecuteParams(`UPDATE t SET s = ? WHERE a = ?`,
-		value.NewString("uno"), value.NewInt(1)); err != nil {
+	if _, err := e.ExecuteContext(context.Background(), `UPDATE t SET s = ? WHERE a = ?`,
+		WithParams(value.NewString("uno"), value.NewInt(1))); err != nil {
 		t.Fatal(err)
 	}
-	res, _ = e.ExecuteParams(`SELECT s FROM t WHERE a = ?`, value.NewInt(1))
+	res, _ = e.ExecuteContext(context.Background(), `SELECT s FROM t WHERE a = ?`, WithParams(value.NewInt(1)))
 	if res.Rows[0][0].String() != "uno" {
 		t.Fatal("param update")
 	}
-	if _, err := e.ExecuteParams(`DELETE FROM t WHERE a = ?`, value.NewInt(1)); err != nil {
+	if _, err := e.ExecuteContext(context.Background(), `DELETE FROM t WHERE a = ?`, WithParams(value.NewInt(1))); err != nil {
 		t.Fatal(err)
 	}
 	res = exec1(t, e, `SELECT COUNT(*) FROM t`)
@@ -86,7 +87,7 @@ func TestExecuteParams(t *testing.T) {
 		t.Fatal("param delete")
 	}
 	// Missing parameter errors.
-	if _, err := e.ExecuteParams(`SELECT * FROM t WHERE a = ?`); err == nil {
+	if _, err := e.ExecuteContext(context.Background(), `SELECT * FROM t WHERE a = ?`); err == nil {
 		t.Fatal("missing parameter must error")
 	}
 }
@@ -99,7 +100,7 @@ func TestResolveInDoubtThroughEngine(t *testing.T) {
 	e.TxnManager().SetInjector(inj)
 	inj.FailN("txn.commit.extstore:psa", 1)
 	tx := e.Begin()
-	if _, err := e.ExecuteTx(tx, `INSERT INTO psa VALUES (1)`); err != nil {
+	if _, err := e.ExecuteContext(context.Background(), `INSERT INTO psa VALUES (1)`, WithTx(tx)); err != nil {
 		t.Fatal(err)
 	}
 	if err := e.CommitTx(tx); err != nil {
@@ -147,7 +148,7 @@ func TestResolveRetryAfterCommitStorageFailure(t *testing.T) {
 	tx := e.Begin()
 	// Delete-only branch: Prepare does no disk IO, so the injected storage
 	// failure strikes inside the participant's Commit tombstone loop.
-	if _, err := e.ExecuteTx(tx, `DELETE FROM psb WHERE id = 1`); err != nil {
+	if _, err := e.ExecuteContext(context.Background(), `DELETE FROM psb WHERE id = 1`, WithTx(tx)); err != nil {
 		t.Fatal(err)
 	}
 	if err := e.CommitTx(tx); err != nil {
@@ -187,7 +188,7 @@ func TestAbortBestEffortOnStorageFailure(t *testing.T) {
 	e.TxnManager().SetInjector(inj)
 	inj.FailN("txn.commit.extstore:psc", 1)
 	tx := e.Begin()
-	if _, err := e.ExecuteTx(tx, `INSERT INTO psc VALUES (2), (3)`); err != nil {
+	if _, err := e.ExecuteContext(context.Background(), `INSERT INTO psc VALUES (2), (3)`, WithTx(tx)); err != nil {
 		t.Fatal(err)
 	}
 	if err := e.CommitTx(tx); err != nil {
@@ -265,10 +266,10 @@ func TestAlterTableAddColumn(t *testing.T) {
 	if !res.Rows[0][1].IsNull() || res.Rows[1][1].String() != "x" {
 		t.Fatalf("altered rows = %v", res.Rows)
 	}
-	if _, err := e.Execute(`ALTER TABLE t ADD (a BIGINT)`); err == nil {
+	if _, err := e.ExecuteContext(context.Background(), `ALTER TABLE t ADD (a BIGINT)`); err == nil {
 		t.Fatal("duplicate column must error")
 	}
-	if _, err := e.Execute(`ALTER TABLE t ADD (d BIGINT NOT NULL)`); err == nil {
+	if _, err := e.ExecuteContext(context.Background(), `ALTER TABLE t ADD (d BIGINT NOT NULL)`); err == nil {
 		t.Fatal("NOT NULL add must error")
 	}
 }

@@ -339,6 +339,29 @@ func (x *extParticipant) Abort(tid uint64) error {
 	return nil
 }
 
+// visibleRowsRange materializes the visible rows of an in-memory partition
+// whose ids fall in [lo, hi) — the unit one scan morsel covers. Extended
+// partitions don't support id ranges; callers hand them to visibleRows as
+// a whole. The returned rows are clones, safe to share across goroutines.
+func (p *partition) visibleRowsRange(snapshot, tid uint64, lo, hi int) ([]value.Row, error) {
+	var out []value.Row
+	collect := func(id int, row value.Row) bool {
+		if p.vers.Visible(id, snapshot, tid) {
+			out = append(out, row.Clone())
+		}
+		return true
+	}
+	switch {
+	case p.hot != nil:
+		p.hot.ScanRange(lo, hi, collect)
+	case p.row != nil:
+		p.row.ScanRange(lo, hi, collect)
+	case p.ext != nil:
+		return nil, fmt.Errorf("range scan unsupported on extended partition")
+	}
+	return out, nil
+}
+
 // visibleRows materializes the rows of a partition visible at the snapshot,
 // optionally restricted by pushdown ranges (extended partitions use zone
 // maps). The returned rows are clones.

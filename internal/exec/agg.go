@@ -26,6 +26,7 @@ type aggState struct {
 	max     value.Value
 	sumSq   float64
 	seen    map[value.Value]bool // DISTINCT
+	order   []value.Value        // DISTINCT values in first-seen order
 	hasVal  bool
 }
 
@@ -46,6 +47,7 @@ func (s *aggState) add(v value.Value) {
 			return
 		}
 		s.seen[v] = true
+		s.order = append(s.order, v)
 	}
 	s.hasVal = true
 	s.count++
@@ -65,6 +67,37 @@ func (s *aggState) add(v value.Value) {
 	}
 	if s.max.IsNull() || value.Compare(v, s.max) > 0 {
 		s.max = v
+	}
+}
+
+// merge folds another partial state for the same group into s. DISTINCT
+// states replay the other side's values in their first-seen order, so a
+// chain of merges in morsel order reproduces exactly the state a serial
+// pass over the concatenated input would build. Plain states combine their
+// running sums, which is also order-independent only across morsel
+// boundaries — the per-morsel partials themselves are fixed by the morsel
+// boundaries, so the merged result is identical at any worker count.
+func (s *aggState) merge(o *aggState) {
+	if s.seen != nil {
+		for _, v := range o.order {
+			s.add(v)
+		}
+		return
+	}
+	if o.count == 0 && !o.hasVal {
+		return
+	}
+	s.hasVal = s.hasVal || o.hasVal
+	s.count += o.count
+	s.sumI += o.sumI
+	s.sum += o.sum
+	s.sumSq += o.sumSq
+	s.intOnly = s.intOnly && o.intOnly
+	if !o.min.IsNull() && (s.min.IsNull() || value.Compare(o.min, s.min) < 0) {
+		s.min = o.min
+	}
+	if !o.max.IsNull() && (s.max.IsNull() || value.Compare(o.max, s.max) > 0) {
+		s.max = o.max
 	}
 }
 

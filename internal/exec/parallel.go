@@ -1,0 +1,384 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+
+	"hana/internal/expr"
+	"hana/internal/value"
+)
+
+// This file holds the morsel-parallel counterparts of HashAggregate and
+// HashJoin. Both are deterministic by construction: the input is cut into
+// fixed-size morsels whose boundaries depend only on the input length, every
+// morsel produces a partial result on some worker, and the partials are
+// combined in morsel-index order. The worker count only decides which
+// goroutine computes a partial, never what the partial contains or where it
+// lands in the merge — so parallelism 1 and parallelism N produce
+// byte-identical output.
+
+// ParallelHashAggregate is the morsel-driven variant of HashAggregate: the
+// input is materialized, split into morsels, aggregated into per-morsel
+// partial group tables on the pool's workers, and merged at a barrier in
+// morsel order. Group output order equals the serial first-seen order.
+type ParallelHashAggregate struct {
+	In      Iter
+	GroupBy []expr.Expr
+	Aggs    []AggSpec
+	Out     *value.Schema
+
+	Pool  *Pool
+	Ctx   context.Context
+	Width int
+	// MorselSize overrides DefaultMorselSize (tests); 0 = default.
+	MorselSize int
+	Stats      *Counters
+
+	done   bool
+	groups []value.Row
+	i      int
+}
+
+// Schema implements Iter.
+func (h *ParallelHashAggregate) Schema() *value.Schema { return h.Out }
+
+// Next implements Iter.
+func (h *ParallelHashAggregate) Next() (value.Row, bool, error) {
+	if !h.done {
+		if err := h.run(); err != nil {
+			return nil, false, err
+		}
+	}
+	if h.i >= len(h.groups) {
+		return nil, false, nil
+	}
+	r := h.groups[h.i]
+	h.i++
+	return r, true, nil
+}
+
+// aggPartial is one morsel's (or the merged) group table. hashes is aligned
+// with order so the merge never re-evaluates group-by expressions.
+type aggPartial struct {
+	table  map[uint64][]*aggGroup
+	order  []*aggGroup
+	hashes []uint64
+}
+
+func (h *ParallelHashAggregate) run() error {
+	ctx := h.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pool := h.Pool
+	if pool == nil {
+		pool = NewPool(1)
+	}
+	data, err := drainRows(h.In)
+	if err != nil {
+		return err
+	}
+	size := h.MorselSize
+	if size <= 0 {
+		size = DefaultMorselSize
+	}
+	keyOrds := make([]int, len(h.GroupBy))
+	for i := range keyOrds {
+		keyOrds[i] = i
+	}
+
+	nm := (len(data) + size - 1) / size
+	partials := make([]*aggPartial, nm)
+	if nm > 0 {
+		workers, err := pool.Run(ctx, nm, h.Width, func(_ context.Context, m int) error {
+			lo := m * size
+			hi := lo + size
+			if hi > len(data) {
+				hi = len(data)
+			}
+			pt, err := aggregateMorsel(data[lo:hi], h.GroupBy, h.Aggs, keyOrds)
+			if err != nil {
+				return err
+			}
+			partials[m] = pt
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		h.Stats.NoteDispatch(nm, workers)
+	}
+
+	// Barrier: merge partial tables in morsel order. A group's first
+	// appearance across morsels matches its first appearance in the input,
+	// so the merged order equals the serial first-seen order.
+	merged := &aggPartial{table: map[uint64][]*aggGroup{}}
+	for _, pt := range partials {
+		for gi, g := range pt.order {
+			hsh := pt.hashes[gi]
+			var dst *aggGroup
+			for _, cand := range merged.table[hsh] {
+				if cand.key.EqualAt(g.key, keyOrds, keyOrds) {
+					dst = cand
+					break
+				}
+			}
+			if dst == nil {
+				merged.table[hsh] = append(merged.table[hsh], g)
+				merged.order = append(merged.order, g)
+				merged.hashes = append(merged.hashes, hsh)
+				continue
+			}
+			for i := range dst.states {
+				dst.states[i].merge(g.states[i])
+			}
+		}
+	}
+
+	order := merged.order
+	if len(order) == 0 && len(h.GroupBy) == 0 {
+		// Global aggregate over empty input still yields one row.
+		g := &aggGroup{}
+		for _, a := range h.Aggs {
+			g.states = append(g.states, newAggState(a.Distinct))
+		}
+		order = append(order, g)
+	}
+	for _, g := range order {
+		out := make(value.Row, 0, len(g.key)+len(h.Aggs))
+		out = append(out, g.key...)
+		for i, a := range h.Aggs {
+			v, err := g.states[i].result(a.Func)
+			if err != nil {
+				return err
+			}
+			out = append(out, v)
+		}
+		h.groups = append(h.groups, out)
+	}
+	h.done = true
+	return nil
+}
+
+// aggregateMorsel builds one morsel's partial group table — the same
+// accumulation loop as the serial HashAggregate, restricted to a row range.
+func aggregateMorsel(rows []value.Row, groupBy []expr.Expr, aggs []AggSpec, keyOrds []int) (*aggPartial, error) {
+	pt := &aggPartial{table: map[uint64][]*aggGroup{}}
+	for _, row := range rows {
+		key := make(value.Row, len(groupBy))
+		for i, g := range groupBy {
+			v, err := g.Eval(row)
+			if err != nil {
+				return nil, err
+			}
+			key[i] = v
+		}
+		hsh := key.Hash(keyOrds)
+		var grp *aggGroup
+		for _, g := range pt.table[hsh] {
+			if key.EqualAt(g.key, keyOrds, keyOrds) {
+				grp = g
+				break
+			}
+		}
+		if grp == nil {
+			grp = &aggGroup{key: key.Clone()}
+			for _, a := range aggs {
+				grp.states = append(grp.states, newAggState(a.Distinct))
+			}
+			pt.table[hsh] = append(pt.table[hsh], grp)
+			pt.order = append(pt.order, grp)
+			pt.hashes = append(pt.hashes, hsh)
+		}
+		for i, a := range aggs {
+			if a.Arg == nil { // COUNT(*)
+				grp.states[i].count++
+				grp.states[i].hasVal = true
+				continue
+			}
+			v, err := a.Arg.Eval(row)
+			if err != nil {
+				return nil, err
+			}
+			grp.states[i].add(v)
+		}
+	}
+	return pt, nil
+}
+
+// drainRows materializes an iterator's rows. A fresh Slice's backing rows
+// are used directly (they are stable, and aggregation/joins only read
+// them); anything else goes through the cloning Materialize path.
+func drainRows(in Iter) ([]value.Row, error) {
+	if s, ok := in.(*Slice); ok && s.i == 0 {
+		return s.Rows, nil
+	}
+	rows, err := Materialize(in)
+	if err != nil {
+		return nil, err
+	}
+	return rows.Data, nil
+}
+
+// HashJoinParallel executes an inner or left-outer hash join over
+// materialized inputs with morsel-parallel build and probe phases. The
+// build side is hashed into per-morsel partial tables holding row indices;
+// probe morsels scan the partials in morsel order, so a probe row's matches
+// come out in build-input order — exactly the serial HashJoin's chain
+// order — and probe outputs concatenate in probe-input order. residual is
+// evaluated on the combined row: for inner joins it filters matches (the
+// serial plan's post-join Filter), for left-outer joins it decides whether
+// a build row counts as a match before null-extension.
+func HashJoinParallel(ctx context.Context, pool *Pool, width, morselSize int, stats *Counters,
+	kind JoinKind, left, right []value.Row, leftKeys, rightKeys []expr.Expr,
+	residual expr.Expr, rightWidth int) ([]value.Row, error) {
+	if kind != JoinInner && kind != JoinLeftOuter {
+		return nil, fmt.Errorf("parallel hash join does not support %s joins", kind)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if pool == nil {
+		pool = NewPool(1)
+	}
+	size := morselSize
+	if size <= 0 {
+		size = DefaultMorselSize
+	}
+
+	// Build phase: per-morsel hash tables of row indices plus the evaluated
+	// key values (evaluated once, reused by every probe comparison).
+	type buildPartial struct {
+		table map[uint64][]int
+	}
+	rightVals := make([][]value.Value, len(right))
+	nb := (len(right) + size - 1) / size
+	buildParts := make([]*buildPartial, nb)
+	if nb > 0 {
+		workers, err := pool.Run(ctx, nb, width, func(_ context.Context, m int) error {
+			lo := m * size
+			hi := lo + size
+			if hi > len(right) {
+				hi = len(right)
+			}
+			bp := &buildPartial{table: map[uint64][]int{}}
+			for i := lo; i < hi; i++ {
+				vals := make([]value.Value, len(rightKeys))
+				var h uint64 = 1469598103934665603
+				hasNull := false
+				for k, ke := range rightKeys {
+					v, err := ke.Eval(right[i])
+					if err != nil {
+						return err
+					}
+					if v.IsNull() {
+						hasNull = true
+						break
+					}
+					vals[k] = v
+					h = h*1099511628211 ^ v.Hash()
+				}
+				if hasNull {
+					continue // NULL keys never match
+				}
+				rightVals[i] = vals
+				bp.table[h] = append(bp.table[h], i)
+			}
+			buildParts[m] = bp
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		stats.NoteDispatch(nb, workers)
+	}
+
+	// Probe phase: each morsel emits its combined rows independently;
+	// outputs concatenate in morsel order.
+	np := (len(left) + size - 1) / size
+	outs := make([][]value.Row, np)
+	if np > 0 {
+		workers, err := pool.Run(ctx, np, width, func(_ context.Context, m int) error {
+			lo := m * size
+			hi := lo + size
+			if hi > len(left) {
+				hi = len(left)
+			}
+			var out []value.Row
+			for li := lo; li < hi; li++ {
+				l := left[li]
+				vals := make([]value.Value, len(leftKeys))
+				var h uint64 = 1469598103934665603
+				hasNull := false
+				for k, ke := range leftKeys {
+					v, err := ke.Eval(l)
+					if err != nil {
+						return err
+					}
+					if v.IsNull() {
+						hasNull = true
+						break
+					}
+					vals[k] = v
+					h = h*1099511628211 ^ v.Hash()
+				}
+				matched := false
+				if !hasNull {
+					for _, bp := range buildParts {
+						for _, ri := range bp.table[h] {
+							rv := rightVals[ri]
+							eq := true
+							for k := range vals {
+								if value.Compare(vals[k], rv[k]) != 0 {
+									eq = false
+									break
+								}
+							}
+							if !eq {
+								continue
+							}
+							combined := make(value.Row, len(l)+rightWidth)
+							copy(combined, l)
+							copy(combined[len(l):], right[ri])
+							if residual != nil {
+								keep, err := expr.Truthy(residual, combined)
+								if err != nil {
+									return err
+								}
+								if !keep {
+									continue
+								}
+							}
+							matched = true
+							out = append(out, combined)
+						}
+					}
+				}
+				if kind == JoinLeftOuter && !matched {
+					combined := make(value.Row, len(l)+rightWidth)
+					copy(combined, l)
+					for i := 0; i < rightWidth; i++ {
+						combined[len(l)+i] = value.Null
+					}
+					out = append(out, combined)
+				}
+			}
+			outs[m] = out
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		stats.NoteDispatch(np, workers)
+	}
+
+	n := 0
+	for _, o := range outs {
+		n += len(o)
+	}
+	joined := make([]value.Row, 0, n)
+	for _, o := range outs {
+		joined = append(joined, o...)
+	}
+	return joined, nil
+}

@@ -1,0 +1,85 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunAllMorsels(t *testing.T) {
+	p := NewPool(4)
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	workers, err := p.Run(context.Background(), 100, 4, func(_ context.Context, i int) error {
+		mu.Lock()
+		seen[i] = true
+		mu.Unlock()
+		return nil
+	})
+	if err != nil || workers < 1 || workers > 4 {
+		t.Fatalf("workers=%d err=%v", workers, err)
+	}
+	if len(seen) != 100 {
+		t.Fatalf("morsels executed = %d", len(seen))
+	}
+}
+
+func TestPoolSmallestFailingMorselWins(t *testing.T) {
+	p := NewPool(4)
+	errAt := func(i int) error { return fmt.Errorf("morsel %d", i) }
+	// Every morsel past 10 fails; the reported error must be the smallest
+	// failing index regardless of scheduling.
+	for trial := 0; trial < 20; trial++ {
+		_, err := p.Run(context.Background(), 64, 4, func(_ context.Context, i int) error {
+			if i >= 10 {
+				return errAt(i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "morsel 10" {
+			t.Fatalf("trial %d: err = %v, want morsel 10", trial, err)
+		}
+	}
+}
+
+func TestPoolCancellationStopsWorkers(t *testing.T) {
+	p := NewPool(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	var executed atomic.Int64
+	_, err := p.Run(ctx, 1<<20, 4, func(c context.Context, i int) error {
+		if executed.Add(1) == 10 {
+			cancel()
+		}
+		return c.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Workers bail between morsels: far fewer than the 1M dispatched.
+	if got := executed.Load(); got >= 1<<20 {
+		t.Fatalf("executed all %d morsels despite cancellation", got)
+	}
+}
+
+func TestPoolNestedRunDoesNotDeadlock(t *testing.T) {
+	p := NewPool(2)
+	// Outer Run saturates the pool; inner Runs must degrade to inline
+	// execution instead of waiting for a free worker.
+	var inner atomic.Int64
+	_, err := p.Run(context.Background(), 8, 2, func(ctx context.Context, _ int) error {
+		_, err := p.Run(ctx, 4, 2, func(context.Context, int) error {
+			inner.Add(1)
+			return nil
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.Load() != 32 {
+		t.Fatalf("inner morsels = %d, want 32", inner.Load())
+	}
+}

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -320,5 +321,53 @@ func TestBreakerSuccessResetsStreak(t *testing.T) {
 func TestBreakerStateStrings(t *testing.T) {
 	if BreakerClosed.String() != "CLOSED" || BreakerOpen.String() != "OPEN" || BreakerHalfOpen.String() != "HALF-OPEN" {
 		t.Fatalf("state strings wrong")
+	}
+}
+
+func TestRetryDoCtxCancelledBeforeAttempt(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 3, Sleep: func(time.Duration) {}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n := 0
+	err := p.DoCtx(ctx, "op", func() error { n++; return nil })
+	if !errors.Is(err, context.Canceled) || n != 0 {
+		t.Fatalf("err=%v attempts=%d, want Canceled and 0 attempts", err, n)
+	}
+}
+
+func TestRetryDoCtxAbortsBetweenAttempts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   time.Millisecond,
+		// Cancel while "sleeping": the next attempt must never run.
+		Sleep: func(time.Duration) { cancel() },
+	}
+	n := 0
+	err := p.DoCtx(ctx, "op", func() error { n++; return Transient(errors.New("flaky")) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n != 1 {
+		t.Fatalf("attempts = %d, want 1 (cancelled during backoff)", n)
+	}
+}
+
+func TestRetryDoCtxAbortsTimerBackoff(t *testing.T) {
+	// No injected Sleep: the real timer path must select on ctx.Done.
+	ctx, cancel := context.WithCancel(context.Background())
+	p := RetryPolicy{MaxAttempts: 3, BaseDelay: time.Hour, MaxDelay: time.Hour}
+	done := make(chan error, 1)
+	go func() {
+		done <- p.DoCtx(ctx, "op", func() error { return Transient(errors.New("flaky")) })
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("DoCtx still sleeping an hour-long backoff after cancel")
 	}
 }

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -32,6 +33,17 @@ type RetryPolicy struct {
 // budget drained) keeps the original error in its chain, so classification
 // survives for callers.
 func (p RetryPolicy) Do(op string, f func() error) error {
+	return p.DoCtx(context.Background(), op, f)
+}
+
+// DoCtx is Do with cancellation: a cancelled context aborts before the
+// next attempt and interrupts backoff sleeps, returning ctx.Err(). An
+// injected Sleep (tests) is still honored; cancellation is then only
+// checked between attempts.
+func (p RetryPolicy) DoCtx(ctx context.Context, op string, f func() error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	attempts := p.MaxAttempts
 	if attempts <= 0 {
 		attempts = 3
@@ -44,10 +56,6 @@ func (p RetryPolicy) Do(op string, f func() error) error {
 	if maxDelay <= 0 {
 		maxDelay = 50 * time.Millisecond
 	}
-	sleep := p.Sleep
-	if sleep == nil {
-		sleep = time.Sleep
-	}
 	classify := p.Classify
 	if classify == nil {
 		classify = IsTransient
@@ -55,6 +63,9 @@ func (p RetryPolicy) Do(op string, f func() error) error {
 	rng := rand.New(rand.NewSource(seedFor(p.JitterSeed, op)))
 	var err error
 	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
 		err = f()
 		if err == nil {
 			return nil
@@ -74,6 +85,17 @@ func (p RetryPolicy) Do(op string, f func() error) error {
 			d = maxDelay
 		}
 		// Jitter in [0.5, 1.0) of the backoff, from the seeded stream.
-		sleep(time.Duration(float64(d) * (0.5 + 0.5*rng.Float64())))
+		wait := time.Duration(float64(d) * (0.5 + 0.5*rng.Float64()))
+		if p.Sleep != nil {
+			p.Sleep(wait)
+			continue
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
 	}
 }

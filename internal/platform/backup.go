@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"hana/internal/catalog"
+	"hana/internal/engine"
 	"hana/internal/value"
 )
 
@@ -53,7 +55,7 @@ func (p *Platform) Backup(tier Tier, dir string) error {
 	man := backupManifest{Tier: string(tier), CreatedAt: time.Now()}
 	for _, name := range sys.Engine.Catalog().TableNames() {
 		meta, _ := sys.Engine.Catalog().Table(name)
-		res, err := sys.Engine.ExecuteTx(tx, "SELECT * FROM "+quoteIdent(name))
+		res, err := sys.Engine.ExecuteContext(context.Background(), "SELECT * FROM "+quoteIdent(name), engine.WithTx(tx))
 		if err != nil {
 			return fmt.Errorf("backup %s: %w", name, err)
 		}
@@ -106,7 +108,7 @@ func (p *Platform) Restore(tier Tier, dir string) error {
 	}
 	for _, bt := range man.Tables {
 		ddl := restoreDDL(bt)
-		if _, err := sys.Engine.Execute(ddl); err != nil {
+		if _, err := sys.Engine.ExecuteContext(context.Background(), ddl); err != nil {
 			return fmt.Errorf("restore %s: %w", bt.Name, err)
 		}
 		f, err := os.Open(filepath.Join(dir, strings.ToLower(bt.Name)+".rows"))

@@ -16,6 +16,7 @@
 package platform
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -170,7 +171,7 @@ func (p *Platform) Deploy(tier Tier, names ...string) error {
 	for _, a := range arts {
 		if err := p.applyArtifact(sys, a, &created); err != nil {
 			for i := len(created) - 1; i >= 0; i-- {
-				_, _ = sys.Engine.Execute("DROP TABLE IF EXISTS " + created[i])
+				_, _ = sys.Engine.ExecuteContext(context.Background(), "DROP TABLE IF EXISTS " + created[i])
 			}
 			return fmt.Errorf("platform: deploying %s to %s: %w", a.Name, tier, err)
 		}
@@ -196,7 +197,7 @@ func (p *Platform) applyArtifact(sys *System, a *Artifact, created *[]string) er
 			if trimmed == "" {
 				continue
 			}
-			if _, err := sys.Engine.Execute(trimmed); err != nil {
+			if _, err := sys.Engine.ExecuteContext(context.Background(), trimmed); err != nil {
 				return err
 			}
 			upper := strings.ToUpper(trimmed)
@@ -366,7 +367,7 @@ func (s *Session) Query(sql string) (*engine.Result, error) {
 	if !s.p.users.Authorize(s.user, "engine.query") {
 		return nil, fmt.Errorf("platform: user %s is not authorized for engine.query", s.user)
 	}
-	return s.sys.Engine.Execute(sql)
+	return s.sys.Engine.ExecuteContext(context.Background(), sql)
 }
 
 // PublishEvent pushes an event into the tier's ESP under the same

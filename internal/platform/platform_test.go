@@ -1,9 +1,11 @@
 package platform
 
 import (
+	"context"
 	"testing"
 	"time"
 
+	"hana/internal/engine"
 	"hana/internal/value"
 )
 
@@ -40,7 +42,7 @@ func TestDeployAndTransportLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	dev, _ := p.System(TierDev)
-	res, err := dev.Engine.Execute(`SELECT COUNT(*) FROM readings`)
+	res, err := dev.Engine.ExecuteContext(context.Background(), `SELECT COUNT(*) FROM readings`)
 	if err != nil || res.Rows[0][0].Int() != 1 {
 		t.Fatalf("dev deploy: %v %v", res, err)
 	}
@@ -49,13 +51,13 @@ func TestDeployAndTransportLifecycle(t *testing.T) {
 	}
 	// Test tier is untouched until transport.
 	test, _ := p.System(TierTest)
-	if _, err := test.Engine.Execute(`SELECT * FROM readings`); err == nil {
+	if _, err := test.Engine.ExecuteContext(context.Background(), `SELECT * FROM readings`); err == nil {
 		t.Fatal("test tier must not have the table yet")
 	}
 	if err := p.Transport(TierDev, TierTest); err != nil {
 		t.Fatal(err)
 	}
-	res, err = test.Engine.Execute(`SELECT COUNT(*) FROM readings`)
+	res, err = test.Engine.ExecuteContext(context.Background(), `SELECT COUNT(*) FROM readings`)
 	if err != nil || res.Rows[0][0].Int() != 1 {
 		t.Fatalf("transport: %v %v", res, err)
 	}
@@ -73,10 +75,10 @@ func TestDeployAtomicCompensation(t *testing.T) {
 	}
 	dev, _ := p.System(TierDev)
 	// Everything created during the failed deployment is rolled back.
-	if _, err := dev.Engine.Execute(`SELECT * FROM ok1`); err == nil {
+	if _, err := dev.Engine.ExecuteContext(context.Background(), `SELECT * FROM ok1`); err == nil {
 		t.Fatal("ok1 must be compensated away")
 	}
-	if _, err := dev.Engine.Execute(`SELECT * FROM ok2`); err == nil {
+	if _, err := dev.Engine.ExecuteContext(context.Background(), `SELECT * FROM ok2`); err == nil {
 		t.Fatal("ok2 must be compensated away")
 	}
 	if p.DeployedVersion(TierDev, "good") != 0 {
@@ -121,7 +123,7 @@ func TestUnifiedCredentials(t *testing.T) {
 		t.Fatal("bad password must fail")
 	}
 	dev, _ := p.System(TierDev)
-	if _, err := dev.Engine.Execute(`CREATE TABLE t (a BIGINT)`); err != nil {
+	if _, err := dev.Engine.ExecuteContext(context.Background(), `CREATE TABLE t (a BIGINT)`); err != nil {
 		t.Fatal(err)
 	}
 	_, err := dev.ESP.CreateInputStream("s", value.NewSchema(value.Column{Name: "a", Kind: value.KindInt}))
@@ -180,7 +182,7 @@ func TestSynchronizedBackupRestore(t *testing.T) {
 		INSERT INTO hot VALUES (1,'a'), (2,'b');
 		INSERT INTO archive VALUES (10,'old-1'), (11,'old-2');
 		INSERT INTO sales VALUES (1, DATE '2013-06-01', FALSE), (2, DATE '2015-06-01', FALSE)`
-	if _, err := dev.Engine.ExecuteScript(script); err != nil {
+	if _, err := dev.Engine.ExecuteContext(context.Background(), script, engine.WithScript()); err != nil {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
@@ -200,7 +202,7 @@ func TestSynchronizedBackupRestore(t *testing.T) {
 		{`SELECT COUNT(*) FROM archive`, 2},
 		{`SELECT COUNT(*) FROM sales`, 2},
 	} {
-		res, err := test.Engine.Execute(q.sql)
+		res, err := test.Engine.ExecuteContext(context.Background(), q.sql)
 		if err != nil || res.Rows[0][0].Int() != q.want {
 			t.Fatalf("%s: %v %v", q.sql, res, err)
 		}
@@ -219,7 +221,7 @@ func TestSynchronizedBackupRestore(t *testing.T) {
 		t.Fatalf("restored partitions = %+v", parts)
 	}
 	// Aging still works after restore.
-	if _, err := test.Engine.Execute(`UPDATE sales SET cold = TRUE WHERE id = 2`); err != nil {
+	if _, err := test.Engine.ExecuteContext(context.Background(), `UPDATE sales SET cold = TRUE WHERE id = 2`); err != nil {
 		t.Fatal(err)
 	}
 	moved, err := test.Engine.RunAging("sales")
@@ -231,10 +233,10 @@ func TestSynchronizedBackupRestore(t *testing.T) {
 func TestBackupIsSnapshotConsistent(t *testing.T) {
 	p := newPlatform(t)
 	dev, _ := p.System(TierDev)
-	if _, err := dev.Engine.Execute(`CREATE TABLE t (a BIGINT)`); err != nil {
+	if _, err := dev.Engine.ExecuteContext(context.Background(), `CREATE TABLE t (a BIGINT)`); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := dev.Engine.Execute(`INSERT INTO t VALUES (1)`); err != nil {
+	if _, err := dev.Engine.ExecuteContext(context.Background(), `INSERT INTO t VALUES (1)`); err != nil {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
@@ -242,14 +244,14 @@ func TestBackupIsSnapshotConsistent(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Post-backup writes must not appear in the restore.
-	if _, err := dev.Engine.Execute(`INSERT INTO t VALUES (2)`); err != nil {
+	if _, err := dev.Engine.ExecuteContext(context.Background(), `INSERT INTO t VALUES (2)`); err != nil {
 		t.Fatal(err)
 	}
 	if err := p.Restore(TierProd, dir); err != nil {
 		t.Fatal(err)
 	}
 	prod, _ := p.System(TierProd)
-	res, _ := prod.Engine.Execute(`SELECT COUNT(*) FROM t`)
+	res, _ := prod.Engine.ExecuteContext(context.Background(), `SELECT COUNT(*) FROM t`)
 	if res.Rows[0][0].Int() != 1 {
 		t.Fatalf("restored rows = %v", res.Rows)
 	}

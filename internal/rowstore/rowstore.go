@@ -135,6 +135,25 @@ func (t *Table) Scan(fn func(id int, row value.Row) bool) {
 	}
 }
 
+// ScanRange invokes fn for rows with ids in [lo, hi) — the unit handed to
+// one morsel worker. Concurrent ScanRange calls are safe under the read
+// lock.
+func (t *Table) ScanRange(lo, hi int, fn func(id int, row value.Row) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if hi > len(t.rows) {
+		hi = len(t.rows)
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	for id := lo; id < hi; id++ {
+		if !fn(id, t.rows[id]) {
+			return
+		}
+	}
+}
+
 // MemSize estimates the in-memory footprint in bytes. Row storage pays the
 // full width of every value per row — the baseline Figure 2 compares
 // columnar and time-series compression against.

@@ -1,0 +1,65 @@
+package hana
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"hana/internal/bench"
+	"hana/internal/engine"
+)
+
+// Morsel-executor benchmarks: the same query at parallelism 1 vs 4 over an
+// all-local TPC-H fixture. At GOMAXPROCS>1 the par4 variants should show
+// the pool's speedup; at GOMAXPROCS=1 extra workers degrade to inline
+// execution and the two variants converge. cmd/benchpar emits the same
+// workloads as BENCH_parallel.json.
+
+var parallelFixture struct {
+	once sync.Once
+	e    *engine.Engine
+	err  error
+}
+
+func parallelEngine(b *testing.B) *engine.Engine {
+	b.Helper()
+	parallelFixture.once.Do(func() {
+		parallelFixture.e, parallelFixture.err = bench.SetupLocalTPCH(0.02, 2015, b.TempDir(), 4)
+	})
+	if parallelFixture.err != nil {
+		b.Fatal(parallelFixture.err)
+	}
+	return parallelFixture.e
+}
+
+func benchWorkload(b *testing.B, name string) {
+	e := parallelEngine(b)
+	var sql string
+	for _, w := range bench.ParallelWorkloads {
+		if w.Name == name {
+			sql = w.SQL
+		}
+	}
+	if sql == "" {
+		b.Fatalf("unknown workload %q", name)
+	}
+	ctx := context.Background()
+	for _, v := range []struct {
+		label string
+		width int
+	}{{"serial", 1}, {"par4", 4}} {
+		b.Run(v.label, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.ExecuteContext(ctx, sql, engine.WithParallelism(v.width)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParallelScan(b *testing.B) { benchWorkload(b, "scan") }
+
+func BenchmarkParallelAgg(b *testing.B) { benchWorkload(b, "agg") }
+
+func BenchmarkParallelJoin(b *testing.B) { benchWorkload(b, "join") }

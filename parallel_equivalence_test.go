@@ -1,0 +1,79 @@
+package hana
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"hana/internal/engine"
+	"hana/internal/tpch"
+	"hana/internal/value"
+)
+
+// The morsel executor promises byte-identical results at any parallelism:
+// morsel boundaries depend only on input size and partials merge in morsel
+// order, so worker count must never show up in the output. Property-check
+// that across the TPC-H query set: every query at parallelism 1 must equal
+// the same query at parallelism N, row for row, in order.
+func TestParallelExecutionMatchesSerial(t *testing.T) {
+	data := tpch.Generate(0.005, 2015)
+	schemas := tpch.Schemas()
+
+	newLoaded := func(parallelism int) *engine.Engine {
+		e := engine.New(engine.Config{
+			ExtendedStorageDir: t.TempDir(),
+			Parallelism:        parallelism,
+		})
+		for name, rows := range data.Tables {
+			ddl := fmt.Sprintf("CREATE TABLE %s (", name)
+			for i, c := range schemas[name].Cols {
+				if i > 0 {
+					ddl += ", "
+				}
+				ddl += c.Name + " " + c.Kind.String()
+			}
+			ddl += ")"
+			if _, err := e.ExecuteContext(context.Background(), ddl); err != nil {
+				t.Fatalf("create %s: %v", name, err)
+			}
+			if err := e.BulkLoad(name, rows); err != nil {
+				t.Fatalf("load %s: %v", name, err)
+			}
+		}
+		return e
+	}
+
+	serial := newLoaded(1)
+	parallel := newLoaded(4)
+	ctx := context.Background()
+
+	for _, id := range tpch.QueryIDs() {
+		q := tpch.Queries()[id]
+		t.Run(fmt.Sprintf("Q%d", id), func(t *testing.T) {
+			want, err := serial.ExecuteContext(ctx, q.SQL, engine.WithParallelism(1))
+			if err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			got, err := parallel.ExecuteContext(ctx, q.SQL, engine.WithParallelism(4))
+			if err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			if !reflect.DeepEqual(got.Schema, want.Schema) {
+				t.Fatalf("schema diverged: %v vs %v", got.Schema, want.Schema)
+			}
+			if len(got.Rows) != len(want.Rows) {
+				t.Fatalf("row count diverged: parallel %d vs serial %d", len(got.Rows), len(want.Rows))
+			}
+			for i := range want.Rows {
+				if !rowsEqual(got.Rows[i], want.Rows[i]) {
+					t.Fatalf("row %d diverged:\nparallel: %v\nserial:   %v", i, got.Rows[i], want.Rows[i])
+				}
+			}
+		})
+	}
+}
+
+func rowsEqual(a, b value.Row) bool {
+	return reflect.DeepEqual(a, b)
+}
