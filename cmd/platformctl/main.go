@@ -11,6 +11,7 @@
 //	platformctl -base DIR demo            # deploy a demo app DEV→TEST→PROD
 //	platformctl -base DIR backup  TIER OUTDIR
 //	platformctl -base DIR restore TIER INDIR
+//	platformctl -base DIR trace SQL...    # run SQL on DEV and print its query trace
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"hana/internal/platform"
 )
@@ -55,6 +57,11 @@ func main() {
 		if err == nil {
 			fmt.Printf("restored %s from %s\n", args[1], args[2])
 		}
+	case "trace":
+		if len(args) < 2 {
+			usage()
+		}
+		err = trace(p, strings.Join(args[1:], " "))
 	default:
 		usage()
 	}
@@ -65,7 +72,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: platformctl [-base DIR] status|demo|backup TIER OUT|restore TIER IN")
+	fmt.Fprintln(os.Stderr, "usage: platformctl [-base DIR] status|demo|backup TIER OUT|restore TIER IN|trace SQL...")
 	os.Exit(2)
 }
 
@@ -83,14 +90,48 @@ func status(p *platform.Platform) error {
 	return nil
 }
 
-func demo(p *platform.Platform) error {
-	// A small application: schema + seed content, promoted through the
-	// landscape.
+// saveDemoArtifacts stores the demo application in the repository: schema
+// + seed content, ready to promote through the landscape.
+func saveDemoArtifacts(p *platform.Platform) {
 	p.SaveArtifact("demo-schema", platform.ArtifactDDL, `
 		CREATE TABLE meters (meter_id BIGINT, region VARCHAR(10), kwh DOUBLE);
 		CREATE TABLE meter_archive (meter_id BIGINT, region VARCHAR(10), kwh DOUBLE) USING EXTENDED STORAGE`)
 	p.SaveArtifact("demo-content", platform.ArtifactScript, `
 		INSERT INTO meters VALUES (1,'NORTH',12.5), (2,'SOUTH',8.25), (3,'NORTH',31.0)`)
+}
+
+// trace runs one statement on the DEV system and prints its recorded query
+// trace: the span timeline with durations, strategy decisions and notes.
+// The demo application is deployed to DEV first if nothing is there, so the
+// command works standalone.
+func trace(p *platform.Platform, sql string) error {
+	if p.DeployedVersion(platform.TierDev, "demo-schema") == 0 {
+		saveDemoArtifacts(p)
+		if err := p.Deploy(platform.TierDev, "demo-schema", "demo-content"); err != nil {
+			return err
+		}
+	}
+	sys, err := p.System(platform.TierDev)
+	if err != nil {
+		return err
+	}
+	res, err := sys.Engine.ExecuteContext(context.Background(), sql)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d row(s)\n", len(res.Rows))
+	traces := sys.Engine.Traces().Snapshot()
+	if len(traces) == 0 {
+		return fmt.Errorf("no trace recorded")
+	}
+	tr := traces[len(traces)-1]
+	fmt.Printf("trace %d: %s\n", tr.ID(), tr.Statement())
+	fmt.Print(tr.Timeline())
+	return nil
+}
+
+func demo(p *platform.Platform) error {
+	saveDemoArtifacts(p)
 
 	for _, step := range []struct {
 		from, to platform.Tier

@@ -12,6 +12,7 @@ import (
 	"hana/internal/exec"
 	"hana/internal/faults"
 	"hana/internal/fed"
+	"hana/internal/obs"
 	"hana/internal/sqlparse"
 	"hana/internal/txn"
 	"hana/internal/value"
@@ -52,28 +53,64 @@ type Config struct {
 	// parallelism); 0 uses GOMAXPROCS. The pool is shared by all concurrent
 	// statements, so this bounds total executor goroutines, not per-query.
 	Parallelism int
+	// Obs overrides the engine's observability registry (metrics + system
+	// views read from it); nil gives the engine a private registry so
+	// instances never share counters.
+	Obs *obs.Registry
+	// TraceRingSize bounds how many finished query traces M_QUERY_TRACES
+	// retains (0 = obs.DefaultTraceRingSize).
+	TraceRingSize int
 }
 
-// Metrics counts engine activity for the benchmark harness.
+// Metrics counts engine activity for the benchmark harness. It is a typed
+// facade over the engine's observability registry: each field is a live
+// counter handle (registry names "fed.<snake_case>"), so hot-path updates
+// are lock-free atomic adds and monitoring reads never contend with query
+// execution.
 type Metrics struct {
-	mu                 sync.Mutex
-	RemoteQueries      int64
-	RemoteCacheHits    int64
-	RemoteRowsFetched  int64
-	SemiJoinsChosen    int64
-	UnionPlansChosen   int64
-	RelocationsChosen  int64
-	RemoteScansChosen  int64
-	RemoteRetries      int64
-	RemoteFallbackHits int64
-	PlannerFallbacks   int64
-	InDoubtResolved    int64
+	RemoteQueries      *obs.Counter
+	RemoteCacheHits    *obs.Counter
+	RemoteRowsFetched  *obs.Counter
+	SemiJoinsChosen    *obs.Counter
+	UnionPlansChosen   *obs.Counter
+	RelocationsChosen  *obs.Counter
+	RemoteScansChosen  *obs.Counter
+	RemoteRetries      *obs.Counter
+	RemoteFallbackHits *obs.Counter
+	PlannerFallbacks   *obs.Counter
+	InDoubtResolved    *obs.Counter
 }
 
-func (m *Metrics) add(f func(*Metrics)) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	f(m)
+// fedMetricNames maps MetricsSnapshot fields to registry counter names, in
+// the display order M_FEDERATION_STATISTICS uses.
+var fedMetricNames = []string{
+	"fed.remote_queries",
+	"fed.remote_cache_hits",
+	"fed.remote_rows_fetched",
+	"fed.semijoins_chosen",
+	"fed.union_plans_chosen",
+	"fed.relocations_chosen",
+	"fed.remote_scans_chosen",
+	"fed.remote_retries",
+	"fed.remote_fallback_hits",
+	"fed.planner_fallbacks",
+	"fed.in_doubt_resolved",
+}
+
+func newMetrics(r *obs.Registry) Metrics {
+	return Metrics{
+		RemoteQueries:      r.Counter("fed.remote_queries"),
+		RemoteCacheHits:    r.Counter("fed.remote_cache_hits"),
+		RemoteRowsFetched:  r.Counter("fed.remote_rows_fetched"),
+		SemiJoinsChosen:    r.Counter("fed.semijoins_chosen"),
+		UnionPlansChosen:   r.Counter("fed.union_plans_chosen"),
+		RelocationsChosen:  r.Counter("fed.relocations_chosen"),
+		RemoteScansChosen:  r.Counter("fed.remote_scans_chosen"),
+		RemoteRetries:      r.Counter("fed.remote_retries"),
+		RemoteFallbackHits: r.Counter("fed.remote_fallback_hits"),
+		PlannerFallbacks:   r.Counter("fed.planner_fallbacks"),
+		InDoubtResolved:    r.Counter("fed.in_doubt_resolved"),
+	}
 }
 
 // MetricsSnapshot is a point-in-time copy of the counters.
@@ -93,20 +130,18 @@ type MetricsSnapshot struct {
 
 // Snapshot returns a copy of the counters.
 func (m *Metrics) Snapshot() MetricsSnapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	return MetricsSnapshot{
-		RemoteQueries:      m.RemoteQueries,
-		RemoteCacheHits:    m.RemoteCacheHits,
-		RemoteRowsFetched:  m.RemoteRowsFetched,
-		SemiJoinsChosen:    m.SemiJoinsChosen,
-		UnionPlansChosen:   m.UnionPlansChosen,
-		RelocationsChosen:  m.RelocationsChosen,
-		RemoteScansChosen:  m.RemoteScansChosen,
-		RemoteRetries:      m.RemoteRetries,
-		RemoteFallbackHits: m.RemoteFallbackHits,
-		PlannerFallbacks:   m.PlannerFallbacks,
-		InDoubtResolved:    m.InDoubtResolved,
+		RemoteQueries:      m.RemoteQueries.Load(),
+		RemoteCacheHits:    m.RemoteCacheHits.Load(),
+		RemoteRowsFetched:  m.RemoteRowsFetched.Load(),
+		SemiJoinsChosen:    m.SemiJoinsChosen.Load(),
+		UnionPlansChosen:   m.UnionPlansChosen.Load(),
+		RelocationsChosen:  m.RelocationsChosen.Load(),
+		RemoteScansChosen:  m.RemoteScansChosen.Load(),
+		RemoteRetries:      m.RemoteRetries.Load(),
+		RemoteFallbackHits: m.RemoteFallbackHits.Load(),
+		PlannerFallbacks:   m.PlannerFallbacks.Load(),
+		InDoubtResolved:    m.InDoubtResolved.Load(),
 	}
 }
 
@@ -114,23 +149,26 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 // the platform, orchestrating the in-memory stores, the extended storage
 // and federated remote sources behind a single SQL interface.
 type Engine struct {
-	mu        sync.RWMutex
-	cfg       Config
-	cat       *catalog.Catalog
-	mgr       *txn.Manager
-	registry  *fed.Registry
-	adapters  map[string]fed.Adapter // keyed by upper-case source name
-	tables    map[string]*storedTable
-	providers map[string]TableProvider
-	ext       *diskstore.Store
-	extDir    string
-	pool      *exec.Pool
+	mu       sync.RWMutex
+	cfg      Config
+	cat      *catalog.Catalog
+	mgr      *txn.Manager
+	registry *fed.Registry
+	adapters map[string]fed.Adapter // keyed by upper-case source name
+	tables   map[string]*storedTable
+	ext      *diskstore.Store
+	extDir   string
+	pool     *exec.Pool
 
 	health *fed.Health
 	now    func() time.Time
 
 	fbMu     sync.Mutex
 	fallback map[string]*fallbackEntry
+
+	obs    *obs.Registry     // observability registry (metrics)
+	views  *obs.ViewRegistry // typed M_* system-view registry
+	traces *obs.TraceRing    // last N finished query traces
 
 	// Metrics is exported for benchmarks and monitoring.
 	Metrics Metrics
@@ -144,23 +182,54 @@ func New(cfg Config) *Engine {
 	if cfg.RemoteCacheValidity == 0 {
 		cfg.RemoteCacheValidity = time.Hour
 	}
-	e := &Engine{
-		cfg:       cfg,
-		cat:       catalog.New(),
-		mgr:       txn.NewManager(cfg.WAL),
-		registry:  fed.NewRegistry(),
-		adapters:  map[string]fed.Adapter{},
-		tables:    map[string]*storedTable{},
-		providers: map[string]TableProvider{},
-		pool:      exec.NewPool(cfg.Parallelism),
-		health:    fed.NewHealth(cfg.BreakerThreshold, cfg.BreakerCooldown),
-		now:       time.Now,
-		fallback:  map[string]*fallbackEntry{},
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
 	}
+	e := &Engine{
+		cfg:      cfg,
+		cat:      catalog.New(),
+		mgr:      txn.NewManager(cfg.WAL),
+		registry: fed.NewRegistry(),
+		adapters: map[string]fed.Adapter{},
+		tables:   map[string]*storedTable{},
+		pool:     exec.NewPool(cfg.Parallelism),
+		health:   fed.NewHealth(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		now:      time.Now,
+		fallback: map[string]*fallbackEntry{},
+		obs:      reg,
+		views:    obs.NewViewRegistry(),
+		traces:   obs.NewTraceRing(cfg.TraceRingSize),
+	}
+	e.Metrics = newMetrics(reg)
+	// Mirror breaker state into the registry so monitoring pollers read
+	// gauges instead of locking every breaker.
+	e.health.SetObserver(func(st faults.BreakerStats) {
+		pfx := "fed.breaker." + st.Name + "."
+		reg.Gauge(pfx + "state").Set(int64(st.State))
+		reg.Gauge(pfx + "consec_fails").Set(int64(st.ConsecFails))
+		reg.Gauge(pfx + "total_fails").Set(st.TotalFails)
+		reg.Gauge(pfx + "opens").Set(st.Opens)
+		reg.Gauge(pfx + "retries").Set(st.Retries)
+	})
 	e.mgr.SetInjector(cfg.Faults)
 	e.installSystemViews()
 	return e
 }
+
+// Obs exposes the engine's observability registry.
+func (e *Engine) Obs() *obs.Registry { return e.obs }
+
+// Views exposes the typed system-view registry.
+func (e *Engine) Views() *obs.ViewRegistry { return e.views }
+
+// Traces exposes the retained query traces (M_QUERY_TRACES backing ring).
+func (e *Engine) Traces() *obs.TraceRing { return e.traces }
+
+// RegisterView publishes a typed system view: the schema is declared once
+// in the definition, the view becomes queryable as name() and enumerable
+// via M_VIEWS().
+func (e *Engine) RegisterView(def obs.ViewDef) error { return e.views.Register(def) }
 
 // Health exposes the per-remote-source circuit breakers.
 func (e *Engine) Health() *fed.Health { return e.health }
@@ -187,25 +256,19 @@ func (e *Engine) clock() func() time.Time {
 type TableProvider func() (*value.Rows, error)
 
 // RegisterTableProvider publishes a local table function; queries call it
-// as name().
+// as name(). The provider's schema is only known at fill time, so the view
+// appears as dynamic in M_VIEWS().
+//
+// Deprecated: use RegisterView with a declared schema.
 func (e *Engine) RegisterTableProvider(name string, p TableProvider) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.providers[strings.ToUpper(name)] = p
+	e.views.RegisterDynamic(name, p)
 }
 
 // UnregisterTableProvider removes a local table function.
+//
+// Deprecated: use Views().Unregister.
 func (e *Engine) UnregisterTableProvider(name string) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	delete(e.providers, strings.ToUpper(name))
-}
-
-func (e *Engine) provider(name string) (TableProvider, bool) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	p, ok := e.providers[strings.ToUpper(name)]
-	return p, ok
+	e.views.Unregister(name)
 }
 
 // Catalog exposes the metadata registry.
@@ -286,8 +349,9 @@ type Result struct {
 	Rows     []value.Row
 	Affected int64
 	Message  string
-	Plan     string    // EXPLAIN output
-	Stats    ExecStats // executor statistics (queries)
+	Plan     string          // EXPLAIN output
+	Stats    ExecStats       // executor statistics (queries)
+	Trace    *obs.QueryTrace // EXPLAIN TRACE: the recorded span timeline
 }
 
 // Execute parses and runs one statement in an autonomous transaction
@@ -316,7 +380,7 @@ func (e *Engine) execStmt(ctx context.Context, st sqlparse.Statement, width int)
 	case *sqlparse.SelectStmt:
 		return e.query(ctx, nil, s, width)
 	case *sqlparse.ExplainStmt:
-		return e.explain(ctx, s.Sel, width)
+		return e.explain(ctx, s, width)
 	case *sqlparse.CreateTableStmt:
 		return e.createTable(s)
 	case *sqlparse.AlterTableStmt:
@@ -336,7 +400,7 @@ func (e *Engine) execStmt(ctx context.Context, st sqlparse.Statement, width int)
 			_ = e.Rollback(tx)
 			return nil, err
 		}
-		if err := e.CommitTx(tx); err != nil {
+		if err := e.commitTxCtx(ctx, tx); err != nil {
 			return nil, err
 		}
 		return res, nil
@@ -350,7 +414,13 @@ func (e *Engine) Begin() *txn.Txn { return e.mgr.Begin() }
 // CommitTx commits the transaction, stamping MVCC versions after the
 // two-phase commit succeeds.
 func (e *Engine) CommitTx(tx *txn.Txn) error {
-	cid, err := e.mgr.Commit(tx)
+	return e.commitTxCtx(context.Background(), tx)
+}
+
+// commitTxCtx is CommitTx under the statement's trace context, so 2PC
+// phases land in the query trace.
+func (e *Engine) commitTxCtx(ctx context.Context, tx *txn.Txn) error {
+	cid, err := e.mgr.CommitCtx(ctx, tx)
 	if err != nil {
 		dropStamps(tx)
 		return err

@@ -141,13 +141,11 @@ func (p *planner) realizeRemote(r *relation) error {
 	if err != nil {
 		return fmt.Errorf("remote source %s: %w", rr.source, err)
 	}
-	p.e.Metrics.add(func(m *Metrics) {
-		m.RemoteQueries++
-		m.RemoteRowsFetched += int64(res.Rows.Len())
-		if res.FromCache {
-			m.RemoteCacheHits++
-		}
-	})
+	p.e.Metrics.RemoteQueries.Inc()
+	p.e.Metrics.RemoteRowsFetched.Add(int64(res.Rows.Len()))
+	if res.FromCache {
+		p.e.Metrics.RemoteCacheHits.Inc()
+	}
 	label := fmt.Sprintf("Remote Row Scan [%s] (%d rows)", rr.source, res.Rows.Len())
 	if res.FromCache {
 		label += " [remote cache hit]"
@@ -253,18 +251,19 @@ func (p *planner) realizeExt(r *relation) error {
 			label += fmt.Sprintf(" + Semijoin (%d values shipped)", inCount)
 		}
 		r.node = node(label)
-		p.e.Metrics.add(func(m *Metrics) {
-			m.UnionPlansChosen++
-			if inCount > 0 {
-				m.SemiJoinsChosen++
-			}
-		})
+		p.e.Metrics.UnionPlansChosen.Inc()
+		p.plan.Note("chose union plan for %s: hot %d ∪ cold %d rows", t.meta.Name, hotRows, coldRows)
+		if inCount > 0 {
+			p.e.Metrics.SemiJoinsChosen.Inc()
+		}
 	case usedCold && inCount > 0:
 		r.node = node(fmt.Sprintf("Semijoin → Extended Storage [%s] (%d values shipped, %d rows scanned)", t.meta.Name, inCount, coldRows))
-		p.e.Metrics.add(func(m *Metrics) { m.SemiJoinsChosen++ })
+		p.e.Metrics.SemiJoinsChosen.Inc()
+		p.plan.Note("chose semijoin → extended storage for %s: %d values shipped", t.meta.Name, inCount)
 	case usedCold:
 		r.node = node(fmt.Sprintf("Remote Scan → Extended Storage [%s] (%d rows scanned)", t.meta.Name, coldRows))
-		p.e.Metrics.add(func(m *Metrics) { m.RemoteScansChosen++ })
+		p.e.Metrics.RemoteScansChosen.Inc()
+		p.plan.Note("chose remote scan → extended storage for %s: %d rows", t.meta.Name, coldRows)
 	default:
 		r.node = node(fmt.Sprintf("Column Scan [%s] (%d rows)", t.meta.Name, hotRows))
 	}

@@ -2,7 +2,11 @@ package engine
 
 import (
 	"context"
+	"fmt"
+	"strings"
+	"time"
 
+	"hana/internal/obs"
 	"hana/internal/sqlparse"
 	"hana/internal/txn"
 	"hana/internal/value"
@@ -67,7 +71,12 @@ type PartitionCount struct {
 // with the given options, under a context that cancels morsel workers,
 // retry backoffs and remote fetches. All other Execute* variants are
 // wrappers over it.
-func (e *Engine) ExecuteContext(ctx context.Context, sql string, opts ...ExecOption) (*Result, error) {
+//
+// Every call gets a structured QueryTrace: parse, per-statement execution,
+// planning, morsel dispatch, remote calls and 2PC phases record spans into
+// it through the context, and the finished trace lands in the engine's
+// trace ring for M_QUERY_TRACES.
+func (e *Engine) ExecuteContext(ctx context.Context, sql string, opts ...ExecOption) (res *Result, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -75,10 +84,27 @@ func (e *Engine) ExecuteContext(ctx context.Context, sql string, opts ...ExecOpt
 	for _, fn := range opts {
 		fn(&o)
 	}
+	tr := obs.NewTrace(sql)
+	ctx = obs.ContextWithTrace(ctx, tr)
+	start := time.Now()
+	defer func() {
+		tr.Finish(err)
+		e.traces.Push(tr)
+		e.obs.Counter("exec.statements").Inc()
+		e.obs.Histogram("exec.statement_us", nil).Observe(time.Since(start).Microseconds())
+		if res != nil {
+			e.obs.Counter("exec.rows_scanned").Add(res.Stats.RowsScanned)
+			e.obs.Counter("exec.morsels").Add(res.Stats.Morsels)
+			e.obs.Gauge("exec.workers_highwater").SetMax(res.Stats.Workers)
+		}
+	}()
 	if o.script {
-		stmts, err := sqlparse.ParseAll(sql)
-		if err != nil {
-			return nil, err
+		ps := tr.StartSpan("parse")
+		stmts, perr := sqlparse.ParseAll(sql)
+		ps.SetAttrInt("statements", int64(len(stmts)))
+		ps.End()
+		if perr != nil {
+			return nil, perr
 		}
 		var last *Result
 		for _, st := range stmts {
@@ -88,9 +114,11 @@ func (e *Engine) ExecuteContext(ctx context.Context, sql string, opts ...ExecOpt
 		}
 		return last, nil
 	}
-	st, err := sqlparse.Parse(sql)
-	if err != nil {
-		return nil, err
+	ps := tr.StartSpan("parse")
+	st, perr := sqlparse.Parse(sql)
+	ps.End()
+	if perr != nil {
+		return nil, perr
 	}
 	return e.execParsed(ctx, st, &o)
 }
@@ -99,6 +127,10 @@ func (e *Engine) execParsed(ctx context.Context, st sqlparse.Statement, o *execO
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	sp := obs.TraceFrom(ctx).StartSpan("stmt")
+	defer sp.End()
+	sp.SetAttr("type", strings.TrimPrefix(fmt.Sprintf("%T", st), "*sqlparse."))
+	ctx = obs.ContextWithSpan(ctx, sp)
 	if len(o.params) > 0 {
 		var err error
 		if st, err = substituteStmtParams(st, o.params); err != nil {

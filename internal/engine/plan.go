@@ -8,6 +8,7 @@ import (
 	"hana/internal/exec"
 	"hana/internal/expr"
 	"hana/internal/fed"
+	"hana/internal/obs"
 	"hana/internal/sqlparse"
 	"hana/internal/txn"
 	"hana/internal/value"
@@ -15,7 +16,10 @@ import (
 
 // planner plans and executes one query block under a snapshot. ctx, width
 // and stats thread the statement's cancellation scope, parallelism cap and
-// executor counters into every morsel dispatch the plan makes.
+// executor counters into every morsel dispatch the plan makes. plan is the
+// trace span that accumulates strategy decisions — chosen federated
+// strategies and rejected alternatives with their cost estimates — as
+// notes (nil when the statement is untraced).
 type planner struct {
 	e        *Engine
 	snapshot uint64
@@ -25,6 +29,7 @@ type planner struct {
 	ctx   context.Context
 	width int
 	stats *exec.Counters
+	plan  *obs.Span
 }
 
 func (e *Engine) newPlanner(ctx context.Context, tx *txn.Txn, sel *sqlparse.SelectStmt, width int) *planner {
@@ -53,14 +58,39 @@ func (p *planner) execStats() ExecStats {
 	}
 }
 
+// runBlock plans and executes one top-level SELECT under plan/exec trace
+// spans: "plan" covers planning and the eager realization work it performs
+// (remote fetches, scans — this planner materializes during planning) and
+// records the strategy decisions; "exec" covers the final drain and carries
+// the executor counters.
+func (p *planner) runBlock(ctx context.Context, sel *sqlparse.SelectStmt) (*value.Rows, *planNode, error) {
+	parent := obs.SpanFrom(ctx)
+	pl := parent.StartSpan("plan")
+	p.plan = pl
+	p.ctx = obs.ContextWithSpan(p.ctx, pl)
+	it, root, err := p.planQueryBlock(sel)
+	pl.End()
+	if err != nil {
+		return nil, nil, err
+	}
+	ex := parent.StartSpan("exec")
+	defer ex.End()
+	p.ctx = obs.ContextWithSpan(ctx, ex)
+	rows, err := exec.Materialize(it)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := p.execStats()
+	ex.SetAttrInt("rows_scanned", st.RowsScanned)
+	ex.SetAttrInt("morsels", st.Morsels)
+	ex.SetAttrInt("workers_highwater", st.Workers)
+	return rows, root, nil
+}
+
 // query plans, executes and materializes a SELECT.
 func (e *Engine) query(ctx context.Context, tx *txn.Txn, sel *sqlparse.SelectStmt, width int) (*Result, error) {
 	p := e.newPlanner(ctx, tx, sel, width)
-	it, root, err := p.planQueryBlock(sel)
-	if err != nil {
-		return nil, err
-	}
-	rows, err := exec.Materialize(it)
+	rows, root, err := p.runBlock(ctx, sel)
 	if err != nil {
 		return nil, err
 	}
@@ -68,18 +98,50 @@ func (e *Engine) query(ctx context.Context, tx *txn.Txn, sel *sqlparse.SelectStm
 }
 
 // explain plans (and for federated parts executes the shipping decision)
-// without returning data rows.
-func (e *Engine) explain(ctx context.Context, sel *sqlparse.SelectStmt, width int) (*Result, error) {
-	p := e.newPlanner(ctx, nil, sel, width)
-	it, root, err := p.planQueryBlock(sel)
+// without returning data rows. EXPLAIN TRACE additionally returns the
+// recorded span timeline as rows, one per span in preorder.
+func (e *Engine) explain(ctx context.Context, ex *sqlparse.ExplainStmt, width int) (*Result, error) {
+	p := e.newPlanner(ctx, nil, ex.Sel, width)
+	// Drain to complete lazy plan annotations.
+	_, root, err := p.runBlock(ctx, ex.Sel)
 	if err != nil {
 		return nil, err
 	}
-	// Drain to complete lazy plan annotations.
-	if _, err := exec.Materialize(it); err != nil {
-		return nil, err
+	if !ex.Trace {
+		return &Result{Plan: root.String(), Message: "explained", Stats: p.execStats()}, nil
 	}
-	return &Result{Plan: root.String(), Message: "explained", Stats: p.execStats()}, nil
+	tr := obs.TraceFrom(ctx)
+	rows := traceSpanRows(tr)
+	return &Result{
+		Schema:  rows.Schema,
+		Rows:    rows.Data,
+		Plan:    root.String(),
+		Message: "traced",
+		Stats:   p.execStats(),
+		Trace:   tr,
+	}, nil
+}
+
+// traceSpanRows renders a trace's span tree as rows: one per span in
+// preorder with its depth, duration and attribute/note detail.
+func traceSpanRows(tr *obs.QueryTrace) *value.Rows {
+	out := value.NewRows(value.NewSchema(
+		value.Column{Name: "trace_id", Kind: value.KindInt},
+		value.Column{Name: "span", Kind: value.KindVarchar},
+		value.Column{Name: "depth", Kind: value.KindInt},
+		value.Column{Name: "duration_us", Kind: value.KindInt},
+		value.Column{Name: "detail", Kind: value.KindVarchar},
+	))
+	tr.Walk(func(depth int, s *obs.Span) {
+		out.Append(value.Row{
+			value.NewInt(int64(tr.ID())),
+			value.NewString(s.Name()),
+			value.NewInt(int64(depth)),
+			value.NewInt(s.Duration().Microseconds()),
+			value.NewString(s.Detail()),
+		})
+	})
+	return out
 }
 
 // planQueryBlock plans one SELECT block: whole-statement shipping when
@@ -315,8 +377,7 @@ func approxRowCount(st *storedTable) int64 {
 // planTableFunc invokes a local table provider (HANA join over ESP window
 // state) or a virtual function (§4.3) on its remote source.
 func (p *planner) planTableFunc(t *sqlparse.TableFuncRef) (*relation, error) {
-	if prov, ok := p.e.provider(t.Name); ok {
-		rows, err := prov()
+	if rows, ok, err := p.e.views.Rows(t.Name); ok || err != nil {
 		if err != nil {
 			return nil, fmt.Errorf("table provider %s: %w", t.Name, err)
 		}
@@ -347,7 +408,8 @@ func (p *planner) planTableFunc(t *sqlparse.TableFuncRef) (*relation, error) {
 	if err := conformRows(rows, schema); err != nil {
 		return nil, err
 	}
-	p.e.Metrics.add(func(m *Metrics) { m.RemoteQueries++; m.RemoteRowsFetched += int64(rows.Len()) })
+	p.e.Metrics.RemoteQueries.Inc()
+	p.e.Metrics.RemoteRowsFetched.Add(int64(rows.Len()))
 	return &relation{
 		schema: schema, rows: rows.Data, local: true,
 		est:  float64(rows.Len()),
@@ -432,7 +494,8 @@ func (p *planner) joinRelations(l, r *relation, pool *[]expr.Expr) (*relation, e
 	relocated := false
 	if r.ext != nil && l.local && l.est > float64(p.e.semiJoinThreshold()) {
 		relocated = true
-		p.e.Metrics.add(func(m *Metrics) { m.RelocationsChosen++ })
+		p.e.Metrics.RelocationsChosen.Inc()
+		p.plan.Note("chose relocation: build side est %.0f > threshold %d", l.est, p.e.semiJoinThreshold())
 	}
 
 	if err := p.realizeBoth(l, r); err != nil {
@@ -516,12 +579,14 @@ func (p *planner) maybeSemiJoin(small, big *relation, smallKeys, bigKeys []expr.
 	}
 	threshold := float64(p.e.semiJoinThreshold())
 	if small.est > threshold {
+		p.plan.Note("rejected semijoin: build side est %.0f > threshold %.0f", small.est, threshold)
 		return nil
 	}
 	if err := p.realize(small); err != nil {
 		return err
 	}
 	if float64(len(small.rows)) > threshold {
+		p.plan.Note("rejected semijoin: build side %d rows > threshold %.0f", len(small.rows), threshold)
 		return nil
 	}
 	for i := range smallKeys {
@@ -549,7 +614,8 @@ func (p *planner) maybeSemiJoin(small, big *relation, smallKeys, bigKeys []expr.
 		}
 		big.addConj(&expr.In{E: expr.Clone(bigKeys[i]), List: list})
 		if big.remote != nil {
-			p.e.Metrics.add(func(m *Metrics) { m.SemiJoinsChosen++ })
+			p.e.Metrics.SemiJoinsChosen.Inc()
+			p.plan.Note("chose semijoin: shipped %d key values to %s", len(list), big.remote.source)
 		}
 	}
 	return nil

@@ -9,6 +9,7 @@ import (
 
 	"hana/internal/faults"
 	"hana/internal/fed"
+	"hana/internal/obs"
 	"hana/internal/txn"
 	"hana/internal/value"
 )
@@ -35,7 +36,7 @@ func (e *Engine) retryPolicy(br *faults.Breaker) faults.RetryPolicy {
 	onRetry := p.OnRetry
 	p.OnRetry = func(op string, attempt int, err error) {
 		br.NoteRetry()
-		e.Metrics.add(func(m *Metrics) { m.RemoteRetries++ })
+		e.Metrics.RemoteRetries.Inc()
 		if onRetry != nil {
 			onRetry(op, attempt, err)
 		}
@@ -48,16 +49,24 @@ func (e *Engine) retryPolicy(br *faults.Breaker) faults.RetryPolicy {
 // are exhausted on a transient failure — a still-valid fallback-cache
 // entry for the same statement is served instead, marked FromFallback.
 func (e *Engine) remoteQuery(ctx context.Context, source string, a fed.Adapter, sql string, opts fed.QueryOptions) (*fed.QueryResult, error) {
+	sp := obs.SpanFrom(ctx).StartSpan("remote")
+	defer sp.End()
+	sp.SetAttr("source", strings.ToUpper(source))
+	sp.SetAttr("kind", "query")
 	br := e.health.Breaker(strings.ToUpper(source))
 	site := "fed.query." + strings.ToLower(source)
 	if err := br.Allow(); err != nil {
+		sp.Note("breaker open")
 		if res, ok := e.fallbackLookup(source, sql); ok {
+			sp.Note("served from fallback cache")
 			return res, nil
 		}
 		return nil, err
 	}
 	var res *fed.QueryResult
+	var attempts int64
 	err := e.retryPolicy(br).DoCtx(ctx, site, func() error {
+		attempts++
 		if err := e.cfg.Faults.Check(site); err != nil {
 			return err
 		}
@@ -68,16 +77,23 @@ func (e *Engine) remoteQuery(ctx context.Context, source string, a fed.Adapter, 
 		res = r
 		return nil
 	})
+	sp.SetAttrInt("attempts", attempts)
 	if err != nil {
 		br.Failure(err)
+		sp.SetAttr("breaker", br.Snapshot().State.String())
 		if faults.IsTransient(err) {
 			if res, ok := e.fallbackLookup(source, sql); ok {
+				sp.Note("retries exhausted, served from fallback cache")
 				return res, nil
 			}
 		}
 		return nil, err
 	}
 	br.Success()
+	if res.FromCache {
+		sp.Note("remote cache hit")
+	}
+	sp.SetAttrInt("rows", int64(res.Rows.Len()))
 	e.fallbackStore(source, sql, res)
 	return res, nil
 }
@@ -86,13 +102,20 @@ func (e *Engine) remoteQuery(ctx context.Context, source string, a fed.Adapter, 
 // layer. Remote jobs have no cached materialization to fall back to, so an
 // open breaker or exhausted retries surface as the classified error.
 func (e *Engine) remoteCall(ctx context.Context, source string, fa fed.FunctionAdapter, config map[string]string, schema *value.Schema) (*value.Rows, error) {
+	sp := obs.SpanFrom(ctx).StartSpan("remote")
+	defer sp.End()
+	sp.SetAttr("source", strings.ToUpper(source))
+	sp.SetAttr("kind", "call")
 	br := e.health.Breaker(strings.ToUpper(source))
 	site := "fed.call." + strings.ToLower(source)
 	if err := br.Allow(); err != nil {
+		sp.Note("breaker open")
 		return nil, err
 	}
 	var rows *value.Rows
+	var attempts int64
 	err := e.retryPolicy(br).DoCtx(ctx, site, func() error {
+		attempts++
 		if err := e.cfg.Faults.Check(site); err != nil {
 			return err
 		}
@@ -103,11 +126,14 @@ func (e *Engine) remoteCall(ctx context.Context, source string, fa fed.FunctionA
 		rows = r
 		return nil
 	})
+	sp.SetAttrInt("attempts", attempts)
 	if err != nil {
 		br.Failure(err)
+		sp.SetAttr("breaker", br.Snapshot().State.String())
 		return nil, err
 	}
 	br.Success()
+	sp.SetAttrInt("rows", int64(rows.Len()))
 	return rows, nil
 }
 
@@ -143,7 +169,7 @@ func (e *Engine) fallbackLookup(source, sql string) (*fed.QueryResult, bool) {
 	if validity > 0 && e.clock()().Sub(ent.created) > validity {
 		return nil, false
 	}
-	e.Metrics.add(func(m *Metrics) { m.RemoteFallbackHits++ })
+	e.Metrics.RemoteFallbackHits.Inc()
 	return &fed.QueryResult{Rows: cloneRows(ent.rows), FromFallback: true}, true
 }
 
@@ -194,7 +220,7 @@ func (e *Engine) ResolveAllInDoubt() error {
 			errs = append(errs, fmt.Errorf("transaction %d: %w", tid, err))
 			continue
 		}
-		e.Metrics.add(func(m *Metrics) { m.InDoubtResolved++ })
+		e.Metrics.InDoubtResolved.Inc()
 	}
 	return errors.Join(errs...)
 }

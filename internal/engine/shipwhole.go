@@ -31,6 +31,7 @@ func (p *planner) tryShipWhole(sel *sqlparse.SelectStmt) (exec.Iter, *planNode, 
 		info.hasOuter && !caps.JoinsOuter,
 		info.hasAgg && !caps.GroupBy,
 		info.hasSubquery && !caps.Subqueries:
+		p.plan.Note("rejected ship-whole: %s lacks capability for the statement", info.source)
 		return nil, nil, false, nil
 	}
 
@@ -50,18 +51,18 @@ func (p *planner) tryShipWhole(sel *sqlparse.SelectStmt) (exec.Iter, *planNode, 
 			// The source's breaker is open and no fallback materialization
 			// is valid: decline ship-whole so the planner can try per-leaf
 			// strategies (which may hit leaf-level fallback entries).
-			p.e.Metrics.add(func(m *Metrics) { m.PlannerFallbacks++ })
+			p.e.Metrics.PlannerFallbacks.Inc()
+			p.plan.Note("rejected ship-whole: %s breaker open, falling back to per-leaf strategies", info.source)
 			return nil, nil, false, nil
 		}
 		return nil, nil, false, fmt.Errorf("remote source %s: %w", info.source, err)
 	}
-	p.e.Metrics.add(func(m *Metrics) {
-		m.RemoteQueries++
-		m.RemoteRowsFetched += int64(res.Rows.Len())
-		if res.FromCache {
-			m.RemoteCacheHits++
-		}
-	})
+	p.e.Metrics.RemoteQueries.Inc()
+	p.e.Metrics.RemoteRowsFetched.Add(int64(res.Rows.Len()))
+	if res.FromCache {
+		p.e.Metrics.RemoteCacheHits.Inc()
+	}
+	p.plan.Note("chose ship-whole to %s: %d tables in one shipped query", info.source, info.tableCount)
 
 	// Name the result columns after the local select items.
 	schema := res.Rows.Schema

@@ -7,38 +7,135 @@ import (
 	"strings"
 
 	"hana/internal/expr"
+	"hana/internal/obs"
 	"hana/internal/sqlparse"
 	"hana/internal/value"
 )
 
 // Monitoring views, exposed as built-in table functions (query with
 // SELECT * FROM M_TABLES()): the single-administration-surface idea of §2
-// — one interface reports on every component.
+// — one interface reports on every component. Each view is a typed
+// obs.ViewDef so its column metadata is declared up front and enumerable
+// through M_VIEWS().
 
-// installSystemViews registers the M_* providers.
+// installSystemViews registers the M_* view definitions.
 func (e *Engine) installSystemViews() {
-	e.RegisterTableProvider("M_TABLES", e.mTables)
-	e.RegisterTableProvider("M_REMOTE_SOURCES", e.mRemoteSources)
-	e.RegisterTableProvider("M_VIRTUAL_TABLES", e.mVirtualTables)
-	e.RegisterTableProvider("M_FEDERATION_STATISTICS", e.mFederationStats)
-	e.RegisterTableProvider("M_TRANSACTIONS", e.mTransactions)
-	e.RegisterTableProvider("M_REMOTE_SOURCE_HEALTH", e.mRemoteSourceHealth)
-	e.RegisterTableProvider("M_INDOUBT_TRANSACTIONS", e.mInDoubtTransactions)
+	defs := []obs.ViewDef{
+		{
+			Name: "M_TABLES",
+			Columns: []value.Column{
+				{Name: "table_name", Kind: value.KindVarchar},
+				{Name: "placement", Kind: value.KindVarchar},
+				{Name: "partitions", Kind: value.KindInt},
+				{Name: "row_count", Kind: value.KindInt},
+				{Name: "aging_column", Kind: value.KindVarchar},
+			},
+			Fill: e.mTables,
+		},
+		{
+			Name: "M_REMOTE_SOURCES",
+			Columns: []value.Column{
+				{Name: "source_name", Kind: value.KindVarchar},
+				{Name: "adapter", Kind: value.KindVarchar},
+				{Name: "capabilities", Kind: value.KindVarchar},
+			},
+			Fill: e.mRemoteSources,
+		},
+		{
+			Name: "M_VIRTUAL_TABLES",
+			Columns: []value.Column{
+				{Name: "table_name", Kind: value.KindVarchar},
+				{Name: "source_name", Kind: value.KindVarchar},
+				{Name: "remote_object", Kind: value.KindVarchar},
+			},
+			Fill: e.mVirtualTables,
+		},
+		{
+			Name: "M_FEDERATION_STATISTICS",
+			Columns: []value.Column{
+				{Name: "metric", Kind: value.KindVarchar},
+				{Name: "val", Kind: value.KindInt},
+			},
+			Fill: e.mFederationStats,
+		},
+		{
+			Name: "M_TRANSACTIONS",
+			Columns: []value.Column{
+				{Name: "metric", Kind: value.KindVarchar},
+				{Name: "val", Kind: value.KindInt},
+			},
+			Fill: e.mTransactions,
+		},
+		{
+			Name: "M_REMOTE_SOURCE_HEALTH",
+			Columns: []value.Column{
+				{Name: "source_name", Kind: value.KindVarchar},
+				{Name: "breaker_state", Kind: value.KindVarchar},
+				{Name: "consecutive_failures", Kind: value.KindInt},
+				{Name: "total_failures", Kind: value.KindInt},
+				{Name: "times_opened", Kind: value.KindInt},
+				{Name: "retries", Kind: value.KindInt},
+				{Name: "last_error", Kind: value.KindVarchar},
+			},
+			Fill: e.mRemoteSourceHealth,
+		},
+		{
+			Name: "M_INDOUBT_TRANSACTIONS",
+			Columns: []value.Column{
+				{Name: "transaction_id", Kind: value.KindInt},
+				{Name: "participant", Kind: value.KindVarchar},
+				{Name: "commit_id", Kind: value.KindInt},
+				{Name: "decision", Kind: value.KindVarchar},
+				{Name: "resolution_attempts", Kind: value.KindInt},
+			},
+			Fill: e.mInDoubtTransactions,
+		},
+		{
+			Name: "M_VIEWS",
+			Columns: []value.Column{
+				{Name: "view_name", Kind: value.KindVarchar},
+				{Name: "ordinal", Kind: value.KindInt},
+				{Name: "column_name", Kind: value.KindVarchar},
+				{Name: "column_kind", Kind: value.KindVarchar},
+				{Name: "dynamic", Kind: value.KindBool},
+			},
+			Fill: e.mViews,
+		},
+		{
+			Name: "M_QUERY_TRACES",
+			Columns: []value.Column{
+				{Name: "trace_id", Kind: value.KindInt},
+				{Name: "statement", Kind: value.KindVarchar},
+				{Name: "span", Kind: value.KindVarchar},
+				{Name: "depth", Kind: value.KindInt},
+				{Name: "duration_us", Kind: value.KindInt},
+				{Name: "detail", Kind: value.KindVarchar},
+				{Name: "error", Kind: value.KindVarchar},
+			},
+			Fill: e.mQueryTraces,
+		},
+		{
+			Name: "M_METRICS",
+			Columns: []value.Column{
+				{Name: "metric", Kind: value.KindVarchar},
+				{Name: "kind", Kind: value.KindVarchar},
+				{Name: "val", Kind: value.KindInt},
+				{Name: "detail", Kind: value.KindVarchar},
+			},
+			Fill: e.mMetrics,
+		},
+	}
+	for _, def := range defs {
+		if err := e.views.Register(def); err != nil {
+			panic(fmt.Sprintf("system view %s: %v", def.Name, err))
+		}
+	}
 }
 
 // mRemoteSourceHealth reports per-source circuit-breaker state: the
 // operator-facing answer to "is the planner degrading because Hive is
 // down, and when will it probe again?".
-func (e *Engine) mRemoteSourceHealth() (*value.Rows, error) {
-	out := value.NewRows(value.NewSchema(
-		value.Column{Name: "source_name", Kind: value.KindVarchar},
-		value.Column{Name: "breaker_state", Kind: value.KindVarchar},
-		value.Column{Name: "consecutive_failures", Kind: value.KindInt},
-		value.Column{Name: "total_failures", Kind: value.KindInt},
-		value.Column{Name: "times_opened", Kind: value.KindInt},
-		value.Column{Name: "retries", Kind: value.KindInt},
-		value.Column{Name: "last_error", Kind: value.KindVarchar},
-	))
+func (e *Engine) mRemoteSourceHealth(out *value.Rows) error {
 	for _, st := range e.health.Snapshot() {
 		lastErr := value.Null
 		if st.LastError != "" {
@@ -54,19 +151,12 @@ func (e *Engine) mRemoteSourceHealth() (*value.Rows, error) {
 			lastErr,
 		})
 	}
-	return out, nil
+	return nil
 }
 
 // mInDoubtTransactions lists unresolved 2PC branches with their decided
 // commit ID and resolution attempts (§3.1 in-doubt visibility).
-func (e *Engine) mInDoubtTransactions() (*value.Rows, error) {
-	out := value.NewRows(value.NewSchema(
-		value.Column{Name: "transaction_id", Kind: value.KindInt},
-		value.Column{Name: "participant", Kind: value.KindVarchar},
-		value.Column{Name: "commit_id", Kind: value.KindInt},
-		value.Column{Name: "decision", Kind: value.KindVarchar},
-		value.Column{Name: "resolution_attempts", Kind: value.KindInt},
-	))
+func (e *Engine) mInDoubtTransactions(out *value.Rows) error {
 	for _, b := range e.mgr.InDoubtInfo() {
 		decision := "COMMIT"
 		if b.CID == 0 {
@@ -80,22 +170,15 @@ func (e *Engine) mInDoubtTransactions() (*value.Rows, error) {
 			value.NewInt(int64(b.Retries)),
 		})
 	}
-	return out, nil
+	return nil
 }
 
-func (e *Engine) mTables() (*value.Rows, error) {
-	out := value.NewRows(value.NewSchema(
-		value.Column{Name: "table_name", Kind: value.KindVarchar},
-		value.Column{Name: "placement", Kind: value.KindVarchar},
-		value.Column{Name: "partitions", Kind: value.KindInt},
-		value.Column{Name: "row_count", Kind: value.KindInt},
-		value.Column{Name: "aging_column", Kind: value.KindVarchar},
-	))
+func (e *Engine) mTables(out *value.Rows) error {
 	for _, name := range e.cat.TableNames() {
 		meta, _ := e.cat.Table(name)
 		n, err := e.TableRowCount(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		parts := int64(len(meta.Partitions))
 		if parts == 0 {
@@ -113,15 +196,10 @@ func (e *Engine) mTables() (*value.Rows, error) {
 			aging,
 		})
 	}
-	return out, nil
+	return nil
 }
 
-func (e *Engine) mRemoteSources() (*value.Rows, error) {
-	out := value.NewRows(value.NewSchema(
-		value.Column{Name: "source_name", Kind: value.KindVarchar},
-		value.Column{Name: "adapter", Kind: value.KindVarchar},
-		value.Column{Name: "capabilities", Kind: value.KindVarchar},
-	))
+func (e *Engine) mRemoteSources(out *value.Rows) error {
 	e.mu.RLock()
 	names := make([]string, 0, len(e.adapters))
 	for n := range e.adapters {
@@ -148,15 +226,10 @@ func (e *Engine) mRemoteSources() (*value.Rows, error) {
 			value.NewString(strings.Join(on, ",")),
 		})
 	}
-	return out, nil
+	return nil
 }
 
-func (e *Engine) mVirtualTables() (*value.Rows, error) {
-	out := value.NewRows(value.NewSchema(
-		value.Column{Name: "table_name", Kind: value.KindVarchar},
-		value.Column{Name: "source_name", Kind: value.KindVarchar},
-		value.Column{Name: "remote_object", Kind: value.KindVarchar},
-	))
+func (e *Engine) mVirtualTables(out *value.Rows) error {
 	// The catalog does not expose iteration over virtual tables directly;
 	// list through known sources' registrations.
 	for _, vt := range e.cat.VirtualTableList() {
@@ -166,45 +239,102 @@ func (e *Engine) mVirtualTables() (*value.Rows, error) {
 			value.NewString(strings.Join(vt.Remote, ".")),
 		})
 	}
-	return out, nil
+	return nil
 }
 
-func (e *Engine) mFederationStats() (*value.Rows, error) {
-	m := e.Metrics.Snapshot()
-	out := value.NewRows(value.NewSchema(
-		value.Column{Name: "metric", Kind: value.KindVarchar},
-		value.Column{Name: "val", Kind: value.KindInt},
-	))
-	for _, kv := range []struct {
-		k string
-		v int64
-	}{
-		{"remote_queries", m.RemoteQueries},
-		{"remote_cache_hits", m.RemoteCacheHits},
-		{"remote_rows_fetched", m.RemoteRowsFetched},
-		{"semijoins_chosen", m.SemiJoinsChosen},
-		{"union_plans_chosen", m.UnionPlansChosen},
-		{"relocations_chosen", m.RelocationsChosen},
-		{"remote_scans_chosen", m.RemoteScansChosen},
-		{"remote_retries", m.RemoteRetries},
-		{"remote_fallback_hits", m.RemoteFallbackHits},
-		{"planner_fallbacks", m.PlannerFallbacks},
-		{"in_doubt_resolved", m.InDoubtResolved},
-	} {
-		out.Append(value.Row{value.NewString(kv.k), value.NewInt(kv.v)})
+// mFederationStats serves the federation counters from a registry snapshot
+// — a consistent point-in-time read off the lock-free counters, never a
+// recomputation under the engine lock.
+func (e *Engine) mFederationStats(out *value.Rows) error {
+	stats := e.obs.Snapshot()
+	for _, name := range fedMetricNames {
+		v, _ := stats.Counter(name)
+		out.Append(value.Row{
+			value.NewString(strings.TrimPrefix(name, "fed.")),
+			value.NewInt(v),
+		})
 	}
-	return out, nil
+	return nil
 }
 
-func (e *Engine) mTransactions() (*value.Rows, error) {
-	out := value.NewRows(value.NewSchema(
-		value.Column{Name: "metric", Kind: value.KindVarchar},
-		value.Column{Name: "val", Kind: value.KindInt},
-	))
+func (e *Engine) mTransactions(out *value.Rows) error {
 	out.Append(value.Row{value.NewString("active_transactions"), value.NewInt(int64(e.mgr.ActiveCount()))})
 	out.Append(value.Row{value.NewString("last_commit_id"), value.NewInt(int64(e.mgr.LastCID()))})
 	out.Append(value.Row{value.NewString("in_doubt_transactions"), value.NewInt(int64(len(e.mgr.InDoubt())))})
-	return out, nil
+	return nil
+}
+
+// mViews enumerates every registered view: one row per declared column,
+// and a single all-NULL column row for dynamic (legacy provider) views
+// whose schema is only known when they run.
+func (e *Engine) mViews(out *value.Rows) error {
+	for _, meta := range e.views.List() {
+		if meta.Dynamic {
+			out.Append(value.Row{
+				value.NewString(meta.Name),
+				value.Null,
+				value.Null,
+				value.Null,
+				value.NewBool(true),
+			})
+			continue
+		}
+		for i, col := range meta.Columns {
+			out.Append(value.Row{
+				value.NewString(meta.Name),
+				value.NewInt(int64(i)),
+				value.NewString(col.Name),
+				value.NewString(col.Kind.String()),
+				value.NewBool(false),
+			})
+		}
+	}
+	return nil
+}
+
+// mQueryTraces renders the trace ring, oldest first: one row per span in
+// preorder, so a query's timeline reads top to bottom.
+func (e *Engine) mQueryTraces(out *value.Rows) error {
+	for _, tr := range e.traces.Snapshot() {
+		errv := value.Null
+		if msg := tr.Err(); msg != "" {
+			errv = value.NewString(msg)
+		}
+		tr.Walk(func(depth int, s *obs.Span) {
+			out.Append(value.Row{
+				value.NewInt(int64(tr.ID())),
+				value.NewString(tr.Statement()),
+				value.NewString(s.Name()),
+				value.NewInt(int64(depth)),
+				value.NewInt(s.Duration().Microseconds()),
+				value.NewString(s.Detail()),
+				errv,
+			})
+		})
+	}
+	return nil
+}
+
+// mMetrics dumps the whole registry — counters, gauges and histograms —
+// from one snapshot.
+func (e *Engine) mMetrics(out *value.Rows) error {
+	stats := e.obs.Snapshot()
+	for _, c := range stats.Counters {
+		out.Append(value.Row{value.NewString(c.Name), value.NewString("counter"), value.NewInt(c.Value), value.Null})
+	}
+	for _, g := range stats.Gauges {
+		out.Append(value.Row{value.NewString(g.Name), value.NewString("gauge"), value.NewInt(g.Value), value.Null})
+	}
+	for _, h := range stats.Histograms {
+		var parts []string
+		for i, b := range h.Bounds {
+			parts = append(parts, fmt.Sprintf("le%d=%d", b, h.Counts[i]))
+		}
+		parts = append(parts, fmt.Sprintf("inf=%d", h.Counts[len(h.Bounds)]))
+		detail := fmt.Sprintf("sum=%d %s", h.Sum, strings.Join(parts, " "))
+		out.Append(value.Row{value.NewString(h.Name), value.NewString("histogram"), value.NewInt(h.Count), value.NewString(detail)})
+	}
+	return nil
 }
 
 // ExecuteParams parses and runs a statement with positional ? parameters

@@ -2,9 +2,13 @@ package exec
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"hana/internal/obs"
 )
 
 // DefaultMorselSize is the number of rows one scan or aggregation morsel
@@ -63,22 +67,33 @@ func (p *Pool) Run(ctx context.Context, n, width int, fn func(ctx context.Contex
 		width = n
 	}
 
+	// Record the dispatch as one trace span. Worker timings land in attrs
+	// (which vary run to run); the span tree itself stays
+	// width-independent because every dispatch contributes exactly one
+	// "morsels" span regardless of how many workers it used.
+	sp := obs.SpanFrom(ctx).StartSpan("morsels")
+	defer sp.End()
+
 	var (
-		next     atomic.Int64
-		failed   atomic.Bool
-		mu       sync.Mutex
-		errAt    = -1
-		firstErr error
+		next       atomic.Int64
+		failed     atomic.Bool
+		mu         sync.Mutex
+		errAt      = -1
+		firstErr   error
+		perMorsels = make([]int64, width)
+		perBusy    = make([]time.Duration, width)
 	)
-	worker := func() {
+	worker := func(id int) {
+		begin := time.Now()
 		for {
 			if failed.Load() || ctx.Err() != nil {
-				return
+				break
 			}
 			i := int(next.Add(1)) - 1
 			if i >= n {
-				return
+				break
 			}
+			perMorsels[id]++
 			if err := fn(ctx, i); err != nil {
 				mu.Lock()
 				if errAt < 0 || i < errAt {
@@ -86,9 +101,10 @@ func (p *Pool) Run(ctx context.Context, n, width int, fn func(ctx context.Contex
 				}
 				mu.Unlock()
 				failed.Store(true)
-				return
+				break
 			}
 		}
+		perBusy[id] = time.Since(begin)
 	}
 
 	var wg sync.WaitGroup
@@ -98,11 +114,11 @@ spawn:
 		select {
 		case p.extra <- struct{}{}:
 			wg.Add(1)
-			go func() {
+			go func(id int) {
 				defer wg.Done()
 				defer func() { <-p.extra }()
-				worker()
-			}()
+				worker(id)
+			}(workers)
 			workers++
 		default:
 			// Pool saturated (other queries, or a nested Run already holds
@@ -111,8 +127,17 @@ spawn:
 			break spawn
 		}
 	}
-	worker()
+	worker(0)
 	wg.Wait()
+
+	sp.SetAttrInt("morsels", int64(n))
+	sp.SetAttrInt("workers", int64(workers))
+	if sp != nil {
+		for id := 0; id < workers; id++ {
+			sp.SetAttr(fmt.Sprintf("w%d", id),
+				fmt.Sprintf("%d morsels in %s", perMorsels[id], perBusy[id].Round(time.Microsecond)))
+		}
+	}
 
 	mu.Lock()
 	err := firstErr

@@ -48,6 +48,7 @@ type Breaker struct {
 	opens       int64
 	retries     int64
 	lastErr     string
+	observer    func(BreakerStats)
 }
 
 // NewBreaker creates a breaker. threshold<=0 defaults to 3, cooldown<=0 to
@@ -72,29 +73,55 @@ func (b *Breaker) SetClock(now func() time.Time) {
 	b.now = now
 }
 
+// SetObserver installs a callback invoked with a fresh stats snapshot after
+// every state-changing event (success, failure, retry, half-open probe
+// admission). The observer runs outside the breaker's lock, so it may take
+// its own locks — the metrics registry publishes breaker state through it.
+func (b *Breaker) SetObserver(fn func(BreakerStats)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.observer = fn
+}
+
+// notifyLocked captures the observer and a snapshot while the lock is held;
+// the caller must invoke the returned function after releasing b.mu.
+func (b *Breaker) notifyLocked() func() {
+	if b.observer == nil {
+		return func() {}
+	}
+	fn, st := b.observer, b.snapshotLocked()
+	return func() { fn(st) }
+}
+
 // Allow reports whether a call may proceed. When the circuit is open and
 // the cooldown has elapsed it transitions to half-open and admits exactly
 // one probe; concurrent callers keep getting the open error until the
 // probe resolves via Success or Failure.
 func (b *Breaker) Allow() error {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	switch b.state {
 	case BreakerClosed:
+		b.mu.Unlock()
 		return nil
 	case BreakerHalfOpen:
 		if b.probing {
+			b.mu.Unlock()
 			return fmt.Errorf("%w: %s probe in flight", ErrCircuitOpen, b.name)
 		}
 		b.probing = true
+		b.mu.Unlock()
 		return nil
 	default: // BreakerOpen
 		//lint:ignore locksafe now is a clock function (time.Now or a test stub), never lock-taking
 		if b.now().Sub(b.openedAt) >= b.cooldown {
 			b.state = BreakerHalfOpen
 			b.probing = true
+			notify := b.notifyLocked()
+			b.mu.Unlock()
+			notify()
 			return nil
 		}
+		b.mu.Unlock()
 		return fmt.Errorf("%w: %s cooling down", ErrCircuitOpen, b.name)
 	}
 }
@@ -103,11 +130,13 @@ func (b *Breaker) Allow() error {
 // bookkeeping resets.
 func (b *Breaker) Success() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	b.state = BreakerClosed
 	b.consecFails = 0
 	b.probing = false
 	b.lastErr = ""
+	notify := b.notifyLocked()
+	b.mu.Unlock()
+	notify()
 }
 
 // Failure records a failed call. A failed half-open probe re-opens the
@@ -115,7 +144,6 @@ func (b *Breaker) Success() {
 // consecutive-failure threshold is reached.
 func (b *Breaker) Failure(err error) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	b.totalFails++
 	b.consecFails++
 	if err != nil {
@@ -130,6 +158,9 @@ func (b *Breaker) Failure(err error) {
 		}
 	}
 	b.probing = false
+	notify := b.notifyLocked()
+	b.mu.Unlock()
+	notify()
 }
 
 func (b *Breaker) open() {
@@ -142,8 +173,10 @@ func (b *Breaker) open() {
 // observability (M_REMOTE_SOURCE_HEALTH).
 func (b *Breaker) NoteRetry() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	b.retries++
+	notify := b.notifyLocked()
+	b.mu.Unlock()
+	notify()
 }
 
 // BreakerStats is a point-in-time snapshot for monitoring views.
@@ -161,6 +194,10 @@ type BreakerStats struct {
 func (b *Breaker) Snapshot() BreakerStats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	return b.snapshotLocked()
+}
+
+func (b *Breaker) snapshotLocked() BreakerStats {
 	return BreakerStats{
 		Name:        b.name,
 		State:       b.state,

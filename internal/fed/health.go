@@ -18,6 +18,7 @@ type Health struct {
 	cooldown  time.Duration
 	now       func() time.Time
 	breakers  map[string]*faults.Breaker
+	observer  func(faults.BreakerStats)
 }
 
 // NewHealth creates a breaker registry. threshold and cooldown apply to
@@ -41,6 +42,19 @@ func (h *Health) SetClock(now func() time.Time) {
 	}
 }
 
+// SetObserver installs a callback forwarded to every current and future
+// breaker: it fires with a fresh stats snapshot on each state-changing
+// breaker event, outside the breaker's lock. The engine uses it to mirror
+// breaker state into the observability registry.
+func (h *Health) SetObserver(fn func(faults.BreakerStats)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.observer = fn
+	for _, b := range h.breakers {
+		b.SetObserver(fn)
+	}
+}
+
 // Breaker returns the breaker for a remote source, creating it on first
 // use.
 func (h *Health) Breaker(source string) *faults.Breaker {
@@ -50,6 +64,9 @@ func (h *Health) Breaker(source string) *faults.Breaker {
 	if !ok {
 		//lint:ignore locksafe NewBreaker is a constructor; the new breaker's lock is unshared
 		b = faults.NewBreaker(source, h.threshold, h.cooldown, h.now)
+		if h.observer != nil {
+			b.SetObserver(h.observer)
+		}
 		h.breakers[source] = b
 	}
 	return b

@@ -73,6 +73,7 @@ func Analyzers() []*Analyzer {
 		ErrDrop,
 		NakedGoroutine,
 		ValueClone,
+		ObsLeak,
 	}
 }
 

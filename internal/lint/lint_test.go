@@ -103,7 +103,7 @@ func TestGoodFixturesClean(t *testing.T) {
 }
 
 // TestEveryAnalyzerFires guards against an analyzer silently going dead:
-// each of the five must produce at least one finding on its bad fixture.
+// each analyzer must produce at least one finding on its bad fixture.
 func TestEveryAnalyzerFires(t *testing.T) {
 	pkgs := loadFixtures(t)
 	fired := map[string]bool{}

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// ObsLeak flags trace spans that are started but can escape their function
+// without being ended. A span that never reaches End() reports a zero
+// duration and pins its subtree open in the query timeline, so every
+// StartSpan must be paired with an End on every return path — usually as
+// `defer sp.End()` right after the start.
+//
+// The check is positional, not flow-sensitive; per function body (function
+// literals are analyzed as their own bodies):
+//
+//   - a StartSpan call whose result is discarded (expression statement or
+//     assignment to _) can never be ended and is always reported
+//   - a span with a `defer sp.End()` anywhere in the body is safe
+//   - otherwise every return statement after the StartSpan assignment must
+//     have some `sp.End()` call positioned between the assignment and the
+//     return, and a span with no End() call at all is reported at its
+//     assignment
+var ObsLeak = &Analyzer{
+	Name: "obsleak",
+	Doc:  "trace span started but not ended on every return path",
+	Run:  runObsLeak,
+}
+
+func runObsLeak(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkSpanBody(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkSpanBody(pass, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// startSpanCall reports whether e is a <expr>.StartSpan(...) call.
+func startSpanCall(e ast.Expr) (*ast.CallExpr, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "StartSpan" {
+		return nil, false
+	}
+	return call, true
+}
+
+// checkSpanBody analyzes one function body. Nested function literals are
+// separate bodies for StartSpan collection (they have their own return
+// paths), but an End() inside one still counts for the enclosing span —
+// cleanup frequently lives in a deferred closure.
+func checkSpanBody(pass *Pass, body *ast.BlockStmt) {
+	type span struct {
+		name   string
+		assign token.Pos
+	}
+	var spans []span
+
+	// Collect StartSpan assignments and misuse in this body, skipping
+	// nested literals.
+	var collect func(n ast.Node) bool
+	collect = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ExprStmt:
+			if call, ok := startSpanCall(x.X); ok {
+				pass.Reportf(call.Pos(), "StartSpan result discarded: the span can never be ended")
+				return false
+			}
+		case *ast.AssignStmt:
+			if len(x.Lhs) != 1 || len(x.Rhs) != 1 {
+				return true
+			}
+			call, ok := startSpanCall(x.Rhs[0])
+			if !ok {
+				return true
+			}
+			id, ok := x.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if id.Name == "_" {
+				pass.Reportf(call.Pos(), "StartSpan result discarded: the span can never be ended")
+				return true
+			}
+			spans = append(spans, span{name: id.Name, assign: x.Pos()})
+		}
+		return true
+	}
+	ast.Inspect(body, collect)
+	if len(spans) == 0 {
+		return
+	}
+
+	// Collect End() calls (descending into nested literals: deferred
+	// closures may end the span) and return statements (own body only).
+	deferred := map[string]bool{}
+	ends := map[string][]token.Pos{}
+	var returns []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.DeferStmt:
+			if sel, ok := x.Call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					deferred[id.Name] = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					ends[id.Name] = append(ends[id.Name], x.Pos())
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			returns = append(returns, x.Pos())
+		}
+		return true
+	})
+
+	for _, sp := range spans {
+		if deferred[sp.name] {
+			continue
+		}
+		if len(ends[sp.name]) == 0 {
+			pass.Reportf(sp.assign, "span %s is never ended (no %s.End() in this function)", sp.name, sp.name)
+			continue
+		}
+		for _, ret := range returns {
+			if ret <= sp.assign {
+				continue
+			}
+			ended := false
+			for _, e := range ends[sp.name] {
+				if e > sp.assign && e <= ret {
+					ended = true
+					break
+				}
+			}
+			if !ended {
+				pass.Reportf(ret, "return leaks span %s: no %s.End() between StartSpan and this return (consider defer %s.End())", sp.name, sp.name, sp.name)
+			}
+		}
+	}
+}

@@ -1,0 +1,38 @@
+// Fixture: span leaks the obsleak analyzer must report.
+package obsleak
+
+import "errors"
+
+// discardedResult starts a span nothing can ever end.
+func discardedResult() {
+	root().StartSpan("dropped") // want obsleak
+}
+
+// blankAssign discards through the blank identifier.
+func blankAssign() {
+	_ = root().StartSpan("blank") // want obsleak
+}
+
+// neverEnded holds the span but has no End call at all.
+func neverEnded() {
+	sp := root().StartSpan("open") // want obsleak
+	sp.Note("working")
+}
+
+// earlyReturnLeak ends the span on the happy path only.
+func earlyReturnLeak() error {
+	sp := root().StartSpan("phase")
+	if bad() {
+		return errors.New("bad") // want obsleak
+	}
+	sp.End()
+	return nil
+}
+
+// leakInClosure leaks inside a function literal body.
+func leakInClosure() func() {
+	return func() {
+		sp := root().StartSpan("inner") // want obsleak
+		sp.Note("never ended")
+	}
+}

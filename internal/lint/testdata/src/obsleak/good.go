@@ -1,0 +1,67 @@
+// Fixture: span lifecycles the obsleak analyzer must accept.
+package obsleak
+
+import "errors"
+
+type span struct{}
+
+func (s *span) StartSpan(name string) *span { return s }
+func (s *span) End()                        {}
+func (s *span) Note(msg string)             {}
+
+func root() *span { return &span{} }
+
+// deferredEnd is the canonical pattern: End deferred immediately.
+func deferredEnd() error {
+	sp := root().StartSpan("work")
+	defer sp.End()
+	if bad() {
+		return errors.New("bad")
+	}
+	return nil
+}
+
+// explicitEnds ends the span on every return path by hand.
+func explicitEnds() error {
+	sp := root().StartSpan("phase")
+	if bad() {
+		sp.End()
+		return errors.New("bad")
+	}
+	sp.End()
+	return nil
+}
+
+// sequentialSpans runs two phases; the first is fully ended before the
+// second starts, so later returns need only end the second.
+func sequentialSpans() error {
+	first := root().StartSpan("first")
+	first.End()
+	second := root().StartSpan("second")
+	if bad() {
+		second.End()
+		return errors.New("bad")
+	}
+	second.End()
+	return nil
+}
+
+// closureEnd ends the span inside a deferred closure.
+func closureEnd() {
+	sp := root().StartSpan("work")
+	defer func() {
+		sp.Note("done")
+		sp.End()
+	}()
+	if bad() {
+		return
+	}
+	sp.Note("ok")
+}
+
+// returnedSpan transfers ownership to the caller; not a leak here.
+func returnedSpan() *span {
+	return root().StartSpan("handoff")
+}
+
+func bad() bool { return false }

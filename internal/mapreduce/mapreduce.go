@@ -17,6 +17,7 @@ import (
 
 	"hana/internal/faults"
 	"hana/internal/hdfs"
+	"hana/internal/obs"
 )
 
 // MapFunc processes one input line, emitting key/value pairs.
@@ -255,6 +256,7 @@ func (e *Engine) Run(job *Job) (*JobResult, error) {
 			res.OutputFiles = append(res.OutputFiles, name)
 		}
 		res.Duration = time.Since(start)
+		e.publishObs(res.Duration)
 		return res, nil
 	}
 
@@ -325,7 +327,23 @@ func (e *Engine) Run(job *Job) (*JobResult, error) {
 	}
 	res.OutputFiles = partNames
 	res.Duration = time.Since(start)
+	e.publishObs(res.Duration)
 	return res, nil
+}
+
+// publishObs mirrors the engine's cumulative counters into the process-wide
+// metrics registry so map-reduce activity is visible alongside query
+// execution (gauges track the running totals; the histogram records per-job
+// latency).
+func (e *Engine) publishObs(d time.Duration) {
+	obs.Default.Counter("mapreduce.jobs_run").Inc()
+	obs.Default.Histogram("mapreduce.job_us", nil).Observe(d.Microseconds())
+	obs.Default.Gauge("mapreduce.map_input_records").Set(e.Counters.MapInputRecords.Load())
+	obs.Default.Gauge("mapreduce.map_output_records").Set(e.Counters.MapOutputRecords.Load())
+	obs.Default.Gauge("mapreduce.combine_out_records").Set(e.Counters.CombineOutRecords.Load())
+	obs.Default.Gauge("mapreduce.reduce_input_groups").Set(e.Counters.ReduceInputGroups.Load())
+	obs.Default.Gauge("mapreduce.reduce_out_records").Set(e.Counters.ReduceOutRecords.Load())
+	obs.Default.Gauge("mapreduce.task_retries").Set(e.Counters.TaskRetries.Load())
 }
 
 // RunChain executes a DAG expressed as an ordered job list (each job's

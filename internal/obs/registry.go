@@ -1,0 +1,281 @@
+// Package obs is the platform's unified observability layer: a process- or
+// engine-scoped metrics registry (typed counters, gauges and bounded
+// histograms with lock-free hot paths), per-query structured tracing
+// (QueryTrace / Span, carried through contexts into the executor, the
+// federation layer and the 2PC coordinator), and the typed system-view
+// registry behind the M_* monitoring surface. Every layer reports into one
+// registry and one coherent API reads out of it — the paper's
+// single-administration-surface idea (§2) applied to telemetry.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The hot path is a single
+// atomic add; a nil *Counter ignores every update so instrumentation can be
+// unconditional.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds d (negative deltas are coerced to zero: counters never regress).
+func (c *Counter) Add(d int64) {
+	if c == nil || d <= 0 {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Load returns the current value.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-write-wins instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// SetMax raises the gauge to v if v is larger (high-water marks).
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a bounded histogram: observations land in the first bucket
+// whose upper bound is >= the value, or in the overflow bucket. Each bucket
+// is its own atomic (sharded buckets), so concurrent morsel workers never
+// serialize on a histogram lock.
+type Histogram struct {
+	bounds  []int64        // sorted upper bounds
+	buckets []atomic.Int64 // len(bounds)+1, last is overflow
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// LatencyBoundsUs is the default microsecond bucket layout for statement
+// and remote-call latencies: 100µs … 10s, one decade per bucket.
+var LatencyBoundsUs = []int64{100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000}
+
+// Registry holds named metrics. Registration takes a short write lock;
+// updates go straight to the returned metric's atomics, so hot paths are
+// lock-free once the metric handle is cached.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Default is the process-wide registry. Engine instances default to their
+// own private registries; infrastructure without an engine scope (the
+// map-reduce runtime, adapters) reports here, and the package-level
+// Snapshot reads it.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds on first use (nil bounds default to LatencyBoundsUs). An
+// existing histogram keeps its original bounds.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	if len(bounds) == 0 {
+		bounds = LatencyBoundsUs
+	}
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterStat is one counter in a Stats snapshot.
+type CounterStat struct {
+	Name  string
+	Value int64
+}
+
+// GaugeStat is one gauge in a Stats snapshot.
+type GaugeStat struct {
+	Name  string
+	Value int64
+}
+
+// HistogramStat is one histogram in a Stats snapshot. Counts has one entry
+// per bound plus the overflow bucket.
+type HistogramStat struct {
+	Name   string
+	Bounds []int64
+	Counts []int64
+	Count  int64
+	Sum    int64
+}
+
+// Stats is an immutable point-in-time snapshot of a registry, each section
+// sorted by metric name. Callers read metrics from here instead of reaching
+// into package-level counters.
+type Stats struct {
+	Counters   []CounterStat
+	Gauges     []GaugeStat
+	Histograms []HistogramStat
+}
+
+// Counter looks up a counter value by name.
+func (s Stats) Counter(name string) (int64, bool) {
+	i := sort.Search(len(s.Counters), func(i int) bool { return s.Counters[i].Name >= name })
+	if i < len(s.Counters) && s.Counters[i].Name == name {
+		return s.Counters[i].Value, true
+	}
+	return 0, false
+}
+
+// Gauge looks up a gauge value by name.
+func (s Stats) Gauge(name string) (int64, bool) {
+	i := sort.Search(len(s.Gauges), func(i int) bool { return s.Gauges[i].Name >= name })
+	if i < len(s.Gauges) && s.Gauges[i].Name == name {
+		return s.Gauges[i].Value, true
+	}
+	return 0, false
+}
+
+// Histogram looks up a histogram snapshot by name.
+func (s Stats) Histogram(name string) (HistogramStat, bool) {
+	i := sort.Search(len(s.Histograms), func(i int) bool { return s.Histograms[i].Name >= name })
+	if i < len(s.Histograms) && s.Histograms[i].Name == name {
+		return s.Histograms[i], true
+	}
+	return HistogramStat{}, false
+}
+
+// Snapshot copies every metric into an immutable Stats. Individual reads
+// are atomic; the snapshot as a whole is not a consistent cut (counters
+// bumped mid-snapshot may or may not be included), which is the usual
+// monitoring trade and never blocks writers.
+func (r *Registry) Snapshot() Stats {
+	r.mu.RLock()
+	counters := make([]CounterStat, 0, len(r.counters))
+	for n, c := range r.counters {
+		counters = append(counters, CounterStat{Name: n, Value: c.Load()})
+	}
+	gauges := make([]GaugeStat, 0, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges = append(gauges, GaugeStat{Name: n, Value: g.Load()})
+	}
+	hists := make([]HistogramStat, 0, len(r.hists))
+	for n, h := range r.hists {
+		st := HistogramStat{
+			Name:   n,
+			Bounds: append([]int64(nil), h.bounds...),
+			Counts: make([]int64, len(h.buckets)),
+			Count:  h.count.Load(),
+			Sum:    h.sum.Load(),
+		}
+		for i := range h.buckets {
+			st.Counts[i] = h.buckets[i].Load()
+		}
+		hists = append(hists, st)
+	}
+	r.mu.RUnlock()
+	sort.Slice(counters, func(i, j int) bool { return counters[i].Name < counters[j].Name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].Name < gauges[j].Name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].Name < hists[j].Name })
+	return Stats{Counters: counters, Gauges: gauges, Histograms: hists}
+}
+
+// Snapshot returns an immutable snapshot of the Default registry.
+func Snapshot() Stats { return Default.Snapshot() }

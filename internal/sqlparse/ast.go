@@ -378,9 +378,12 @@ type CreateVirtualFunctionStmt struct {
 
 func (*CreateVirtualFunctionStmt) stmt() {}
 
-// ExplainStmt wraps a SELECT for plan display.
+// ExplainStmt wraps a SELECT for plan display. With Trace set (EXPLAIN
+// TRACE <select>) the statement is executed and its full span timeline is
+// returned alongside the plan.
 type ExplainStmt struct {
-	Sel *SelectStmt
+	Sel   *SelectStmt
+	Trace bool
 }
 
 func (*ExplainStmt) stmt() {}

@@ -193,11 +193,12 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseSelect()
 	case p.isKw("EXPLAIN"):
 		p.pos++
+		trace := p.matchKw("TRACE")
 		sel, err := p.parseSelect()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Sel: sel}, nil
+		return &ExplainStmt{Sel: sel, Trace: trace}, nil
 	case p.isKw("CREATE"):
 		return p.parseCreate()
 	case p.isKw("ALTER"):
