@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-selftest test race chaos bench bench-smoke check
+.PHONY: all build vet lint lint-self lint-graph lint-selftest test race chaos bench bench-smoke check
 
 all: check
 
@@ -10,11 +10,25 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project-specific static analysis (internal/lint via cmd/hanalint).
+# Project-specific static analysis (internal/lint via cmd/hanalint),
+# including the interprocedural analyzers (lockorder, ctxflow, resleak).
 # Exits non-zero on any finding; suppress deliberate violations in source
 # with //lint:ignore <analyzer> <reason>.
 lint:
 	$(GO) run ./cmd/hanalint ./...
+
+# The linter does not exempt itself: re-lint the analyzer sources and the
+# command-line drivers explicitly (also covered by `lint`, but this target
+# fails fast when only the tooling changed).
+lint-self:
+	$(GO) run ./cmd/hanalint ./internal/lint ./cmd/...
+
+# Dump the global lock-acquisition graph (Graphviz DOT on stdout), derived
+# from the interprocedural summaries. Render with:
+#   make -s lint-graph | dot -Tsvg > lockgraph.svg
+# Ranked nodes (internal/lint/lockrank.go) carry their rank in the label.
+lint-graph:
+	$(GO) run ./cmd/hanalint -lockgraph
 
 # Prove the analyzers still catch their fixture corpus: the unit tests
 # assert exact diagnostic positions, and the driver must FAIL on the
@@ -51,4 +65,4 @@ bench-smoke:
 	$(GO) run ./cmd/benchpar -sf 0.02 -workers 4 -iters 3 -out BENCH_parallel.json
 
 # Everything CI runs.
-check: build vet lint lint-selftest race chaos
+check: build vet lint lint-self lint-selftest race chaos

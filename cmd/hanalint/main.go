@@ -7,6 +7,7 @@
 //	go run ./cmd/hanalint ./...            # whole repo
 //	go run ./cmd/hanalint ./internal/esp   # one package
 //	go run ./cmd/hanalint -list            # list analyzers
+//	go run ./cmd/hanalint -lockgraph       # lock-order graph as DOT
 //
 // Deliberate violations are suppressed in source with
 // //lint:ignore <analyzer> <reason> on the offending line or the line
@@ -24,8 +25,9 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	root := flag.String("root", "", "module root (default: nearest dir with go.mod)")
+	lockgraph := flag.Bool("lockgraph", false, "dump the global lock-order graph as DOT and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: hanalint [-list] [-root dir] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: hanalint [-list] [-lockgraph] [-root dir] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -52,6 +54,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hanalint:", err)
 		os.Exit(2)
+	}
+	if *lockgraph {
+		fmt.Print(lint.LockGraphDOT(lint.BuildProgram(pkgs)))
+		return
 	}
 	module, err := lint.ModulePath(dir)
 	if err != nil {

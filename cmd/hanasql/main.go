@@ -9,8 +9,8 @@
 package main
 
 import (
-	"context"
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"

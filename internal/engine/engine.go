@@ -371,8 +371,19 @@ func (e *Engine) ExecuteScript(sql string) (*Result, error) {
 }
 
 // ExecuteStmt runs one parsed statement autonomously.
+//
+// Deprecated: use ExecuteStmtContext.
 func (e *Engine) ExecuteStmt(st sqlparse.Statement) (*Result, error) {
-	return e.execStmt(context.Background(), st, 0)
+	return e.ExecuteStmtContext(context.Background(), st)
+}
+
+// ExecuteStmtContext runs one parsed statement autonomously under the
+// caller's context.
+func (e *Engine) ExecuteStmtContext(ctx context.Context, st sqlparse.Statement) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return e.execStmt(ctx, st, 0)
 }
 
 func (e *Engine) execStmt(ctx context.Context, st sqlparse.Statement, width int) (*Result, error) {
@@ -413,8 +424,20 @@ func (e *Engine) Begin() *txn.Txn { return e.mgr.Begin() }
 
 // CommitTx commits the transaction, stamping MVCC versions after the
 // two-phase commit succeeds.
+//
+// Deprecated: use CommitTxContext.
 func (e *Engine) CommitTx(tx *txn.Txn) error {
-	return e.commitTxCtx(context.Background(), tx)
+	return e.CommitTxContext(context.Background(), tx)
+}
+
+// CommitTxContext commits the transaction under the caller's context, so
+// 2PC phases land in the query trace and a canceled caller aborts the
+// retry backoff of slow participants.
+func (e *Engine) CommitTxContext(ctx context.Context, tx *txn.Txn) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return e.commitTxCtx(ctx, tx)
 }
 
 // commitTxCtx is CommitTx under the statement's trace context, so 2PC
@@ -443,8 +466,19 @@ func (e *Engine) ExecuteTx(tx *txn.Txn, sql string) (*Result, error) {
 }
 
 // ExecuteStmtTx runs a parsed DML/SELECT statement inside a transaction.
+//
+// Deprecated: use ExecuteStmtTxContext.
 func (e *Engine) ExecuteStmtTx(tx *txn.Txn, st sqlparse.Statement) (*Result, error) {
-	return e.execStmtTx(context.Background(), tx, st, 0)
+	return e.ExecuteStmtTxContext(context.Background(), tx, st)
+}
+
+// ExecuteStmtTxContext runs a parsed DML/SELECT statement inside a
+// transaction under the caller's context.
+func (e *Engine) ExecuteStmtTxContext(ctx context.Context, tx *txn.Txn, st sqlparse.Statement) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return e.execStmtTx(ctx, tx, st, 0)
 }
 
 func (e *Engine) execStmtTx(ctx context.Context, tx *txn.Txn, st sqlparse.Statement, width int) (*Result, error) {

@@ -33,6 +33,10 @@ type RetryPolicy struct {
 // budget drained) keeps the original error in its chain, so classification
 // survives for callers.
 func (p RetryPolicy) Do(op string, f func() error) error {
+	// Do is the documented ctx-free boundary for subsystems that have no
+	// caller context (Close paths, background flushes); everything with a
+	// ctx must call DoCtx directly.
+	//lint:ignore ctxflow Do is the deliberate ctx-free entry; ctx-bearing callers use DoCtx
 	return p.DoCtx(context.Background(), op, f)
 }
 

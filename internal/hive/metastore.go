@@ -71,9 +71,9 @@ func (m *Metastore) Cluster() *hdfs.Cluster { return m.cluster }
 // filled]".
 func (m *Metastore) CreateTable(name string, schema *value.Schema, temp bool) (*TableInfo, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	key := strings.ToUpper(name)
 	if _, ok := m.tables[key]; ok {
+		m.mu.Unlock()
 		return nil, fmt.Errorf("hive: table %s already exists", name)
 	}
 	ti := &TableInfo{
@@ -82,8 +82,15 @@ func (m *Metastore) CreateTable(name string, schema *value.Schema, temp bool) (*
 		Dir:    m.root + "/" + strings.ToLower(name),
 		Temp:   temp,
 	}
-	m.cluster.MkdirAll(ti.Dir)
 	m.tables[key] = ti
+	m.mu.Unlock()
+	// Create the warehouse directory after releasing the metastore lock:
+	// MkdirAll is an HDFS (namenode) round-trip and must not run under a
+	// local metadata mutex (lock class hive.Metastore.mu must not nest
+	// hdfs.Cluster.mu — see internal/lint/lockrank.go). The entry is
+	// published first; MkdirAll is idempotent, so a concurrent writer
+	// racing the mkdir at worst re-creates the same directory.
+	m.cluster.MkdirAll(ti.Dir)
 	return ti, nil
 }
 
@@ -98,13 +105,18 @@ func (m *Metastore) Table(name string) (*TableInfo, bool) {
 // DropTable removes a table and its files.
 func (m *Metastore) DropTable(name string) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	key := strings.ToUpper(name)
 	ti, ok := m.tables[key]
 	if !ok {
+		m.mu.Unlock()
 		return fmt.Errorf("hive: table %s not found", name)
 	}
 	delete(m.tables, key)
+	m.mu.Unlock()
+	// Remove the warehouse files outside the metastore lock (HDFS
+	// round-trip; same lock-ordering rule as CreateTable). The entry is
+	// already unpublished, so readers cannot resolve the table while its
+	// files disappear.
 	return m.cluster.Remove(ti.Dir)
 }
 

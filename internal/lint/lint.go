@@ -41,11 +41,14 @@ type Package struct {
 
 // Pass is one (analyzer, package) run. All carries every package of the
 // repo so analyzers can consult cross-package facts (e.g. which exported
-// functions of a monitored package return error).
+// functions of a monitored package return error); Prog carries the
+// interprocedural summaries (call graph, lock sets, parameter cleanup)
+// built once per Run.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
 	All      map[string]*Package
+	Prog     *Program
 	diags    *[]Diagnostic
 }
 
@@ -73,7 +76,9 @@ func Analyzers() []*Analyzer {
 		ErrDrop,
 		NakedGoroutine,
 		ValueClone,
-		ObsLeak,
+		LockOrder,
+		CtxFlow,
+		ResLeak,
 	}
 }
 
@@ -88,10 +93,11 @@ func Run(pkgs map[string]*Package, analyzers []*Analyzer) []Diagnostic {
 		paths = append(paths, p)
 	}
 	sort.Strings(paths)
+	prog := BuildProgram(pkgs)
 	for _, path := range paths {
 		pkg := pkgs[path]
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, All: pkgs, diags: &raw}
+			pass := &Pass{Analyzer: a, Pkg: pkg, All: pkgs, Prog: prog, diags: &raw}
 			a.Run(pass)
 		}
 	}

@@ -129,6 +129,65 @@ func TestRepositoryIsClean(t *testing.T) {
 	}
 }
 
+// TestNewAnalyzersDeterministic runs each interprocedural analyzer 50
+// times over the fixture corpus and demands byte-identical
+// position-sorted output: map-iteration order must never leak into
+// diagnostics (each Run rebuilds the Program from scratch, so the
+// summary fixpoints are exercised fresh every iteration).
+func TestNewAnalyzersDeterministic(t *testing.T) {
+	pkgs := loadFixtures(t)
+	for _, a := range []*lint.Analyzer{lint.LockOrder, lint.CtxFlow, lint.ResLeak} {
+		var first string
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			for _, d := range lint.Run(pkgs, []*lint.Analyzer{a}) {
+				fmt.Fprintln(&b, d)
+			}
+			if i == 0 {
+				first = b.String()
+				if first == "" {
+					t.Fatalf("%s: no diagnostics on the fixture corpus", a.Name)
+				}
+				continue
+			}
+			if got := b.String(); got != first {
+				t.Fatalf("%s: run %d differs from run 0:\n%s\n--- vs ---\n%s", a.Name, i, got, first)
+			}
+		}
+	}
+}
+
+// TestLockGraphDOTDeterministic pins the `hanalint -lockgraph` dump
+// byte-for-byte across 50 fresh Program builds.
+func TestLockGraphDOTDeterministic(t *testing.T) {
+	pkgs := loadFixtures(t)
+	first := lint.LockGraphDOT(lint.BuildProgram(pkgs))
+	if !strings.Contains(first, "digraph lockorder") || !strings.Contains(first, "->") {
+		t.Fatalf("DOT output missing structure:\n%s", first)
+	}
+	for i := 1; i < 50; i++ {
+		if got := lint.LockGraphDOT(lint.BuildProgram(pkgs)); got != first {
+			t.Fatalf("DOT run %d differs:\n%s\n--- vs ---\n%s", i, got, first)
+		}
+	}
+}
+
+// TestMetastoreLockGraphRegression pins the critical-section fix in
+// internal/hive: the metastore must never hold Metastore.mu across a
+// call into the simulated-remote HDFS layer (the lock-order finding
+// fixed alongside this analyzer's introduction).
+func TestMetastoreLockGraphRegression(t *testing.T) {
+	pkgs, err := lint.Load(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range lint.BuildProgram(pkgs).LockGraph() {
+		if e.From == "hive.Metastore.mu" && strings.HasPrefix(e.To, "hdfs.") {
+			t.Errorf("metastore holds %s across an HDFS call (edge to %s): critical sections must end before cluster I/O", e.From, e.To)
+		}
+	}
+}
+
 // TestFilterPatterns covers the package-pattern matching used by the
 // hanalint command line.
 func TestFilterPatterns(t *testing.T) {
@@ -140,8 +199,9 @@ func TestFilterPatterns(t *testing.T) {
 	}
 	sort.Strings(paths)
 	want := []string{
-		"hana/internal/diskstore", "hana/internal/engine",
-		"hana/internal/faults", "hana/internal/remote", "hana/internal/txn",
+		"hana/internal/ctxflow", "hana/internal/diskstore",
+		"hana/internal/engine", "hana/internal/faults",
+		"hana/internal/remote", "hana/internal/txn",
 	}
 	if fmt.Sprint(paths) != fmt.Sprint(want) {
 		t.Errorf("Filter(./internal/...) = %v, want %v", paths, want)

@@ -1,0 +1,515 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ResLeak is the summary-driven must-cleanup analyzer: every acquired
+// resource must be released on every return path. It generalizes PR 4's
+// obsleak (trace spans) to a table of resource kinds — spans, OS file
+// handles, WAL logs, scan iterators — plus circuit-breaker probe permits,
+// and consults the interprocedural summaries so cleanup done by a callee
+// (or ownership handed to one) counts across call boundaries.
+//
+// Per function body (function literals are separate bodies), positionally
+// like obsleak:
+//
+//   - an open call whose result is discarded is always reported;
+//   - a resource with a deferred closer anywhere in the body is safe;
+//   - a resource whose ownership moves on — returned to the caller,
+//     stored into a struct (composite literal or field assignment), or
+//     passed to a summarized callee that closes or consumes that
+//     parameter — is safe past the transfer point;
+//   - otherwise every return after the open needs a closer (direct, or
+//     via a consuming callee) positioned between open and return, with
+//     `if err != nil` arms of the open's error exempt, and a resource
+//     with no closer at all is reported at the open;
+//   - a breaker probe (`if err := b.Allow(); err != nil { … }`) must
+//     resolve with b.Success or b.Failure on every later return path —
+//     an unresolved probe wedges the breaker half-open forever.
+//
+// _test.go files are skipped: tests rely on process teardown.
+//
+// To add a resource kind, append a resKind entry (open methods or
+// package-level open functions, closer method names) — see "Static
+// analysis" in DESIGN.md.
+var ResLeak = &Analyzer{
+	Name: "resleak",
+	Doc:  "acquired resources (spans, files, WAL, iterators, breaker probes) must be released on every return path",
+	Run:  runResLeak,
+}
+
+// resKind describes one resource family.
+type resKind struct {
+	name        string
+	openMethods map[string]bool            // <expr>.M(...) acquires
+	openFuncs   map[string]map[string]bool // import path → func name → acquires
+	closers     map[string]bool            // method names that release
+	closerHint  string                     // shown in diagnostics
+}
+
+var resKinds = []resKind{
+	{
+		name:        "span",
+		openMethods: map[string]bool{"StartSpan": true},
+		closers:     map[string]bool{"End": true},
+		closerHint:  "End",
+	},
+	{
+		name:       "file handle",
+		openFuncs:  map[string]map[string]bool{"os": {"Create": true, "Open": true, "OpenFile": true}},
+		closers:    map[string]bool{"Close": true},
+		closerHint: "Close",
+	},
+	{
+		name:       "WAL handle",
+		openFuncs:  map[string]map[string]bool{"hana/internal/txn": {"OpenLog": true}},
+		closers:    map[string]bool{"Close": true},
+		closerHint: "Close",
+	},
+	{
+		name:        "scan iterator",
+		openMethods: map[string]bool{"OpenScan": true, "OpenIterator": true},
+		closers:     map[string]bool{"Close": true},
+		closerHint:  "Close",
+	},
+}
+
+func runResLeak(pass *Pass) {
+	if pass.Prog == nil {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		fname := pass.Pkg.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(fname, "_test.go") {
+			continue
+		}
+		imports := importMap(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					rw := &resWalker{pass: pass, imports: imports, info: pass.Prog.InfoFor(fn)}
+					rw.checkBody(fn.Body)
+				}
+			case *ast.FuncLit:
+				// Literals are found again inside checkBody; the FuncDecl
+				// case covers declared functions, and top-level var
+				// initializer literals are rare enough to surface there.
+			}
+			return true
+		})
+	}
+}
+
+type resWalker struct {
+	pass    *Pass
+	imports map[string]string
+	info    *FuncInfo // nil for bodies without a summary
+	env     *typeEnv
+}
+
+func (rw *resWalker) environ() *typeEnv {
+	if rw.env == nil && rw.info != nil {
+		rw.env = rw.pass.Prog.Env(rw.info)
+	}
+	return rw.env
+}
+
+// openKind classifies a call expression as a resource acquisition.
+func (rw *resWalker) openKind(e ast.Expr) (*resKind, *ast.CallExpr) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil, nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	for i := range resKinds {
+		k := &resKinds[i]
+		if k.openMethods[sel.Sel.Name] {
+			// Method-style open: anything.StartSpan(...). Exclude
+			// package-qualified calls that merely share the name.
+			if id, isIdent := sel.X.(*ast.Ident); isIdent {
+				if _, imported := rw.imports[id.Name]; imported {
+					continue
+				}
+			}
+			return k, call
+		}
+		if id, isIdent := sel.X.(*ast.Ident); isIdent {
+			if path, imported := rw.imports[id.Name]; imported {
+				if k.openFuncs[path][sel.Sel.Name] {
+					return k, call
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+type openSite struct {
+	kind    *resKind
+	name    string // resource identifier
+	errName string // tuple error identifier, "" for single-result opens
+	pos     token.Pos
+	end     token.Pos // end of the opening statement
+}
+
+// checkBody analyzes one function body; nested literals are recursed into
+// as separate bodies (with the same summary env — locals resolve
+// best-effort).
+func (rw *resWalker) checkBody(body *ast.BlockStmt) {
+	var opens []openSite
+
+	var collect func(n ast.Node) bool
+	collect = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			inner := &resWalker{pass: rw.pass, imports: rw.imports, info: rw.info, env: rw.env}
+			inner.checkBody(x.Body)
+			return false
+		case *ast.ExprStmt:
+			if k, call := rw.openKind(x.X); k != nil {
+				rw.pass.Reportf(call.Pos(), "%s result discarded: the %s can never be released (no handle to call %s on)",
+					openName(call), k.name, k.closerHint)
+				return false
+			}
+		case *ast.AssignStmt:
+			if len(x.Rhs) != 1 {
+				return true
+			}
+			k, call := rw.openKind(x.Rhs[0])
+			if k == nil {
+				return true
+			}
+			site := openSite{kind: k, pos: x.Pos(), end: x.End()}
+			if id, ok := x.Lhs[0].(*ast.Ident); ok {
+				site.name = id.Name
+			}
+			if len(x.Lhs) == 2 {
+				if eid, ok := x.Lhs[1].(*ast.Ident); ok && eid.Name != "_" {
+					site.errName = eid.Name
+				}
+			}
+			if site.name == "" || site.name == "_" {
+				rw.pass.Reportf(call.Pos(), "%s result discarded: the %s can never be released (no handle to call %s on)",
+					openName(call), k.name, k.closerHint)
+				return true
+			}
+			opens = append(opens, site)
+		}
+		return true
+	}
+	ast.Inspect(body, collect)
+
+	rw.checkProbes(body)
+	if len(opens) == 0 {
+		return
+	}
+
+	// Closers: direct closer-method calls on the resource identifier
+	// (descending into nested literals — deferred closures count) plus
+	// calls passing the identifier to a summarized callee that closes or
+	// consumes that parameter.
+	deferred := map[string]bool{}
+	closes := map[string][]token.Pos{}
+	consumedInto := map[string]bool{} // stored in composite lit / field
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.DeferStmt:
+			if sel, ok := x.Call.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					for _, site := range opens {
+						if id.Name == site.name && site.kind.closers[sel.Sel.Name] {
+							deferred[site.name] = true
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					for _, site := range opens {
+						if id.Name == site.name && site.kind.closers[sel.Sel.Name] {
+							closes[site.name] = append(closes[site.name], x.Pos())
+						}
+					}
+				}
+			}
+			// Interprocedural: f(res) where f's summary closes/consumes it.
+			if env := rw.environ(); env != nil {
+				if ref, ok := env.resolveCall(x); ok {
+					if callee := rw.pass.Prog.Lookup(ref); callee != nil && callee.Decl != nil {
+						for i, arg := range x.Args {
+							id, ok := arg.(*ast.Ident)
+							if !ok {
+								continue
+							}
+							for _, site := range opens {
+								if id.Name != site.name {
+									continue
+								}
+								pname := paramIndexName(callee.Decl, i)
+								if pname != "" && (callee.ClosesParams[pname] || callee.ConsumesParams[pname]) {
+									closes[site.name] = append(closes[site.name], x.Pos())
+								}
+							}
+						}
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, site := range opens {
+				for _, elt := range x.Elts {
+					if exprMentionsIdent(elt, site.name) {
+						consumedInto[site.name] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// s.field = res hands ownership to a longer-lived structure.
+			for i, lhs := range x.Lhs {
+				if _, isSel := lhs.(*ast.SelectorExpr); !isSel || i >= len(x.Rhs) {
+					continue
+				}
+				for _, site := range opens {
+					if exprMentionsIdent(x.Rhs[i], site.name) {
+						consumedInto[site.name] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Returns in the own body, with their enclosing if-conditions (for the
+	// `if err != nil` exemption).
+	type retSite struct {
+		pos   token.Pos
+		stmt  *ast.ReturnStmt
+		conds []ast.Expr
+	}
+	var returns []retSite
+	var condStack []ast.Expr
+	var walkRet func(n ast.Node)
+	walkRet = func(n ast.Node) {
+		switch x := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			return
+		case *ast.IfStmt:
+			if x.Init != nil {
+				walkRet(x.Init)
+			}
+			condStack = append(condStack, x.Cond)
+			walkRet(x.Body)
+			condStack = condStack[:len(condStack)-1]
+			// The else branch runs when the condition is false — the
+			// `if err != nil` exemption must not leak into it.
+			if x.Else != nil {
+				walkRet(x.Else)
+			}
+			return
+		case *ast.ReturnStmt:
+			returns = append(returns, retSite{pos: x.Pos(), stmt: x, conds: append([]ast.Expr(nil), condStack...)})
+			return
+		}
+		// Generic recursion over child statements.
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			switch c.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.IfStmt, *ast.ReturnStmt:
+				walkRet(c)
+				return false
+			}
+			return true
+		})
+	}
+	walkRet(body)
+
+	for _, site := range opens {
+		if deferred[site.name] || consumedInto[site.name] {
+			continue
+		}
+		// A return mentioning the handle transfers ownership to the caller;
+		// when one exists the resource has a legitimate closer-free exit, so
+		// fall through to the per-return check instead of reporting the open.
+		returnedToCaller := false
+		for _, ret := range returns {
+			if ret.pos <= site.end {
+				continue
+			}
+			for _, res := range ret.stmt.Results {
+				if exprMentionsIdent(res, site.name) {
+					returnedToCaller = true
+					break
+				}
+			}
+		}
+		if len(closes[site.name]) == 0 && !returnedToCaller {
+			rw.pass.Reportf(site.pos, "%s %s is never released (no %s.%s in this function)",
+				site.kind.name, site.name, site.name, site.kind.closerHint)
+			continue
+		}
+		for _, ret := range returns {
+			if ret.pos <= site.end {
+				continue
+			}
+			// Returning the resource transfers ownership to the caller.
+			owned := false
+			for _, res := range ret.stmt.Results {
+				if exprMentionsIdent(res, site.name) {
+					owned = true
+					break
+				}
+			}
+			if owned {
+				continue
+			}
+			// `if err != nil` arms of the open's error are the failure
+			// path: no resource to release.
+			if site.errName != "" {
+				guarded := false
+				for _, c := range ret.conds {
+					if exprMentionsIdent(c, site.errName) {
+						guarded = true
+						break
+					}
+				}
+				if guarded {
+					continue
+				}
+			}
+			closed := false
+			for _, c := range closes[site.name] {
+				if c > site.end && c <= ret.pos {
+					closed = true
+					break
+				}
+			}
+			if !closed {
+				rw.pass.Reportf(ret.pos, "return leaks %s %s: no %s.%s between open and this return (consider defer %s.%s())",
+					site.kind.name, site.name, site.name, site.kind.closerHint, site.name, site.kind.closerHint)
+			}
+		}
+	}
+}
+
+// checkProbes enforces the breaker-permit protocol: after a successful
+// `if err := b.Allow(); err != nil { … }` guard the function holds a
+// half-open probe permit, and every later return path must resolve it
+// with b.Success(…) or b.Failure(…) — otherwise the breaker can wedge
+// half-open and the source stays unreachable forever.
+func (rw *resWalker) checkProbes(body *ast.BlockStmt) {
+	type probe struct {
+		key string // exprKey of the breaker receiver
+		pos token.Pos
+		end token.Pos // end of the guard if-statement
+	}
+	var probes []probe
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ifst, ok := n.(*ast.IfStmt)
+		if !ok || ifst.Init == nil {
+			return true
+		}
+		as, ok := ifst.Init.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Allow" {
+			return true
+		}
+		key := exprKey(sel.X)
+		if key == "" {
+			return true
+		}
+		probes = append(probes, probe{key: key, pos: call.Pos(), end: ifst.End()})
+		return true
+	})
+	if len(probes) == 0 {
+		return
+	}
+
+	resolves := map[string][]token.Pos{}
+	deferred := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.DeferStmt:
+			if sel, ok := x.Call.Fun.(*ast.SelectorExpr); ok &&
+				(sel.Sel.Name == "Success" || sel.Sel.Name == "Failure") {
+				if key := exprKey(sel.X); key != "" {
+					deferred[key] = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok &&
+				(sel.Sel.Name == "Success" || sel.Sel.Name == "Failure") {
+				if key := exprKey(sel.X); key != "" {
+					resolves[key] = append(resolves[key], x.Pos())
+				}
+			}
+		}
+		return true
+	})
+	var returns []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			returns = append(returns, x.Pos())
+		}
+		return true
+	})
+
+	for _, p := range probes {
+		if deferred[p.key] {
+			continue
+		}
+		if len(resolves[p.key]) == 0 {
+			rw.pass.Reportf(p.pos, "breaker probe unresolved: no %s.Success/%s.Failure after Allow (a half-open breaker wedges until resolved)",
+				p.key, p.key)
+			continue
+		}
+		for _, ret := range returns {
+			if ret <= p.end {
+				continue // inside or before the guard: no permit held
+			}
+			resolved := false
+			for _, r := range resolves[p.key] {
+				if r > p.end && r <= ret {
+					resolved = true
+					break
+				}
+			}
+			if !resolved {
+				rw.pass.Reportf(ret, "return with breaker probe unresolved: no %s.Success/%s.Failure between Allow and this return",
+					p.key, p.key)
+			}
+		}
+	}
+}
+
+func openName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return "open"
+}

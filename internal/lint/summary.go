@@ -1,0 +1,1037 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// This file is hanalint's interprocedural layer: a call-graph builder over
+// the loaded packages plus one summary per function. The whole analysis
+// stays stdlib-syntactic (no go/types); types are resolved best-effort
+// from declarations — receivers, parameters, struct fields, constructor
+// results, composite literals — which covers this repository's idioms. A
+// call or lock the resolver cannot type simply contributes no facts:
+// every consumer is designed to under-report rather than guess.
+//
+// The summaries feed three analyzers:
+//
+//   - lockorder consumes Acquires / DirectEdges / HeldCalls plus the
+//     transitive-lock fixpoint to derive the global lock-acquisition graph;
+//   - ctxflow consumes CtxParam and call resolution to find context-blind
+//     calls and sibling Ctx variants;
+//   - resleak consumes ClosesParams / ConsumesParams so cleanup performed
+//     by a callee (or ownership handed to one) counts across call
+//     boundaries.
+
+// TypeRef names a declared (struct) type: import path + type name.
+type TypeRef struct {
+	Pkg  string
+	Name string
+}
+
+func (t TypeRef) zero() bool { return t.Name == "" }
+
+// shortPkg is the last import-path element, used in lock-class keys and
+// diagnostics ("engine.Engine.mu", not "hana/internal/engine.Engine.mu").
+func shortPkg(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// FuncRef identifies a function or method.
+type FuncRef struct {
+	Pkg  string // import path
+	Recv string // receiver type name, "" for package-level functions
+	Name string
+}
+
+func (r FuncRef) key() string {
+	if r.Recv != "" {
+		return r.Pkg + "." + r.Recv + "." + r.Name
+	}
+	return r.Pkg + "." + r.Name
+}
+
+// Short renders the ref for diagnostics: pkg.Type.Method or pkg.Func with
+// the short package name.
+func (r FuncRef) Short() string {
+	if r.Recv != "" {
+		return shortPkg(r.Pkg) + "." + r.Recv + "." + r.Name
+	}
+	return shortPkg(r.Pkg) + "." + r.Name
+}
+
+// LockEdgeFact is one "acquired To while holding From" observation inside
+// a single function body.
+type LockEdgeFact struct {
+	From string
+	To   string
+	Pos  token.Pos
+}
+
+// HeldCall is a resolved call made while at least one lock was held.
+type HeldCall struct {
+	Callee FuncRef
+	Held   []string // normalized lock keys held at the call, sorted
+	Pos    token.Pos
+}
+
+// FuncInfo is the per-function summary.
+type FuncInfo struct {
+	Ref  FuncRef
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	File *ast.File
+
+	TestFile   bool
+	Deprecated bool // doc comment carries a "Deprecated:" marker
+
+	// CtxParam is the name of the context.Context parameter ("" when the
+	// function does not receive one, or receives it as _).
+	CtxParam string
+
+	// ResultType is the function's first result when it is a named struct
+	// type of a loaded package — enough to type constructor calls like
+	// NewBreaker(...) or accessor chains like e.health.Breaker(...).
+	ResultType TypeRef
+
+	// Acquires maps each lock class directly acquired in the body to the
+	// first acquisition position. Keys are normalized ("pkg.Type.field" for
+	// struct-field mutexes, "pkg.var" for package-level ones); locks on
+	// untypeable locals are not summarized.
+	Acquires map[string]token.Pos
+
+	// DirectEdges are same-body lock orderings: To acquired while From held.
+	DirectEdges []LockEdgeFact
+
+	// HeldCalls are resolved calls made while holding at least one lock.
+	HeldCalls []HeldCall
+
+	// ClosesParams / ConsumesParams record, per parameter name, whether the
+	// body releases the parameter (calls a cleanup method on it, possibly
+	// through another summarized callee) or takes ownership of it (returns
+	// it or stores it into a longer-lived structure).
+	ClosesParams   map[string]bool
+	ConsumesParams map[string]bool
+
+	paramTypes map[string]TypeRef
+	recvName   string
+	recvType   TypeRef
+}
+
+// Program is the cross-package index all interprocedural analyzers share.
+type Program struct {
+	Pkgs map[string]*Package
+
+	funcs    map[string]*FuncInfo        // FuncRef.key() → summary
+	byDecl   map[*ast.FuncDecl]*FuncInfo // reverse lookup for analyzers
+	methods  map[TypeRef]map[string]*FuncInfo
+	pkgFuncs map[string]map[string]*FuncInfo // import path → name → summary
+	fields   map[TypeRef]map[string]TypeRef  // struct field → named field type
+	pkgVars  map[string]map[string]bool      // import path → package-level var names
+
+	// transLocks is the fixpoint: every lock class a function can acquire,
+	// directly or through resolved callees, with a human-readable call
+	// chain for diagnostics.
+	transLocks map[string]map[string]string
+
+	lockGraph []LockEdge // cached by LockGraph
+}
+
+// FuncsSorted returns every summary in deterministic (key) order.
+func (pr *Program) FuncsSorted() []*FuncInfo {
+	keys := make([]string, 0, len(pr.funcs))
+	for k := range pr.funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*FuncInfo, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, pr.funcs[k])
+	}
+	return out
+}
+
+// InfoFor returns the summary for a declaration, or nil.
+func (pr *Program) InfoFor(decl *ast.FuncDecl) *FuncInfo { return pr.byDecl[decl] }
+
+// Lookup returns a summary by reference.
+func (pr *Program) Lookup(ref FuncRef) *FuncInfo { return pr.funcs[ref.key()] }
+
+// TransitiveLocks returns every lock class fn can acquire (directly or via
+// resolved callees) mapped to the call chain that reaches it ("" = direct).
+func (pr *Program) TransitiveLocks(ref FuncRef) map[string]string {
+	return pr.transLocks[ref.key()]
+}
+
+// BuildProgram indexes declarations and computes per-function summaries
+// plus the transitive-lock fixpoint.
+func BuildProgram(pkgs map[string]*Package) *Program {
+	pr := &Program{
+		Pkgs:       pkgs,
+		funcs:      map[string]*FuncInfo{},
+		byDecl:     map[*ast.FuncDecl]*FuncInfo{},
+		methods:    map[TypeRef]map[string]*FuncInfo{},
+		pkgFuncs:   map[string]map[string]*FuncInfo{},
+		fields:     map[TypeRef]map[string]TypeRef{},
+		pkgVars:    map[string]map[string]bool{},
+		transLocks: map[string]map[string]string{},
+	}
+	paths := make([]string, 0, len(pkgs))
+	for p := range pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	// Phase 1: declarations — struct fields, package vars, func/method index.
+	for _, path := range paths {
+		pr.indexPackage(pkgs[path])
+	}
+	// Phase 2: per-function body facts.
+	for _, info := range pr.FuncsSorted() {
+		pr.summarizeBody(info)
+	}
+	// Phase 3: fixpoints.
+	pr.computeTransitiveLocks()
+	pr.propagateClosesParams()
+	return pr
+}
+
+func (pr *Program) indexPackage(pkg *Package) {
+	for _, file := range pkg.Files {
+		imports := importMap(file)
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						st, ok := sp.Type.(*ast.StructType)
+						if !ok {
+							continue
+						}
+						tref := TypeRef{Pkg: pkg.Path, Name: sp.Name.Name}
+						fm := pr.fields[tref]
+						if fm == nil {
+							fm = map[string]TypeRef{}
+							pr.fields[tref] = fm
+						}
+						for _, fl := range st.Fields.List {
+							ft := pr.namedType(pkg, imports, fl.Type)
+							if ft.zero() {
+								continue
+							}
+							for _, name := range fl.Names {
+								fm[name.Name] = ft
+							}
+						}
+					case *ast.ValueSpec:
+						if d.Tok != token.VAR {
+							continue
+						}
+						vm := pr.pkgVars[pkg.Path]
+						if vm == nil {
+							vm = map[string]bool{}
+							pr.pkgVars[pkg.Path] = vm
+						}
+						for _, name := range sp.Names {
+							vm[name.Name] = true
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				pr.indexFunc(pkg, file, imports, d)
+			}
+		}
+	}
+}
+
+func (pr *Program) indexFunc(pkg *Package, file *ast.File, imports map[string]string, fd *ast.FuncDecl) {
+	info := &FuncInfo{
+		Decl:           fd,
+		Pkg:            pkg,
+		File:           file,
+		Acquires:       map[string]token.Pos{},
+		ClosesParams:   map[string]bool{},
+		ConsumesParams: map[string]bool{},
+		paramTypes:     map[string]TypeRef{},
+	}
+	info.TestFile = strings.HasSuffix(pkg.Fset.Position(fd.Pos()).Filename, "_test.go")
+	if fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			if strings.Contains(c.Text, "Deprecated:") {
+				info.Deprecated = true
+				break
+			}
+		}
+	}
+	ref := FuncRef{Pkg: pkg.Path, Name: fd.Name.Name}
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		rt := pr.namedType(pkg, imports, fd.Recv.List[0].Type)
+		if !rt.zero() {
+			ref.Recv = rt.Name
+			info.recvType = rt
+			if len(fd.Recv.List[0].Names) == 1 && fd.Recv.List[0].Names[0].Name != "_" {
+				info.recvName = fd.Recv.List[0].Names[0].Name
+			}
+		}
+	}
+	info.Ref = ref
+	if fd.Type.Params != nil {
+		for _, fl := range fd.Type.Params.List {
+			pt := pr.namedType(pkg, imports, fl.Type)
+			isCtx := isContextType(imports, fl.Type)
+			for _, name := range fl.Names {
+				if name.Name == "_" {
+					continue
+				}
+				if isCtx && info.CtxParam == "" {
+					info.CtxParam = name.Name
+				}
+				if !pt.zero() {
+					info.paramTypes[name.Name] = pt
+				}
+			}
+		}
+	}
+	if fd.Type.Results != nil && len(fd.Type.Results.List) > 0 {
+		info.ResultType = pr.namedType(pkg, imports, fd.Type.Results.List[0].Type)
+	}
+
+	pr.funcs[ref.key()] = info
+	pr.byDecl[fd] = info
+	if ref.Recv != "" {
+		tref := TypeRef{Pkg: ref.Pkg, Name: ref.Recv}
+		mm := pr.methods[tref]
+		if mm == nil {
+			mm = map[string]*FuncInfo{}
+			pr.methods[tref] = mm
+		}
+		mm[ref.Name] = info
+	} else {
+		fm := pr.pkgFuncs[ref.Pkg]
+		if fm == nil {
+			fm = map[string]*FuncInfo{}
+			pr.pkgFuncs[ref.Pkg] = fm
+		}
+		fm[ref.Name] = info
+	}
+}
+
+// namedType resolves a type expression to a named type of a loaded
+// package: T, *T, pkg.T, *pkg.T (pointers and parens stripped).
+func (pr *Program) namedType(pkg *Package, imports map[string]string, e ast.Expr) TypeRef {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return pr.namedType(pkg, imports, t.X)
+	case *ast.ParenExpr:
+		return pr.namedType(pkg, imports, t.X)
+	case *ast.Ident:
+		return TypeRef{Pkg: pkg.Path, Name: t.Name}
+	case *ast.SelectorExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			if path, ok := imports[id.Name]; ok {
+				return TypeRef{Pkg: path, Name: t.Sel.Name}
+			}
+		}
+	}
+	return TypeRef{}
+}
+
+// isContextType matches context.Context under the file's imports.
+func isContextType(imports map[string]string, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && imports[id.Name] == "context"
+}
+
+// ---- per-function type environment ----
+
+// typeEnv types expressions inside one function body.
+type typeEnv struct {
+	prog    *Program
+	pkg     *Package
+	imports map[string]string
+	vars    map[string]TypeRef
+}
+
+// Env builds the typing environment for a summarized function: receiver,
+// parameters, and simple local bindings (constructor calls, composite
+// literals, var declarations).
+func (pr *Program) Env(info *FuncInfo) *typeEnv {
+	env := &typeEnv{
+		prog:    pr,
+		pkg:     info.Pkg,
+		imports: importMap(info.File),
+		vars:    map[string]TypeRef{},
+	}
+	for name, t := range info.paramTypes {
+		env.vars[name] = t
+	}
+	if info.recvName != "" {
+		env.vars[info.recvName] = info.recvType
+	}
+	if info.Decl.Body != nil {
+		env.collectLocals(info.Decl.Body)
+	}
+	return env
+}
+
+// collectLocals records x := <typeable expr> and var x T bindings. Later
+// bindings win; shadowing across blocks is approximated by source order,
+// which matches this repo's naming discipline.
+func (env *typeEnv) collectLocals(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Rhs) != 1 {
+				return true
+			}
+			t := env.typeOf(st.Rhs[0])
+			if t.zero() || len(st.Lhs) == 0 {
+				return true
+			}
+			if id, ok := st.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				if _, exists := env.vars[id.Name]; !exists {
+					env.vars[id.Name] = t
+				}
+			}
+		case *ast.ValueSpec:
+			if st.Type == nil {
+				return true
+			}
+			t := env.prog.namedType(env.pkg, env.imports, st.Type)
+			if t.zero() {
+				return true
+			}
+			for _, name := range st.Names {
+				if name.Name == "_" {
+					continue
+				}
+				if _, exists := env.vars[name.Name]; !exists {
+					env.vars[name.Name] = t
+				}
+			}
+		}
+		return true
+	})
+}
+
+// typeOf resolves an expression to a named type of a loaded package,
+// best-effort.
+func (env *typeEnv) typeOf(e ast.Expr) TypeRef {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return env.vars[x.Name]
+	case *ast.ParenExpr:
+		return env.typeOf(x.X)
+	case *ast.StarExpr:
+		return env.typeOf(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return env.typeOf(x.X)
+		}
+	case *ast.CompositeLit:
+		if x.Type != nil {
+			return env.prog.namedType(env.pkg, env.imports, x.Type)
+		}
+	case *ast.SelectorExpr:
+		base := env.typeOf(x.X)
+		if base.zero() {
+			return TypeRef{}
+		}
+		return env.prog.fields[base][x.Sel.Name]
+	case *ast.CallExpr:
+		if ref, ok := env.resolveCall(x); ok {
+			if info := env.prog.funcs[ref.key()]; info != nil {
+				return info.ResultType
+			}
+		}
+	}
+	return TypeRef{}
+}
+
+// resolveCall maps a call expression to the summarized function it
+// invokes. ok is false for unresolved targets (stdlib, func values,
+// interface methods on untypeable receivers).
+func (env *typeEnv) resolveCall(call *ast.CallExpr) (FuncRef, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if info := env.prog.pkgFuncs[env.pkg.Path][fun.Name]; info != nil {
+			return info.Ref, true
+		}
+	case *ast.ParenExpr:
+		inner := *call
+		inner.Fun = fun.X
+		return env.resolveCall(&inner)
+	case *ast.SelectorExpr:
+		// pkgalias.Func(...) — only when the alias is not shadowed by a var.
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if _, shadowed := env.vars[id.Name]; !shadowed {
+				if path, imported := env.imports[id.Name]; imported {
+					if info := env.prog.pkgFuncs[path][fun.Sel.Name]; info != nil {
+						return info.Ref, true
+					}
+					return FuncRef{}, false
+				}
+			}
+		}
+		recv := env.typeOf(fun.X)
+		if recv.zero() {
+			return FuncRef{}, false
+		}
+		if info := env.prog.methods[recv][fun.Sel.Name]; info != nil {
+			return info.Ref, true
+		}
+	}
+	return FuncRef{}, false
+}
+
+// lockClass normalizes the receiver of a Lock/Unlock call ("x.mu" in
+// x.mu.Lock()) to a stable class key: "pkg.Type.mu" when x is typeable,
+// "pkg.mu" for a package-level mutex, "" when the lock cannot be
+// attributed to a shared structure (locals, untypeable chains).
+func (env *typeEnv) lockClass(muExpr ast.Expr) string {
+	switch x := muExpr.(type) {
+	case *ast.ParenExpr:
+		return env.lockClass(x.X)
+	case *ast.Ident:
+		if env.prog.pkgVars[env.pkg.Path][x.Name] {
+			return shortPkg(env.pkg.Path) + "." + x.Name
+		}
+	case *ast.SelectorExpr:
+		owner := env.typeOf(x.X)
+		if owner.zero() {
+			return ""
+		}
+		return shortPkg(owner.Pkg) + "." + owner.Name + "." + x.Sel.Name
+	}
+	return ""
+}
+
+// ---- body summarization ----
+
+func (pr *Program) summarizeBody(info *FuncInfo) {
+	if info.Decl.Body == nil {
+		return
+	}
+	env := pr.Env(info)
+	w := &summaryWalker{prog: pr, env: env, info: info, held: map[string]token.Pos{}}
+	w.walkBody(info.Decl.Body)
+	pr.summarizeParams(info, env)
+}
+
+// summaryWalker threads a held-lock set through the statement list in
+// source order (the same linear approximation locksafe uses) and records
+// lock-order facts and held calls into the summary.
+type summaryWalker struct {
+	prog *Program
+	env  *typeEnv
+	info *FuncInfo
+	held map[string]token.Pos
+}
+
+// branch runs fn against a copy of the held set and restores the entry
+// state afterwards: if/else arms, switch cases, and select cases are
+// mutually exclusive, so lock transitions inside one must not leak into
+// its siblings or past the construct (a deferred Unlock in one switch case
+// would otherwise manufacture a self-deadlock edge in the next case).
+// Acquisitions recorded into the summary itself persist — only held-ness
+// is branch-local.
+func (w *summaryWalker) branch(fn func()) {
+	saved := w.held
+	w.held = make(map[string]token.Pos, len(saved))
+	for k, v := range saved {
+		w.held[k] = v
+	}
+	fn()
+	w.held = saved
+}
+
+func (w *summaryWalker) heldSorted() []string {
+	if len(w.held) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(w.held))
+	for k := range w.held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func (w *summaryWalker) walkBody(body *ast.BlockStmt) {
+	for _, s := range body.List {
+		w.walkStmt(s)
+	}
+}
+
+func (w *summaryWalker) walkStmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		w.walkBody(st)
+	case *ast.ExprStmt:
+		w.scanExpr(st.X)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			w.scanExpr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.scanExpr(v)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		// A deferred Unlock satisfies cleanup but the lock stays held for
+		// the remainder of the body; a deferred closure is a separate
+		// execution context.
+		if key, kind := w.lockTransition(st.Call); key != "" && (kind == "Unlock" || kind == "RUnlock") {
+			return
+		}
+		if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			w.walkClosure(fl)
+			return
+		}
+		for _, a := range st.Call.Args {
+			w.scanExpr(a)
+		}
+	case *ast.GoStmt:
+		for _, a := range st.Call.Args {
+			w.scanExpr(a)
+		}
+		if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			w.walkClosure(fl)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.scanExpr(e)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init)
+		}
+		w.scanExpr(st.Cond)
+		w.branch(func() { w.walkBody(st.Body) })
+		if st.Else != nil {
+			w.branch(func() { w.walkStmt(st.Else) })
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init)
+		}
+		if st.Cond != nil {
+			w.scanExpr(st.Cond)
+		}
+		w.walkBody(st.Body)
+		if st.Post != nil {
+			w.walkStmt(st.Post)
+		}
+	case *ast.RangeStmt:
+		w.scanExpr(st.X)
+		w.walkBody(st.Body)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init)
+		}
+		if st.Tag != nil {
+			w.scanExpr(st.Tag)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.scanExpr(e)
+				}
+				w.branch(func() {
+					for _, bs := range cc.Body {
+						w.walkStmt(bs)
+					}
+				})
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init)
+		}
+		w.walkStmt(st.Assign)
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.branch(func() {
+					for _, bs := range cc.Body {
+						w.walkStmt(bs)
+					}
+				})
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.branch(func() {
+					for _, bs := range cc.Body {
+						w.walkStmt(bs)
+					}
+				})
+			}
+		}
+	case *ast.SendStmt:
+		w.scanExpr(st.Chan)
+		w.scanExpr(st.Value)
+	case *ast.LabeledStmt:
+		w.walkStmt(st.Stmt)
+	case *ast.IncDecStmt:
+		w.scanExpr(st.X)
+	}
+}
+
+// walkClosure records lock facts inside a function literal with a fresh
+// held set: the literal does not, in general, run at the point it is
+// written, so its acquisitions do not order against the enclosing body's
+// held locks — but orderings local to the closure are real.
+func (w *summaryWalker) walkClosure(fl *ast.FuncLit) {
+	inner := &summaryWalker{prog: w.prog, env: w.env, info: w.info, held: map[string]token.Pos{}}
+	inner.walkBody(fl.Body)
+}
+
+func (w *summaryWalker) scanExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			w.walkClosure(x)
+			return false
+		case *ast.CallExpr:
+			w.handleCall(x)
+			return false // handleCall scans arguments itself
+		}
+		return true
+	})
+}
+
+func (w *summaryWalker) handleCall(call *ast.CallExpr) {
+	if key, kind := w.lockTransition(call); key != "" {
+		switch kind {
+		case "Lock", "RLock":
+			for _, from := range w.heldSorted() {
+				w.info.DirectEdges = append(w.info.DirectEdges,
+					LockEdgeFact{From: from, To: key, Pos: call.Pos()})
+			}
+			if _, ok := w.info.Acquires[key]; !ok {
+				w.info.Acquires[key] = call.Pos()
+			}
+			w.held[key] = call.Pos()
+		case "Unlock", "RUnlock":
+			delete(w.held, key)
+		}
+		return
+	}
+	for _, a := range call.Args {
+		w.scanExpr(a)
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		w.scanExpr(sel.X)
+	}
+	if len(w.held) == 0 {
+		return
+	}
+	if ref, ok := w.env.resolveCall(call); ok {
+		w.info.HeldCalls = append(w.info.HeldCalls,
+			HeldCall{Callee: ref, Held: w.heldSorted(), Pos: call.Pos()})
+	}
+}
+
+// lockTransition classifies x.mu.Lock()-shaped calls, returning the
+// normalized lock class and the method kind, or ("", "").
+func (w *summaryWalker) lockTransition(call *ast.CallExpr) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", ""
+	}
+	if key := exprKey(sel.X); key == "" || !looksLikeMutex(key) {
+		return "", ""
+	}
+	return w.env.lockClass(sel.X), sel.Sel.Name
+}
+
+// cleanupMethods are the method names that release a resource; used both
+// for ClosesParams summaries and by resleak's kind table.
+var cleanupMethods = map[string]bool{
+	"Close": true, "End": true, "Release": true, "Stop": true,
+	"Success": true, "Failure": true,
+}
+
+// summarizeParams records which parameters the body closes (calls a
+// cleanup method on, directly) and which it consumes (returns or stores
+// into a longer-lived structure). Cross-function close chains are
+// propagated afterwards by propagateClosesParams.
+func (pr *Program) summarizeParams(info *FuncInfo, env *typeEnv) {
+	if info.Decl.Body == nil || len(info.paramTypes) == 0 && info.Decl.Type.Params == nil {
+		return
+	}
+	params := map[string]bool{}
+	if info.Decl.Type.Params != nil {
+		for _, fl := range info.Decl.Type.Params.List {
+			for _, name := range fl.Names {
+				if name.Name != "_" {
+					params[name.Name] = true
+				}
+			}
+		}
+	}
+	if len(params) == 0 {
+		return
+	}
+	ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && cleanupMethods[sel.Sel.Name] {
+				if id, ok := sel.X.(*ast.Ident); ok && params[id.Name] {
+					info.ClosesParams[id.Name] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				for name := range params {
+					if exprMentionsIdent(res, name) {
+						info.ConsumesParams[name] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// Storing a parameter into a field (or through a selector chain)
+			// hands ownership to a longer-lived structure.
+			for i, rhs := range x.Rhs {
+				if i >= len(x.Lhs) {
+					break
+				}
+				if _, isSel := x.Lhs[i].(*ast.SelectorExpr); !isSel {
+					continue
+				}
+				for name := range params {
+					if exprMentionsIdent(rhs, name) {
+						info.ConsumesParams[name] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// exprMentionsIdent reports whether the expression subtree contains the
+// identifier.
+func exprMentionsIdent(e ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// paramIndexName maps a callee's parameter position to its name ("" when
+// out of range or unnamed). Variadic trailing parameters absorb all
+// remaining positions.
+func paramIndexName(fd *ast.FuncDecl, idx int) string {
+	if fd.Type.Params == nil {
+		return ""
+	}
+	i := 0
+	for _, fl := range fd.Type.Params.List {
+		n := len(fl.Names)
+		if n == 0 {
+			n = 1
+		}
+		for j := 0; j < n; j++ {
+			_, variadic := fl.Type.(*ast.Ellipsis)
+			if i == idx || (variadic && idx >= i) {
+				if len(fl.Names) == 0 {
+					return ""
+				}
+				k := j
+				if k >= len(fl.Names) {
+					k = len(fl.Names) - 1
+				}
+				return fl.Names[k].Name
+			}
+			i++
+		}
+	}
+	return ""
+}
+
+// computeTransitiveLocks folds callee lock sets into callers until the
+// fixpoint: locks(f) = direct(f) ∪ ⋃ locks(resolved callee). Closure
+// bodies contribute their direct acquisitions through Acquires, which the
+// walker fills for closures too (a lock a closure takes is a lock running
+// f may take).
+func (pr *Program) computeTransitiveLocks() {
+	infos := pr.FuncsSorted()
+	// Seed with direct acquisitions.
+	for _, info := range infos {
+		m := map[string]string{}
+		for k := range info.Acquires {
+			m[k] = ""
+		}
+		pr.transLocks[info.Ref.key()] = m
+	}
+	// Collect every resolved call per function (not only held ones): the
+	// summary walker records HeldCalls; for transitive locks we need all
+	// calls, so resolve again from the AST.
+	callees := map[string][]FuncRef{}
+	for _, info := range infos {
+		if info.Decl.Body == nil {
+			continue
+		}
+		env := pr.Env(info)
+		var refs []FuncRef
+		seen := map[string]bool{}
+		ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if ref, ok := env.resolveCall(call); ok && !seen[ref.key()] {
+				seen[ref.key()] = true
+				refs = append(refs, ref)
+			}
+			return true
+		})
+		callees[info.Ref.key()] = refs
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, info := range infos {
+			key := info.Ref.key()
+			mine := pr.transLocks[key]
+			for _, callee := range callees[key] {
+				short := callee.Short()
+				for lock, via := range pr.transLocks[callee.key()] {
+					if _, ok := mine[lock]; ok {
+						continue
+					}
+					chain := short
+					if via != "" {
+						chain += " → " + via
+					}
+					mine[lock] = chain
+					changed = true
+				}
+			}
+		}
+	}
+	// Deterministic via-chains: the fixpoint above iterates map entries, so
+	// two runs can record different (equally valid) chains. Canonicalize by
+	// recomputing each function's chains from sorted callee order.
+	for i := 0; i < len(infos); i++ {
+		changed := false
+		for _, info := range infos {
+			key := info.Ref.key()
+			mine := pr.transLocks[key]
+			for lock := range mine {
+				if mine[lock] == "" {
+					continue // direct acquisition, already canonical
+				}
+				best := ""
+				for _, callee := range callees[key] {
+					via, ok := pr.transLocks[callee.key()][lock]
+					if !ok {
+						continue
+					}
+					chain := callee.Short()
+					if via != "" {
+						chain += " → " + via
+					}
+					if best == "" || chain < best {
+						best = chain
+					}
+				}
+				if best != "" && best != mine[lock] {
+					mine[lock] = best
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// propagateClosesParams extends ClosesParams across one level of call per
+// iteration: a function that passes its parameter to a callee that closes
+// it, closes it too.
+func (pr *Program) propagateClosesParams() {
+	infos := pr.FuncsSorted()
+	for changed := true; changed; {
+		changed = false
+		for _, info := range infos {
+			if info.Decl.Body == nil {
+				continue
+			}
+			params := map[string]bool{}
+			if info.Decl.Type.Params != nil {
+				for _, fl := range info.Decl.Type.Params.List {
+					for _, name := range fl.Names {
+						if name.Name != "_" {
+							params[name.Name] = true
+						}
+					}
+				}
+			}
+			if len(params) == 0 {
+				continue
+			}
+			env := pr.Env(info)
+			ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				ref, ok := env.resolveCall(call)
+				if !ok {
+					return true
+				}
+				callee := pr.funcs[ref.key()]
+				if callee == nil || callee.Decl == nil {
+					return true
+				}
+				for i, arg := range call.Args {
+					id, ok := arg.(*ast.Ident)
+					if !ok || !params[id.Name] || info.ClosesParams[id.Name] {
+						continue
+					}
+					pname := paramIndexName(callee.Decl, i)
+					if pname == "" {
+						continue
+					}
+					if callee.ClosesParams[pname] || callee.ConsumesParams[pname] {
+						info.ClosesParams[id.Name] = true
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Fixture: context-flow violations the ctxflow analyzer must report.
+// The package lives under internal/ so the analyzer's scope rule (below
+// the public API boundary) applies.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+// rawSleep cannot observe cancellation.
+func rawSleep(ctx context.Context) error {
+	time.Sleep(time.Millisecond) // want ctxflow
+	return ctx.Err()
+}
+
+// sleepWithoutCtx is just as blind; the fix starts with accepting a ctx.
+func sleepWithoutCtx() {
+	time.Sleep(time.Millisecond) // want ctxflow
+}
+
+// discardsCaller roots a fresh context with the caller's in scope.
+func discardsCaller(ctx context.Context) error {
+	return pullCtx(context.Background(), 1) // want ctxflow
+}
+
+// belowBoundary has no ctx to thread — the fix is to accept one.
+func belowBoundary() error {
+	return pullCtx(context.TODO(), 1) // want ctxflow
+}
+
+// ctxBlindSibling ignores the ctx-aware variant sitting right there.
+func ctxBlindSibling(ctx context.Context) error {
+	return pull(1) // want ctxflow
+}
+
+// ctxBlindMethod is the same through a method receiver.
+func ctxBlindMethod(ctx context.Context, w *Worker) error {
+	return w.Drain(2) // want ctxflow
+}
+
+// closureInheritsCtx: literals inherit the enclosing ctx scope.
+func closureInheritsCtx(ctx context.Context) func() error {
+	return func() error {
+		return pull(3) // want ctxflow
+	}
+}

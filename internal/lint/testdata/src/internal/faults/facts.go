@@ -23,5 +23,11 @@ type Breaker struct{}
 // Allow reports whether a call may proceed.
 func (b *Breaker) Allow() error { return nil }
 
+// Success resolves a half-open probe permit as healthy.
+func (b *Breaker) Success() {}
+
+// Failure resolves a half-open probe permit as still failing.
+func (b *Breaker) Failure(err error) {}
+
 // Transient classifies an error as retryable.
 func Transient(err error) error { return err }

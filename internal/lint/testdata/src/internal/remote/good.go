@@ -4,15 +4,22 @@ package remote
 
 import "hana/internal/faults"
 
-// ship threads every boundary error to the caller.
+// ship threads every boundary error to the caller and settles the
+// breaker's probe permit on every path past Allow (resleak's protocol).
 func ship(inj *faults.Injector, p faults.RetryPolicy, br *faults.Breaker, site string) error {
 	if err := br.Allow(); err != nil {
 		return err
 	}
 	if err := inj.Check(site); err != nil {
+		br.Failure(err)
 		return err
 	}
-	return p.Do(site, func() error { return nil })
+	if err := p.Do(site, func() error { return nil }); err != nil {
+		br.Failure(err)
+		return err
+	}
+	br.Success()
+	return nil
 }
 
 // probe documents a deliberate drop; the directive suppresses it.

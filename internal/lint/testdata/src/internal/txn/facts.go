@@ -21,3 +21,12 @@ func (c *Coordinator) Tick() {
 	defer c.mu.Unlock()
 	c.n++
 }
+
+// Log is the WAL-handle stand-in for resleak's must-close table.
+type Log struct{}
+
+// Close releases the log.
+func (l *Log) Close() error { return nil }
+
+// OpenLog opens the write-ahead log at path.
+func OpenLog(path string) (*Log, error) { return &Log{}, nil }

@@ -1,0 +1,109 @@
+// Fixture: lock-order violations the lockorder analyzer must report.
+// The lock classes here occupy the 900+ fixture band of LockRanks
+// (internal/lint/lockrank.go): Coord.mu 900, Store.mu 910, Journal.mu
+// 930, Cache.mu 940; Stray and Solo are deliberately unranked.
+package lockorder
+
+import "sync"
+
+// Coord is one side of the interprocedural cycle.
+type Coord struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Store is the other side of the cycle.
+type Store struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Journal ranks below Cache; acquiring it while holding Cache inverts
+// the canonical order.
+type Journal struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Cache ranks above Journal.
+type Cache struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Stray has no LockRanks entry but nests with a ranked lock.
+type Stray struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Solo re-acquires its own lock through a helper.
+type Solo struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Sync acquires Store.mu (via bump) while holding Coord.mu: one half of
+// the cycle.
+func (c *Coord) Sync(s *Store) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s.bump() // want lockorder
+}
+
+func (s *Store) bump() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+// Flush acquires Coord.mu (via poke) while holding Store.mu: the other
+// half — together with Sync this is a deadlock-capable cycle.
+func (s *Store) Flush(c *Coord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c.poke() // want lockorder
+}
+
+func (c *Coord) poke() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Collide locks Journal (rank 930) while holding Cache (rank 940): a
+// same-body rank inversion.
+func (j *Journal) Collide(ca *Cache) {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	j.mu.Lock() // want lockorder
+	defer j.mu.Unlock()
+	j.n++
+}
+
+// Wander nests the unranked Stray.mu around the ranked Journal.mu: the
+// new class must be added to LockRanks.
+func (st *Stray) Wander(j *Journal) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j.bump() // want lockorder
+}
+
+func (j *Journal) bump() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.n++
+}
+
+// Reenter calls grab with Solo.mu already held: a self-deadlock.
+func (s *Solo) Reenter() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.grab() // want lockorder
+}
+
+func (s *Solo) grab() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}

@@ -1,0 +1,47 @@
+// Fixture: lock nestings the lockorder analyzer must accept — ranks
+// strictly increasing, cross-package edges consistent with the canonical
+// order, and unranked-only nesting (silent, DOT-dump only).
+package lockorder
+
+import (
+	"sync"
+
+	"hana/internal/txn"
+)
+
+// Archive nests Store.mu (910) → Journal.mu (930): strictly increasing.
+func (s *Store) Archive(j *Journal) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.bump()
+}
+
+// Handoff nests Coord.mu (900) → txn.Coordinator.mu (960) across
+// packages, still strictly increasing.
+func (c *Coord) Handoff(tc *txn.Coordinator) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tc.Tick()
+}
+
+// Free and Loose are both unranked; their nesting forms no cycle and
+// touches no ranked class, so it stays silent (visible in the DOT dump).
+type Free struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Loose is the inner unranked class.
+type Loose struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Drift nests Free.mu → Loose.mu: unranked on both ends, acyclic.
+func (f *Free) Drift(l *Loose) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	l.mu.Lock()
+	l.n++
+	l.mu.Unlock()
+}

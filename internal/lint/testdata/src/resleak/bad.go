@@ -1,0 +1,101 @@
+// Fixture: resource leaks the resleak analyzer must report — spans,
+// OS file handles, WAL logs, scan iterators, and breaker probe permits.
+package resleak
+
+import (
+	"errors"
+	"os"
+
+	"hana/internal/txn"
+)
+
+// discardedResult starts a span nothing can ever end.
+func discardedResult() {
+	root().StartSpan("dropped") // want resleak
+}
+
+// blankAssign discards through the blank identifier.
+func blankAssign() {
+	_ = root().StartSpan("blank") // want resleak
+}
+
+// neverEnded holds the span but has no End call at all.
+func neverEnded() {
+	sp := root().StartSpan("open") // want resleak
+	sp.Note("working")
+}
+
+// earlyReturnLeak ends the span on the happy path only.
+func earlyReturnLeak() error {
+	sp := root().StartSpan("phase")
+	if bad() {
+		return errors.New("bad") // want resleak
+	}
+	sp.End()
+	return nil
+}
+
+// leakInClosure leaks inside a function literal body.
+func leakInClosure() func() {
+	return func() {
+		sp := root().StartSpan("inner") // want resleak
+		sp.Note("never ended")
+	}
+}
+
+// fileNeverClosed opens a file no path ever closes.
+func fileNeverClosed(path string) error {
+	f, err := os.Create(path) // want resleak
+	if err != nil {
+		return err
+	}
+	record(f != nil)
+	return nil
+}
+
+// walEarlyReturn closes the write-ahead log on the happy path only.
+func walEarlyReturn(path string) error {
+	lg, err := txn.OpenLog(path)
+	if err != nil {
+		return err
+	}
+	if busy() {
+		return errors.New("busy") // want resleak
+	}
+	return lg.Close()
+}
+
+// scanDiscarded drops the iterator handle outright.
+func scanDiscarded(t *Table) {
+	t.OpenScan() // want resleak
+}
+
+// scanNeverClosed iterates but never releases the pinned chunks.
+func scanNeverClosed(t *Table) int {
+	it := t.OpenScan() // want resleak
+	n := 0
+	for it.Next() {
+		n++
+	}
+	return n
+}
+
+// probeUnresolved leaves the breaker wedged half-open forever.
+func probeUnresolved(b *Breaker) error {
+	if err := b.Allow(); err != nil { // want resleak
+		return err
+	}
+	return ping()
+}
+
+// probeHalfResolved records success but forgets the failure path.
+func probeHalfResolved(b *Breaker) error {
+	if err := b.Allow(); err != nil {
+		return err
+	}
+	if err := ping(); err != nil {
+		return err // want resleak
+	}
+	b.Success()
+	return nil
+}

@@ -7,6 +7,7 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -140,11 +141,42 @@ func (e *Engine) Config() Config { return e.cfg }
 
 type kv struct{ k, v string }
 
+// sleepCtx waits for d or until the context is canceled, mirroring
+// RetryPolicy.DoCtx's backoff semantics: the simulated startup latencies
+// must abort mid-sleep when the caller gives up, not run to completion.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 // Run executes the job synchronously and returns its result.
+//
+// Deprecated: use RunCtx — it aborts startup delays, task scheduling, and
+// retry backoff when the caller cancels.
 func (e *Engine) Run(job *Job) (*JobResult, error) {
+	return e.RunCtx(context.Background(), job)
+}
+
+// RunCtx executes the job synchronously under the caller's context and
+// returns its result. Cancellation interrupts the job- and task-startup
+// delays, stops retry backoff between attempts (RetryPolicy.DoCtx), and
+// fails the job with the context's error.
+func (e *Engine) RunCtx(ctx context.Context, job *Job) (*JobResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
-	if e.cfg.JobStartup > 0 {
-		time.Sleep(e.cfg.JobStartup)
+	if err := sleepCtx(ctx, e.cfg.JobStartup); err != nil {
+		return nil, fmt.Errorf("job %s: %w", job.Name, err)
 	}
 	e.JobsRun.Add(1)
 
@@ -155,7 +187,7 @@ func (e *Engine) Run(job *Job) (*JobResult, error) {
 	var splits []taggedSplit
 	if len(job.TaggedInputs) > 0 {
 		for _, ti := range job.TaggedInputs {
-			ss, err := e.computeSplits(ti.Paths)
+			ss, err := e.computeSplits(ctx, ti.Paths)
 			if err != nil {
 				return nil, fmt.Errorf("job %s: %w", job.Name, err)
 			}
@@ -164,7 +196,7 @@ func (e *Engine) Run(job *Job) (*JobResult, error) {
 			}
 		}
 	} else {
-		ss, err := e.computeSplits(job.Inputs)
+		ss, err := e.computeSplits(ctx, job.Inputs)
 		if err != nil {
 			return nil, fmt.Errorf("job %s: %w", job.Name, err)
 		}
@@ -194,15 +226,16 @@ func (e *Engine) Run(job *Job) (*JobResult, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			if e.cfg.TaskStartup > 0 {
-				time.Sleep(e.cfg.TaskStartup)
+			if err := sleepCtx(ctx, e.cfg.TaskStartup); err != nil {
+				outs[i] = mapOut{err: err}
+				return
 			}
 			// Each attempt is a fresh task execution on scratch state;
 			// counters merge only once the attempt succeeds, so a
 			// re-scheduled task never double-counts.
 			var parts [][]kv
 			var scratch *Counters
-			err := e.retry().Do("mapreduce.map", func() error {
+			err := e.retry().DoCtx(ctx, "mapreduce.map", func() error {
 				scratch = &Counters{}
 				if err := e.cfg.Faults.Check("mapreduce.map"); err != nil {
 					return err
@@ -250,7 +283,7 @@ func (e *Engine) Run(job *Job) (*JobResult, error) {
 		// Map-only: write each task's output as a part-m file.
 		for i, o := range outs {
 			name := fmt.Sprintf("%s/part-m-%05d", job.Output, i)
-			if err := e.writePart(name, o.parts[0]); err != nil {
+			if err := e.writePart(ctx, name, o.parts[0]); err != nil {
 				return nil, fmt.Errorf("job %s: %w", job.Name, err)
 			}
 			res.OutputFiles = append(res.OutputFiles, name)
@@ -271,8 +304,9 @@ func (e *Engine) Run(job *Job) (*JobResult, error) {
 			defer rwg.Done()
 			rsem <- struct{}{}
 			defer func() { <-rsem }()
-			if e.cfg.TaskStartup > 0 {
-				time.Sleep(e.cfg.TaskStartup)
+			if err := sleepCtx(ctx, e.cfg.TaskStartup); err != nil {
+				rerrs[r] = err
+				return
 			}
 			var all []kv
 			for _, o := range outs {
@@ -281,7 +315,7 @@ func (e *Engine) Run(job *Job) (*JobResult, error) {
 			sort.SliceStable(all, func(i, j int) bool { return all[i].k < all[j].k })
 			var out []kv
 			var scratch *Counters
-			err := e.retry().Do("mapreduce.reduce", func() error {
+			err := e.retry().DoCtx(ctx, "mapreduce.reduce", func() error {
 				scratch = &Counters{}
 				if err := e.cfg.Faults.Check("mapreduce.reduce"); err != nil {
 					return err
@@ -312,7 +346,7 @@ func (e *Engine) Run(job *Job) (*JobResult, error) {
 			}
 			e.Counters.merge(scratch)
 			name := fmt.Sprintf("%s/part-r-%05d", job.Output, r)
-			if err := e.writePart(name, out); err != nil {
+			if err := e.writePart(ctx, name, out); err != nil {
 				rerrs[r] = err
 				return
 			}
@@ -348,10 +382,19 @@ func (e *Engine) publishObs(d time.Duration) {
 
 // RunChain executes a DAG expressed as an ordered job list (each job's
 // inputs may be previous outputs).
+//
+// Deprecated: use RunChainCtx — it stops the chain (and interrupts the
+// running job) when the caller cancels.
 func (e *Engine) RunChain(jobs []*Job) ([]*JobResult, error) {
+	return e.RunChainCtx(context.Background(), jobs)
+}
+
+// RunChainCtx executes the chain under the caller's context; completed
+// results are returned alongside the first error.
+func (e *Engine) RunChainCtx(ctx context.Context, jobs []*Job) ([]*JobResult, error) {
 	var out []*JobResult
 	for _, j := range jobs {
-		r, err := e.Run(j)
+		r, err := e.RunCtx(ctx, j)
 		if err != nil {
 			return out, err
 		}
@@ -384,7 +427,7 @@ func combine(in []kv, fn ReduceFunc, counters *Counters) []kv {
 
 // computeSplits resolves inputs (files or directories) into per-block line
 // splits.
-func (e *Engine) computeSplits(inputs []string) ([][]string, error) {
+func (e *Engine) computeSplits(ctx context.Context, inputs []string) ([][]string, error) {
 	var files []*hdfs.FileInfo
 	for _, in := range inputs {
 		fi, err := e.cluster.Stat(in)
@@ -400,7 +443,7 @@ func (e *Engine) computeSplits(inputs []string) ([][]string, error) {
 	}
 	var splits [][]string
 	for _, fi := range files {
-		data, err := e.readInput(fi)
+		data, err := e.readInput(ctx, fi)
 		if err != nil {
 			return nil, err
 		}
@@ -430,11 +473,11 @@ func (e *Engine) computeSplits(inputs []string) ([][]string, error) {
 // over across surviving replicas; on top of that the engine retries each
 // block (dead nodes may be revived between attempts) and contextualizes
 // the final error, preserving the cluster's "all replicas dead" cause.
-func (e *Engine) readInput(fi *hdfs.FileInfo) ([]byte, error) {
+func (e *Engine) readInput(ctx context.Context, fi *hdfs.FileInfo) ([]byte, error) {
 	out := make([]byte, 0, fi.Size)
 	for _, b := range fi.Blocks {
 		var data []byte
-		err := e.retry().Do("hdfs.read", func() error {
+		err := e.retry().DoCtx(ctx, "hdfs.read", func() error {
 			d, err := e.cluster.ReadBlock(b)
 			if err != nil {
 				return err
@@ -460,7 +503,7 @@ func splitLines(s string) []string {
 
 // writePart writes one task's output file, retrying transient cluster
 // failures. WriteFile replaces the target, so a retry never duplicates.
-func (e *Engine) writePart(name string, pairs []kv) error {
+func (e *Engine) writePart(ctx context.Context, name string, pairs []kv) error {
 	var b strings.Builder
 	for _, p := range pairs {
 		if p.k != "" {
@@ -471,7 +514,7 @@ func (e *Engine) writePart(name string, pairs []kv) error {
 		b.WriteByte('\n')
 	}
 	data := []byte(b.String())
-	return e.retry().Do("hdfs.write", func() error {
+	return e.retry().DoCtx(ctx, "hdfs.write", func() error {
 		return e.cluster.WriteFile(name, data)
 	})
 }

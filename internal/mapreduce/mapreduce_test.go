@@ -1,6 +1,8 @@
 package mapreduce
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -342,5 +344,67 @@ func TestMapTaskRetriesDoNotDoubleCount(t *testing.T) {
 	// tasks never double-count.
 	if got := e.Counters.MapInputRecords.Load(); got != 3 {
 		t.Fatalf("MapInputRecords = %d, want 3 (no double-count on retry)", got)
+	}
+}
+
+func TestRunCtxCancelAbortsStartupDelays(t *testing.T) {
+	e, c := newTestEngine(t)
+	// Startup delays far longer than the test's patience: only a
+	// mid-sleep abort can return in time.
+	e.cfg.JobStartup = 10 * time.Second
+	e.cfg.TaskStartup = 10 * time.Second
+	_ = c.WriteFile("/in/doc.txt", []byte("a b\nc"))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(20*time.Millisecond, cancel)
+	defer timer.Stop()
+	start := time.Now()
+	_, err := e.RunCtx(ctx, wordCountJob("cancel", "/in/doc.txt", "/out/cancel"))
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx under canceled ctx = %v, want context.Canceled in chain", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancel took %v: the JobStartup sleep did not abort mid-sleep", elapsed)
+	}
+}
+
+func TestRunCtxCancelAbortsTaskStartup(t *testing.T) {
+	e, c := newTestEngine(t)
+	// Job startup is instant; the cancel must land inside the per-task
+	// scheduling delay instead.
+	e.cfg.TaskStartup = 10 * time.Second
+	_ = c.WriteFile("/in/doc.txt", []byte("a b\nc"))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(20*time.Millisecond, cancel)
+	defer timer.Stop()
+	start := time.Now()
+	_, err := e.RunCtx(ctx, wordCountJob("cancel2", "/in/doc.txt", "/out/cancel2"))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx under canceled ctx = %v, want context.Canceled in chain", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancel took %v: the TaskStartup sleep did not abort mid-sleep", elapsed)
+	}
+}
+
+func TestRunChainCtxStopsOnCancel(t *testing.T) {
+	e, c := newTestEngine(t)
+	_ = c.WriteFile("/in/doc.txt", []byte("a b\nc"))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: the chain must not run any job
+	res, err := e.RunChainCtx(ctx, []*Job{
+		wordCountJob("chain1", "/in/doc.txt", "/out/chain1"),
+		wordCountJob("chain2", "/in/doc.txt", "/out/chain2"),
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunChainCtx = %v, want context.Canceled in chain", err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("canceled chain returned %d results, want 0", len(res))
+	}
+	if got := e.JobsRun.Load(); got != 0 {
+		t.Fatalf("JobsRun = %d after pre-canceled chain, want 0", got)
 	}
 }

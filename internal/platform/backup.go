@@ -39,7 +39,15 @@ type backupTable struct {
 }
 
 // Backup exports every table of the tier under one snapshot into dir.
+//
+// Deprecated: use BackupCtx.
 func (p *Platform) Backup(tier Tier, dir string) error {
+	return p.BackupCtx(context.Background(), tier, dir)
+}
+
+// BackupCtx is Backup under the caller's context: every per-table snapshot
+// SELECT threads it, so a canceled backup stops between tables.
+func (p *Platform) BackupCtx(ctx context.Context, tier Tier, dir string) error {
 	sys, err := p.System(tier)
 	if err != nil {
 		return err
@@ -55,7 +63,7 @@ func (p *Platform) Backup(tier Tier, dir string) error {
 	man := backupManifest{Tier: string(tier), CreatedAt: time.Now()}
 	for _, name := range sys.Engine.Catalog().TableNames() {
 		meta, _ := sys.Engine.Catalog().Table(name)
-		res, err := sys.Engine.ExecuteContext(context.Background(), "SELECT * FROM "+quoteIdent(name), engine.WithTx(tx))
+		res, err := sys.Engine.ExecuteContext(ctx, "SELECT * FROM "+quoteIdent(name), engine.WithTx(tx))
 		if err != nil {
 			return fmt.Errorf("backup %s: %w", name, err)
 		}
@@ -93,7 +101,15 @@ func (p *Platform) Backup(tier Tier, dir string) error {
 // Restore loads a backup into a tier, recreating every table (including
 // its placement: extended-storage tables go back to the extended store,
 // hybrid partitioning and aging columns are preserved).
+//
+// Deprecated: use RestoreCtx.
 func (p *Platform) Restore(tier Tier, dir string) error {
+	return p.RestoreCtx(context.Background(), tier, dir)
+}
+
+// RestoreCtx is Restore under the caller's context: every recreated
+// table's DDL threads it, so a canceled restore stops between tables.
+func (p *Platform) RestoreCtx(ctx context.Context, tier Tier, dir string) error {
 	sys, err := p.System(tier)
 	if err != nil {
 		return err
@@ -108,7 +124,7 @@ func (p *Platform) Restore(tier Tier, dir string) error {
 	}
 	for _, bt := range man.Tables {
 		ddl := restoreDDL(bt)
-		if _, err := sys.Engine.ExecuteContext(context.Background(), ddl); err != nil {
+		if _, err := sys.Engine.ExecuteContext(ctx, ddl); err != nil {
 			return fmt.Errorf("restore %s: %w", bt.Name, err)
 		}
 		f, err := os.Open(filepath.Join(dir, strings.ToLower(bt.Name)+".rows"))

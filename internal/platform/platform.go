@@ -150,7 +150,16 @@ func (p *Platform) Artifacts() []*Artifact {
 // fails, previously-applied DDL of this deployment is rolled back by
 // dropping the objects it created (compensation), and the deployment
 // records are not updated.
+//
+// Deprecated: use DeployCtx.
 func (p *Platform) Deploy(tier Tier, names ...string) error {
+	return p.DeployCtx(context.Background(), tier, names...)
+}
+
+// DeployCtx is Deploy under the caller's context: the context threads
+// through every artifact's DDL execution, so a canceled deployment stops
+// between statements and its compensation still runs.
+func (p *Platform) DeployCtx(ctx context.Context, tier Tier, names ...string) error {
 	sys, err := p.System(tier)
 	if err != nil {
 		return err
@@ -169,9 +178,13 @@ func (p *Platform) Deploy(tier Tier, names ...string) error {
 
 	var created []string // table names created, for compensation
 	for _, a := range arts {
-		if err := p.applyArtifact(sys, a, &created); err != nil {
+		if err := p.applyArtifact(ctx, sys, a, &created); err != nil {
 			for i := len(created) - 1; i >= 0; i-- {
-				_, _ = sys.Engine.ExecuteContext(context.Background(), "DROP TABLE IF EXISTS " + created[i])
+				// Compensation must run even when the deploy failed because
+				// ctx was canceled — a half-deployed tier is worse than a
+				// slow rollback.
+				//lint:ignore ctxflow compensation DROPs must survive a canceled deploy ctx
+				_, _ = sys.Engine.ExecuteContext(context.Background(), "DROP TABLE IF EXISTS "+created[i])
 			}
 			return fmt.Errorf("platform: deploying %s to %s: %w", a.Name, tier, err)
 		}
@@ -188,7 +201,7 @@ func (p *Platform) Deploy(tier Tier, names ...string) error {
 	return nil
 }
 
-func (p *Platform) applyArtifact(sys *System, a *Artifact, created *[]string) error {
+func (p *Platform) applyArtifact(ctx context.Context, sys *System, a *Artifact, created *[]string) error {
 	switch a.Kind {
 	case ArtifactDDL, ArtifactScript:
 		// Track CREATE TABLE statements for compensation.
@@ -197,7 +210,7 @@ func (p *Platform) applyArtifact(sys *System, a *Artifact, created *[]string) er
 			if trimmed == "" {
 				continue
 			}
-			if _, err := sys.Engine.ExecuteContext(context.Background(), trimmed); err != nil {
+			if _, err := sys.Engine.ExecuteContext(ctx, trimmed); err != nil {
 				return err
 			}
 			upper := strings.ToUpper(trimmed)
@@ -253,7 +266,14 @@ func (p *Platform) DeployedVersion(tier Tier, name string) int {
 // Transport promotes every artifact deployed on from (at its deployed
 // version) to the to tier — "transported from development via test to a
 // production system".
+//
+// Deprecated: use TransportCtx.
 func (p *Platform) Transport(from, to Tier) error {
+	return p.TransportCtx(context.Background(), from, to)
+}
+
+// TransportCtx is Transport under the caller's context.
+func (p *Platform) TransportCtx(ctx context.Context, from, to Tier) error {
 	p.mu.Lock()
 	src, ok := p.systems[from]
 	if !ok {
@@ -267,7 +287,7 @@ func (p *Platform) Transport(from, to Tier) error {
 	if len(names) == 0 {
 		return fmt.Errorf("platform: nothing deployed on %s", from)
 	}
-	return p.Deploy(to, names...)
+	return p.DeployCtx(ctx, to, names...)
 }
 
 // --- single control of access rights ---
@@ -363,11 +383,19 @@ func (p *Platform) Login(tier Tier, user, password string) (*Session, error) {
 }
 
 // Query runs SQL on the tier's engine under the session's credentials.
+//
+// Deprecated: use QueryCtx.
 func (s *Session) Query(sql string) (*engine.Result, error) {
+	return s.QueryCtx(context.Background(), sql)
+}
+
+// QueryCtx runs SQL on the tier's engine under the session's credentials
+// and the caller's context.
+func (s *Session) QueryCtx(ctx context.Context, sql string) (*engine.Result, error) {
 	if !s.p.users.Authorize(s.user, "engine.query") {
 		return nil, fmt.Errorf("platform: user %s is not authorized for engine.query", s.user)
 	}
-	return s.sys.Engine.ExecuteContext(context.Background(), sql)
+	return s.sys.Engine.ExecuteContext(ctx, sql)
 }
 
 // PublishEvent pushes an event into the tier's ESP under the same
