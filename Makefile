@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-self lint-graph lint-selftest test race chaos bench bench-smoke check
+.PHONY: all build vet lint lint-self lint-hot lint-graph lint-selftest test race chaos bench bench-smoke bench-alloc check
 
 all: check
 
@@ -17,11 +17,21 @@ vet:
 lint:
 	$(GO) run ./cmd/hanalint ./...
 
-# The linter does not exempt itself: re-lint the analyzer sources and the
-# command-line drivers explicitly (also covered by `lint`, but this target
-# fails fast when only the tooling changed).
-lint-self:
-	$(GO) run ./cmd/hanalint ./internal/lint ./cmd/...
+# The linter does not exempt itself — or anything else: `lint` already
+# covers the whole module, the analyzer sources and drivers included, so
+# self-lint is the same invocation. Deliberate violations carry
+# //lint:ignore <analyzer> <reason> in source.
+lint-self: lint
+
+# Hot-path performance lint: the allocation/boxing analyzers (hotalloc,
+# boxval, stringcmp, deferhot) over the whole module, then the
+# compiler-assisted escape gate — `go build -gcflags=-m` heap escapes inside
+# hot functions diffed against internal/lint/escapes_baseline.txt. A new
+# escape fails; refresh deliberate changes with
+# `go run ./cmd/hanalint -write-escapes .`.
+lint-hot:
+	$(GO) run ./cmd/hanalint -analyzers hotalloc,boxval,stringcmp,deferhot ./...
+	$(GO) run ./cmd/hanalint -escapes .
 
 # Dump the global lock-acquisition graph (Graphviz DOT on stdout), derived
 # from the interprocedural summaries. Render with:
@@ -64,5 +74,12 @@ bench-smoke:
 	$(GO) test -bench . -benchtime=1x -run '^$$' .
 	$(GO) run ./cmd/benchpar -sf 0.02 -workers 4 -iters 3 -out BENCH_parallel.json
 
+# Allocation profile of the scan/agg/join workloads at SF 0.02: allocs/op,
+# bytes/op, ns/op per workload. Writes the `after` section only; the
+# checked-in BENCH_hotpath.json additionally embeds the pre-optimization
+# `before` figures, captured once with -hotpath-before.
+bench-alloc:
+	$(GO) run ./cmd/benchpar -sf 0.02 -workers 4 -iters 5 -hotpath BENCH_hotpath.json
+
 # Everything CI runs.
-check: build vet lint lint-self lint-selftest race chaos
+check: build vet lint lint-self lint-hot lint-selftest race chaos

@@ -8,16 +8,24 @@
 //	go run ./cmd/hanalint ./internal/esp   # one package
 //	go run ./cmd/hanalint -list            # list analyzers
 //	go run ./cmd/hanalint -lockgraph       # lock-order graph as DOT
+//	go run ./cmd/hanalint -analyzers hotalloc,deferhot ./...
+//	go run ./cmd/hanalint -hot             # hot-function set + call chains
+//	go run ./cmd/hanalint -escapes         # diff hot-path heap escapes vs baseline
+//	go run ./cmd/hanalint -write-escapes   # regenerate the escape baseline
 //
 // Deliberate violations are suppressed in source with
 // //lint:ignore <analyzer> <reason> on the offending line or the line
-// above. The suite is stdlib-only: go/ast, go/parser, go/token.
+// above. The suite is stdlib-only: go/ast, go/parser, go/token (the
+// -escapes mode additionally shells out to the Go compiler for -m output).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	"hana/internal/lint"
 )
@@ -26,8 +34,12 @@ func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	root := flag.String("root", "", "module root (default: nearest dir with go.mod)")
 	lockgraph := flag.Bool("lockgraph", false, "dump the global lock-order graph as DOT and exit")
+	only := flag.String("analyzers", "", "comma-separated analyzer subset to run (default: all)")
+	hot := flag.Bool("hot", false, "print the derived hot-function set with call chains and exit")
+	escapes := flag.Bool("escapes", false, "diff hot-path heap escapes against internal/lint/escapes_baseline.txt")
+	writeEscapes := flag.Bool("write-escapes", false, "regenerate the escape baseline from the current tree")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: hanalint [-list] [-lockgraph] [-root dir] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: hanalint [-list] [-lockgraph] [-hot] [-escapes] [-write-escapes] [-analyzers a,b] [-root dir] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -38,6 +50,23 @@ func main() {
 			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *only != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		var subset []*lint.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a := byName[name]
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "hanalint: unknown analyzer %q (see -list)\n", name)
+				os.Exit(2)
+			}
+			subset = append(subset, a)
+		}
+		analyzers = subset
 	}
 
 	dir := *root
@@ -58,6 +87,13 @@ func main() {
 	if *lockgraph {
 		fmt.Print(lint.LockGraphDOT(lint.BuildProgram(pkgs)))
 		return
+	}
+	if *hot {
+		printHotSet(lint.BuildProgram(pkgs))
+		return
+	}
+	if *escapes || *writeEscapes {
+		os.Exit(runEscapes(dir, lint.BuildProgram(pkgs), *writeEscapes))
 	}
 	module, err := lint.ModulePath(dir)
 	if err != nil {
@@ -85,6 +121,65 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hanalint: %d finding(s)\n", shown)
 		os.Exit(1)
 	}
+}
+
+// printHotSet lists every hot function and the call chain that makes it
+// hot, plus any seed-list entries that no longer resolve.
+func printHotSet(prog *lint.Program) {
+	hot := prog.HotFuncs()
+	keys := make([]string, 0, len(hot))
+	for k := range hot {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if hot[k] == "" {
+			fmt.Printf("%-55s root\n", k)
+		} else {
+			fmt.Printf("%-55s via %s\n", k, hot[k])
+		}
+	}
+	for _, r := range prog.UnmatchedHotRoots() {
+		fmt.Fprintf(os.Stderr, "hanalint: hot root matches no function: %s\n", r)
+	}
+}
+
+// runEscapes implements -escapes / -write-escapes and returns the exit
+// code: new hot-path escapes fail, stale baseline entries only warn.
+func runEscapes(dir string, prog *lint.Program, write bool) int {
+	sites, err := lint.EscapeSites(dir, prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hanalint:", err)
+		return 2
+	}
+	baselinePath := filepath.Join(dir, "internal", "lint", "escapes_baseline.txt")
+	if write {
+		if err := lint.WriteEscapeBaseline(baselinePath, sites); err != nil {
+			fmt.Fprintln(os.Stderr, "hanalint:", err)
+			return 2
+		}
+		fmt.Printf("hanalint: wrote %d hot-path escape site(s) to %s\n", len(sites), baselinePath)
+		return 0
+	}
+	baseline, err := lint.ReadEscapeBaseline(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hanalint:", err)
+		return 2
+	}
+	newSites, stale := lint.DiffEscapes(sites, baseline)
+	for _, s := range stale {
+		fmt.Fprintf(os.Stderr, "hanalint: stale escape baseline entry (no longer reported): %s\n", s)
+	}
+	if len(newSites) > 0 {
+		for _, s := range newSites {
+			fmt.Printf("%s: new heap escape in hot function %s: %s\n", s.File, s.Func, s.Msg)
+		}
+		fmt.Fprintf(os.Stderr, "hanalint: %d new hot-path escape(s); fix them or update %s via -write-escapes\n",
+			len(newSites), baselinePath)
+		return 1
+	}
+	fmt.Printf("hanalint: %d hot-path escape site(s), all baselined\n", len(sites))
+	return 0
 }
 
 // pkgOf maps a diagnostic filename back to its package's import path.

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"hana/internal/engine"
+)
+
+// Hot-path allocation benchmark: the same workloads as the parallel bench,
+// but the measured quantity is allocation pressure (allocs/op, bytes/op)
+// rather than wall clock. One "op" is one full query execution. Results
+// land in BENCH_hotpath.json via cmd/benchpar -hotpath, with the pre-fix
+// numbers embedded as "before" so the report is a self-contained
+// before/after comparison.
+
+// HotpathResult is one workload's allocation measurement at a fixed
+// parallelism.
+type HotpathResult struct {
+	Workload    string  `json:"workload"`
+	Rows        int     `json:"rows"`
+	NSPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+	BytesPerOp  uint64  `json:"bytes_per_op"`
+	AllocsRow   float64 `json:"allocs_per_row"`
+}
+
+// HotpathReport is the BENCH_hotpath.json payload. Before holds the
+// measurements taken at the commit prior to the hot-path fixes; After holds
+// the current tree's numbers.
+type HotpathReport struct {
+	SF         float64         `json:"sf"`
+	Workers    int             `json:"workers"`
+	Iterations int             `json:"iterations"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Before     []HotpathResult `json:"before,omitempty"`
+	After      []HotpathResult `json:"after"`
+}
+
+// measureAlloc runs sql iters times at the given parallelism and returns
+// the per-op wall clock (best of iters) plus per-op allocation deltas
+// (mean over iters — allocation is deterministic enough that the mean is
+// the honest number, and a min would under-report warm-cache effects).
+func measureAlloc(e *engine.Engine, sql string, width, iters int) (HotpathResult, error) {
+	ctx := context.Background()
+	var res HotpathResult
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	min := time.Duration(0)
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		out, err := e.ExecuteContext(ctx, sql, engine.WithParallelism(width))
+		d := time.Since(start)
+		if err != nil {
+			return res, err
+		}
+		res.Rows = len(out.Rows)
+		if min == 0 || d < min {
+			min = d
+		}
+	}
+	runtime.ReadMemStats(&after)
+	res.NSPerOp = float64(min.Nanoseconds())
+	res.AllocsPerOp = (after.Mallocs - before.Mallocs) / uint64(iters)
+	res.BytesPerOp = (after.TotalAlloc - before.TotalAlloc) / uint64(iters)
+	if res.Rows > 0 {
+		res.AllocsRow = float64(res.AllocsPerOp) / float64(res.Rows)
+	}
+	return res, nil
+}
+
+// RunHotpathBench measures allocation pressure for every workload at the
+// given parallelism.
+func RunHotpathBench(e *engine.Engine, sf float64, workers, iters int) (*HotpathReport, error) {
+	rep := &HotpathReport{
+		SF:         sf,
+		Workers:    workers,
+		Iterations: iters,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, w := range ParallelWorkloads {
+		r, err := measureAlloc(e, w.SQL, workers, iters)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		r.Workload = w.Name
+		rep.After = append(rep.After, r)
+	}
+	return rep, nil
+}

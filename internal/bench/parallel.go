@@ -47,14 +47,20 @@ func SetupLocalTPCH(sf float64, seed int64, extDir string, parallelism int) (*en
 	return e, nil
 }
 
-// ParallelResult is one workload's serial-vs-parallel measurement.
+// ParallelResult is one workload's serial-vs-parallel measurement. The
+// alloc columns track allocation pressure alongside latency so the perf
+// trajectory catches regressions that a warm-cache wall clock hides.
 type ParallelResult struct {
-	Workload   string  `json:"workload"`
-	Rows       int     `json:"rows"`
-	SerialMS   float64 `json:"serial_ms"`
-	ParallelMS float64 `json:"parallel_ms"`
-	Workers    int     `json:"workers"`
-	Speedup    float64 `json:"speedup"`
+	Workload       string  `json:"workload"`
+	Rows           int     `json:"rows"`
+	SerialMS       float64 `json:"serial_ms"`
+	ParallelMS     float64 `json:"parallel_ms"`
+	Workers        int     `json:"workers"`
+	Speedup        float64 `json:"speedup"`
+	SerialAllocs   uint64  `json:"serial_allocs_per_op"`
+	SerialBytes    uint64  `json:"serial_bytes_per_op"`
+	ParallelAllocs uint64  `json:"parallel_allocs_per_op"`
+	ParallelBytes  uint64  `json:"parallel_bytes_per_op"`
 }
 
 // ParallelReport is the BENCH_parallel.json payload.
@@ -77,29 +83,35 @@ func RunParallelBench(e *engine.Engine, sf float64, workers, iters int) (*Parall
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Iterations: iters,
 	}
-	best := func(sql string, width int) (time.Duration, int, error) {
+	best := func(sql string, width int) (time.Duration, int, uint64, uint64, error) {
 		min := time.Duration(0)
 		rows := 0
+		runtime.GC()
+		var msBefore, msAfter runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
 		for i := 0; i < iters; i++ {
 			start := time.Now()
 			res, err := e.ExecuteContext(ctx, sql, engine.WithParallelism(width))
 			d := time.Since(start)
 			if err != nil {
-				return 0, 0, err
+				return 0, 0, 0, 0, err
 			}
 			rows = len(res.Rows)
 			if min == 0 || d < min {
 				min = d
 			}
 		}
-		return min, rows, nil
+		runtime.ReadMemStats(&msAfter)
+		allocs := (msAfter.Mallocs - msBefore.Mallocs) / uint64(iters)
+		bytes := (msAfter.TotalAlloc - msBefore.TotalAlloc) / uint64(iters)
+		return min, rows, allocs, bytes, nil
 	}
 	for _, w := range ParallelWorkloads {
-		serial, rows, err := best(w.SQL, 1)
+		serial, rows, serAllocs, serBytes, err := best(w.SQL, 1)
 		if err != nil {
 			return nil, fmt.Errorf("%s serial: %w", w.Name, err)
 		}
-		par, _, err := best(w.SQL, workers)
+		par, _, parAllocs, parBytes, err := best(w.SQL, workers)
 		if err != nil {
 			return nil, fmt.Errorf("%s parallel: %w", w.Name, err)
 		}
@@ -108,12 +120,16 @@ func RunParallelBench(e *engine.Engine, sf float64, workers, iters int) (*Parall
 			speedup = float64(serial) / float64(par)
 		}
 		rep.Results = append(rep.Results, ParallelResult{
-			Workload:   w.Name,
-			Rows:       rows,
-			SerialMS:   float64(serial) / float64(time.Millisecond),
-			ParallelMS: float64(par) / float64(time.Millisecond),
-			Workers:    workers,
-			Speedup:    speedup,
+			Workload:       w.Name,
+			Rows:           rows,
+			SerialMS:       float64(serial) / float64(time.Millisecond),
+			ParallelMS:     float64(par) / float64(time.Millisecond),
+			Workers:        workers,
+			Speedup:        speedup,
+			SerialAllocs:   serAllocs,
+			SerialBytes:    serBytes,
+			ParallelAllocs: parAllocs,
+			ParallelBytes:  parBytes,
 		})
 	}
 	return rep, nil

@@ -278,52 +278,154 @@ func (c *Column) Merge() {
 func (c *Column) Scan(fn func(i int, v value.Value) bool) {
 	n := c.Len()
 	for i := 0; i < n; i++ {
+		//lint:ignore boxval row-at-a-time API boundary: callers consume value.Value; a vectorized scan path is a ROADMAP item
 		if !fn(i, c.Get(i)) {
 			return
 		}
 	}
 }
 
-// DistinctCount estimates the number of distinct non-null values: exact for
-// dictionary-encoded mains plus a delta pass.
+// DistinctCount returns the exact number of distinct non-null values. The
+// main fragment answers from its dictionary — after a merge every entry is
+// referenced by at least one row — so only the delta (and raw mains) need a
+// walk, and the walk reads codes and raw arrays, never materialized values.
 func (c *Column) DistinctCount() int {
-	seen := map[value.Value]bool{}
-	c.Scan(func(_ int, v value.Value) bool {
-		if !v.IsNull() {
-			seen[normKey(v)] = true
+	switch c.Kind {
+	case value.KindVarchar:
+		seen := make(map[string]bool, len(c.mainDict)+len(c.deltaDict))
+		for _, s := range c.mainDict {
+			seen[s] = true
 		}
-		return true
-	})
-	return len(seen)
-}
-
-func normKey(v value.Value) value.Value {
-	// Strings are comparable map keys via the struct; ensure no aliasing
-	// issues by copying.
-	return v
+		for i, code := range c.deltaCodes {
+			if !c.deltaNulls.get(i) {
+				seen[c.deltaDict[code]] = true
+			}
+		}
+		return len(seen)
+	case value.KindDouble:
+		seen := map[float64]bool{}
+		if c.mainFDict != nil {
+			for _, f := range c.mainFDict {
+				seen[f] = true
+			}
+		} else {
+			for i, f := range c.mainFloats {
+				if !c.mainNulls.get(i) {
+					seen[f] = true
+				}
+			}
+		}
+		for i, f := range c.deltaFloats {
+			if !c.deltaNulls.get(i) {
+				seen[f] = true
+			}
+		}
+		return len(seen)
+	default:
+		seen := map[int64]bool{}
+		for i := 0; i < c.mainN; i++ {
+			if !c.mainNulls.get(i) {
+				seen[c.mainBase+int64(c.mainPacked.get(i))] = true
+			}
+		}
+		for i, x := range c.deltaInts {
+			if !c.deltaNulls.get(i) {
+				seen[x] = true
+			}
+		}
+		return len(seen)
+	}
 }
 
 // MinMax returns the smallest and largest non-null values, with ok=false
 // for an all-null or empty column. The optimizer's zone-map and histogram
-// construction uses it.
+// construction uses it. Sorted main dictionaries answer in O(1) — their
+// ends are the fragment's extremes — and the remaining fragments compare
+// raw codes and primitives instead of materialized values.
 func (c *Column) MinMax() (minV, maxV value.Value, ok bool) {
-	c.Scan(func(_ int, v value.Value) bool {
-		if v.IsNull() {
-			return true
+	switch c.Kind {
+	case value.KindVarchar:
+		var lo, hi string
+		if len(c.mainDict) > 0 {
+			lo, hi, ok = c.mainDict[0], c.mainDict[len(c.mainDict)-1], true
+		}
+		for i, code := range c.deltaCodes {
+			if c.deltaNulls.get(i) {
+				continue
+			}
+			s := c.deltaDict[code]
+			switch {
+			case !ok:
+				lo, hi, ok = s, s, true
+			case s < lo:
+				lo = s
+			case s > hi:
+				hi = s
+			}
 		}
 		if !ok {
-			minV, maxV, ok = v, v, true
-			return true
+			return value.Null, value.Null, false
 		}
-		if value.Compare(v, minV) < 0 {
-			minV = v
+		return value.NewString(lo), value.NewString(hi), true
+	case value.KindDouble:
+		var lo, hi float64
+		mergeF := func(f float64) {
+			switch {
+			case !ok:
+				lo, hi, ok = f, f, true
+			case f < lo:
+				lo = f
+			case f > hi:
+				hi = f
+			}
 		}
-		if value.Compare(v, maxV) > 0 {
-			maxV = v
+		if c.mainFDict != nil {
+			if len(c.mainFDict) > 0 {
+				lo, hi, ok = c.mainFDict[0], c.mainFDict[len(c.mainFDict)-1], true
+			}
+		} else {
+			for i, f := range c.mainFloats {
+				if !c.mainNulls.get(i) {
+					mergeF(f)
+				}
+			}
 		}
-		return true
-	})
-	return minV, maxV, ok
+		for i, f := range c.deltaFloats {
+			if !c.deltaNulls.get(i) {
+				mergeF(f)
+			}
+		}
+		if !ok {
+			return value.Null, value.Null, false
+		}
+		return value.NewDouble(lo), value.NewDouble(hi), true
+	default:
+		var lo, hi int64
+		mergeI := func(x int64) {
+			switch {
+			case !ok:
+				lo, hi, ok = x, x, true
+			case x < lo:
+				lo = x
+			case x > hi:
+				hi = x
+			}
+		}
+		for i := 0; i < c.mainN; i++ {
+			if !c.mainNulls.get(i) {
+				mergeI(c.mainBase + int64(c.mainPacked.get(i)))
+			}
+		}
+		for i, x := range c.deltaInts {
+			if !c.deltaNulls.get(i) {
+				mergeI(x)
+			}
+		}
+		if !ok {
+			return value.Null, value.Null, false
+		}
+		return value.Value{K: c.Kind, I: lo}, value.Value{K: c.Kind, I: hi}, true
+	}
 }
 
 // MemSize estimates the column's in-memory footprint in bytes; Figure 2's

@@ -157,16 +157,23 @@ func decodeChunk(data []byte) ([]value.Value, error) {
 			return nil, err
 		}
 		dict := make([]string, dn)
+		// Scratch read buffer shared across dictionary entries; the string
+		// conversion copies, so reuse is safe.
+		var sb []byte
 		for i := range dict {
 			sl, err := binary.ReadUvarint(r)
 			if err != nil {
 				return nil, err
 			}
-			sb := make([]byte, sl)
-			if _, err := r.Read(sb); err != nil {
+			if uint64(len(sb)) < sl {
+				//lint:ignore hotalloc scratch grows to the high-water entry length once, not per entry
+				sb = make([]byte, sl)
+			}
+			buf := sb[:sl]
+			if _, err := r.Read(buf); err != nil {
 				return nil, err
 			}
-			dict[i] = string(sb)
+			dict[i] = string(buf)
 		}
 		codes, err := readPacked(r, n, dn-1)
 		if err != nil {

@@ -370,6 +370,9 @@ func (t *Table) Scan(ords []int, ranges map[int]Range, fn func(id int64, row val
 		}
 	}
 	row := make(value.Row, len(ords))
+	// Column-vector pointers, reused across chunks; readChunk owns the
+	// backing arrays.
+	cols := make([][]value.Value, len(ords))
 	var base int64
 	for chunk, n := range t.chunkRows {
 		skip := false
@@ -384,7 +387,6 @@ func (t *Table) Scan(ords []int, ranges map[int]Range, fn func(id int64, row val
 			base += int64(n)
 			continue
 		}
-		cols := make([][]value.Value, len(ords))
 		for j, o := range ords {
 			vals, err := t.readChunk(chunk, o)
 			if err != nil {

@@ -25,7 +25,15 @@ type scanMorsel struct {
 // scan — plus the per-partition visible (pre-filter) row counts. ranges is
 // the zone-map pushdown forwarded to extended partitions only.
 func (p *planner) scanParts(parts []*partition, ranges map[int]diskstore.Range, pred expr.Expr) ([]value.Row, []int, error) {
-	var ms []scanMorsel
+	nm := 0
+	for _, part := range parts {
+		if part.ext != nil {
+			nm++
+			continue
+		}
+		nm += (part.numRows() + exec.DefaultMorselSize - 1) / exec.DefaultMorselSize
+	}
+	ms := make([]scanMorsel, 0, nm)
 	for pi, part := range parts {
 		if part.ext != nil {
 			ms = append(ms, scanMorsel{partIdx: pi, part: part, whole: true})

@@ -183,6 +183,9 @@ func (h *HashAggregate) run() error {
 	for i := range keyOrds {
 		keyOrds[i] = i
 	}
+	// Scratch key buffer, reused across rows; only Clone() on a fresh group
+	// retains the values.
+	key := make(value.Row, len(h.GroupBy))
 	for {
 		row, ok, err := h.In.Next()
 		if err != nil {
@@ -191,7 +194,6 @@ func (h *HashAggregate) run() error {
 		if !ok {
 			break
 		}
-		key := make(value.Row, len(h.GroupBy))
 		for i, g := range h.GroupBy {
 			v, err := g.Eval(row)
 			if err != nil {
@@ -213,6 +215,7 @@ func (h *HashAggregate) run() error {
 				grp.states = append(grp.states, newAggState(a.Distinct))
 			}
 			table[hsh] = append(table[hsh], grp)
+			//lint:ignore hotalloc order grows once per distinct group, not per row; the group count is unknown upfront
 			order = append(order, grp)
 		}
 		for i, a := range h.Aggs {

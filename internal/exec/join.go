@@ -46,6 +46,11 @@ type HashJoin struct {
 	pending []value.Row
 	pi      int
 	cur     value.Row
+
+	// mbuf is the scratch slice matches() fills; pending aliases it, but a
+	// probe row's matches are fully drained before the next matches() call,
+	// so reuse never clobbers live rows.
+	mbuf []value.Row
 }
 
 // Schema implements Iter. Semi/anti joins produce the left schema; inner
@@ -110,7 +115,7 @@ func (j *HashJoin) matches(left value.Row) ([]value.Row, error) {
 	if hasNull {
 		return nil, nil
 	}
-	var out []value.Row
+	out := j.mbuf[:0]
 	for _, right := range j.table[h] {
 		eq := true
 		for i := range j.LeftKeys {
@@ -131,6 +136,7 @@ func (j *HashJoin) matches(left value.Row) ([]value.Row, error) {
 			out = append(out, right)
 		}
 	}
+	j.mbuf = out
 	return out, nil
 }
 
@@ -171,7 +177,8 @@ func (j *HashJoin) Next() (value.Row, bool, error) {
 		}
 		// Apply residual for semi/anti/outer match determination.
 		if j.Residual != nil && (j.Kind == JoinSemi || j.Kind == JoinAnti || j.Kind == JoinLeftOuter) {
-			var kept []value.Row
+			// Filter in place: kept only ever trails the read cursor over m.
+			kept := m[:0]
 			for _, right := range m {
 				keep, err := expr.Truthy(j.Residual, j.combine(left, right))
 				if err != nil {

@@ -164,8 +164,10 @@ func (h *ParallelHashAggregate) run() error {
 // accumulation loop as the serial HashAggregate, restricted to a row range.
 func aggregateMorsel(rows []value.Row, groupBy []expr.Expr, aggs []AggSpec, keyOrds []int) (*aggPartial, error) {
 	pt := &aggPartial{table: map[uint64][]*aggGroup{}}
+	// Scratch key buffer, reused across rows; only Clone() on a fresh group
+	// retains the values.
+	key := make(value.Row, len(groupBy))
 	for _, row := range rows {
-		key := make(value.Row, len(groupBy))
 		for i, g := range groupBy {
 			v, err := g.Eval(row)
 			if err != nil {
@@ -262,8 +264,12 @@ func HashJoinParallel(ctx context.Context, pool *Pool, width, morselSize int, st
 				hi = len(right)
 			}
 			bp := &buildPartial{table: map[uint64][]int{}}
+			// One slab per morsel: the retained per-row key slices are carved
+			// from it instead of allocating len(rightKeys) values per row.
+			slab := make([]value.Value, (hi-lo)*len(rightKeys))
 			for i := lo; i < hi; i++ {
-				vals := make([]value.Value, len(rightKeys))
+				vals := slab[:len(rightKeys):len(rightKeys)]
+				slab = slab[len(rightKeys):]
 				var h uint64 = 1469598103934665603
 				hasNull := false
 				for k, ke := range rightKeys {
@@ -304,10 +310,13 @@ func HashJoinParallel(ctx context.Context, pool *Pool, width, morselSize int, st
 			if hi > len(left) {
 				hi = len(left)
 			}
-			var out []value.Row
+			// Probe rows emit at least no rows and usually about one; hi-lo
+			// is the right capacity order. vals is scratch, reused per row —
+			// matches copy from the row slices, never from vals.
+			out := make([]value.Row, 0, hi-lo)
+			vals := make([]value.Value, len(leftKeys))
 			for li := lo; li < hi; li++ {
 				l := left[li]
-				vals := make([]value.Value, len(leftKeys))
 				var h uint64 = 1469598103934665603
 				hasNull := false
 				for k, ke := range leftKeys {

@@ -1,0 +1,97 @@
+package expr
+
+import (
+	"testing"
+
+	"hana/internal/value"
+)
+
+// Per-row expression evaluation must not allocate: Eval runs once per row
+// per node on every scan, filter, and join.
+
+func TestEvalZeroAllocs(t *testing.T) {
+	s := value.NewSchema(
+		value.Column{Name: "K", Kind: value.KindVarchar},
+		value.Column{Name: "N", Kind: value.KindInt},
+	)
+	row := value.Row{value.NewString("EUROPE"), value.NewInt(9)}
+
+	cases := []struct {
+		name string
+		e    Expr
+	}{
+		{"colref", Col("N")},
+		{"binop", Bin(OpAdd, Col("N"), Int(1))},
+		{"compare", Bin(OpLt, Col("N"), Int(100))},
+		{"between", &Between{E: Col("N"), Lo: Int(0), Hi: Int(10)}},
+		{"in-literal-set", &In{E: Col("K"), List: []Expr{Str("ASIA"), Str("EUROPE"), Str("AFRICA")}}},
+	}
+	for _, tc := range cases {
+		if err := Bind(tc.e, s); err != nil {
+			t.Fatal(err)
+		}
+		if n := testing.AllocsPerRun(200, func() {
+			if _, err := tc.e.Eval(row); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("%s: Eval allocates %.1f times per row, want 0", tc.name, n)
+		}
+	}
+}
+
+// TestInLiteralSetSemantics pins the Bind-built fast path against the
+// linear fallback, NULL propagation included.
+func TestInLiteralSetSemantics(t *testing.T) {
+	s := value.NewSchema(value.Column{Name: "K", Kind: value.KindVarchar})
+	mk := func(negate bool, list ...Expr) *In {
+		in := &In{E: Col("K"), List: list, Negate: negate}
+		if err := Bind(in, s); err != nil {
+			t.Fatal(err)
+		}
+		if in.strs == nil {
+			t.Fatal("literal fast path not built")
+		}
+		return in
+	}
+	eval := func(in *In, v value.Value) value.Value {
+		got, err := in.Eval(value.Row{v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	in := mk(false, Str("A"), Str("B"))
+	if got := eval(in, value.NewString("B")); !got.Bool() {
+		t.Errorf("B IN (A,B) = %v, want true", got)
+	}
+	if got := eval(in, value.NewString("C")); got.Bool() || got.IsNull() {
+		t.Errorf("C IN (A,B) = %v, want false", got)
+	}
+	if got := eval(in, value.Null); !got.IsNull() {
+		t.Errorf("NULL IN (A,B) = %v, want NULL", got)
+	}
+
+	withNull := mk(false, Str("A"), Lit(value.Null))
+	if got := eval(withNull, value.NewString("C")); !got.IsNull() {
+		t.Errorf("C IN (A,NULL) = %v, want NULL", got)
+	}
+	if got := eval(withNull, value.NewString("A")); !got.Bool() {
+		t.Errorf("A IN (A,NULL) = %v, want true", got)
+	}
+
+	neg := mk(true, Str("A"))
+	if got := eval(neg, value.NewString("B")); !got.Bool() {
+		t.Errorf("B NOT IN (A) = %v, want true", got)
+	}
+
+	// Mixed kinds must keep the Compare fallback (ints equate to doubles).
+	mixed := &In{E: Col("K"), List: []Expr{Int(1), Str("A")}}
+	if err := Bind(mixed, s); err != nil {
+		t.Fatal(err)
+	}
+	if mixed.strs != nil {
+		t.Error("mixed-kind list must not take the string fast path")
+	}
+}

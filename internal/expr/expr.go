@@ -336,6 +336,37 @@ type In struct {
 	E      Expr
 	List   []Expr
 	Negate bool
+
+	// strs is the all-VARCHAR-literal fast path prepared by Bind: Eval
+	// probes this set instead of re-evaluating the list per row. Built
+	// during binding (never lazily) so the bound tree stays immutable
+	// under parallel morsel execution. strNull records a literal NULL in
+	// the list.
+	strs    map[string]bool
+	strNull bool
+}
+
+// prepare builds the literal-set fast path when every list element is a
+// VARCHAR (or NULL) literal. Mixed-kind lists keep the per-row Compare
+// path, which equates values across numeric kinds.
+func (i *In) prepare() {
+	strs := make(map[string]bool, len(i.List))
+	sawNull := false
+	for _, el := range i.List {
+		lit, ok := el.(*Literal)
+		if !ok {
+			return
+		}
+		if lit.Val.IsNull() {
+			sawNull = true
+			continue
+		}
+		if lit.Val.K != value.KindVarchar {
+			return
+		}
+		strs[lit.Val.S] = true
+	}
+	i.strs, i.strNull = strs, sawNull
 }
 
 // Eval applies the membership test.
@@ -346,6 +377,15 @@ func (i *In) Eval(row value.Row) (value.Value, error) {
 	}
 	if v.IsNull() {
 		return value.Null, nil
+	}
+	if i.strs != nil && v.K == value.KindVarchar {
+		if i.strs[v.S] {
+			return value.NewBool(!i.Negate), nil
+		}
+		if i.strNull {
+			return value.Null, nil
+		}
+		return value.NewBool(i.Negate), nil
 	}
 	sawNull := false
 	for _, el := range i.List {

@@ -109,12 +109,15 @@ func Clone(e Expr) Expr {
 func Bind(e Expr, s *value.Schema) error {
 	var missing []string
 	Walk(e, func(n Expr) bool {
-		if c, ok := n.(*ColRef); ok {
+		switch c := n.(type) {
+		case *ColRef:
 			if ord := s.Find(c.Name); ord >= 0 {
 				c.Ord = ord
 			} else {
 				missing = append(missing, c.Name)
 			}
+		case *In:
+			c.prepare()
 		}
 		return true
 	})

@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// boxval flags implicit boxing on hot paths: concrete values converted to
+// interface{}/any inside loops of hot functions — each conversion heap-
+// allocates the value — and, in the dictionary-encoded column store, the
+// adjacent sin of materializing value.Value per element where integer
+// codes are available:
+//
+//   - explicit any(x) / interface{}(x) conversions in hot loops;
+//   - []any / map[...]any composite literals with elements in hot loops;
+//   - arguments passed into any/interface{} parameters of in-repo
+//     functions from hot loops (the call boxes at the boundary);
+//   - assignments into variables declared as any/interface{} in hot loops;
+//   - in internal/colstore only: calls returning value.Value per element
+//     of a hot loop (range-over-decoded-values where the dictionary code
+//     path would avoid materialization entirely).
+//
+// fmt.Sprint* also boxes its operands but is already flagged by hotalloc;
+// boxval covers the in-repo interface boundaries.
+var BoxVal = &Analyzer{
+	Name: "boxval",
+	Doc:  "flags implicit interface boxing and per-element value.Value materialization in hot loops",
+	Run:  runBoxVal,
+}
+
+func runBoxVal(pass *Pass) {
+	inColstore := strings.HasSuffix(pass.Pkg.Path, "/colstore")
+	hotFuncsOf(pass, func(info *FuncInfo, file *ast.File, imports map[string]string, chain string) {
+		anyVars := anyTypedDecls(info.Decl)
+		var env *typeEnv
+		lazyEnv := func() *typeEnv {
+			if env == nil {
+				env = pass.Prog.Env(info)
+			}
+			return env
+		}
+		forEachHotNode(pass.Pkg.Path, imports, info.Decl, func(n ast.Node, ctx hotCtx, stack []ast.Node) {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if ctx.Alloc >= 1 && isAnyConversion(x) {
+					pass.Reportf(x.Pos(), "explicit boxing into interface{} in a hot loop; keep the concrete type")
+					return
+				}
+				if ctx.Alloc >= 1 {
+					reportBoxedArgs(pass, lazyEnv(), x)
+				}
+				if inColstore && ctx.Alloc >= 1 {
+					if ref, ok := lazyEnv().resolveCall(x); ok {
+						if callee := pass.Prog.Lookup(ref); callee != nil && isValueValueRef(callee.ResultType) {
+							pass.Reportf(x.Pos(),
+								"%s materializes value.Value per element in a hot loop; iterate dictionary codes instead", ref.Short())
+						}
+					}
+				}
+			case *ast.CompositeLit:
+				if ctx.Alloc >= 1 && len(x.Elts) > 0 && isAnyContainerType(x.Type) {
+					pass.Reportf(x.Pos(),
+						"interface{} container literal boxes %d value(s) per iteration in a hot loop", len(x.Elts))
+				}
+			case *ast.AssignStmt:
+				if ctx.Alloc < 1 {
+					return
+				}
+				for i, lhs := range x.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || !anyVars[id.Name] || i >= len(x.Rhs) {
+						continue
+					}
+					if rid, ok := x.Rhs[i].(*ast.Ident); ok && (rid.Name == "nil" || anyVars[rid.Name]) {
+						continue
+					}
+					pass.Reportf(x.Pos(), "assignment boxes a concrete value into interface{} variable %s in a hot loop", id.Name)
+				}
+			}
+		})
+	})
+}
+
+// isValueValueRef matches the value.Value result type.
+func isValueValueRef(t TypeRef) bool {
+	return t.Name == "Value" && strings.HasSuffix(t.Pkg, "/value")
+}
+
+// isAnyType matches the empty interface written as any or interface{}.
+func isAnyType(e ast.Expr) bool {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name == "any"
+	case *ast.InterfaceType:
+		return t.Methods == nil || len(t.Methods.List) == 0
+	case *ast.ParenExpr:
+		return isAnyType(t.X)
+	case *ast.Ellipsis:
+		return isAnyType(t.Elt)
+	}
+	return false
+}
+
+// isAnyConversion matches any(x) and interface{}(x).
+func isAnyConversion(call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "any"
+	case *ast.ParenExpr:
+		return isAnyType(fn.X)
+	}
+	return false
+}
+
+// isAnyContainerType matches []any, []interface{}, and map[...]any.
+func isAnyContainerType(e ast.Expr) bool {
+	switch t := e.(type) {
+	case *ast.ArrayType:
+		return t.Len == nil && isAnyType(t.Elt)
+	case *ast.MapType:
+		return isAnyType(t.Value)
+	}
+	return false
+}
+
+// reportBoxedArgs flags arguments that box into any-typed parameters of a
+// resolved in-repo callee. Untyped nil and identifiers that are already
+// interface-typed do not box.
+func reportBoxedArgs(pass *Pass, env *typeEnv, call *ast.CallExpr) {
+	ref, ok := env.resolveCall(call)
+	if !ok {
+		return
+	}
+	callee := pass.Prog.Lookup(ref)
+	if callee == nil || callee.Decl == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramTypeAt(callee.Decl, i)
+		if pt == nil || !isAnyType(pt) {
+			continue
+		}
+		if id, ok := arg.(*ast.Ident); ok && id.Name == "nil" {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"argument boxes into interface{} parameter of %s in a hot loop; add a concrete-typed path", ref.Short())
+	}
+}
+
+// paramTypeAt maps an argument position to the callee's parameter type
+// expression; a variadic tail absorbs all remaining positions.
+func paramTypeAt(fd *ast.FuncDecl, idx int) ast.Expr {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	i := 0
+	for _, fl := range fd.Type.Params.List {
+		n := len(fl.Names)
+		if n == 0 {
+			n = 1
+		}
+		for j := 0; j < n; j++ {
+			_, variadic := fl.Type.(*ast.Ellipsis)
+			if i == idx || (variadic && idx >= i) {
+				return fl.Type
+			}
+			i++
+		}
+	}
+	return nil
+}
+
+// anyTypedDecls collects variables declared with an explicit any or
+// interface{} type in the body.
+func anyTypedDecls(fd *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	if fd.Body == nil {
+		return out
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		vs, ok := n.(*ast.ValueSpec)
+		if !ok || vs.Type == nil || !isAnyType(vs.Type) {
+			return true
+		}
+		for _, name := range vs.Names {
+			if name.Name != "_" {
+				out[name.Name] = true
+			}
+		}
+		return true
+	})
+	return out
+}

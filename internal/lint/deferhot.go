@@ -1,0 +1,31 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// deferhot flags defer statements inside loops of hot functions. A defer
+// runs when the *enclosing function* returns, so a defer in a per-row or
+// per-morsel loop accumulates one pending call per iteration — unbounded
+// memory and a latency cliff at function exit — on exactly the paths the
+// executor drives hardest. Defers at function scope are fine, as are
+// defers inside function literals (they release when the literal returns,
+// which the loop-context walker accounts for).
+var DeferHot = &Analyzer{
+	Name: "deferhot",
+	Doc:  "flags defer inside loops of hot functions (pending calls accumulate until function exit)",
+	Run:  runDeferHot,
+}
+
+func runDeferHot(pass *Pass) {
+	hotFuncsOf(pass, func(info *FuncInfo, file *ast.File, imports map[string]string, chain string) {
+		forEachHotNode(pass.Pkg.Path, imports, info.Decl, func(n ast.Node, ctx hotCtx, stack []ast.Node) {
+			ds, ok := n.(*ast.DeferStmt)
+			if !ok || ctx.Defer < 1 {
+				return
+			}
+			pass.Reportf(ds.Pos(),
+				"defer inside a hot loop accumulates until function exit; release inline or move the loop body into a function")
+		})
+	})
+}

@@ -1,0 +1,314 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// hotalloc flags per-iteration allocations inside loops of hot functions:
+//
+//   - make() / map and slice composite literals whose result stays local to
+//     the iteration (a scratch buffer rebuilt per row — hoist it out of the
+//     loop). Results that are retained (appended into an accumulator,
+//     stored through an index or field, returned, or sent) are the loop's
+//     output and are not flagged.
+//   - fmt.Sprint* calls and string concatenation with a literal operand —
+//     each builds a fresh string per iteration.
+//   - function literals built per iteration (closure + capture allocation).
+//     Literals launched with go/defer are exempt (goroutine fan-out in a
+//     loop is a deliberate, bounded pattern policed by nakedgoroutine).
+//   - append into a slice declared empty (`var x []T` / `x := []T{}`)
+//     before the loop — growth reallocates log-many times; preallocate.
+//   - allocating hash constructors (hash/fnv, crypto hashes) anywhere in a
+//     hot function: per-row hashing must reuse state or inline the
+//     arithmetic.
+//
+// Only production code in hot functions (see HotRoots / //hana:hotpath) is
+// checked; everything else may allocate freely.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags per-iteration allocations (make, fmt, closures, growing appends, hash constructors) in hot loops",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	hotFuncsOf(pass, func(info *FuncInfo, file *ast.File, imports map[string]string, chain string) {
+		emptySlices := emptySliceDecls(info.Decl)
+		// seenAppend dedups growing-append reports: one per (loop, variable).
+		type loopVar struct {
+			loop ast.Node
+			name string
+		}
+		seenAppend := map[loopVar]bool{}
+		forEachHotNode(pass.Pkg.Path, imports, info.Decl, func(n ast.Node, ctx hotCtx, stack []ast.Node) {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				switch fn := x.Fun.(type) {
+				case *ast.Ident:
+					// make only builds slices, maps, and channels; all but
+					// channels (which have their own lifecycle) are
+					// per-iteration heap traffic. Named slice types like
+					// value.Row count too, so only channels are excluded.
+					if fn.Name == "make" && ctx.Alloc >= 1 && len(x.Args) > 0 && !isChanType(x.Args[0]) {
+						reportScratchAlloc(pass, x, "make", stack)
+					}
+					if fn.Name == "append" && ctx.Alloc >= 1 && len(x.Args) >= 2 {
+						if id, ok := x.Args[0].(*ast.Ident); ok && emptySlices[id.Name] {
+							lv := loopVar{loop: enclosingLoop(stack), name: id.Name}
+							if lv.loop != nil && !seenAppend[lv] {
+								seenAppend[lv] = true
+								pass.Reportf(x.Pos(),
+									"append grows %s from empty inside a hot loop; preallocate with make(..., 0, n) or reuse a scratch buffer", id.Name)
+							}
+						}
+					}
+				case *ast.SelectorExpr:
+					if id, ok := fn.X.(*ast.Ident); ok {
+						path := imports[id.Name]
+						if path == "fmt" && ctx.Alloc >= 1 {
+							switch fn.Sel.Name {
+							case "Sprintf", "Sprint", "Sprintln":
+								pass.Reportf(x.Pos(),
+									"fmt.%s allocates a string per iteration in a hot loop; precompute it or build with strconv/append primitives", fn.Sel.Name)
+							}
+						}
+						if allocatingHashConstructor(path, fn.Sel.Name) {
+							pass.Reportf(x.Pos(),
+								"%s.%s allocates hash state on the hot path; reuse the state or inline the hash arithmetic", id.Name, fn.Sel.Name)
+						}
+					}
+				}
+			case *ast.CompositeLit:
+				if ctx.Alloc >= 1 && x.Type != nil && isMapOrSliceType(x.Type) {
+					reportScratchAlloc(pass, x, "composite literal", stack)
+				}
+			case *ast.FuncLit:
+				if ctx.Alloc >= 1 && !isRowCallback(pass.Pkg.Path, imports, x) && !isLaunchedLit(x, stack) {
+					pass.Reportf(x.Pos(),
+						"closure allocated per iteration in a hot loop; hoist the func value out of the loop")
+				}
+			case *ast.BinaryExpr:
+				if ctx.Alloc >= 1 && x.Op == token.ADD && isRuntimeStringConcat(x) {
+					pass.Reportf(x.Pos(),
+						"string concatenation allocates per iteration in a hot loop; precompute it or build with strconv/append primitives")
+				}
+			case *ast.AssignStmt:
+				if ctx.Alloc >= 1 && x.Tok == token.ADD_ASSIGN && len(x.Rhs) == 1 && isStringLit(x.Rhs[0]) {
+					pass.Reportf(x.Pos(),
+						"string concatenation allocates per iteration in a hot loop; precompute it or build with strconv/append primitives")
+				}
+			}
+		})
+	})
+}
+
+// reportScratchAlloc flags an allocation expression unless its result is
+// retained past the iteration. Only allocations bound to a simple local
+// (x := make(...)) can be proven scratch; anything else — passed straight
+// into a call, stored into a field, element of a literal — is treated as
+// retained and skipped.
+func reportScratchAlloc(pass *Pass, alloc ast.Expr, what string, stack []ast.Node) {
+	name, ok := simpleAssignTarget(alloc, stack)
+	if !ok {
+		return
+	}
+	loop := enclosingLoop(stack)
+	if loop == nil || retainedInLoop(loop, name, alloc) {
+		return
+	}
+	pass.Reportf(alloc.Pos(),
+		"%s allocates %s per iteration in a hot loop; hoist the buffer out of the loop and reset it per iteration", what, name)
+}
+
+// simpleAssignTarget returns the identifier the allocation is assigned to
+// when the immediate use is `x := alloc` / `x = alloc` (single-value).
+func simpleAssignTarget(alloc ast.Expr, stack []ast.Node) (string, bool) {
+	if len(stack) == 0 {
+		return "", false
+	}
+	as, ok := stack[len(stack)-1].(*ast.AssignStmt)
+	if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 1 || as.Rhs[0] != alloc {
+		return "", false
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return "", false
+	}
+	return id.Name, true
+}
+
+// enclosingLoop returns the innermost per-iteration scope on the stack: a
+// for/range statement or a row-callback function literal.
+func enclosingLoop(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// retainedInLoop reports whether the named scratch candidate escapes the
+// iteration: appended into another slice, stored through an index/field,
+// returned, sent on a channel, or used as a direct element of a composite
+// literal. Mentions through method calls (key.Clone()) do not retain the
+// buffer itself.
+func retainedInLoop(loop ast.Node, name string, alloc ast.Expr) bool {
+	retained := false
+	isName := func(e ast.Expr) bool {
+		if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			e = u.X
+		}
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == name
+	}
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if retained {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "append" {
+				for _, a := range x.Args[1:] {
+					if isName(a) {
+						retained = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				if i >= len(x.Lhs) || !isName(rhs) {
+					continue
+				}
+				switch x.Lhs[i].(type) {
+				case *ast.IndexExpr, *ast.SelectorExpr:
+					retained = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if exprMentionsIdent(r, name) {
+					retained = true
+				}
+			}
+		case *ast.SendStmt:
+			if exprMentionsIdent(x.Value, name) {
+				retained = true
+			}
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if isName(v) {
+					retained = true
+				}
+			}
+		}
+		return !retained
+	})
+	return retained
+}
+
+// emptySliceDecls collects slice variables declared with no backing array:
+// `var x []T` or `x := []T{}`.
+func emptySliceDecls(fd *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	if fd.Body == nil {
+		return out
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ValueSpec:
+			at, ok := x.Type.(*ast.ArrayType)
+			if !ok || at.Len != nil || len(x.Values) != 0 {
+				return true
+			}
+			for _, name := range x.Names {
+				out[name.Name] = true
+			}
+		case *ast.AssignStmt:
+			if x.Tok != token.DEFINE || len(x.Rhs) != 1 || len(x.Lhs) != 1 {
+				return true
+			}
+			cl, ok := x.Rhs[0].(*ast.CompositeLit)
+			if !ok || len(cl.Elts) != 0 {
+				return true
+			}
+			if at, ok := cl.Type.(*ast.ArrayType); ok && at.Len == nil {
+				if id, ok := x.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+					out[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isMapOrSliceType(e ast.Expr) bool {
+	switch t := e.(type) {
+	case *ast.MapType:
+		return true
+	case *ast.ArrayType:
+		return t.Len == nil
+	}
+	return false
+}
+
+func isChanType(e ast.Expr) bool {
+	_, ok := e.(*ast.ChanType)
+	return ok
+}
+
+// isLaunchedLit reports whether the function literal is the callee of a
+// go or defer statement.
+func isLaunchedLit(fl *ast.FuncLit, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	call, ok := stack[len(stack)-1].(*ast.CallExpr)
+	if !ok || call.Fun != ast.Expr(fl) {
+		return false
+	}
+	switch stack[len(stack)-2].(type) {
+	case *ast.GoStmt, *ast.DeferStmt:
+		return true
+	}
+	return false
+}
+
+func isStringLit(e ast.Expr) bool {
+	bl, ok := e.(*ast.BasicLit)
+	return ok && bl.Kind == token.STRING
+}
+
+// isRuntimeStringConcat matches a + with a string-literal operand where the
+// other side is computed (two literals fold at compile time).
+func isRuntimeStringConcat(b *ast.BinaryExpr) bool {
+	l, r := isStringLit(b.X), isStringLit(b.Y)
+	if l && r {
+		return false
+	}
+	// Nested concat chains ("a" + x + "b") parse left-associated; the inner
+	// BinaryExpr already reports, so only flag when a literal is a direct
+	// operand here.
+	return l || r
+}
+
+// allocatingHashConstructor matches hash constructors whose state escapes
+// to the heap when used per row.
+func allocatingHashConstructor(path, name string) bool {
+	switch path {
+	case "hash/fnv":
+		switch name {
+		case "New32", "New32a", "New64", "New64a", "New128", "New128a":
+			return true
+		}
+	case "crypto/sha256", "crypto/sha1", "crypto/md5", "hash/crc32", "hash/crc64":
+		return name == "New" || name == "NewIEEE"
+	}
+	return false
+}

@@ -1,0 +1,66 @@
+package lint
+
+// HotRoots seeds the hot-function set: the morsel/operator inner loops the
+// executor drives per row or per morsel, plus the per-row leaf helpers that
+// interface dispatch hides from the syntactic call resolver (Iter.Next and
+// Expr.Eval are interface calls, so each implementation must be rooted
+// explicitly — reachability only grows the set downward from here).
+//
+// Keys use FuncRef.key() form: "importpath.Func" or
+// "importpath.Recv.Method". An entry that matches nothing is inert (the
+// fixture corpus, for example, never contains these), and `hanalint -hot`
+// prints the resolved set plus any unmatched roots so the list can be
+// audited when operators are added or renamed. Functions outside this
+// closure can opt in with a `//hana:hotpath` directive on the declaration's
+// doc comment.
+var HotRoots = []string{
+	// exec: operator loops driven once per row or per morsel.
+	"hana/internal/exec.Filter.Next",
+	"hana/internal/exec.Project.Next",
+	"hana/internal/exec.Limit.Next",
+	"hana/internal/exec.Sort.Next",
+	"hana/internal/exec.Distinct.Next",
+	"hana/internal/exec.UnionAll.Next",
+	"hana/internal/exec.Slice.Next",
+	"hana/internal/exec.Materialize",
+	"hana/internal/exec.HashAggregate.run",
+	"hana/internal/exec.ParallelHashAggregate.run",
+	"hana/internal/exec.aggregateMorsel",
+	"hana/internal/exec.drainRows",
+	"hana/internal/exec.HashJoin.build",
+	"hana/internal/exec.HashJoin.matches",
+	"hana/internal/exec.HashJoin.Next",
+	"hana/internal/exec.HashJoinParallel",
+	"hana/internal/exec.NestedLoopJoin.Next",
+	"hana/internal/exec.hashKeys",
+	"hana/internal/exec.Pool.Run",
+	// engine: the morsel scan loop and MVCC row materialization.
+	"hana/internal/engine.planner.scanParts",
+	"hana/internal/engine.partition.visibleRows",
+	"hana/internal/engine.partition.visibleRowsRange",
+	// colstore: column scans and the stats loops the planner runs per query.
+	"hana/internal/colstore.Column.Scan",
+	"hana/internal/colstore.Column.DistinctCount",
+	"hana/internal/colstore.Column.MinMax",
+	"hana/internal/colstore.Table.Scan",
+	"hana/internal/colstore.Table.ScanRange",
+	"hana/internal/colstore.Table.ScanColumns",
+	// expr: every Eval implementation runs once per row per node.
+	"hana/internal/expr.ColRef.Eval",
+	"hana/internal/expr.Literal.Eval",
+	"hana/internal/expr.Param.Eval",
+	"hana/internal/expr.BinOp.Eval",
+	"hana/internal/expr.UnOp.Eval",
+	"hana/internal/expr.IsNull.Eval",
+	"hana/internal/expr.Between.Eval",
+	"hana/internal/expr.In.Eval",
+	"hana/internal/expr.Like.Eval",
+	"hana/internal/expr.CaseWhen.Eval",
+	"hana/internal/expr.Truthy",
+	// value: per-row comparison and hashing leaves.
+	"hana/internal/value.Compare",
+	"hana/internal/value.Value.Hash",
+	"hana/internal/value.Equal",
+	"hana/internal/value.Row.Hash",
+	"hana/internal/value.Row.EqualAt",
+}

@@ -79,6 +79,10 @@ func Analyzers() []*Analyzer {
 		LockOrder,
 		CtxFlow,
 		ResLeak,
+		HotAlloc,
+		BoxVal,
+		StringCmp,
+		DeferHot,
 	}
 }
 

@@ -136,7 +136,10 @@ func TestRepositoryIsClean(t *testing.T) {
 // summary fixpoints are exercised fresh every iteration).
 func TestNewAnalyzersDeterministic(t *testing.T) {
 	pkgs := loadFixtures(t)
-	for _, a := range []*lint.Analyzer{lint.LockOrder, lint.CtxFlow, lint.ResLeak} {
+	for _, a := range []*lint.Analyzer{
+		lint.LockOrder, lint.CtxFlow, lint.ResLeak,
+		lint.HotAlloc, lint.BoxVal, lint.StringCmp, lint.DeferHot,
+	} {
 		var first string
 		for i := 0; i < 50; i++ {
 			var b strings.Builder

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// stringcmp flags string comparisons on dictionary-encoded data inside hot
+// loops. The column store assigns every distinct string an integer code
+// from a sorted dictionary, so equality is code equality and ordering is
+// code ordering — decoding to compare throws that away per row:
+//
+//   - ==/!=/< comparisons and strings.Compare/EqualFold calls where an
+//     operand indexes a dictionary (an identifier chain containing "dict");
+//   - in internal/colstore only: value.Compare/value.Equal in hot loops
+//     (the callers own the dictionaries and can compare codes), and map
+//     indexing keyed by a value.Value variable (hashing the decoded string
+//     per row where a code-keyed count suffices).
+//
+// The executor's generic comparisons are out of scope until vectorized
+// execution (ROADMAP item 2) threads codes through operators.
+var StringCmp = &Analyzer{
+	Name: "stringcmp",
+	Doc:  "flags string/value comparisons on dictionary-encoded columns in hot loops where code comparison is available",
+	Run:  runStringCmp,
+}
+
+func runStringCmp(pass *Pass) {
+	inColstore := strings.HasSuffix(pass.Pkg.Path, "/colstore")
+	hotFuncsOf(pass, func(info *FuncInfo, file *ast.File, imports map[string]string, chain string) {
+		valueVars := map[string]bool{}
+		forEachHotNode(pass.Pkg.Path, imports, info.Decl, func(n ast.Node, ctx hotCtx, stack []ast.Node) {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				// Row-callback parameters are per-row value.Value bindings.
+				if x.Type.Params != nil {
+					for _, fl := range x.Type.Params.List {
+						if !isValueScalar(pass.Pkg.Path, imports, fl.Type) {
+							continue
+						}
+						for _, name := range fl.Names {
+							valueVars[name.Name] = true
+						}
+					}
+				}
+			case *ast.BinaryExpr:
+				if ctx.Alloc >= 1 && isComparisonOp(x.Op) {
+					if dictIndexOperand(x.X) || dictIndexOperand(x.Y) {
+						pass.Reportf(x.Pos(),
+							"comparison against a decoded dictionary entry in a hot loop; compare integer codes instead")
+					}
+				}
+			case *ast.CallExpr:
+				if ctx.Alloc < 1 {
+					return
+				}
+				sel, ok := x.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return
+				}
+				switch imports[id.Name] {
+				case "strings":
+					if sel.Sel.Name == "Compare" || sel.Sel.Name == "EqualFold" {
+						for _, a := range x.Args {
+							if dictIndexOperand(a) {
+								pass.Reportf(x.Pos(),
+									"strings.%s on a decoded dictionary entry in a hot loop; compare integer codes instead", sel.Sel.Name)
+								return
+							}
+						}
+					}
+				case "hana/internal/value":
+					if inColstore && (sel.Sel.Name == "Compare" || sel.Sel.Name == "Equal") {
+						pass.Reportf(x.Pos(),
+							"value.%s on dictionary-encoded column data in a hot loop; compare codes against the sorted dictionary", sel.Sel.Name)
+					}
+				}
+			case *ast.IndexExpr:
+				if !inColstore || ctx.Alloc < 1 {
+					return
+				}
+				if id, ok := x.Index.(*ast.Ident); ok && valueVars[id.Name] {
+					pass.Reportf(x.Pos(),
+						"map keyed by value.Value hashes the decoded value per row in a hot loop; count dictionary codes instead")
+				}
+			}
+		})
+	})
+}
+
+func isComparisonOp(op token.Token) bool {
+	switch op {
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		return true
+	}
+	return false
+}
+
+// dictIndexOperand matches an index into a dictionary-named slice:
+// dict[c], c.mainDict[code], d.deltaDict[i].
+func dictIndexOperand(e ast.Expr) bool {
+	ix, ok := e.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	key := exprKey(ix.X)
+	return key != "" && strings.Contains(strings.ToLower(key), "dict")
+}
+
+// isValueScalar matches the value.Value type (or Value inside the value
+// package).
+func isValueScalar(pkgPath string, imports map[string]string, e ast.Expr) bool {
+	switch t := e.(type) {
+	case *ast.SelectorExpr:
+		id, ok := t.X.(*ast.Ident)
+		return ok && imports[id.Name] == "hana/internal/value" && t.Sel.Name == "Value"
+	case *ast.Ident:
+		return strings.HasSuffix(pkgPath, "/value") && t.Name == "Value"
+	}
+	return false
+}

@@ -139,7 +139,8 @@ type Program struct {
 	// chain for diagnostics.
 	transLocks map[string]map[string]string
 
-	lockGraph []LockEdge // cached by LockGraph
+	lockGraph []LockEdge        // cached by LockGraph
+	hotFuncs  map[string]string // cached by HotFuncs: key → chain from root
 }
 
 // FuncsSorted returns every summary in deterministic (key) order.

@@ -1,0 +1,41 @@
+// Fixture: implicit interface boxing the boxval analyzer must report —
+// explicit any conversions, any-container literals, calls into any-typed
+// parameters, and assignments into interface{} variables, all per row.
+package boxval
+
+func sink(args ...any) { _ = args }
+
+func consume(vs []any) { _ = vs }
+
+//hana:hotpath
+func explicitConversions(vals []int) {
+	for _, v := range vals {
+		b := any(v) // want boxval
+		_ = b
+		iv := (interface{})(v) // want boxval
+		_ = iv
+	}
+}
+
+//hana:hotpath
+func containerLiteral(vals []int) {
+	for _, v := range vals {
+		consume([]any{v}) // want boxval
+	}
+}
+
+//hana:hotpath
+func boxedArgument(vals []int) {
+	for _, v := range vals {
+		sink(v) // want boxval
+	}
+}
+
+//hana:hotpath
+func boxedAssignment(vals []int) any {
+	var box any
+	for _, v := range vals {
+		box = v // want boxval
+	}
+	return box
+}

@@ -1,0 +1,41 @@
+// Fixture: interface usage boxval must accept — boxing hoisted out of the
+// loop, concrete-typed calls, nil into any parameters, and interface-to-
+// interface assignments that do not re-box.
+package boxval
+
+func sinkInt(v int) { _ = v }
+
+//hana:hotpath
+func boxedOnce(vals []int) {
+	var b any = len(vals) // boxed once, outside the loop
+	for _, v := range vals {
+		sinkInt(v)
+	}
+	_ = b
+}
+
+//hana:hotpath
+func nilNeverBoxes(vals []int) {
+	for range vals {
+		sink(nil)
+	}
+}
+
+//hana:hotpath
+func interfaceToInterface(vals []int) any {
+	var cur any
+	var last any
+	for range vals {
+		cur = last // interface-to-interface: no new box
+	}
+	return cur
+}
+
+// coldBoxing is not hot: boxing off the hot path is free.
+func coldBoxing(vals []int) []any {
+	out := make([]any, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,34 @@
+// Fixture: the colstore-only rules — per-element value.Value
+// materialization (boxval) and decoded-value comparison and map keying
+// (stringcmp) where dictionary codes are available.
+package colstore
+
+import "hana/internal/value"
+
+type col struct{}
+
+func (c col) decode(i int) value.Value { return value.Value{} }
+
+func (c col) scan(fn func(i int, v value.Value) bool) { _ = fn }
+
+//hana:hotpath
+func minDecoded(c col, n int) value.Value {
+	lo := c.decode(0)
+	for i := 1; i < n; i++ {
+		v := c.decode(i) // want boxval
+		if value.Compare(v, lo) < 0 { // want stringcmp
+			lo = v
+		}
+	}
+	return lo
+}
+
+//hana:hotpath
+func countDecoded(c col) map[value.Value]int {
+	seen := map[value.Value]int{}
+	c.scan(func(i int, v value.Value) bool {
+		seen[v]++ // want stringcmp
+		return true
+	})
+	return seen
+}

@@ -1,0 +1,33 @@
+// Fixture: code-path equivalents the colstore rules must accept — integer
+// code iteration, one decode outside the loop, and code-keyed counting.
+package colstore
+
+import "hana/internal/value"
+
+//hana:hotpath codes, not values: the fast path the bad fixture should take
+func minCode(codes []int) int {
+	lo := 0
+	for i, c := range codes {
+		if i == 0 || c < lo {
+			lo = c
+		}
+	}
+	return lo
+}
+
+//hana:hotpath
+func decodeEnds(c col, n int) (value.Value, value.Value) {
+	lo := c.decode(0)
+	hi := c.decode(n - 1)
+	return lo, hi
+}
+
+//hana:hotpath
+func countCodes(c col) map[int]int {
+	seen := map[int]int{}
+	c.scan(func(i int, v value.Value) bool {
+		seen[i]++
+		return true
+	})
+	return seen
+}

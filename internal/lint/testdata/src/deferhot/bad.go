@@ -1,0 +1,24 @@
+// Fixture: defers inside hot loops the deferhot analyzer must report —
+// the pending calls accumulate until the enclosing function returns.
+package deferhot
+
+func note(int) {}
+
+//hana:hotpath
+func accumulating(ms []int) int {
+	total := 0
+	for _, m := range ms {
+		defer note(m) // want deferhot
+		total += m
+	}
+	return total
+}
+
+//hana:hotpath
+func nestedLoop(n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			defer note(i + j) // want deferhot
+		}
+	}
+}

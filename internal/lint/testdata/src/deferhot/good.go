@@ -1,0 +1,34 @@
+// Fixture: defers deferhot must accept — function-scope defers in hot
+// functions, and defers inside row callbacks (released when the callback
+// returns, once per row).
+package deferhot
+
+import "hana/internal/value"
+
+func scan(fn func(i int, v value.Value) bool) { _ = fn }
+
+//hana:hotpath
+func functionScope(ms []int) int {
+	defer note(0)
+	total := 0
+	for _, m := range ms {
+		total += m
+	}
+	return total
+}
+
+//hana:hotpath the callback is the loop body; its defers release per row
+func perRowRelease(n int) {
+	scan(func(i int, v value.Value) bool {
+		defer note(i)
+		return i < n
+	})
+}
+
+// coldDefers is not hot: deferring in a loop off the hot path is the
+// caller's business.
+func coldDefers(ms []int) {
+	for _, m := range ms {
+		defer note(m)
+	}
+}

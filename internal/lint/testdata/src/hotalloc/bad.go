@@ -1,0 +1,77 @@
+// Fixture: per-iteration allocations the hotalloc analyzer must report —
+// scratch make/composite buffers, fmt in loops, growing appends, closures,
+// string concatenation, and allocating hash constructors.
+package hotalloc
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+)
+
+//hana:hotpath scratch buffers rebuilt per row
+func scratchBuffers(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		buf := make([]int, 8) // want hotalloc
+		buf[0] = i
+		total += buf[0]
+	}
+	return total
+}
+
+//hana:hotpath
+func scratchMap(names []string) int {
+	total := 0
+	for _, name := range names {
+		seen := map[string]int{} // want hotalloc
+		seen[name] = 1
+		total += seen[name]
+	}
+	return total
+}
+
+//hana:hotpath
+func formatPerRow(n int) {
+	for i := 0; i < n; i++ {
+		lbl := fmt.Sprintf("row %d", i) // want hotalloc
+		_ = lbl
+	}
+}
+
+//hana:hotpath
+func growingAppend(vals []int) []int {
+	var acc []int
+	for _, v := range vals {
+		acc = append(acc, v*2) // want hotalloc
+	}
+	return acc
+}
+
+//hana:hotpath
+func closurePerRow(vals []int) int {
+	total := 0
+	for _, v := range vals {
+		double := func() int { return v * 2 } // want hotalloc
+		total += double()
+	}
+	return total
+}
+
+//hana:hotpath
+func concatPerRow(n int) {
+	suffix := ""
+	for i := 0; i < n; i++ {
+		msg := "row " + strconv.Itoa(i) // want hotalloc
+		_ = msg
+		suffix += "!" // want hotalloc
+	}
+	_ = suffix
+}
+
+//hana:hotpath per-row hashing must not rebuild state
+func hashPerCall(b []byte) uint64 {
+	h := fnv.New64a() // want hotalloc
+	h.Write(b)
+	return h.Sum64()
+}

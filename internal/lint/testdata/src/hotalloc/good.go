@@ -1,0 +1,83 @@
+// Fixture: allocation patterns hotalloc must accept — hoisted scratch
+// buffers, preallocated accumulators, retained per-row results, row
+// callbacks, compile-time folded concatenation, cold functions, and
+// justified suppression.
+package hotalloc
+
+import (
+	"hash/fnv"
+
+	"hana/internal/value"
+)
+
+//hana:hotpath
+func hoistedBuffer(n int) int {
+	buf := make([]int, 8)
+	total := 0
+	for i := 0; i < n; i++ {
+		buf[0] = i
+		total += buf[0]
+	}
+	return total
+}
+
+//hana:hotpath
+func preallocated(vals []int) []int {
+	acc := make([]int, 0, len(vals))
+	for _, v := range vals {
+		acc = append(acc, v*2)
+	}
+	return acc
+}
+
+//hana:hotpath the per-row slice is the loop's output, not scratch
+func retainedRows(n int) [][]int {
+	all := make([][]int, 0, n)
+	for i := 0; i < n; i++ {
+		row := make([]int, 2)
+		row[0] = i
+		all = append(all, row)
+	}
+	return all
+}
+
+func scan(fn func(i int, v value.Value) bool) { _ = fn }
+
+//hana:hotpath row callbacks are the loop body, not a per-iteration closure
+func callbackScan(tables []int) int {
+	total := 0
+	for range tables {
+		scan(func(i int, v value.Value) bool {
+			total += i
+			return true
+		})
+	}
+	return total
+}
+
+//hana:hotpath
+func foldedConcat(n int) {
+	for i := 0; i < n; i++ {
+		s := "a" + "b" // both literals fold at compile time
+		_ = s
+	}
+}
+
+//hana:hotpath
+func suppressed(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		//lint:ignore hotalloc fixture proves directive suppression on the make rule
+		buf := make([]int, 4)
+		buf[0] = i
+		total += buf[0]
+	}
+	return total
+}
+
+// coldHash is not hot: constructors outside the hot set are free.
+func coldHash(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}

@@ -1,0 +1,46 @@
+// Fixture: decoded-string comparisons the stringcmp analyzer must report —
+// equality and ordering against dictionary entries, and strings helpers on
+// decoded operands, all inside hot loops.
+package stringcmp
+
+import "strings"
+
+type column struct {
+	mainDict []string
+}
+
+//hana:hotpath
+func equalityScan(dict []string, codes []int, needle string) int {
+	n := 0
+	for _, c := range codes {
+		if dict[c] == needle { // want stringcmp
+			n++
+		}
+	}
+	return n
+}
+
+//hana:hotpath
+func rangeScan(col *column, codes []int, hi string) int {
+	n := 0
+	for _, c := range codes {
+		if col.mainDict[c] < hi { // want stringcmp
+			n++
+		}
+	}
+	return n
+}
+
+//hana:hotpath
+func helperScan(dict []string, codes []int, needle string) int {
+	n := 0
+	for _, c := range codes {
+		if strings.Compare(dict[c], needle) == 0 { // want stringcmp
+			n++
+		}
+		if strings.EqualFold(dict[c], needle) { // want stringcmp
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,42 @@
+// Fixture: comparisons stringcmp must accept — integer code comparisons in
+// hot loops, dictionary lookups outside loops, and plain string compares
+// that never touch a dictionary.
+package stringcmp
+
+import "strings"
+
+//hana:hotpath codes compare as integers: the whole point
+func codeScan(codes []int, want int) int {
+	n := 0
+	for _, c := range codes {
+		if c == want {
+			n++
+		}
+	}
+	return n
+}
+
+//hana:hotpath one decode before the loop is fine
+func decodeOnce(dict []string, codes []int, needle string) int {
+	if len(dict) > 0 && dict[0] == needle {
+		return len(codes)
+	}
+	n := 0
+	for _, c := range codes {
+		if c == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+//hana:hotpath
+func plainStrings(names []string, needle string) int {
+	n := 0
+	for _, name := range names {
+		if strings.Compare(name, needle) == 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -10,7 +10,6 @@ package value
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"strconv"
 	"strings"
@@ -252,39 +251,46 @@ func Equal(a, b Value) bool {
 	return Compare(a, b) == 0
 }
 
+// FNV-1a constants; Hash inlines the arithmetic instead of allocating an
+// fnv.New64a state per call — this runs once per value per row in every
+// hash join and aggregation.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+func fnvUint64(h uint64, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(x>>(8*i)))
+	}
+	return h
+}
+
 // Hash returns a 64-bit hash suitable for hash joins and aggregation.
 // Values that compare equal hash equally (numerics hash by float image when
 // either side may be a double; we always hash the float image of numerics).
+// The result is exactly FNV-1a over a kind tag plus the little-endian
+// payload bytes, allocation-free.
 func (v Value) Hash() uint64 {
-	h := fnv.New64a()
-	var buf [9]byte
+	h := uint64(fnvOffset64)
 	switch v.K {
 	case KindNull:
-		buf[0] = 0
-		h.Write(buf[:1])
+		h = fnvByte(h, 0)
 	case KindBool:
-		buf[0] = 1
-		buf[1] = byte(v.I)
-		h.Write(buf[:2])
+		h = fnvByte(fnvByte(h, 1), byte(v.I))
 	case KindInt, KindDouble:
-		buf[0] = 2
-		bits := math.Float64bits(v.Float())
-		for i := 0; i < 8; i++ {
-			buf[1+i] = byte(bits >> (8 * i))
-		}
-		h.Write(buf[:9])
+		h = fnvUint64(fnvByte(h, 2), math.Float64bits(v.Float()))
 	case KindDate, KindTimestamp:
-		buf[0] = 3
-		for i := 0; i < 8; i++ {
-			buf[1+i] = byte(uint64(v.I) >> (8 * i))
-		}
-		h.Write(buf[:9])
+		h = fnvUint64(fnvByte(h, 3), uint64(v.I))
 	case KindVarchar:
-		buf[0] = 4
-		h.Write(buf[:1])
-		h.Write([]byte(v.S))
+		h = fnvByte(h, 4)
+		for i := 0; i < len(v.S); i++ {
+			h = fnvByte(h, v.S[i])
+		}
 	}
-	return h.Sum64()
+	return h
 }
 
 // String renders the value for display and for remote SQL generation of
