@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-self lint-hot lint-graph lint-selftest test race chaos bench bench-smoke bench-alloc check
+.PHONY: all build vet lint lint-self lint-hot lint-graph lint-selftest test race chaos chaos-recovery bench bench-smoke bench-alloc check
 
 all: check
 
@@ -63,6 +63,14 @@ race:
 chaos:
 	$(GO) test -race -count=3 ./internal/chaos
 
+# Kill-at-random-point crash-recovery matrix (internal/chaos crashpoint
+# harness): seeded workloads wedged at every WAL/checkpoint fault site,
+# un-synced WAL tail discarded at a random byte, recovered state compared
+# byte-for-byte with a no-crash oracle. Writes the per-combo JSON report
+# that CI uploads as an artifact.
+chaos-recovery:
+	CHAOS_RECOVERY_REPORT=$(CURDIR)/CHAOS_recovery.json $(GO) test -race -count=1 -run 'TestCrashpoint' ./internal/chaos
+
 bench:
 	$(GO) test -bench=. -benchmem
 
@@ -82,4 +90,4 @@ bench-alloc:
 	$(GO) run ./cmd/benchpar -sf 0.02 -workers 4 -iters 5 -hotpath BENCH_hotpath.json
 
 # Everything CI runs.
-check: build vet lint lint-self lint-hot lint-selftest race chaos
+check: build vet lint lint-self lint-hot lint-selftest race chaos chaos-recovery

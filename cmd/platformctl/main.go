@@ -12,6 +12,8 @@
 //	platformctl -base DIR backup  TIER OUTDIR
 //	platformctl -base DIR restore TIER INDIR
 //	platformctl -base DIR trace SQL...    # run SQL on DEV and print its query trace
+//	platformctl wal dump|fsck DIR|WALFILE # inspect a durable engine's WAL offline
+//	platformctl wal savepoint DIR         # show the active savepoint
 package main
 
 import (
@@ -62,6 +64,8 @@ func main() {
 			usage()
 		}
 		err = trace(p, strings.Join(args[1:], " "))
+	case "wal":
+		err = walCmd(args[1:])
 	default:
 		usage()
 	}
@@ -72,7 +76,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: platformctl [-base DIR] status|demo|backup TIER OUT|restore TIER IN|trace SQL...")
+	fmt.Fprintln(os.Stderr, "usage: platformctl [-base DIR] status|demo|backup TIER OUT|restore TIER IN|trace SQL...|wal dump|fsck|savepoint PATH")
 	os.Exit(2)
 }
 

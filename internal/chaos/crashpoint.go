@@ -1,0 +1,447 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"hana/internal/engine"
+	"hana/internal/faults"
+	"hana/internal/txn"
+)
+
+// Crashpoint harness: a seeded mixed workload runs against a durable engine
+// whose WAL (or checkpointer) is wedged at an injector-chosen point; the
+// "machine" then dies — everything past the WAL's durable offset is
+// discarded by truncating the file at a random byte inside the un-synced
+// window — and a fresh engine recovers the directory. The recovered state
+// must match a no-crash oracle byte for byte:
+//
+//   - every transaction that reported success before the crash is present,
+//   - the transaction in flight at the crash is present iff its commit
+//     record survived in the durable prefix (decided by scanning the
+//     truncated log, the same evidence recovery itself uses),
+//   - rolled-back and undecided work is absent,
+//   - the in-doubt set is exactly the prepared-but-undecided branches of
+//     the durable prefix, and draining it via ResolveAllInDoubt keeps the
+//     state equal to the oracle.
+//
+// Everything is derived from CrashpointConfig.Seed: the op mix, the crash
+// point (how many hits of the wedged site to let through), and the byte
+// inside the torn window. A failing combo reproduces from (seed, site).
+
+// Crash sites the harness can wedge. WAL sites kill transactions mid-commit;
+// checkpoint sites kill a savepoint between its phases.
+var CrashSites = []string{
+	"wal.append",
+	"wal.fsync",
+	"checkpoint.snapshot",
+	"checkpoint.write",
+	"checkpoint.install",
+	"checkpoint.truncate",
+}
+
+// CrashpointConfig selects one (seed, site) combo.
+type CrashpointConfig struct {
+	Seed int64
+	Site string // injector site to wedge; "" runs the workload crash-free
+	Ops  int    // workload length (default 40)
+	Dir  string // data directory for the engine under test
+	// OracleExtDir is the extended-storage directory for the oracle engine.
+	OracleExtDir string
+}
+
+// CrashpointResult is one combo's outcome, serialized into the recovery
+// report by `make chaos-recovery`.
+type CrashpointResult struct {
+	Seed         int64  `json:"seed"`
+	Site         string `json:"site"`
+	Crashed      bool   `json:"crashed"`
+	CrashOp      int    `json:"crash_op"`      // op index in flight at the crash (-1: none)
+	OpsCompleted int    `json:"ops_completed"` // ops that reported success
+	BoundaryIn   bool   `json:"boundary_committed"`
+	TornBytes    int64  `json:"torn_bytes"` // bytes discarded past the durable offset
+	TornTail     bool   `json:"torn_tail"`  // replay truncated a torn record
+	WALRecords   int    `json:"wal_records"`
+	SavepointLSN uint64 `json:"savepoint_lsn"`
+	InDoubt      int    `json:"in_doubt"`
+	Orphaned     int    `json:"orphaned"`
+}
+
+// op kinds of the mixed workload.
+const (
+	opInsHot = iota
+	opInsRow
+	opInsExt
+	opUpdHot
+	opDelHot
+	opUpdExt
+	opDelExt
+	opMulti    // hot + extended insert in one transaction (2PC)
+	opRollback // insert then roll back
+	opSavepoint
+)
+
+type wop struct {
+	kind int
+	id   int // target id for updates/deletes
+	val  int // payload discriminator
+}
+
+// genOps derives the workload deterministically from the seed. Savepoints
+// land at fixed positions so crash and oracle runs stay aligned.
+func genOps(seed int64, n int) []wop {
+	rng := rand.New(rand.NewSource(seed))
+	inserted := map[int]int{} // table group -> ids handed out
+	ops := make([]wop, 0, n)
+	for i := 0; i < n; i++ {
+		if i%11 == 6 {
+			ops = append(ops, wop{kind: opSavepoint})
+			continue
+		}
+		k := rng.Intn(12)
+		var o wop
+		switch {
+		case k < 3:
+			o = wop{kind: opInsHot, id: inserted[opInsHot], val: i}
+			inserted[opInsHot]++
+		case k < 5:
+			o = wop{kind: opInsRow, id: inserted[opInsRow], val: i}
+			inserted[opInsRow]++
+		case k < 7:
+			o = wop{kind: opInsExt, id: inserted[opInsExt], val: i}
+			inserted[opInsExt]++
+		case k == 7 && inserted[opInsHot] > 0:
+			o = wop{kind: opUpdHot, id: rng.Intn(inserted[opInsHot]), val: i}
+		case k == 8 && inserted[opInsHot] > 0:
+			o = wop{kind: opDelHot, id: rng.Intn(inserted[opInsHot])}
+		case k == 9 && inserted[opInsExt] > 0:
+			o = wop{kind: opUpdExt, id: rng.Intn(inserted[opInsExt]), val: i}
+		case k == 10 && inserted[opInsExt] > 0:
+			o = wop{kind: opDelExt, id: rng.Intn(inserted[opInsExt])}
+		default:
+			o = wop{kind: opMulti, id: inserted[opMulti], val: i}
+			inserted[opMulti]++
+		}
+		if k == 11 {
+			o = wop{kind: opRollback, id: 1 << 20, val: i}
+		}
+		ops = append(ops, o)
+	}
+	return ops
+}
+
+func crashpointDDL(e *engine.Engine) error {
+	for _, sql := range []string{
+		`CREATE TABLE k_hot (id BIGINT, v VARCHAR(20))`,
+		`CREATE ROW TABLE k_row (id BIGINT, v VARCHAR(20))`,
+		`CREATE TABLE k_ext (id BIGINT, v VARCHAR(20)) USING EXTENDED STORAGE`,
+	} {
+		if _, err := e.Execute(sql); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// execOp runs one workload op inside an explicit transaction and returns
+// the transaction ID it used (0 for savepoints).
+func execOp(e *engine.Engine, o wop) (uint64, error) {
+	if o.kind == opSavepoint {
+		_, err := e.Savepoint()
+		return 0, err
+	}
+	ctx := context.Background()
+	tx := e.Begin()
+	run := func(sql string) error {
+		_, err := e.ExecuteContext(ctx, sql, engine.WithTx(tx))
+		return err
+	}
+	var err error
+	switch o.kind {
+	case opInsHot:
+		err = run(fmt.Sprintf(`INSERT INTO k_hot VALUES (%d, 'h%d')`, o.id, o.val))
+	case opInsRow:
+		err = run(fmt.Sprintf(`INSERT INTO k_row VALUES (%d, 'r%d')`, o.id, o.val))
+	case opInsExt:
+		err = run(fmt.Sprintf(`INSERT INTO k_ext VALUES (%d, 'e%d')`, o.id, o.val))
+	case opUpdHot:
+		err = run(fmt.Sprintf(`UPDATE k_hot SET v = 'u%d' WHERE id = %d`, o.val, o.id))
+	case opDelHot:
+		err = run(fmt.Sprintf(`DELETE FROM k_hot WHERE id = %d`, o.id))
+	case opUpdExt:
+		err = run(fmt.Sprintf(`UPDATE k_ext SET v = 'u%d' WHERE id = %d`, o.val, o.id))
+	case opDelExt:
+		err = run(fmt.Sprintf(`DELETE FROM k_ext WHERE id = %d`, o.id))
+	case opMulti:
+		if err = run(fmt.Sprintf(`INSERT INTO k_hot VALUES (%d, 'm%d')`, 1000+o.id, o.val)); err == nil {
+			err = run(fmt.Sprintf(`INSERT INTO k_ext VALUES (%d, 'm%d')`, 1000+o.id, o.val))
+		}
+	case opRollback:
+		if err = run(fmt.Sprintf(`INSERT INTO k_hot VALUES (%d, 'never')`, o.id)); err == nil {
+			return tx.TID, e.Rollback(tx)
+		}
+	}
+	if err != nil {
+		// Best-effort rollback: with the WAL wedged this fails too, exactly
+		// like a crashing server.
+		//lint:ignore errdrop the statement error is what matters; the engine dies here
+		_ = e.Rollback(tx)
+		return tx.TID, err
+	}
+	if o.kind == opRollback {
+		return tx.TID, e.Rollback(tx)
+	}
+	return tx.TID, e.CommitTx(tx)
+}
+
+// renderState renders the visible rows of every workload table, sorted, for
+// order-insensitive byte comparison.
+func renderState(e *engine.Engine) ([]string, error) {
+	var out []string
+	for _, table := range []string{"k_hot", "k_row", "k_ext"} {
+		res, err := e.Execute(`SELECT id, v FROM ` + table)
+		if err != nil {
+			return nil, fmt.Errorf("render %s: %w", table, err)
+		}
+		for _, r := range res.Rows {
+			parts := make([]string, len(r))
+			for i, v := range r {
+				parts[i] = v.String()
+			}
+			out = append(out, table+":"+strings.Join(parts, "|"))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func diffState(want, got []string) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("row count: oracle %d, recovered %d\noracle: %v\nrecovered: %v", len(want), len(got), want, got)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return fmt.Errorf("row %d: oracle %q, recovered %q", i, want[i], got[i])
+		}
+	}
+	return nil
+}
+
+// skipFor sizes the let-through count to how often each site fires during a
+// 40-op workload, so crashes land throughout the run instead of always at
+// the first hit.
+func skipFor(rng *rand.Rand, site string) int {
+	switch site {
+	case "wal.append":
+		return rng.Intn(60)
+	case "wal.fsync":
+		return rng.Intn(30)
+	case "checkpoint.write":
+		return rng.Intn(10)
+	default: // snapshot / install / truncate: once per savepoint
+		return rng.Intn(3)
+	}
+}
+
+// expectedInDoubt applies txn.RecoverRecords' rules to the durable prefix:
+// a branch is in-doubt iff an explicit in-doubt record has no later resolve,
+// or a prepare has no later decision.
+func expectedInDoubt(recs []txn.Record) map[uint64]bool {
+	inDoubt := map[uint64]bool{}
+	prepared := map[uint64]bool{}
+	for _, r := range recs {
+		switch r.Type {
+		case txn.RecPrepare:
+			prepared[r.TID] = true
+		case txn.RecCommit, txn.RecAbort:
+			delete(prepared, r.TID)
+		case txn.RecInDoubt:
+			inDoubt[r.TID] = true
+		case txn.RecResolve:
+			delete(inDoubt, r.TID)
+		}
+	}
+	for tid := range prepared {
+		inDoubt[tid] = true
+	}
+	return inDoubt
+}
+
+// RunCrashpoint executes one (seed, site) combo end to end and returns its
+// report entry; any broken invariant is an error naming the combo.
+func RunCrashpoint(cfg CrashpointConfig) (*CrashpointResult, error) {
+	if cfg.Ops == 0 {
+		cfg.Ops = 40
+	}
+	fail := func(format string, args ...any) (*CrashpointResult, error) {
+		return nil, fmt.Errorf("seed %d site %s: %s", cfg.Seed, cfg.Site, fmt.Sprintf(format, args...))
+	}
+	ops := genOps(cfg.Seed, cfg.Ops)
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x9e3779b9))
+
+	inj := faults.New(cfg.Seed)
+	inj.SetSleep(func(time.Duration) {})
+	e, err := engine.Open(engine.Config{
+		DataDir: cfg.Dir,
+		Faults:  inj,
+		Retry:   faults.RetryPolicy{MaxAttempts: 1},
+	})
+	if err != nil {
+		return fail("open: %v", err)
+	}
+	if err := crashpointDDL(e); err != nil {
+		return fail("ddl: %v", err)
+	}
+	// Arm the crash only after setup so the schema always survives.
+	if cfg.Site != "" {
+		inj.FailAfter(cfg.Site, skipFor(rng, cfg.Site), 1<<30)
+	}
+
+	res := &CrashpointResult{Seed: cfg.Seed, Site: cfg.Site, CrashOp: -1}
+	var boundaryTID uint64
+	for i, o := range ops {
+		tid, err := execOp(e, o)
+		if err != nil {
+			res.Crashed = true
+			res.CrashOp = i
+			boundaryTID = tid
+			break
+		}
+		res.OpsCompleted++
+	}
+
+	// The machine dies: discard a random part of the un-synced WAL window.
+	written, durable := e.WAL().Offsets()
+	walPath := e.WAL().Path()
+	//lint:ignore errdrop simulated crash: nothing after the durable offset may be trusted anyway
+	_ = e.Close()
+	cut := durable
+	if written > durable {
+		cut = durable + int64(rng.Intn(int(written-durable)+1))
+	}
+	res.TornBytes = written - cut
+	if err := os.Truncate(walPath, cut); err != nil {
+		return fail("truncate: %v", err)
+	}
+
+	// Durable evidence: what the truncated prefix says about the boundary.
+	var recs []txn.Record
+	if _, err := txn.ScanFile(walPath, func(r txn.Record) error {
+		recs = append(recs, r)
+		return nil
+	}); err != nil {
+		return fail("scan: %v", err)
+	}
+	committed := map[uint64]bool{}
+	for _, r := range recs {
+		switch r.Type {
+		case txn.RecCommit:
+			committed[r.TID] = true
+		case txn.RecAbort:
+			delete(committed, r.TID)
+		}
+	}
+	wantInDoubt := expectedInDoubt(recs)
+	res.BoundaryIn = boundaryTID != 0 && committed[boundaryTID]
+
+	// Recover with a fresh, fault-free engine.
+	r, err := engine.Open(engine.Config{DataDir: cfg.Dir})
+	if err != nil {
+		return fail("recover: %v", err)
+	}
+	defer r.Close()
+	info := r.RecoveryInfo()
+	res.TornTail = info.TornTail
+	res.WALRecords = info.WALRecords
+	res.SavepointLSN = info.SavepointLSN
+	res.InDoubt = info.InDoubt
+	res.Orphaned = info.Orphaned
+
+	// Invariant: the in-doubt set is exactly the durable prefix's.
+	gotInDoubt := r.TxnManager().InDoubt()
+	if len(gotInDoubt) != len(wantInDoubt) {
+		return fail("in-doubt set: want %v, got %v", wantInDoubt, gotInDoubt)
+	}
+	for tid := range wantInDoubt {
+		if _, ok := gotInDoubt[tid]; !ok {
+			return fail("in-doubt set: want %v, got %v", wantInDoubt, gotInDoubt)
+		}
+	}
+
+	// Oracle: replay the successful prefix (and the boundary op iff its
+	// commit record is durable) on a fault-free engine.
+	oracle := engine.New(engine.Config{ExtendedStorageDir: cfg.OracleExtDir})
+	if err := crashpointDDL(oracle); err != nil {
+		return fail("oracle ddl: %v", err)
+	}
+	apply := ops[:res.OpsCompleted]
+	for _, o := range apply {
+		if o.kind == opSavepoint {
+			continue
+		}
+		if _, err := execOp(oracle, o); err != nil {
+			return fail("oracle op: %v", err)
+		}
+	}
+	if res.BoundaryIn {
+		if _, err := execOp(oracle, ops[res.CrashOp]); err != nil {
+			return fail("oracle boundary op: %v", err)
+		}
+	}
+	want, err := renderState(oracle)
+	if err != nil {
+		return fail("%v", err)
+	}
+
+	// Invariant: committed state is byte-identical to the oracle. In-doubt
+	// rows with a durable commit decision are already visible; presumed-
+	// abort branches are not — both match the oracle's boundary rule.
+	got, err := renderState(r)
+	if err != nil {
+		return fail("%v", err)
+	}
+	if err := diffState(want, got); err != nil {
+		return fail("recovered state: %v", err)
+	}
+
+	// Invariant: draining the in-doubt branches does not change the
+	// committed state (commit decisions re-deliver, the rest presume abort).
+	if len(gotInDoubt) > 0 {
+		if err := r.ResolveAllInDoubt(); err != nil {
+			return fail("resolve: %v", err)
+		}
+		got, err = renderState(r)
+		if err != nil {
+			return fail("%v", err)
+		}
+		if err := diffState(want, got); err != nil {
+			return fail("state after resolve: %v", err)
+		}
+	}
+
+	// Invariant: a second clean restart of the recovered directory yields
+	// the same state again (recovery is idempotent).
+	if err := r.Close(); err != nil {
+		return fail("close recovered: %v", err)
+	}
+	r2, err := engine.Open(engine.Config{DataDir: cfg.Dir})
+	if err != nil {
+		return fail("re-recover: %v", err)
+	}
+	defer r2.Close()
+	got, err = renderState(r2)
+	if err != nil {
+		return fail("%v", err)
+	}
+	// After resolution the branches are gone; before it they were left
+	// pending. Either way the visible rows must still match.
+	if err := diffState(want, got); err != nil {
+		return fail("state after second restart: %v", err)
+	}
+	return res, nil
+}

@@ -17,4 +17,13 @@
 // txn.prepare.*, txn.commit.*, hdfs.read, hdfs.write, mapreduce.map,
 // mapreduce.reduce, esp.flush), so a failing run reproduces from its seed.
 // Run it via `make chaos`, which executes this package under -race.
+//
+// The package also hosts the kill-at-random-point crash-recovery harness
+// (crashpoint.go): a seeded mixed workload over a durable engine is wedged
+// at one of the WAL/checkpoint fault sites in CrashSites, the un-synced
+// WAL tail is truncated at a random byte inside the durability window, and
+// the reopened engine is compared byte-for-byte against a no-crash oracle —
+// no committed row lost, no aborted row resurrected, the in-doubt set exact,
+// and a second reopen idempotent. `make chaos-recovery` runs the full
+// seeds × crash-sites matrix and writes a per-combo JSON report.
 package chaos

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -74,9 +75,22 @@ func (e *Engine) createTable(st *sqlparse.CreateTableStmt) (*Result, error) {
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if st.IfNotExists {
-		if _, ok := e.cat.Table(st.Name); ok {
+	if _, ok := e.cat.Table(st.Name); ok {
+		if st.IfNotExists {
 			return &Result{Message: fmt.Sprintf("table %s already exists", st.Name)}, nil
+		}
+		return nil, fmt.Errorf("table %s already exists", st.Name)
+	}
+	// Write-ahead: log the create before any physical state exists, so a
+	// crash between the record and registration replays to the same (empty)
+	// table instead of leaving redo records against a missing catalog entry.
+	if e.wal != nil {
+		payload, err := marshalTableMeta(meta)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.logRedoDDL(redoDDLCreate, meta.Name, payload); err != nil {
+			return nil, fmt.Errorf("logging create: %w", err)
 		}
 	}
 	t, err := e.buildStoredTable(meta)
@@ -93,7 +107,7 @@ func (e *Engine) createTable(st *sqlparse.CreateTableStmt) (*Result, error) {
 // buildStoredTable allocates the physical partitions for a catalog entry.
 // Caller holds e.mu.
 func (e *Engine) buildStoredTable(meta *catalog.TableMeta) (*storedTable, error) {
-	t := &storedTable{meta: meta, part2pc: newExtParticipant(meta.Name)}
+	t := &storedTable{eng: e, meta: meta, part2pc: newExtParticipant(e, meta.Name)}
 	mk := func(pm catalog.PartitionMeta, cold bool, suffix string) (*partition, error) {
 		p := &partition{meta: pm, cold: cold, vers: txn.NewRowVersions()}
 		switch {
@@ -109,9 +123,11 @@ func (e *Engine) buildStoredTable(meta *catalog.TableMeta) (*storedTable, error)
 				if err != nil {
 					return nil, err
 				}
-			} else {
+			} else if !e.recovering {
 				// Reopened store: existing rows are committed (tombstoned
-				// rows stay hidden by the disk store itself).
+				// rows stay hidden by the disk store itself). Crash recovery
+				// skips this backfill — the savepoint's version snapshot and
+				// the WAL suffix are authoritative there.
 				for id := 0; id < int(ext.TotalRows()); id++ {
 					p.vers.InsertCommitted(id, 1)
 				}
@@ -132,6 +148,7 @@ func (e *Engine) buildStoredTable(meta *catalog.TableMeta) (*storedTable, error)
 			if err != nil {
 				return nil, err
 			}
+			p.idx = i
 			t.parts = append(t.parts, p)
 		}
 	case catalog.PlacementExtended:
@@ -161,20 +178,35 @@ func (e *Engine) alterTable(st *sqlparse.AlterTableStmt) (*Result, error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	// Validate everything before logging or mutating: the redo record must
+	// describe an alter that will apply cleanly during replay too.
+	var added []value.Column
 	for _, cd := range st.Add {
 		if t.meta.Schema.Find(cd.Name) >= 0 {
 			return nil, fmt.Errorf("column %s already exists in %s", cd.Name, st.Table)
 		}
-		col := value.Column{Name: cd.Name, Kind: cd.Kind, Nullable: !cd.NotNull}
 		if cd.NotNull {
 			return nil, fmt.Errorf("ALTER TABLE ADD cannot add NOT NULL column %s to populated table", cd.Name)
 		}
+		if t.meta.Placement == catalog.PlacementRow {
+			return nil, fmt.Errorf("row-store tables do not support ALTER TABLE ADD")
+		}
+		added = append(added, value.Column{Name: cd.Name, Kind: cd.Kind, Nullable: !cd.NotNull})
+	}
+	if e.wal != nil && len(added) > 0 {
+		payload, err := json.Marshal(added)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.logRedoDDL(redoDDLAlter, t.meta.Name, payload); err != nil {
+			return nil, fmt.Errorf("logging alter: %w", err)
+		}
+	}
+	for _, col := range added {
 		for _, p := range t.parts {
 			switch {
 			case p.hot != nil:
 				p.hot.AddColumn(col)
-			case p.row != nil:
-				return nil, fmt.Errorf("row-store tables do not support ALTER TABLE ADD")
 			case p.ext != nil:
 				if err := p.ext.AddColumn(col); err != nil {
 					return nil, err
@@ -198,6 +230,11 @@ func (e *Engine) drop(st *sqlparse.DropStmt) (*Result, error) {
 				return &Result{Message: "nothing to drop"}, nil
 			}
 			return nil, fmt.Errorf("table %s not found", st.Name)
+		}
+		// Write-ahead: without a durable drop record, replay would rebuild
+		// the table from its earlier create and insert records.
+		if err := e.logRedoDDL(redoDDLDrop, t.meta.Name, nil); err != nil {
+			return nil, fmt.Errorf("logging drop: %w", err)
 		}
 		for i, p := range t.parts {
 			if p.ext != nil {

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 
 	"hana/internal/expr"
@@ -26,7 +27,10 @@ func (e *Engine) insert(ctx context.Context, tx *txn.Txn, st *sqlparse.InsertStm
 					// Flexible tables extend their schema on insert (§1
 					// "Variety": "extend the schema during insert operations
 					// without the need to explicitly trigger DDL").
-					o = e.extendFlexible(t, c)
+					o, err = e.extendFlexible(t, c)
+					if err != nil {
+						return nil, err
+					}
 				} else {
 					return nil, fmt.Errorf("column %s not in table %s", c, st.Table)
 				}
@@ -99,14 +103,25 @@ func (e *Engine) insert(ctx context.Context, tx *txn.Txn, st *sqlparse.InsertStm
 	return &Result{Affected: count, Message: fmt.Sprintf("%d row(s) inserted", count)}, nil
 }
 
-// extendFlexible adds a VARCHAR column to a flexible table on the fly.
-func (e *Engine) extendFlexible(t *storedTable, col string) int {
+// extendFlexible adds a VARCHAR column to a flexible table on the fly. The
+// implicit DDL is redo-logged like an explicit ALTER: later insert records
+// carry the wider arity, so replay must widen the schema at the same point.
+func (e *Engine) extendFlexible(t *storedTable, col string) (int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if o := t.meta.Schema.Find(col); o >= 0 {
-		return o
+		return o, nil
 	}
 	nc := value.Column{Name: col, Kind: value.KindVarchar, Nullable: true}
+	if e.wal != nil {
+		payload, err := json.Marshal([]value.Column{nc})
+		if err != nil {
+			return 0, err
+		}
+		if err := e.logRedoDDL(redoDDLAlter, t.meta.Name, payload); err != nil {
+			return 0, fmt.Errorf("logging flexible-schema extension: %w", err)
+		}
+	}
 	// The partition's column store extends its own schema copy; the catalog
 	// schema (shared with the meta) extends alongside.
 	for _, p := range t.parts {
@@ -115,7 +130,7 @@ func (e *Engine) extendFlexible(t *storedTable, col string) int {
 		}
 	}
 	t.meta.Schema.Cols = append(t.meta.Schema.Cols, nc)
-	return t.meta.Schema.Len() - 1
+	return t.meta.Schema.Len() - 1, nil
 }
 
 // target identifies one visible row of a table (partition + row id) that a
@@ -278,19 +293,26 @@ func (e *Engine) BulkLoad(table string, rows []value.Row) error {
 		}
 		perPart[p] = append(perPart[p], r)
 	}
-	for p, rs := range perPart {
+	// Apply in partition slice order so the redo-record sequence is
+	// deterministic for a given input.
+	for _, p := range t.parts {
+		rs, ok := perPart[p]
+		if !ok {
+			continue
+		}
 		switch {
-		case p.hot != nil:
+		case p.hot != nil, p.row != nil:
 			for _, r := range rs {
-				id, err := p.hot.Append(r)
-				if err != nil {
+				if err := e.logRedo(0, cid, redoInsC, p.idx, p.numRows(), t.meta.Name, value.AppendRow(nil, r)); err != nil {
 					return err
 				}
-				p.vers.InsertCommitted(id, cid)
-			}
-		case p.row != nil:
-			for _, r := range rs {
-				id, err := p.row.Append(r)
+				var id int
+				var err error
+				if p.hot != nil {
+					id, err = p.hot.Append(r)
+				} else {
+					id, err = p.row.Append(r)
+				}
 				if err != nil {
 					return err
 				}
@@ -298,6 +320,13 @@ func (e *Engine) BulkLoad(table string, rows []value.Row) error {
 			}
 		case p.ext != nil:
 			base := p.numRows()
+			if e.wal != nil {
+				for i, r := range rs {
+					if err := e.logRedo(0, cid, redoInsC, p.idx, base+i, t.meta.Name, value.AppendRow(nil, r)); err != nil {
+						return err
+					}
+				}
+			}
 			if err := p.ext.BulkLoad(rs); err != nil {
 				return err
 			}

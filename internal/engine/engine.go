@@ -36,6 +36,17 @@ type Config struct {
 	SemiJoinThreshold int64
 	// WAL optionally persists transaction state for recovery.
 	WAL *txn.Log
+	// DataDir roots the engine's durable state when opened with Open: the
+	// WAL (<dir>/wal.log), savepoints (<dir>/sp_<lsn>) and — unless
+	// ExtendedStorageDir overrides it — the extended store (<dir>/ext).
+	DataDir string
+	// WALSync selects the WAL durability policy (fsync never / on commit
+	// records / every write / every N writes). The zero value keeps the
+	// log's current policy.
+	WALSync txn.SyncPolicy
+	// CheckpointEvery schedules background savepoints at this interval;
+	// zero disables the checkpointer (savepoints still run on demand).
+	CheckpointEvery time.Duration
 	// Faults routes every remote boundary the engine owns (federated
 	// queries, virtual functions, 2PC delivery) through a fault injector;
 	// nil disables injection.
@@ -149,6 +160,12 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 // the platform, orchestrating the in-memory stores, the extended storage
 // and federated remote sources behind a single SQL interface.
 type Engine struct {
+	// spMu is the savepoint barrier (outermost lock): commit, rollback and
+	// in-doubt resolution hold it shared for the whole decide-and-stamp
+	// region, so a savepoint (exclusive) never exports version vectors with
+	// a commit record at LSN ≤ S whose stamps are still in flight.
+	spMu sync.RWMutex
+
 	mu       sync.RWMutex
 	cfg      Config
 	cat      *catalog.Catalog
@@ -159,6 +176,15 @@ type Engine struct {
 	ext      *diskstore.Store
 	extDir   string
 	pool     *exec.Pool
+
+	wal        *txn.Log // redo/commit log (nil = durability off)
+	ownWAL     bool     // Open created the log; Close closes it
+	dataDir    string   // savepoint root ("" = savepoints unavailable)
+	recovering bool     // buildStoredTable: version state comes from recovery, not backfill
+	recovery   RecoveryInfo
+
+	ckptStop chan struct{} // closes to stop the background checkpointer
+	ckptDone chan struct{}
 
 	health *fed.Health
 	now    func() time.Time
@@ -200,6 +226,14 @@ func New(cfg Config) *Engine {
 		obs:      reg,
 		views:    obs.NewViewRegistry(),
 		traces:   obs.NewTraceRing(cfg.TraceRingSize),
+	}
+	if cfg.WAL != nil {
+		e.wal = cfg.WAL
+		e.wal.SetInjector(cfg.Faults)
+		e.wal.SetObs(reg)
+		if cfg.WALSync != (txn.SyncPolicy{}) {
+			e.wal.SetSyncPolicy(cfg.WALSync)
+		}
 	}
 	e.Metrics = newMetrics(reg)
 	// Mirror breaker state into the registry so monitoring pollers read
@@ -441,8 +475,12 @@ func (e *Engine) CommitTxContext(ctx context.Context, tx *txn.Txn) error {
 }
 
 // commitTxCtx is CommitTx under the statement's trace context, so 2PC
-// phases land in the query trace.
+// phases land in the query trace. The whole decide-and-stamp region runs
+// under the shared savepoint barrier: a savepoint that observes the commit
+// record also observes its version stamps.
 func (e *Engine) commitTxCtx(ctx context.Context, tx *txn.Txn) error {
+	e.spMu.RLock()
+	defer e.spMu.RUnlock()
 	cid, err := e.mgr.CommitCtx(ctx, tx)
 	if err != nil {
 		dropStamps(tx)
@@ -454,6 +492,8 @@ func (e *Engine) commitTxCtx(ctx context.Context, tx *txn.Txn) error {
 
 // Rollback aborts the transaction.
 func (e *Engine) Rollback(tx *txn.Txn) error {
+	e.spMu.RLock()
+	defer e.spMu.RUnlock()
 	dropStamps(tx)
 	return e.mgr.Abort(tx)
 }

@@ -204,6 +204,10 @@ func (e *Engine) findParticipant(name string) txn.Participant {
 // allocated, and presumed abort otherwise (branches surfaced by crash
 // recovery before the decision point).
 func (e *Engine) ResolveAllInDoubt() error {
+	// Resolution stamps version vectors outside commitTxCtx, so it must sit
+	// inside the savepoint barrier for the same reason commits do.
+	e.spMu.RLock()
+	defer e.spMu.RUnlock()
 	var errs []error
 	for _, b := range e.mgr.InDoubtInfo() {
 		part := e.findParticipant(b.Participant)

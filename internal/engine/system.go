@@ -115,6 +115,24 @@ func (e *Engine) installSystemViews() {
 			Fill: e.mQueryTraces,
 		},
 		{
+			Name: "M_RECOVERY",
+			Columns: []value.Column{
+				{Name: "metric", Kind: value.KindVarchar},
+				{Name: "val", Kind: value.KindInt},
+				{Name: "detail", Kind: value.KindVarchar},
+			},
+			Fill: e.mRecovery,
+		},
+		{
+			Name: "M_WAL_STATISTICS",
+			Columns: []value.Column{
+				{Name: "metric", Kind: value.KindVarchar},
+				{Name: "val", Kind: value.KindInt},
+				{Name: "detail", Kind: value.KindVarchar},
+			},
+			Fill: e.mWALStatistics,
+		},
+		{
 			Name: "M_METRICS",
 			Columns: []value.Column{
 				{Name: "metric", Kind: value.KindVarchar},
@@ -169,6 +187,78 @@ func (e *Engine) mInDoubtTransactions(out *value.Rows) error {
 			value.NewString(decision),
 			value.NewInt(int64(b.Retries)),
 		})
+	}
+	return nil
+}
+
+// mRecovery reports what the last Open/Recover did — 0 rows of work on a
+// fresh directory, otherwise the replay summary (savepoint LSN, records
+// replayed, torn-tail truncation, outcome counts, remaining in-doubt).
+func (e *Engine) mRecovery(out *value.Rows) error {
+	r := e.recovery
+	flag := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	rows := []struct {
+		metric string
+		val    int64
+		detail string
+	}{
+		{"recovered", flag(r.Recovered), ""},
+		{"savepoint_lsn", int64(r.SavepointLSN), ""},
+		{"wal_records", int64(r.WALRecords), ""},
+		{"data_records", int64(r.DataRecords), ""},
+		{"skipped_records", int64(r.SkippedRecords), ""},
+		{"torn_tail", flag(r.TornTail), r.TornReason},
+		{"committed", int64(r.Committed), ""},
+		{"aborted", int64(r.Aborted), ""},
+		{"orphaned", int64(r.Orphaned), ""},
+		{"in_doubt", int64(r.InDoubt), ""},
+		{"last_lsn", int64(r.LastLSN), ""},
+	}
+	for _, row := range rows {
+		detail := value.Null
+		if row.detail != "" {
+			detail = value.NewString(row.detail)
+		}
+		out.Append(value.Row{value.NewString(row.metric), value.NewInt(row.val), detail})
+	}
+	return nil
+}
+
+// mWALStatistics surfaces the live WAL counters (durability gap, fsync
+// policy, torn tails tolerated) for a durable engine; empty when the engine
+// runs without a WAL.
+func (e *Engine) mWALStatistics(out *value.Rows) error {
+	if e.wal == nil {
+		return nil
+	}
+	s := e.wal.Stats()
+	rows := []struct {
+		metric string
+		val    int64
+		detail string
+	}{
+		{"last_lsn", int64(s.LastLSN), ""},
+		{"appends", s.Appends, ""},
+		{"bytes", s.Bytes, ""},
+		{"syncs", s.Syncs, ""},
+		{"torn_tails", s.TornTails, ""},
+		{"written_offset", s.WrittenOff, ""},
+		{"durable_offset", s.DurableOff, ""},
+		{"durability_gap", s.WrittenOff - s.DurableOff, "bytes a crash could lose"},
+		{"sync_mode", int64(s.SyncMode), s.SyncMode.String()},
+		{"truncations", s.Truncations, ""},
+	}
+	for _, row := range rows {
+		detail := value.Null
+		if row.detail != "" {
+			detail = value.NewString(row.detail)
+		}
+		out.Append(value.Row{value.NewString(row.metric), value.NewInt(row.val), detail})
 	}
 	return nil
 }
@@ -422,6 +512,10 @@ func substituteStmtParams(st sqlparse.Statement, params []value.Value) (sqlparse
 // transaction branch (§3.1: "Clients will have the ability to manually
 // abort these 'in-doubt' transactions").
 func (e *Engine) ResolveInDoubt(tid uint64, commit bool) error {
+	// Resolution stamps version vectors outside commitTxCtx, so it must sit
+	// inside the savepoint barrier for the same reason commits do.
+	e.spMu.RLock()
+	defer e.spMu.RUnlock()
 	ind := e.mgr.InDoubt()
 	name, ok := ind[tid]
 	if !ok {

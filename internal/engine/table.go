@@ -24,6 +24,7 @@ import (
 type partition struct {
 	meta catalog.PartitionMeta
 	cold bool
+	idx  int // position in storedTable.parts; stable across restarts
 
 	hot  *colstore.Table  // in-memory columnar
 	row  *rowstore.Table  // in-memory row store
@@ -49,6 +50,7 @@ func (p *partition) numRows() int {
 // for plain tables, several for hybrid tables.
 type storedTable struct {
 	mu      sync.Mutex
+	eng     *Engine // owning engine (redo logging); set by buildStoredTable
 	meta    *catalog.TableMeta
 	parts   []*partition
 	part2pc *extParticipant // shared 2PC participant for the cold partitions
@@ -103,18 +105,21 @@ func (t *storedTable) insertRow(tx *txn.Txn, row value.Row) error {
 		return err
 	}
 	switch {
-	case p.hot != nil:
-		id, err := p.hot.Append(row)
-		if err != nil {
+	case p.hot != nil, p.row != nil:
+		// Write-ahead: the redo record and the store append are atomic under
+		// t.mu, so a savepoint either sees both or neither. An append that
+		// fails after the record is logged (duplicate primary key) fails
+		// identically during replay and is skipped there, keeping row ids
+		// aligned.
+		if err := t.eng.logRedoRow(tx.TID, redoIns, p.idx, p.numRows(), t.meta.Name, row); err != nil {
 			return err
 		}
-		p.vers.Insert(id, tx.TID)
-		tid := tx.TID
-		vers := p.vers
-		tx.OnAbort(func() { vers.AbortTID(tid) })
-		t.stampOnCommit(tx, p)
-	case p.row != nil:
-		id, err := p.row.Append(row)
+		var id int
+		if p.hot != nil {
+			id, err = p.hot.Append(row)
+		} else {
+			id, err = p.row.Append(row)
+		}
 		if err != nil {
 			return err
 		}
@@ -124,22 +129,33 @@ func (t *storedTable) insertRow(tx *txn.Txn, row value.Row) error {
 		tx.OnAbort(func() { vers.AbortTID(tid) })
 		t.stampOnCommit(tx, p)
 	case p.ext != nil:
-		// Extended storage participates in the distributed transaction.
+		// Extended storage participates in the distributed transaction; the
+		// redo record is logged at prepare time, when the row id is known.
 		t.part2pc.bufferInsert(tx.TID, p, row)
 		tx.Enlist(t.part2pc)
 	}
 	return nil
 }
 
-// deleteRow stamps a visible row deleted under the transaction.
+// deleteRow stamps a visible row deleted under the transaction. It takes
+// t.mu so the redo record and the version stamp are one atomic unit with
+// respect to a concurrent savepoint.
 func (t *storedTable) deleteRow(tx *txn.Txn, p *partition, rowID int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if p.ext != nil {
+		if err := t.eng.logRedoRow(tx.TID, redoExtDel, p.idx, rowID, t.meta.Name, nil); err != nil {
+			return err
+		}
 		if err := p.vers.Delete(rowID, tx.TID); err != nil {
 			return err
 		}
 		t.part2pc.bufferDelete(tx.TID, p, rowID)
 		tx.Enlist(t.part2pc)
 		return nil
+	}
+	if err := t.eng.logRedoRow(tx.TID, redoDel, p.idx, rowID, t.meta.Name, nil); err != nil {
+		return err
 	}
 	if err := p.vers.Delete(rowID, tx.TID); err != nil {
 		return err
@@ -196,9 +212,11 @@ func dropStamps(tx *txn.Txn) {
 // durable at Prepare, and are stamped visible at Commit — mirroring §3.1's
 // integration of the IQ store into distributed HANA transactions.
 type extParticipant struct {
-	name string
-	mu   sync.Mutex
-	ops  map[uint64]*extOps
+	name  string
+	eng   *Engine // redo logging at prepare time
+	table string
+	mu    sync.Mutex
+	ops   map[uint64]*extOps
 }
 
 type extOps struct {
@@ -209,8 +227,8 @@ type extOps struct {
 	prepared    bool
 }
 
-func newExtParticipant(table string) *extParticipant {
-	return &extParticipant{name: "extstore:" + table, ops: map[uint64]*extOps{}}
+func newExtParticipant(e *Engine, table string) *extParticipant {
+	return &extParticipant{name: "extstore:" + table, eng: e, table: table, ops: map[uint64]*extOps{}}
 }
 
 // Name implements txn.Participant.
@@ -257,6 +275,12 @@ func (x *extParticipant) Prepare(tid uint64) error {
 	for p, rows := range o.inserts {
 		for _, r := range rows {
 			id := p.numRows()
+			// Write-ahead: the EXTINS record precedes the disk append. Replay
+			// resolves the rare record-without-row case (append failed after
+			// logging) by letting the last record per (partition, id) win.
+			if err := x.eng.logRedoRow(tid, redoExtIns, p.idx, id, x.table, r); err != nil {
+				return err
+			}
 			if err := p.ext.Append(r); err != nil {
 				return err
 			}
@@ -269,6 +293,53 @@ func (x *extParticipant) Prepare(tid uint64) error {
 	}
 	o.prepared = true
 	return nil
+}
+
+// restoreOps rebuilds a prepared branch's work order during crash recovery:
+// inserted row ids (already durable on disk) and buffered delete tombstones,
+// keyed by partition. A later Resolve replays commit (tombstones + commit
+// stamps) or abort (insert tombstones + stamp reversal) against it.
+func (x *extParticipant) restoreOps(tid uint64, ins, del map[*partition][]int) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	o := x.get(tid)
+	// Each key's copied slice lands under that key alone — no cross-key
+	// state, so iteration order is unobservable.
+	//lint:ignore mapdeterminism per-partition slices are keyed independently
+	for p, ids := range ins {
+		o.preparedIDs[p] = append([]int(nil), ids...)
+		if _, ok := o.inserts[p]; !ok {
+			o.inserts[p] = nil // Commit/Abort iterate insert keys for stamping
+		}
+	}
+	//lint:ignore mapdeterminism per-partition slices are keyed independently
+	for p, ids := range del {
+		o.deletes[p] = append([]int(nil), ids...)
+	}
+	o.prepared = true
+}
+
+// exportOps snapshots a branch's prepared ids and pending deletes per
+// partition index — the savepoint representation of an in-doubt branch.
+func (x *extParticipant) exportOps(tid uint64) (ins, del map[int][]int, ok bool) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	o, found := x.ops[tid]
+	if !found {
+		return nil, nil, false
+	}
+	ins = map[int][]int{}
+	del = map[int][]int{}
+	// Map-to-map copy keyed by partition index: order cannot surface.
+	//lint:ignore mapdeterminism per-partition slices are keyed independently
+	for p, ids := range o.preparedIDs {
+		ins[p.idx] = append([]int(nil), ids...)
+	}
+	//lint:ignore mapdeterminism per-partition slices are keyed independently
+	for p, ids := range o.deletes {
+		del[p.idx] = append([]int(nil), ids...)
+	}
+	return ins, del, true
 }
 
 // Commit implements txn.Participant: stamps versions and persists delete

@@ -92,6 +92,7 @@ func IsClassified(err error) bool {
 
 // schedule is the pending fault plan for one site (or site prefix).
 type schedule struct {
+	skip    int           // calls to let through before failN starts draining
 	failN   int           // remaining forced failures
 	err     error         // error template; nil synthesizes one
 	fatal   bool          // classify injected failures as fatal
@@ -174,6 +175,19 @@ func (in *Injector) FailFatal(site string, n int) {
 	s.fatal = true
 }
 
+// FailAfter lets the next skip matching calls at site succeed, then fails
+// the n after that — the kill-at-a-chosen-point primitive of the crash
+// harness: FailAfter("wal.fsync", k-1, 1<<30) wedges the site from its
+// k-th call onward, so everything after the chosen point fails
+// deterministically.
+func (in *Injector) FailAfter(site string, skip, n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	s := in.site(site)
+	s.skip = skip
+	s.failN = n
+}
+
 // FailProb makes every matching call at site fail with probability p,
 // drawn from the injector's seeded stream.
 func (in *Injector) FailProb(site string, p float64) {
@@ -226,6 +240,8 @@ func (in *Injector) Check(site string) error {
 		wait = s.latency
 		fail := false
 		switch {
+		case s.skip > 0:
+			s.skip--
 		case s.failN > 0:
 			s.failN--
 			fail = true

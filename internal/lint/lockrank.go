@@ -34,6 +34,7 @@ package lint
 // production rank.
 var LockRanks = map[string]int{
 	// ---- engine layer (outermost) ----
+	"engine.Engine.spMu":       90, // savepoint barrier: taken before every other engine lock
 	"engine.Engine.mu":         100,
 	"engine.storedTable.mu":    140,
 	"engine.extParticipant.mu": 160,
@@ -62,6 +63,8 @@ var LockRanks = map[string]int{
 	"hdfs.Cluster.mu":   500,
 
 	// ---- infrastructure leaves (innermost) ----
+	"obs.Registry.mu":    520, // metrics registry: bumped from WAL appends under txn.Log.mu
+	"obs.Span.mu":        530, // trace spans: ended inside commit under the savepoint barrier
 	"faults.Injector.mu": 540,
 	"faults.Breaker.mu":  560,
 

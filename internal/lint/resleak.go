@@ -75,6 +75,14 @@ var resKinds = []resKind{
 		closers:     map[string]bool{"Close": true},
 		closerHint:  "Close",
 	},
+	{
+		// Savepoint members hold an fsync-on-close handle: leaking one means
+		// a savepoint artifact that may never reach stable storage.
+		name:       "savepoint writer",
+		openFuncs:  map[string]map[string]bool{"hana/internal/engine": {"newSavepointWriter": true}},
+		closers:    map[string]bool{"Close": true},
+		closerHint: "Close",
+	},
 }
 
 func runResLeak(pass *Pass) {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"os"
 
+	"hana/internal/engine"
 	"hana/internal/txn"
 )
 
@@ -98,4 +99,17 @@ func probeHalfResolved(b *Breaker) error {
 	}
 	b.Success()
 	return nil
+}
+
+// savepointEarlyReturn leaves the member file un-synced on the error path:
+// the savepoint would rename in with a half-written artifact.
+func savepointEarlyReturn(path string, data []byte) error {
+	w, err := engine.newSavepointWriter(path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return errors.New("empty member") // want resleak
+	}
+	return w.Close()
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"os"
 
+	"hana/internal/engine"
 	"hana/internal/txn"
 )
 
@@ -180,4 +181,19 @@ func probeDeferredResolve(b *Breaker) error {
 	}
 	defer b.Success()
 	return ping()
+}
+
+// savepointMemberWritten closes (and therefore fsyncs) the member on every
+// path.
+func savepointMemberWritten(path string, data []byte) error {
+	w, err := engine.newSavepointWriter(path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		//lint:ignore errdrop the empty-member error is what matters; close is cleanup
+		_ = w.Close()
+		return errors.New("empty member")
+	}
+	return w.Close()
 }

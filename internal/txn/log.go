@@ -1,12 +1,15 @@
 package txn
 
 import (
-	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"sync"
+
+	"hana/internal/faults"
+	"hana/internal/obs"
 )
 
 // RecordType tags WAL records.
@@ -21,116 +24,587 @@ const (
 	RecInDoubt
 	RecResolve
 	RecData // opaque payload logged by storage engines for redo
+
+	recMaxType = RecData
 )
 
+func (t RecordType) String() string {
+	switch t {
+	case RecBegin:
+		return "BEGIN"
+	case RecPrepare:
+		return "PREPARE"
+	case RecCommit:
+		return "COMMIT"
+	case RecAbort:
+		return "ABORT"
+	case RecInDoubt:
+		return "INDOUBT"
+	case RecResolve:
+		return "RESOLVE"
+	case RecData:
+		return "DATA"
+	}
+	return fmt.Sprintf("REC(%d)", uint8(t))
+}
+
 // Record is one WAL entry. Note carries the participant name for RecInDoubt
-// and arbitrary redo payloads for RecData.
+// and arbitrary redo payloads for RecData. LSN is assigned by the log on
+// append and filled in during replay; callers never set it.
 type Record struct {
 	Type RecordType
 	TID  uint64
 	CID  uint64
 	Note string
+	LSN  uint64
+}
+
+// SyncMode selects when the log fsyncs appended records to stable storage.
+type SyncMode uint8
+
+// Sync modes. SyncNever is the legacy behavior (flush to the OS, never
+// fsync — crash-consistency at the process level only). SyncCommit fsyncs
+// at transaction decision points (PREPARE/COMMIT/RESOLVE), which gives
+// group commit for free: every record appended since the last sync rides
+// along with the decision's fsync. SyncAlways fsyncs every append.
+const (
+	SyncNever SyncMode = iota
+	SyncCommit
+	SyncAlways
+)
+
+// String names the mode.
+func (m SyncMode) String() string {
+	switch m {
+	case SyncNever:
+		return "NEVER"
+	case SyncCommit:
+		return "COMMIT"
+	case SyncAlways:
+		return "ALWAYS"
+	}
+	return "?"
+}
+
+// SyncPolicy configures durability of appends. Every > 0 additionally
+// fsyncs after that many appends regardless of mode (a SyncEvery batcher
+// bounding the unsynced window under long-running bulk work).
+type SyncPolicy struct {
+	Mode  SyncMode
+	Every int
+}
+
+// On-disk format. The file opens with an 8-byte magic; each record is
+//
+//	[4B CRC32][8B LSN][1B type][8B TID][8B CID][4B noteLen][note…]
+//
+// with the CRC (IEEE) covering everything after itself. LSNs are strictly
+// increasing; replay treats a short read, a CRC mismatch, an out-of-range
+// type, an insane note length or a non-monotonic LSN as the torn tail of an
+// interrupted write and truncates the log there.
+const (
+	walMagic     = "HANAWAL2"
+	recHeaderLen = 4 + 8 + 1 + 8 + 8 + 4
+	maxNoteLen   = 16 << 20
+)
+
+// LogStats is a point-in-time snapshot of the log's counters for the
+// M_WAL_STATISTICS view and the recovery report.
+type LogStats struct {
+	LastLSN     uint64
+	Appends     int64
+	Bytes       int64
+	Syncs       int64
+	TornTails   int64
+	WrittenOff  int64
+	DurableOff  int64
+	SyncMode    SyncMode
+	Truncations int64
+}
+
+// ReplayStats reports what a verified replay observed.
+type ReplayStats struct {
+	Records  int
+	LastLSN  uint64
+	TornTail bool   // a bad record terminated the scan before EOF
+	TornOff  int64  // file offset of the first bad byte
+	Reason   string // why the scan stopped early
 }
 
 // Log is an append-only write-ahead log backed by a file (or purely
 // in-memory when created with NewMemLog). Appends are synchronous and
-// serialized.
+// serialized; each record is framed with an LSN and a CRC32 and written
+// with a single write call, so a crash can only ever tear the tail.
 type Log struct {
-	mu   sync.Mutex
-	f    *os.File
-	w    *bufio.Writer
-	path string
-	mem  []Record // used when f == nil
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	mem     []Record // used when f == nil
+	nextLSN uint64   // next LSN to assign
+
+	policy    SyncPolicy
+	inj       *faults.Injector
+	reg       *obs.Registry
+	written   int64 // file offset after the last valid record
+	durable   int64 // file offset covered by the last successful fsync
+	sinceSync int
+
+	appends     int64
+	bytes       int64
+	syncs       int64
+	tornTails   int64
+	truncations int64
+}
+
+// OpenLog opens (creating if needed) a file-backed WAL. The existing
+// content is scanned to find the end of the valid record prefix: appends
+// resume there, so a torn tail left by a crash is overwritten rather than
+// extended.
+func (l *Log) initFromFile() error {
+	st, err := l.f.Stat()
+	if err != nil {
+		return err
+	}
+	if st.Size() < int64(len(walMagic)) {
+		// Empty or torn-inside-the-magic file: start fresh.
+		if err := l.f.Truncate(0); err != nil {
+			return err
+		}
+		if _, err := l.f.WriteAt([]byte(walMagic), 0); err != nil {
+			return err
+		}
+		l.written = int64(len(walMagic))
+		l.durable = 0
+		l.nextLSN = 1
+		return nil
+	}
+	var magic [len(walMagic)]byte
+	if _, err := l.f.ReadAt(magic[:], 0); err != nil {
+		return err
+	}
+	if string(magic[:]) != walMagic {
+		return fmt.Errorf("wal: %s is not a WAL file (bad magic)", l.path)
+	}
+	stats, err := scanRecords(io.NewSectionReader(l.f, 0, st.Size()), nil)
+	if err != nil {
+		return err
+	}
+	l.written = stats.TornOff
+	if !stats.TornTail {
+		l.written = st.Size()
+	}
+	l.durable = l.written
+	l.nextLSN = stats.LastLSN + 1
+	return nil
 }
 
 // OpenLog opens (creating if needed) a file-backed WAL.
 func OpenLog(path string) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("open wal: %w", err)
 	}
-	return &Log{f: f, w: bufio.NewWriter(f), path: path}, nil
+	l := &Log{f: f, path: path, nextLSN: 1}
+	if err := l.initFromFile(); err != nil {
+		//lint:ignore errdrop the open error is what surfaces; close is cleanup of a half-opened handle
+		_ = f.Close()
+		return nil, fmt.Errorf("open wal: %w", err)
+	}
+	return l, nil
 }
 
 // NewMemLog creates an in-memory log (tests, ephemeral engines).
-func NewMemLog() *Log { return &Log{} }
+func NewMemLog() *Log { return &Log{nextLSN: 1} }
 
-// Append writes one record durably (flushed through the bufio layer; fsync
-// is deliberately omitted — crash-consistency at the process level is
-// enough for this reproduction). The error matters: a commit decision that
-// never reached the log must not be acted on, so the coordinator checks it
-// at the 2PC decision point.
-func (l *Log) Append(r Record) error {
+// SetSyncPolicy selects the fsync policy for subsequent appends.
+func (l *Log) SetSyncPolicy(p SyncPolicy) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.policy = p
+}
+
+// SetInjector routes appends and fsyncs through a fault injector (sites
+// "wal.append" and "wal.fsync"). A nil injector disables injection.
+func (l *Log) SetInjector(inj *faults.Injector) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inj = inj
+}
+
+// SetObs publishes the log's counters into a registry (wal.* metrics).
+// Without one, counters land in obs.Default.
+func (l *Log) SetObs(reg *obs.Registry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.reg = reg
+}
+
+func (l *Log) regLocked() *obs.Registry {
+	if l.reg != nil {
+		return l.reg
+	}
+	return obs.Default
+}
+
+func encodeRecord(lsn uint64, r Record) []byte {
+	buf := make([]byte, recHeaderLen+len(r.Note))
+	binary.LittleEndian.PutUint64(buf[4:], lsn)
+	buf[12] = byte(r.Type)
+	binary.LittleEndian.PutUint64(buf[13:], r.TID)
+	binary.LittleEndian.PutUint64(buf[21:], r.CID)
+	binary.LittleEndian.PutUint32(buf[29:], uint32(len(r.Note)))
+	copy(buf[recHeaderLen:], r.Note)
+	binary.LittleEndian.PutUint32(buf[0:], crc32.ChecksumIEEE(buf[4:]))
+	return buf
+}
+
+// Append writes one record: the full frame is built in one buffer and
+// handed to a single write call, so the kernel never sees a half-framed
+// record boundary. Whether the write is fsynced depends on the policy. The
+// error matters: a commit decision that never reached the log must not be
+// acted on, so the coordinator checks it at the 2PC decision point.
+func (l *Log) Append(r Record) error {
+	_, err := l.AppendLSN(r)
+	return err
+}
+
+// AppendLSN is Append returning the assigned LSN.
+func (l *Log) AppendLSN(r Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.inj.Check("wal.append"); err != nil {
+		return 0, fmt.Errorf("wal append: %w", err)
+	}
+	lsn := l.nextLSN
 	if l.f == nil {
+		r.LSN = lsn
 		l.mem = append(l.mem, r)
+		l.nextLSN++
+		return lsn, nil
+	}
+	if len(r.Note) > maxNoteLen {
+		return 0, fmt.Errorf("wal append: note length %d exceeds limit", len(r.Note))
+	}
+	buf := encodeRecord(lsn, r)
+	if _, err := l.f.WriteAt(buf, l.written); err != nil {
+		return 0, fmt.Errorf("wal append: %w", err)
+	}
+	l.written += int64(len(buf))
+	l.nextLSN++
+	l.sinceSync++
+	l.appends++
+	l.bytes += int64(len(buf))
+	reg := l.regLocked()
+	reg.Counter("wal.appends_total").Inc()
+	reg.Counter("wal.bytes_total").Add(int64(len(buf)))
+	if l.shouldSyncLocked(r.Type) {
+		if err := l.syncLocked(); err != nil {
+			return 0, fmt.Errorf("wal append: %w", err)
+		}
+	}
+	return lsn, nil
+}
+
+func (l *Log) shouldSyncLocked(t RecordType) bool {
+	if l.policy.Every > 0 && l.sinceSync >= l.policy.Every {
+		return true
+	}
+	switch l.policy.Mode {
+	case SyncAlways:
+		return true
+	case SyncCommit:
+		return t == RecPrepare || t == RecCommit || t == RecResolve
+	}
+	return false
+}
+
+// Sync fsyncs the log to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.f == nil {
 		return nil
 	}
-	var buf [25]byte
-	buf[0] = byte(r.Type)
-	binary.LittleEndian.PutUint64(buf[1:], r.TID)
-	binary.LittleEndian.PutUint64(buf[9:], r.CID)
-	binary.LittleEndian.PutUint64(buf[17:], uint64(len(r.Note)))
-	if _, err := l.w.Write(buf[:]); err != nil {
-		return fmt.Errorf("wal append: %w", err)
+	if err := l.inj.Check("wal.fsync"); err != nil {
+		return fmt.Errorf("wal fsync: %w", err)
 	}
-	if _, err := l.w.WriteString(r.Note); err != nil {
-		return fmt.Errorf("wal append: %w", err)
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal fsync: %w", err)
 	}
-	if err := l.w.Flush(); err != nil {
-		return fmt.Errorf("wal append: %w", err)
-	}
+	l.durable = l.written
+	l.sinceSync = 0
+	l.syncs++
+	l.regLocked().Counter("wal.syncs_total").Inc()
 	return nil
 }
 
-// Replay streams every record to fn in append order.
+// LastLSN returns the LSN of the most recently appended record (0 when the
+// log is empty).
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// Offsets reports the file offset after the last append and the offset
+// covered by the last successful fsync. The gap between them is exactly
+// the state a machine crash may lose — the crashpoint harness truncates
+// the file somewhere inside it to simulate one.
+func (l *Log) Offsets() (written, durable int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.written, l.durable
+}
+
+// Stats snapshots the log counters.
+func (l *Log) Stats() LogStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LogStats{
+		LastLSN:     l.nextLSN - 1,
+		Appends:     l.appends,
+		Bytes:       l.bytes,
+		Syncs:       l.syncs,
+		TornTails:   l.tornTails,
+		WrittenOff:  l.written,
+		DurableOff:  l.durable,
+		SyncMode:    l.policy.Mode,
+		Truncations: l.truncations,
+	}
+}
+
+// scanRecords reads framed records from r, calling fn (which may be nil)
+// for each valid one. It never fails on a torn or corrupt tail: the scan
+// stops at the first bad record and reports it in the stats. The returned
+// error is only ever fn's.
+func scanRecords(r io.Reader, fn func(Record) error) (ReplayStats, error) {
+	stats := ReplayStats{TornOff: int64(len(walMagic))}
+	br := newCountingReader(r)
+	var magic [len(walMagic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil || string(magic[:]) != walMagic {
+		stats.TornTail = true
+		stats.TornOff = 0
+		stats.Reason = "missing or short file magic"
+		return stats, nil
+	}
+	var prevLSN uint64
+	for {
+		start := br.n
+		var hdr [recHeaderLen]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				stats.TornOff = start
+				return stats, nil
+			}
+			stats.TornTail, stats.TornOff, stats.Reason = true, start, "short record header"
+			return stats, nil
+		}
+		lsn := binary.LittleEndian.Uint64(hdr[4:])
+		typ := RecordType(hdr[12])
+		noteLen := binary.LittleEndian.Uint32(hdr[29:])
+		if typ < RecBegin || typ > recMaxType {
+			stats.TornTail, stats.TornOff, stats.Reason = true, start, fmt.Sprintf("invalid record type %d", typ)
+			return stats, nil
+		}
+		if noteLen > maxNoteLen {
+			stats.TornTail, stats.TornOff, stats.Reason = true, start, fmt.Sprintf("implausible note length %d", noteLen)
+			return stats, nil
+		}
+		if lsn <= prevLSN {
+			stats.TornTail, stats.TornOff, stats.Reason = true, start, fmt.Sprintf("non-monotonic LSN %d after %d", lsn, prevLSN)
+			return stats, nil
+		}
+		note := make([]byte, noteLen)
+		if _, err := io.ReadFull(br, note); err != nil {
+			stats.TornTail, stats.TornOff, stats.Reason = true, start, "short record payload"
+			return stats, nil
+		}
+		crc := crc32.ChecksumIEEE(hdr[4:])
+		crc = crc32.Update(crc, crc32.IEEETable, note)
+		if crc != binary.LittleEndian.Uint32(hdr[0:]) {
+			stats.TornTail, stats.TornOff, stats.Reason = true, start, "CRC mismatch"
+			return stats, nil
+		}
+		prevLSN = lsn
+		stats.Records++
+		stats.LastLSN = lsn
+		stats.TornOff = br.n
+		if fn != nil {
+			rec := Record{
+				Type: typ,
+				TID:  binary.LittleEndian.Uint64(hdr[13:]),
+				CID:  binary.LittleEndian.Uint64(hdr[21:]),
+				Note: string(note),
+				LSN:  lsn,
+			}
+			if err := fn(rec); err != nil {
+				return stats, err
+			}
+		}
+	}
+}
+
+// countingReader tracks the byte offset of an io.Reader.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func newCountingReader(r io.Reader) *countingReader { return &countingReader{r: r} }
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Replay streams every record to fn in append order. A torn or corrupt
+// tail is tolerated: replay covers the valid prefix and truncates the file
+// behind it (see ReplayVerified for the details).
 func (l *Log) Replay(fn func(Record) error) error {
+	_, err := l.ReplayVerified(fn)
+	return err
+}
+
+// ReplayVerified streams the valid record prefix to fn and reports what it
+// saw. When the scan stops at a bad record — the torn tail of a write that
+// a crash interrupted, or corruption — the file is truncated to the valid
+// prefix so the next append cannot graft new records onto garbage, and
+// wal.torn_tail_total is incremented.
+func (l *Log) ReplayVerified(fn func(Record) error) (ReplayStats, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
+		var stats ReplayStats
 		for _, r := range l.mem {
 			if err := fn(r); err != nil {
-				return err
+				return stats, err
+			}
+			stats.Records++
+			stats.LastLSN = r.LSN
+		}
+		return stats, nil
+	}
+	st, err := l.f.Stat()
+	if err != nil {
+		return ReplayStats{}, fmt.Errorf("wal replay: %w", err)
+	}
+	stats, err := scanRecords(io.NewSectionReader(l.f, 0, st.Size()), fn)
+	if err != nil {
+		return stats, err
+	}
+	if stats.TornTail {
+		if err := l.f.Truncate(stats.TornOff); err != nil {
+			return stats, fmt.Errorf("wal truncate torn tail: %w", err)
+		}
+		l.written = stats.TornOff
+		if l.durable > l.written {
+			l.durable = l.written
+		}
+		l.nextLSN = stats.LastLSN + 1
+		l.tornTails++
+		l.regLocked().Counter("wal.torn_tail_total").Inc()
+	}
+	return stats, nil
+}
+
+// TruncateBefore drops every record with LSN <= lsn — the savepoint
+// truncation: once a snapshot covering the prefix is durably installed,
+// only the suffix is needed for recovery. The surviving records are
+// rewritten to a temp file that atomically replaces the log, so a crash
+// mid-truncation leaves either the old or the new log, never a hybrid.
+func (l *Log) TruncateBefore(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		keep := l.mem[:0:0]
+		for _, r := range l.mem {
+			if r.LSN > lsn {
+				keep = append(keep, r)
 			}
 		}
+		l.mem = keep
+		l.truncations++
 		return nil
 	}
-	if err := l.w.Flush(); err != nil {
-		return err
+	tmpPath := l.path + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal truncate: %w", err)
 	}
-	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
-		return err
+	if _, err := tmp.Write([]byte(walMagic)); err != nil {
+		//lint:ignore errdrop the write error is what surfaces; close is cleanup of the failed temp file
+		_ = tmp.Close()
+		return fmt.Errorf("wal truncate: %w", err)
 	}
-	r := bufio.NewReader(l.f)
-	for {
-		var buf [25]byte
-		if _, err := io.ReadFull(r, buf[:]); err != nil {
-			if err == io.EOF {
-				break
-			}
-			return fmt.Errorf("wal replay: %w", err)
-		}
-		rec := Record{
-			Type: RecordType(buf[0]),
-			TID:  binary.LittleEndian.Uint64(buf[1:]),
-			CID:  binary.LittleEndian.Uint64(buf[9:]),
-		}
-		noteLen := binary.LittleEndian.Uint64(buf[17:])
-		if noteLen > 0 {
-			nb := make([]byte, noteLen)
-			if _, err := io.ReadFull(r, nb); err != nil {
-				return fmt.Errorf("wal replay note: %w", err)
-			}
-			rec.Note = string(nb)
-		}
-		if err := fn(rec); err != nil {
-			return err
-		}
+	st, err := l.f.Stat()
+	if err != nil {
+		//lint:ignore errdrop the stat error is what surfaces; close is cleanup of the failed temp file
+		_ = tmp.Close()
+		return fmt.Errorf("wal truncate: %w", err)
 	}
-	// Restore append position.
-	_, err := l.f.Seek(0, io.SeekEnd)
-	return err
+	var werr error
+	_, serr := scanRecords(io.NewSectionReader(l.f, 0, st.Size()), func(r Record) error {
+		if r.LSN <= lsn || werr != nil {
+			return nil
+		}
+		_, werr = tmp.Write(encodeRecord(r.LSN, r))
+		return nil
+	})
+	if serr == nil {
+		serr = werr
+	}
+	if serr == nil {
+		serr = tmp.Sync()
+	}
+	if err := tmp.Close(); serr == nil {
+		serr = err
+	}
+	if serr != nil {
+		return fmt.Errorf("wal truncate: %w", serr)
+	}
+	if err := os.Rename(tmpPath, l.path); err != nil {
+		return fmt.Errorf("wal truncate: %w", err)
+	}
+	nf, err := os.OpenFile(l.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal truncate: reopen: %w", err)
+	}
+	//lint:ignore errdrop the old descriptor points at the renamed-over inode; nothing left to flush
+	_ = l.f.Close()
+	l.f = nf
+	nst, err := nf.Stat()
+	if err != nil {
+		return fmt.Errorf("wal truncate: %w", err)
+	}
+	l.written = nst.Size()
+	l.durable = nst.Size()
+	l.sinceSync = 0
+	l.truncations++
+	l.regLocked().Counter("wal.truncations_total").Inc()
+	return nil
+}
+
+// ScanFile reads a WAL file without opening it for writing and without
+// repairing anything — the read-only path behind `platformctl wal dump`
+// and `wal fsck`, and the crash harness's durable-evidence probe. fn may
+// be nil to just collect stats.
+func ScanFile(path string, fn func(Record) error) (ReplayStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ReplayStats{}, fmt.Errorf("wal scan: %w", err)
+	}
+	//lint:ignore errdrop read-only scan: closing the descriptor cannot lose data
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return ReplayStats{}, fmt.Errorf("wal scan: %w", err)
+	}
+	return scanRecords(io.NewSectionReader(f, 0, st.Size()), fn)
 }
 
 // Close flushes and closes the log file.
@@ -139,9 +613,6 @@ func (l *Log) Close() error {
 	defer l.mu.Unlock()
 	if l.f == nil {
 		return nil
-	}
-	if err := l.w.Flush(); err != nil {
-		return err
 	}
 	return l.f.Close()
 }

@@ -1,0 +1,352 @@
+package txn
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hana/internal/faults"
+	"hana/internal/obs"
+)
+
+// writeFixtureLog creates a WAL with n committed-transaction record groups
+// and returns its path plus the file size.
+func writeFixtureLog(t *testing.T, n int) (string, int64) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		tid := uint64(i + 1)
+		if err := l.Append(Record{Type: RecBegin, TID: tid}); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append(Record{Type: RecData, TID: tid, Note: "payload-for-" + string(rune('a'+i%26))}); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append(Record{Type: RecCommit, TID: tid, CID: uint64(i + 2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, st.Size()
+}
+
+func replayAll(t *testing.T, l *Log) ([]Record, ReplayStats) {
+	t.Helper()
+	var recs []Record
+	stats, err := l.ReplayVerified(func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return recs, stats
+}
+
+func tornTotal(reg *obs.Registry) int64 {
+	return reg.Counter("wal.torn_tail_total").Load()
+}
+
+func TestWALAppendSingleWriteFraming(t *testing.T) {
+	path, _ := writeFixtureLog(t, 3)
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	recs, stats := replayAll(t, l)
+	if len(recs) != 9 || stats.TornTail {
+		t.Fatalf("want 9 clean records, got %d (torn=%v reason=%q)", len(recs), stats.TornTail, stats.Reason)
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d has LSN %d", i, r.LSN)
+		}
+	}
+}
+
+func TestWALTruncatedTailRecoversValidPrefix(t *testing.T) {
+	path, size := writeFixtureLog(t, 4)
+	// Tear the last record in half — the single-buffer append means a crash
+	// can only ever produce exactly this shape.
+	if err := os.Truncate(path, size-7); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.SetObs(reg)
+	recs, stats := replayAll(t, l)
+	if len(recs) != 11 {
+		t.Fatalf("want the 11-record valid prefix, got %d", len(recs))
+	}
+	if !stats.TornTail || stats.Reason == "" {
+		t.Fatalf("torn tail not reported: %+v", stats)
+	}
+	if got := tornTotal(reg); got != 1 {
+		t.Fatalf("wal.torn_tail_total = %d, want 1", got)
+	}
+	// The file must have been truncated to the valid prefix…
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != stats.TornOff {
+		t.Fatalf("file size %d, want truncated to %d", st.Size(), stats.TornOff)
+	}
+	// …and appends must continue with monotonic LSNs.
+	if err := l.Append(Record{Type: RecAbort, TID: 99}); err != nil {
+		t.Fatal(err)
+	}
+	recs, stats = replayAll(t, l)
+	if stats.TornTail || len(recs) != 12 || recs[11].LSN != 12 {
+		t.Fatalf("post-repair append broken: %d records, torn=%v", len(recs), stats.TornTail)
+	}
+}
+
+func TestWALFlippedCRCByteStopsReplay(t *testing.T) {
+	path, size := writeFixtureLog(t, 4)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte inside the third-to-last record: the CRC check
+	// must reject it and everything after it.
+	b[size-50] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.SetObs(reg)
+	recs, stats := replayAll(t, l)
+	if !stats.TornTail {
+		t.Fatalf("flipped byte not detected: %+v", stats)
+	}
+	if len(recs) >= 12 {
+		t.Fatalf("corrupt record replayed: %d records", len(recs))
+	}
+	if got := tornTotal(reg); got != 1 {
+		t.Fatalf("wal.torn_tail_total = %d, want 1", got)
+	}
+	// Every surviving record must still be a valid prefix (monotonic LSNs).
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("surviving prefix not contiguous at %d", i)
+		}
+	}
+}
+
+func TestWALZeroLengthNoteRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Type: RecData, TID: 1, Note: ""}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Type: RecCommit, TID: 1, CID: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recs, stats := replayAll(t, l2)
+	if stats.TornTail || len(recs) != 2 {
+		t.Fatalf("zero-length note mishandled: %d records, torn=%v", len(recs), stats.TornTail)
+	}
+	if recs[0].Note != "" || recs[0].Type != RecData {
+		t.Fatalf("record round-trip broken: %+v", recs[0])
+	}
+}
+
+func TestWALGarbageTailAfterValidPrefix(t *testing.T) {
+	path, _ := writeFixtureLog(t, 2)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	recs, stats := replayAll(t, l)
+	if len(recs) != 6 || !stats.TornTail {
+		t.Fatalf("garbage tail: got %d records, torn=%v", len(recs), stats.TornTail)
+	}
+}
+
+func TestWALSyncPolicyAndOffsets(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.SetSyncPolicy(SyncPolicy{Mode: SyncCommit})
+	if err := l.Append(Record{Type: RecBegin, TID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	w, d := l.Offsets()
+	if d >= w {
+		t.Fatalf("BEGIN must not fsync under SyncCommit: written=%d durable=%d", w, d)
+	}
+	if err := l.Append(Record{Type: RecCommit, TID: 1, CID: 2}); err != nil {
+		t.Fatal(err)
+	}
+	w, d = l.Offsets()
+	if d != w {
+		t.Fatalf("COMMIT must group-commit everything: written=%d durable=%d", w, d)
+	}
+	st := l.Stats()
+	if st.Syncs != 1 || st.Appends != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// SyncEvery batching: every 2nd append syncs even without decisions.
+	l.SetSyncPolicy(SyncPolicy{Mode: SyncNever, Every: 2})
+	if err := l.Append(Record{Type: RecData, TID: 2, Note: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Type: RecData, TID: 2, Note: "y"}); err != nil {
+		t.Fatal(err)
+	}
+	w, d = l.Offsets()
+	if d != w {
+		t.Fatalf("SyncEvery=2 must have synced: written=%d durable=%d", w, d)
+	}
+}
+
+func TestWALInjectorSites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	inj := faults.New(1)
+	l.SetInjector(inj)
+	l.SetSyncPolicy(SyncPolicy{Mode: SyncAlways})
+	inj.FailAfter("wal.append", 2, 1)
+	if err := l.Append(Record{Type: RecBegin, TID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Type: RecData, TID: 1, Note: "n"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Type: RecCommit, TID: 1, CID: 2}); err == nil {
+		t.Fatal("third append should have been injected")
+	}
+	inj.FailN("wal.fsync", 1)
+	if err := l.Append(Record{Type: RecCommit, TID: 1, CID: 2}); err == nil {
+		t.Fatal("fsync failure must surface through Append")
+	}
+	if inj.Injected("wal.fsync") != 1 || inj.Injected("wal.append") != 1 {
+		t.Fatalf("injection counters: fsync=%d append=%d", inj.Injected("wal.fsync"), inj.Injected("wal.append"))
+	}
+}
+
+func TestWALTruncateBefore(t *testing.T) {
+	path, _ := writeFixtureLog(t, 5) // LSNs 1..15
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.TruncateBefore(9); err != nil {
+		t.Fatal(err)
+	}
+	recs, stats := replayAll(t, l)
+	if len(recs) != 6 || recs[0].LSN != 10 || stats.TornTail {
+		t.Fatalf("truncate kept %d records, first LSN %d", len(recs), recs[0].LSN)
+	}
+	// New appends continue past the old high-water mark.
+	lsn, err := l.AppendLSN(Record{Type: RecBegin, TID: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 16 {
+		t.Fatalf("append after truncation got LSN %d, want 16", lsn)
+	}
+	// Reopen: the truncated log must still load cleanly.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recs, stats = replayAll(t, l2)
+	if len(recs) != 7 || stats.TornTail || stats.LastLSN != 16 {
+		t.Fatalf("reopen after truncation: %d records, last LSN %d", len(recs), stats.LastLSN)
+	}
+}
+
+func TestWALScanFileReadOnly(t *testing.T) {
+	path, size := writeFixtureLog(t, 3)
+	if err := os.Truncate(path, size-3); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	stats, err := ScanFile(path, func(Record) error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.TornTail || n != 8 {
+		t.Fatalf("scan: torn=%v records=%d", stats.TornTail, n)
+	}
+	// ScanFile must not repair the file.
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != size-3 {
+		t.Fatalf("ScanFile modified the file: %d -> %d", size-3, st.Size())
+	}
+}
+
+func TestMemLogTruncateAndLSNs(t *testing.T) {
+	l := NewMemLog()
+	for i := 0; i < 5; i++ {
+		if err := l.Append(Record{Type: RecBegin, TID: uint64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.TruncateBefore(3); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := replayAll(t, l)
+	if len(recs) != 2 || recs[0].LSN != 4 {
+		t.Fatalf("mem truncate: %d records, first LSN %d", len(recs), recs[0].LSN)
+	}
+}

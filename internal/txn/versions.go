@@ -1,6 +1,9 @@
 package txn
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
 
 // RowVersions tracks MVCC visibility for the rows of one table fragment.
 // Each row id carries an insert stamp and an optional delete stamp; a stamp
@@ -123,6 +126,62 @@ func (v *RowVersions) Visible(rowID int, snapshot, tid uint64) bool {
 		return !(tid != 0 && v.delTID[rowID] == tid) // own delete hides it
 	}
 	return v.delCID[rowID] == 0 || v.delCID[rowID] > snapshot
+}
+
+// VersionSnapshot is a copyable export of a RowVersions state — the
+// per-partition visibility vector a savepoint persists and recovery
+// restores.
+type VersionSnapshot struct {
+	InsCID []uint64
+	InsTID []uint64
+	DelCID []uint64
+	DelTID []uint64
+}
+
+// Export copies the version state.
+func (v *RowVersions) Export() VersionSnapshot {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return VersionSnapshot{
+		InsCID: append([]uint64(nil), v.insCID...),
+		InsTID: append([]uint64(nil), v.insTID...),
+		DelCID: append([]uint64(nil), v.delCID...),
+		DelTID: append([]uint64(nil), v.delTID...),
+	}
+}
+
+// Import replaces the version state with a previously exported snapshot.
+func (v *RowVersions) Import(s VersionSnapshot) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.insCID = append([]uint64(nil), s.InsCID...)
+	v.insTID = append([]uint64(nil), s.InsTID...)
+	v.delCID = append([]uint64(nil), s.DelCID...)
+	v.delTID = append([]uint64(nil), s.DelTID...)
+}
+
+// PendingTIDs lists the distinct transaction IDs that still hold
+// uncommitted stamps, sorted. After recovery's outcome pass, any TID left
+// here that is not in-doubt belongs to a transaction the crash cut short —
+// it must be aborted.
+func (v *RowVersions) PendingTIDs() []uint64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	seen := map[uint64]bool{}
+	for i := range v.insTID {
+		if v.insTID[i] != 0 {
+			seen[v.insTID[i]] = true
+		}
+		if v.delTID[i] != 0 {
+			seen[v.delTID[i]] = true
+		}
+	}
+	out := make([]uint64, 0, len(seen))
+	for tid := range seen {
+		out = append(out, tid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // LiveCount counts rows visible at the snapshot (tid 0).

@@ -1,0 +1,112 @@
+package value
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Wire encoding of values and rows — the redo-record row format shared by
+// the WAL and the savepoint row files. The encoding is deterministic
+// (byte-identical for equal rows), self-delimiting, and append-friendly:
+//
+//	value: [1B kind][payload]   payload by kind:
+//	  NULL                      —
+//	  BOOLEAN                   1 byte (0/1)
+//	  BIGINT/DATE/TIMESTAMP     zigzag varint
+//	  DOUBLE                    8 bytes little-endian IEEE bits
+//	  VARCHAR                   uvarint length + bytes
+//	row: uvarint column count, then each value
+
+// AppendValue appends the wire encoding of v to buf.
+func AppendValue(buf []byte, v Value) []byte {
+	buf = append(buf, byte(v.K))
+	switch v.K {
+	case KindNull:
+	case KindBool:
+		if v.I != 0 {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	case KindInt, KindDate, KindTimestamp:
+		buf = binary.AppendVarint(buf, v.I)
+	case KindDouble:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.F))
+		buf = append(buf, b[:]...)
+	case KindVarchar:
+		buf = binary.AppendUvarint(buf, uint64(len(v.S)))
+		buf = append(buf, v.S...)
+	}
+	return buf
+}
+
+// DecodeValue decodes one value from b, returning it and the bytes
+// consumed.
+func DecodeValue(b []byte) (Value, int, error) {
+	if len(b) == 0 {
+		return Null, 0, fmt.Errorf("value decode: empty buffer")
+	}
+	k := Kind(b[0])
+	n := 1
+	switch k {
+	case KindNull:
+		return Null, n, nil
+	case KindBool:
+		if len(b) < 2 {
+			return Null, 0, fmt.Errorf("value decode: short BOOLEAN")
+		}
+		return Value{K: KindBool, I: int64(b[1] & 1)}, 2, nil
+	case KindInt, KindDate, KindTimestamp:
+		i, w := binary.Varint(b[1:])
+		if w <= 0 {
+			return Null, 0, fmt.Errorf("value decode: bad varint")
+		}
+		return Value{K: k, I: i}, 1 + w, nil
+	case KindDouble:
+		if len(b) < 9 {
+			return Null, 0, fmt.Errorf("value decode: short DOUBLE")
+		}
+		return Value{K: KindDouble, F: math.Float64frombits(binary.LittleEndian.Uint64(b[1:]))}, 9, nil
+	case KindVarchar:
+		l, w := binary.Uvarint(b[1:])
+		if w <= 0 || uint64(len(b)) < 1+uint64(w)+l {
+			return Null, 0, fmt.Errorf("value decode: short VARCHAR")
+		}
+		start := 1 + w
+		return Value{K: KindVarchar, S: string(b[start : start+int(l)])}, start + int(l), nil
+	}
+	return Null, 0, fmt.Errorf("value decode: unknown kind %d", k)
+}
+
+// AppendRow appends the wire encoding of a row to buf.
+func AppendRow(buf []byte, row Row) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(row)))
+	for _, v := range row {
+		buf = AppendValue(buf, v)
+	}
+	return buf
+}
+
+// DecodeRow decodes one row from b, returning it and the bytes consumed.
+func DecodeRow(b []byte) (Row, int, error) {
+	cols, w := binary.Uvarint(b)
+	if w <= 0 {
+		return nil, 0, fmt.Errorf("row decode: bad column count")
+	}
+	if cols > 1<<20 {
+		return nil, 0, fmt.Errorf("row decode: implausible column count %d", cols)
+	}
+	off := w
+	row := make(Row, cols)
+	for i := range row {
+		v, n, err := DecodeValue(b[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("row decode: column %d: %w", i, err)
+		}
+		row[i] = v
+		off += n
+	}
+	return row, off, nil
+}

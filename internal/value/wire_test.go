@@ -1,0 +1,80 @@
+package value
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestWireValueRoundTrip(t *testing.T) {
+	vals := []Value{
+		Null,
+		NewBool(true),
+		NewBool(false),
+		NewInt(0),
+		NewInt(-1),
+		NewInt(math.MaxInt64),
+		NewInt(math.MinInt64),
+		NewDouble(0),
+		NewDouble(-3.25),
+		NewDouble(math.Inf(1)),
+		NewString(""),
+		NewString("héllo, wörld"),
+		NewDate(19000),
+		NewTimestamp(1_700_000_000_000_000),
+	}
+	for _, v := range vals {
+		buf := AppendValue(nil, v)
+		got, n, err := DecodeValue(buf)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("%v: consumed %d of %d", v, n, len(buf))
+		}
+		if got != v && !(math.IsNaN(got.F) && math.IsNaN(v.F)) {
+			t.Fatalf("round-trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestWireRowRoundTripAndDeterminism(t *testing.T) {
+	row := Row{NewInt(7), NewString("abc"), Null, NewDouble(1.5), NewBool(true)}
+	a := AppendRow(nil, row)
+	b := AppendRow(nil, row.Clone())
+	if !bytes.Equal(a, b) {
+		t.Fatal("encoding is not deterministic")
+	}
+	got, n, err := DecodeRow(a)
+	if err != nil || n != len(a) {
+		t.Fatalf("decode: %v (n=%d/%d)", err, n, len(a))
+	}
+	if len(got) != len(row) {
+		t.Fatalf("arity %d != %d", len(got), len(row))
+	}
+	for i := range row {
+		if got[i] != row[i] {
+			t.Fatalf("col %d: %v != %v", i, got[i], row[i])
+		}
+	}
+	// Two rows back to back decode independently.
+	two := AppendRow(a, row)
+	_, n1, _ := DecodeRow(two)
+	r2, n2, err := DecodeRow(two[n1:])
+	if err != nil || n1+n2 != len(two) || r2[1].S != "abc" {
+		t.Fatalf("sequential decode broken: %v", err)
+	}
+}
+
+func TestWireDecodeCorrupt(t *testing.T) {
+	row := Row{NewString("abcdef"), NewInt(1)}
+	buf := AppendRow(nil, row)
+	for cut := 1; cut < len(buf); cut++ {
+		if _, _, err := DecodeRow(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+	if _, _, err := DecodeValue([]byte{0xEE}); err == nil {
+		t.Fatal("unknown kind not detected")
+	}
+}
