@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-self lint-hot lint-graph lint-selftest test race chaos chaos-recovery bench bench-smoke bench-alloc check
+.PHONY: all build vet lint lint-self lint-hot lint-graph lint-selftest test race chaos chaos-recovery bench bench-smoke bench-alloc bench-vector check
 
 all: check
 
@@ -88,6 +88,12 @@ bench-smoke:
 # `before` figures, captured once with -hotpath-before.
 bench-alloc:
 	$(GO) run ./cmd/benchpar -sf 0.02 -workers 4 -iters 5 -hotpath BENCH_hotpath.json
+
+# Row-vs-vectorized executor comparison at SF 0.1: the same scan/agg/join
+# workloads through the classic row path (engine.WithRowExec) and the
+# default batch path, ns/op and allocs/op per workload.
+bench-vector:
+	$(GO) run ./cmd/benchpar -sf 0.1 -workers 4 -iters 3 -vector BENCH_vector.json
 
 # Everything CI runs.
 check: build vet lint lint-self lint-hot lint-selftest race chaos chaos-recovery

@@ -47,7 +47,7 @@ func main() {
 		if len(args) != 3 {
 			usage()
 		}
-		err = p.Backup(platform.Tier(args[1]), args[2])
+		err = p.BackupCtx(context.Background(), platform.Tier(args[1]), args[2])
 		if err == nil {
 			fmt.Printf("backup of %s written to %s\n", args[1], args[2])
 		}
@@ -55,7 +55,7 @@ func main() {
 		if len(args) != 3 {
 			usage()
 		}
-		err = p.Restore(platform.Tier(args[1]), args[2])
+		err = p.RestoreCtx(context.Background(), platform.Tier(args[1]), args[2])
 		if err == nil {
 			fmt.Printf("restored %s from %s\n", args[1], args[2])
 		}
@@ -111,7 +111,7 @@ func saveDemoArtifacts(p *platform.Platform) {
 func trace(p *platform.Platform, sql string) error {
 	if p.DeployedVersion(platform.TierDev, "demo-schema") == 0 {
 		saveDemoArtifacts(p)
-		if err := p.Deploy(platform.TierDev, "demo-schema", "demo-content"); err != nil {
+		if err := p.DeployCtx(context.Background(), platform.TierDev, "demo-schema", "demo-content"); err != nil {
 			return err
 		}
 	}
@@ -142,9 +142,9 @@ func demo(p *platform.Platform) error {
 	}{{from: "", to: platform.TierDev}, {from: platform.TierDev, to: platform.TierTest}, {from: platform.TierTest, to: platform.TierProd}} {
 		var err error
 		if step.from == "" {
-			err = p.Deploy(step.to, "demo-schema", "demo-content")
+			err = p.DeployCtx(context.Background(), step.to, "demo-schema", "demo-content")
 		} else {
-			err = p.Transport(step.from, step.to)
+			err = p.TransportCtx(context.Background(), step.from, step.to)
 		}
 		if err != nil {
 			return err

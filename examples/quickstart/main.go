@@ -47,12 +47,12 @@ func main() {
 	if _, err := e.ExecuteContext(context.Background(), `INSERT INTO orders VALUES (5,'dave',42.0,DATE '2015-03-01')`, engine.WithTx(writer)); err != nil {
 		log.Fatal(err)
 	}
-	if err := e.CommitTx(writer); err != nil {
+	if err := e.CommitTxContext(context.Background(), writer); err != nil {
 		log.Fatal(err)
 	}
 	r1, _ := e.ExecuteContext(context.Background(), `SELECT COUNT(*) FROM orders`, engine.WithTx(reader))
 	fmt.Printf("  reader (old snapshot) sees %d orders\n", r1.Rows[0][0].Int())
-	_ = e.CommitTx(reader)
+	_ = e.CommitTxContext(context.Background(), reader)
 	r2 := must(`SELECT COUNT(*) FROM orders`)
 	fmt.Printf("  new statement sees %d orders\n", r2.Rows[0][0].Int())
 
@@ -78,7 +78,7 @@ func main() {
 		(4, 40, DATE '2015-01-01', FALSE)`)
 	printParts(e)
 
-	moved, err := e.RunAging("sales")
+	moved, err := e.RunAgingContext(context.Background(), "sales")
 	if err != nil {
 		log.Fatal(err)
 	}

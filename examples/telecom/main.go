@@ -20,6 +20,7 @@ import (
 	"hana/internal/hdfs"
 	"hana/internal/hive"
 	"hana/internal/mapreduce"
+	"hana/internal/obs"
 	"hana/internal/timeseries"
 	"hana/internal/value"
 )
@@ -86,9 +87,24 @@ func main() {
 	}
 
 	// Integration 3 (HANA join): expose the live window as a table function.
-	db.RegisterTableProvider("CELL_HEALTH_WINDOW", func() (*value.Rows, error) {
-		return health.Rows(time.Now())
-	})
+	if err := db.RegisterView(obs.ViewDef{
+		Name: "CELL_HEALTH_WINDOW",
+		Columns: []value.Column{
+			{Name: "cell_id", Kind: value.KindDouble, Nullable: true},
+			{Name: "avg_signal", Kind: value.KindDouble, Nullable: true},
+			{Name: "drops", Kind: value.KindDouble, Nullable: true},
+		},
+		Fill: func(out *value.Rows) error {
+			rows, err := health.Rows(time.Now())
+			if err != nil {
+				return err
+			}
+			out.Data = append(out.Data, rows.Data...)
+			return nil
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
 
 	// --- drive the network ---
 	fmt.Println("publishing 5000 network events...")
@@ -171,7 +187,7 @@ func main() {
 		},
 		NumReducers: 2,
 	}
-	if _, err := mr.Run(job); err != nil {
+	if _, err := mr.RunCtx(context.Background(), job); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("offline map-reduce drop rates per cell:")

@@ -134,7 +134,7 @@ func main() {
 	res = must(`UPDATE fact_sales SET aged = TRUE
 		WHERE sale_date < DATE '2014-07-01' AND sale_date >= DATE '2014-01-01'`)
 	fmt.Printf("  flagged %d rows\n", res.Affected)
-	moved, err := e.RunAging("fact_sales")
+	moved, err := e.RunAgingContext(context.Background(), "fact_sales")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"hana/internal/engine"
+)
+
+// The vectorized-executor benchmark: the same TPC-H workloads once through
+// the classic row-at-a-time executor (pinned via engine.WithRowExec) and
+// once through the default batch path, over the same loaded engine — so the
+// only variable is the operator interface. Results land in BENCH_vector.json
+// via `cmd/benchpar -vector`.
+
+// VectorResult is one workload's row-vs-batch measurement.
+type VectorResult struct {
+	Workload     string  `json:"workload"`
+	Rows         int     `json:"rows"`
+	RowNSOp      float64 `json:"row_ns_per_op"`
+	VectorNSOp   float64 `json:"vector_ns_per_op"`
+	Speedup      float64 `json:"speedup"`
+	RowAllocs    uint64  `json:"row_allocs_per_op"`
+	RowBytes     uint64  `json:"row_bytes_per_op"`
+	VectorAllocs uint64  `json:"vector_allocs_per_op"`
+	VectorBytes  uint64  `json:"vector_bytes_per_op"`
+}
+
+// VectorReport is the BENCH_vector.json payload.
+type VectorReport struct {
+	SF         float64        `json:"sf"`
+	NumCPU     int            `json:"num_cpu"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Workers    int            `json:"workers"`
+	Iterations int            `json:"iterations"`
+	Results    []VectorResult `json:"results"`
+}
+
+// RunVectorBench measures every workload through the row executor and the
+// vectorized executor at the same parallelism, taking the best of `iters`
+// runs each (min, not mean: the interesting number is the cost of the work,
+// not of the scheduler).
+func RunVectorBench(e *engine.Engine, sf float64, workers, iters int) (*VectorReport, error) {
+	ctx := context.Background()
+	rep := &VectorReport{
+		SF:         sf,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		Iterations: iters,
+	}
+	best := func(sql string, opts ...engine.ExecOption) (time.Duration, int, uint64, uint64, error) {
+		min := time.Duration(0)
+		rows := 0
+		runtime.GC()
+		var msBefore, msAfter runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			res, err := e.ExecuteContext(ctx, sql, opts...)
+			d := time.Since(start)
+			if err != nil {
+				return 0, 0, 0, 0, err
+			}
+			rows = len(res.Rows)
+			if min == 0 || d < min {
+				min = d
+			}
+		}
+		runtime.ReadMemStats(&msAfter)
+		allocs := (msAfter.Mallocs - msBefore.Mallocs) / uint64(iters)
+		bytes := (msAfter.TotalAlloc - msBefore.TotalAlloc) / uint64(iters)
+		return min, rows, allocs, bytes, nil
+	}
+	for _, w := range ParallelWorkloads {
+		row, rows, rowAllocs, rowBytes, err := best(w.SQL,
+			engine.WithParallelism(workers), engine.WithRowExec())
+		if err != nil {
+			return nil, fmt.Errorf("%s row: %w", w.Name, err)
+		}
+		vec, _, vecAllocs, vecBytes, err := best(w.SQL, engine.WithParallelism(workers))
+		if err != nil {
+			return nil, fmt.Errorf("%s vector: %w", w.Name, err)
+		}
+		speedup := 0.0
+		if vec > 0 {
+			speedup = float64(row) / float64(vec)
+		}
+		rep.Results = append(rep.Results, VectorResult{
+			Workload:     w.Name,
+			Rows:         rows,
+			RowNSOp:      float64(row),
+			VectorNSOp:   float64(vec),
+			Speedup:      speedup,
+			RowAllocs:    rowAllocs,
+			RowBytes:     rowBytes,
+			VectorAllocs: vecAllocs,
+			VectorBytes:  vecBytes,
+		})
+	}
+	return rep, nil
+}

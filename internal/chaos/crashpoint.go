@@ -141,7 +141,7 @@ func crashpointDDL(e *engine.Engine) error {
 		`CREATE ROW TABLE k_row (id BIGINT, v VARCHAR(20))`,
 		`CREATE TABLE k_ext (id BIGINT, v VARCHAR(20)) USING EXTENDED STORAGE`,
 	} {
-		if _, err := e.Execute(sql); err != nil {
+		if _, err := e.ExecuteContext(context.Background(), sql); err != nil {
 			return err
 		}
 	}
@@ -196,7 +196,7 @@ func execOp(e *engine.Engine, o wop) (uint64, error) {
 	if o.kind == opRollback {
 		return tx.TID, e.Rollback(tx)
 	}
-	return tx.TID, e.CommitTx(tx)
+	return tx.TID, e.CommitTxContext(ctx, tx)
 }
 
 // renderState renders the visible rows of every workload table, sorted, for
@@ -204,7 +204,7 @@ func execOp(e *engine.Engine, o wop) (uint64, error) {
 func renderState(e *engine.Engine) ([]string, error) {
 	var out []string
 	for _, table := range []string{"k_hot", "k_row", "k_ext"} {
-		res, err := e.Execute(`SELECT id, v FROM ` + table)
+		res, err := e.ExecuteContext(context.Background(), `SELECT id, v FROM `+table)
 		if err != nil {
 			return nil, fmt.Errorf("render %s: %w", table, err)
 		}

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -364,11 +366,19 @@ func (e *Engine) Analyze(table string) error {
 	return nil
 }
 
-// RunAging implements the hybrid-table aging mechanism of §3.1: rows in hot
-// partitions whose aging-flag column is true move to the first cold
-// partition that accepts them. The move runs as one distributed
-// transaction spanning the in-memory store and the extended storage.
+// RunAging runs the aging pass with a background context.
+//
+// Deprecated: use RunAgingContext.
 func (e *Engine) RunAging(table string) (int64, error) {
+	return e.RunAgingContext(context.Background(), table)
+}
+
+// RunAgingContext implements the hybrid-table aging mechanism of §3.1: rows
+// in hot partitions whose aging-flag column is true move to the first cold
+// partition that accepts them. The move runs as one distributed
+// transaction spanning the in-memory store and the extended storage; ctx
+// bounds the commit.
+func (e *Engine) RunAgingContext(ctx context.Context, table string) (int64, error) {
 	t, err := e.table(table)
 	if err != nil {
 		return 0, err
@@ -415,7 +425,7 @@ func (e *Engine) RunAging(table string) (int64, error) {
 			moved++
 		}
 	}
-	if err := e.CommitTx(tx); err != nil {
+	if err := e.CommitTxContext(ctx, tx); err != nil {
 		return 0, err
 	}
 	return moved, nil

@@ -49,13 +49,58 @@ func (n *planNode) String() string {
 type relation struct {
 	schema *value.Schema
 	rows   []value.Row // local, materialized (nil unless local)
-	local  bool
+	// batches holds a vectorized local scan's output still in columnar
+	// form; rowsOf materializes it on demand. At most one of rows/batches
+	// is set for a local relation.
+	batches []*value.Batch
+	local   bool
 
 	remote *remoteRel
 	ext    *extRel
 
 	est  float64
 	node *planNode
+}
+
+// rowsOf returns the relation's materialized rows, decoding batches on
+// first use. Batch payloads decode in batch order with ascending selection
+// vectors, so the result is byte-identical to the row-path scan.
+func (r *relation) rowsOf() []value.Row {
+	if r.batches != nil {
+		rows := make([]value.Row, 0, r.batchRowCount())
+		for _, b := range r.batches {
+			rows = append(rows, b.MaterializeRows()...)
+		}
+		r.rows, r.batches = rows, nil
+	}
+	return r.rows
+}
+
+func (r *relation) batchRowCount() int {
+	n := 0
+	for _, b := range r.batches {
+		n += b.Len()
+	}
+	return n
+}
+
+// joinSideOf hands a realized local relation to the parallel hash join
+// without forcing batch materialization: columnar scans stay columnar and
+// the join boxes only the rows it emits.
+func joinSideOf(r *relation) exec.JoinSide {
+	if r.batches != nil {
+		return exec.JoinSide{Batches: r.batches}
+	}
+	return exec.JoinSide{Rows: r.rowsOf()}
+}
+
+// rowCount returns the realized relation's row count without forcing batch
+// materialization.
+func (r *relation) rowCount() int {
+	if r.batches != nil {
+		return r.batchRowCount()
+	}
+	return len(r.rows)
 }
 
 // remoteRel is a query being assembled for one SDA remote source.
@@ -431,8 +476,12 @@ func cloneAll(es []expr.Expr) []expr.Expr {
 	return out
 }
 
-// iterOf exposes a realized relation as an executor input.
+// iterOf exposes a realized relation as an executor input: a BatchSlice
+// (batch-capable) for vectorized scans, a row Slice otherwise.
 func iterOf(r *relation) exec.Iter {
+	if r.batches != nil {
+		return exec.NewBatchSlice(r.schema, r.batches)
+	}
 	return exec.NewSlice(r.schema, r.rows)
 }
 

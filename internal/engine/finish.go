@@ -52,7 +52,7 @@ func (p *planner) finishBlock(sel *sqlparse.SelectStmt, it exec.Iter, root *plan
 		if err != nil {
 			return nil, nil, err
 		}
-		it = &exec.Filter{In: it, Pred: pred}
+		it = exec.FilterIter(it, pred)
 		root = node("Having: "+pred.SQL(), root)
 	}
 
@@ -107,7 +107,7 @@ func (p *planner) finishBlock(sel *sqlparse.SelectStmt, it exec.Iter, root *plan
 		keys = append(keys, pendingKey{e: key, desc: o.Desc})
 	}
 
-	it = &exec.Project{In: it, Exprs: exprs, Out: outSchema}
+	it = exec.ProjectIter(it, exprs, outSchema)
 	root = node("Project: "+strings.Join(outSchema.Names()[:visibleWidth], ", "), root)
 
 	if sel.Distinct {
@@ -139,7 +139,7 @@ func (p *planner) finishBlock(sel *sqlparse.SelectStmt, it exec.Iter, root *plan
 			c.Ord = i
 			finalExprs[i] = c
 		}
-		it = &exec.Project{In: it, Exprs: finalExprs, Out: finalSchema}
+		it = exec.ProjectIter(it, finalExprs, finalSchema)
 	}
 	return it, root, nil
 }

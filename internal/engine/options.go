@@ -16,11 +16,16 @@ import (
 type ExecOption func(*execOpts)
 
 type execOpts struct {
-	params []value.Value
-	tx     *txn.Txn
-	width  int
-	script bool
+	params  []value.Value
+	tx      *txn.Txn
+	width   int
+	script  bool
+	rowExec bool
 }
+
+// rowExecKey marks a statement context as row-at-a-time: the planner skips
+// the vectorized scan path when the key is present.
+type rowExecKey struct{}
 
 // WithParams binds positional ? parameters to the given values.
 // Parameterized remote-materialization keys incorporate the parameter
@@ -49,6 +54,14 @@ func WithParallelism(n int) ExecOption {
 // statement and returning the last result.
 func WithScript() ExecOption {
 	return func(o *execOpts) { o.script = true }
+}
+
+// WithRowExec forces the classic row-at-a-time executor instead of the
+// vectorized batch path. Both produce byte-identical results; the option
+// exists for equivalence testing and as the before-side of the vectorized
+// benchmarks.
+func WithRowExec() ExecOption {
+	return func(o *execOpts) { o.rowExec = true }
 }
 
 // ExecStats reports what the executor did for one statement: rows read by
@@ -136,6 +149,9 @@ func (e *Engine) execParsed(ctx context.Context, st sqlparse.Statement, o *execO
 		if st, err = substituteStmtParams(st, o.params); err != nil {
 			return nil, err
 		}
+	}
+	if o.rowExec {
+		ctx = context.WithValue(ctx, rowExecKey{}, true)
 	}
 	if o.tx != nil {
 		return e.execStmtTx(ctx, o.tx, st, o.width)

@@ -30,6 +30,12 @@ type planner struct {
 	width int
 	stats *exec.Counters
 	plan  *obs.Span
+
+	// vector enables batch execution for in-memory scans (default on;
+	// WithRowExec turns it off). needed is the statement-wide referenced
+	// column-name set driving late materialization (nil = all columns).
+	vector bool
+	needed map[string]bool
 }
 
 func (e *Engine) newPlanner(ctx context.Context, tx *txn.Txn, sel *sqlparse.SelectStmt, width int) *planner {
@@ -37,6 +43,7 @@ func (e *Engine) newPlanner(ctx context.Context, tx *txn.Txn, sel *sqlparse.Sele
 		ctx = context.Background()
 	}
 	p := &planner{e: e, ctx: ctx, width: width, stats: &exec.Counters{}}
+	p.vector = ctx.Value(rowExecKey{}) == nil
 	if tx != nil {
 		p.snapshot = tx.Snapshot
 		p.tid = tx.TID
@@ -45,6 +52,7 @@ func (e *Engine) newPlanner(ctx context.Context, tx *txn.Txn, sel *sqlparse.Sele
 	}
 	if sel != nil {
 		p.useCache = sel.HasHint("USE_REMOTE_CACHE")
+		p.needed = collectNeeded(sel)
 	}
 	return p
 }
@@ -190,7 +198,7 @@ func (p *planner) planQueryBlock(sel *sqlparse.SelectStmt) (exec.Iter, *planNode
 		if err != nil {
 			return nil, nil, err
 		}
-		it = &exec.Filter{In: it, Pred: pred}
+		it = exec.FilterIter(it, pred)
 		root = node("Filter: "+pred.SQL(), root)
 	}
 
@@ -331,6 +339,20 @@ func (p *planner) planTableLeaf(t *sqlparse.TableRef, pool *[]expr.Expr) (*relat
 		if err != nil {
 			return nil, err
 		}
+	}
+	if p.vector && vectorizable(st.parts) {
+		batches, _, err := p.scanPartsVec(st.parts, pred, neededOrds(p.needed, meta.Schema), schema)
+		if err != nil {
+			return nil, err
+		}
+		rel.batches = batches
+		kept := rel.batchRowCount()
+		rel.node = node(fmt.Sprintf("%s Scan [%s] (%d rows, vectorized)", storeLabel(st), name, kept))
+		if pred != nil {
+			rel.node.children = append(rel.node.children, node("filter: "+pred.SQL()))
+		}
+		rel.est = float64(kept)
+		return rel, nil
 	}
 	rows, _, err := p.scanParts(st.parts, nil, pred)
 	if err != nil {
@@ -516,7 +538,7 @@ func (p *planner) joinRelations(l, r *relation, pool *[]expr.Expr) (*relation, e
 			}
 		}
 		out.rows, err = exec.HashJoinParallel(p.ctx, p.e.pool, p.width, 0, p.stats,
-			exec.JoinInner, l.rows, r.rows, blk, brk, res, r.schema.Len())
+			exec.JoinInner, joinSideOf(l), joinSideOf(r), blk, brk, res, r.schema.Len())
 		if err != nil {
 			return nil, err
 		}
@@ -585,8 +607,8 @@ func (p *planner) maybeSemiJoin(small, big *relation, smallKeys, bigKeys []expr.
 	if err := p.realize(small); err != nil {
 		return err
 	}
-	if float64(len(small.rows)) > threshold {
-		p.plan.Note("rejected semijoin: build side %d rows > threshold %.0f", len(small.rows), threshold)
+	if float64(small.rowCount()) > threshold {
+		p.plan.Note("rejected semijoin: build side %d rows > threshold %.0f", small.rowCount(), threshold)
 		return nil
 	}
 	for i := range smallKeys {
@@ -596,7 +618,7 @@ func (p *planner) maybeSemiJoin(small, big *relation, smallKeys, bigKeys []expr.
 		}
 		seen := map[value.Value]bool{}
 		var list []expr.Expr
-		for _, row := range small.rows {
+		for _, row := range small.rowsOf() {
 			v, err := key.Eval(row)
 			if err != nil {
 				return err
@@ -703,7 +725,7 @@ func (p *planner) leftOuterJoin(l, r *relation, on expr.Expr) (*relation, error)
 			}
 		}
 		out.rows, err = exec.HashJoinParallel(p.ctx, p.e.pool, p.width, 0, p.stats,
-			exec.JoinLeftOuter, l.rows, r.rows, blk, brk, res, r.schema.Len())
+			exec.JoinLeftOuter, joinSideOf(l), joinSideOf(r), blk, brk, res, r.schema.Len())
 		if err != nil {
 			return nil, err
 		}

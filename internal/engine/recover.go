@@ -221,6 +221,19 @@ func (e *Engine) recoverFrom() error {
 				return fmt.Errorf("recovery: LSN %d: %w", r.LSN, err)
 			}
 		case redoIns, redoInsC, redoDel:
+			if rec.op == redoInsC && e.isExtPart(rec.table, rec.part) {
+				// Bulk loads into extended partitions replay through the
+				// outcome-aware ext pass: the disk may already hold the row
+				// (diskstore durability is independent of the savepoint), but
+				// its MVCC stamp still needs re-applying.
+				row, _, err := value.DecodeRow(rec.payload)
+				if err != nil {
+					return fmt.Errorf("recovery: LSN %d: %w", r.LSN, err)
+				}
+				extEvents = append(extEvents, extEvent{op: rec.op, tid: rec.tid, cid: rec.cid,
+					table: rec.table, part: rec.part, rowID: rec.rowID, row: row})
+				continue
+			}
 			skipped, err := e.applyRedoMem(rec)
 			if err != nil {
 				return fmt.Errorf("recovery: LSN %d: %w", r.LSN, err)
@@ -469,6 +482,16 @@ func (e *Engine) applyRedoDDL(rec redoRec, extEvents *[]extEvent) error {
 		}
 	}
 	return nil
+}
+
+// isExtPart reports whether a redo record targets an extended partition of
+// a table that exists at this point of the replay.
+func (e *Engine) isExtPart(table string, part int) bool {
+	t, err := e.table(table)
+	if err != nil || part < 0 || part >= len(t.parts) {
+		return false
+	}
+	return t.parts[part].ext != nil
 }
 
 // applyRedoMem replays one hot/row-store record. Returns whether the record

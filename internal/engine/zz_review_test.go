@@ -19,8 +19,8 @@ func TestReviewBulkLoadExtAfterSavepoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := e.BulkLoad("k_ext", []value.Row{
-		{value.Int(1), value.Str("a")},
-		{value.Int(2), value.Str("b")},
+		{value.NewInt(1), value.NewString("a")},
+		{value.NewInt(2), value.NewString("b")},
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -28,8 +28,8 @@ func TestReviewBulkLoadExtAfterSavepoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := e.BulkLoad("k_ext", []value.Row{
-		{value.Int(3), value.Str("c")},
-		{value.Int(4), value.Str("d")},
+		{value.NewInt(3), value.NewString("c")},
+		{value.NewInt(4), value.NewString("d")},
 	}); err != nil {
 		t.Fatal(err)
 	}

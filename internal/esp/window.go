@@ -242,7 +242,7 @@ func (w *Window) Rows(now time.Time) (*value.Rows, error) {
 		}
 		out.Cols = append(out.Cols, value.Column{Name: name, Kind: value.KindDouble, Nullable: true})
 	}
-	return exec.Materialize(&exec.Project{In: in, Exprs: exprs, Out: out})
+	return exec.Materialize(exec.ProjectIter(in, exprs, out))
 }
 
 // Forward pushes the current window content into a sink (use case 1 for

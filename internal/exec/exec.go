@@ -23,9 +23,19 @@ type Iter interface {
 	Next() (row value.Row, ok bool, err error)
 }
 
-// Materialize drains an iterator into a result set (cloning rows).
+// Materialize drains an iterator into a result set (cloning rows). Batch
+// producers are drained batch-at-a-time: their materialized rows are
+// freshly allocated per batch, so no per-row clone is needed.
 func Materialize(it Iter) (*value.Rows, error) {
 	out := value.NewRows(it.Schema())
+	if b, ok := it.(BatchIter); ok {
+		rows, err := drainBatchRows(b)
+		if err != nil {
+			return nil, err
+		}
+		out.Data = rows
+		return out, nil
+	}
 	for {
 		row, ok, err := it.Next()
 		if err != nil {
@@ -64,6 +74,9 @@ func (s *Slice) Next() (value.Row, bool, error) {
 }
 
 // Filter keeps rows satisfying a bound predicate.
+//
+// Deprecated: use FilterIter, which picks the vectorized BatchFilter when
+// the input produces batches and this row-at-a-time operator otherwise.
 type Filter struct {
 	In   Iter
 	Pred expr.Expr
@@ -90,6 +103,9 @@ func (f *Filter) Next() (value.Row, bool, error) {
 }
 
 // Project evaluates bound expressions producing a new schema.
+//
+// Deprecated: use ProjectIter, which picks the vectorized BatchProject when
+// the input produces batches and this row-at-a-time operator otherwise.
 type Project struct {
 	In    Iter
 	Exprs []expr.Expr

@@ -74,9 +74,31 @@ func (h *ParallelHashAggregate) run() error {
 	if pool == nil {
 		pool = NewPool(1)
 	}
-	data, err := drainRows(h.In)
-	if err != nil {
-		return err
+	// Batch producers keep their columnar form: the morsels below read keys
+	// and arguments straight from the vectors. Anything else materializes
+	// rows as before.
+	var (
+		data []value.Row
+		bs   []*value.Batch
+		offs []int
+		bpl  batchAggPlan
+	)
+	if bi, ok := h.In.(BatchIter); ok {
+		var err error
+		if bs, err = collectBatches(bi); err != nil {
+			return err
+		}
+		offs = batchOffsets(bs)
+		bpl = planBatchAgg(h.GroupBy, h.Aggs)
+	} else {
+		var err error
+		if data, err = drainRows(h.In); err != nil {
+			return err
+		}
+	}
+	total := len(data)
+	if bs != nil {
+		total = offs[len(bs)]
 	}
 	size := h.MorselSize
 	if size <= 0 {
@@ -87,16 +109,22 @@ func (h *ParallelHashAggregate) run() error {
 		keyOrds[i] = i
 	}
 
-	nm := (len(data) + size - 1) / size
+	nm := (total + size - 1) / size
 	partials := make([]*aggPartial, nm)
 	if nm > 0 {
 		workers, err := pool.Run(ctx, nm, h.Width, func(_ context.Context, m int) error {
 			lo := m * size
 			hi := lo + size
-			if hi > len(data) {
-				hi = len(data)
+			if hi > total {
+				hi = total
 			}
-			pt, err := aggregateMorsel(data[lo:hi], h.GroupBy, h.Aggs, keyOrds)
+			var pt *aggPartial
+			var err error
+			if bs != nil {
+				pt, err = aggregateBatchMorsel(batchSegments(bs, offs, lo, hi), h.GroupBy, h.Aggs, keyOrds, bpl)
+			} else {
+				pt, err = aggregateMorsel(data[lo:hi], h.GroupBy, h.Aggs, keyOrds)
+			}
 			if err != nil {
 				return err
 			}
@@ -215,6 +243,9 @@ func drainRows(in Iter) ([]value.Row, error) {
 	if s, ok := in.(*Slice); ok && s.i == 0 {
 		return s.Rows, nil
 	}
+	if b, ok := in.(BatchIter); ok {
+		return drainBatchRows(b)
+	}
 	rows, err := Materialize(in)
 	if err != nil {
 		return nil, err
@@ -222,17 +253,51 @@ func drainRows(in Iter) ([]value.Row, error) {
 	return rows.Data, nil
 }
 
-// HashJoinParallel executes an inner or left-outer hash join over
-// materialized inputs with morsel-parallel build and probe phases. The
-// build side is hashed into per-morsel partial tables holding row indices;
-// probe morsels scan the partials in morsel order, so a probe row's matches
-// come out in build-input order — exactly the serial HashJoin's chain
-// order — and probe outputs concatenate in probe-input order. residual is
-// evaluated on the combined row: for inner joins it filters matches (the
-// serial plan's post-join Filter), for left-outer joins it decides whether
-// a build row counts as a match before null-extension.
+// JoinSide is one hash-join input: either materialized rows or columnar
+// batches straight from a vectorized scan. A batch-backed side keeps late
+// materialization through the join — keys are read from the vectors and
+// only rows that actually reach the output are boxed.
+type JoinSide struct {
+	Rows    []value.Row
+	Batches []*value.Batch // when non-nil, Rows is ignored
+}
+
+// length returns the side's live row count.
+func (s JoinSide) length() int {
+	if s.Batches != nil {
+		n := 0
+		for _, b := range s.Batches {
+			n += b.Len()
+		}
+		return n
+	}
+	return len(s.Rows)
+}
+
+// fillRow boxes global live row i into dst, which must have the side's
+// column width. offs is the side's batchOffsets (ignored for rows).
+func (s JoinSide) fillRow(i int, dst value.Row, offs []int) {
+	if s.Batches != nil {
+		b, phys := batchRowAt(s.Batches, offs, i)
+		b.FillRow(phys, dst)
+		return
+	}
+	copy(dst, s.Rows[i])
+}
+
+// HashJoinParallel executes an inner or left-outer hash join with
+// morsel-parallel build and probe phases. The build side is hashed into
+// per-morsel partial tables holding row indices; probe morsels scan the
+// partials in morsel order, so a probe row's matches come out in
+// build-input order — exactly the serial HashJoin's chain order — and
+// probe outputs concatenate in probe-input order. residual is evaluated on
+// the combined row: for inner joins it filters matches (the serial plan's
+// post-join Filter), for left-outer joins it decides whether a build row
+// counts as a match before null-extension. Row- and batch-backed sides
+// produce byte-identical output: global row ordinals, key values, hashes
+// and emission order are the same either way.
 func HashJoinParallel(ctx context.Context, pool *Pool, width, morselSize int, stats *Counters,
-	kind JoinKind, left, right []value.Row, leftKeys, rightKeys []expr.Expr,
+	kind JoinKind, left, right JoinSide, leftKeys, rightKeys []expr.Expr,
 	residual expr.Expr, rightWidth int) ([]value.Row, error) {
 	if kind != JoinInner && kind != JoinLeftOuter {
 		return nil, fmt.Errorf("parallel hash join does not support %s joins", kind)
@@ -248,47 +313,101 @@ func HashJoinParallel(ctx context.Context, pool *Pool, width, morselSize int, st
 		size = DefaultMorselSize
 	}
 
+	var lOffs, rOffs []int
+	if left.Batches != nil {
+		lOffs = batchOffsets(left.Batches)
+	}
+	if right.Batches != nil {
+		rOffs = batchOffsets(right.Batches)
+	}
+	lkp, rkp := planKeys(leftKeys), planKeys(rightKeys)
+	nLeft, nRight := left.length(), right.length()
+
 	// Build phase: per-morsel hash tables of row indices plus the evaluated
 	// key values (evaluated once, reused by every probe comparison).
 	type buildPartial struct {
 		table map[uint64][]int
 	}
-	rightVals := make([][]value.Value, len(right))
-	nb := (len(right) + size - 1) / size
+	rightVals := make([][]value.Value, nRight)
+	nb := (nRight + size - 1) / size
 	buildParts := make([]*buildPartial, nb)
 	if nb > 0 {
 		workers, err := pool.Run(ctx, nb, width, func(_ context.Context, m int) error {
 			lo := m * size
 			hi := lo + size
-			if hi > len(right) {
-				hi = len(right)
+			if hi > nRight {
+				hi = nRight
 			}
 			bp := &buildPartial{table: map[uint64][]int{}}
 			// One slab per morsel: the retained per-row key slices are carved
 			// from it instead of allocating len(rightKeys) values per row.
 			slab := make([]value.Value, (hi-lo)*len(rightKeys))
-			for i := lo; i < hi; i++ {
-				vals := slab[:len(rightKeys):len(rightKeys)]
-				slab = slab[len(rightKeys):]
-				var h uint64 = 1469598103934665603
-				hasNull := false
-				for k, ke := range rightKeys {
-					v, err := ke.Eval(right[i])
-					if err != nil {
-						return err
+			if right.Batches != nil {
+				var scratch value.Row
+				i := lo
+				for _, seg := range batchSegments(right.Batches, rOffs, lo, hi) {
+					b := seg.b
+					if rkp.needRow && len(scratch) < len(b.Cols) {
+						//lint:ignore hotalloc guarded by the length check: every batch shares the schema, so this allocates once per morsel, not per segment
+						scratch = make(value.Row, len(b.Cols))
 					}
-					if v.IsNull() {
-						hasNull = true
-						break
+					for k := seg.lo; k < seg.hi; k++ {
+						phys := b.RowIndex(k)
+						if rkp.needRow {
+							fillScratch(b, phys, scratch, rkp.fill)
+						}
+						vals := slab[:len(rightKeys):len(rightKeys)]
+						slab = slab[len(rightKeys):]
+						var h uint64 = 1469598103934665603
+						hasNull := false
+						for ki, ke := range rightKeys {
+							var v value.Value
+							if ord := rkp.cols[ki]; ord >= 0 && ord < len(b.Cols) {
+								v = b.Cols[ord].Value(phys)
+							} else {
+								var err error
+								if v, err = ke.Eval(scratch); err != nil {
+									return err
+								}
+							}
+							if v.IsNull() {
+								hasNull = true
+								break
+							}
+							vals[ki] = v
+							h = h*1099511628211 ^ v.Hash()
+						}
+						if !hasNull { // NULL keys never match
+							rightVals[i] = vals
+							bp.table[h] = append(bp.table[h], i)
+						}
+						i++
 					}
-					vals[k] = v
-					h = h*1099511628211 ^ v.Hash()
 				}
-				if hasNull {
-					continue // NULL keys never match
+			} else {
+				for i := lo; i < hi; i++ {
+					vals := slab[:len(rightKeys):len(rightKeys)]
+					slab = slab[len(rightKeys):]
+					var h uint64 = 1469598103934665603
+					hasNull := false
+					for k, ke := range rightKeys {
+						v, err := ke.Eval(right.Rows[i])
+						if err != nil {
+							return err
+						}
+						if v.IsNull() {
+							hasNull = true
+							break
+						}
+						vals[k] = v
+						h = h*1099511628211 ^ v.Hash()
+					}
+					if hasNull {
+						continue // NULL keys never match
+					}
+					rightVals[i] = vals
+					bp.table[h] = append(bp.table[h], i)
 				}
-				rightVals[i] = vals
-				bp.table[h] = append(bp.table[h], i)
 			}
 			buildParts[m] = bp
 			return nil
@@ -300,37 +419,25 @@ func HashJoinParallel(ctx context.Context, pool *Pool, width, morselSize int, st
 	}
 
 	// Probe phase: each morsel emits its combined rows independently;
-	// outputs concatenate in morsel order.
-	np := (len(left) + size - 1) / size
+	// outputs concatenate in morsel order. probeMatches runs the shared
+	// match-emit sequence once the probe row's hash and key values are
+	// known; fillLeft boxes the probe row into a combined output row only
+	// when a match (or null-extension) actually emits.
+	np := (nLeft + size - 1) / size
 	outs := make([][]value.Row, np)
 	if np > 0 {
 		workers, err := pool.Run(ctx, np, width, func(_ context.Context, m int) error {
 			lo := m * size
 			hi := lo + size
-			if hi > len(left) {
-				hi = len(left)
+			if hi > nLeft {
+				hi = nLeft
 			}
 			// Probe rows emit at least no rows and usually about one; hi-lo
 			// is the right capacity order. vals is scratch, reused per row —
 			// matches copy from the row slices, never from vals.
 			out := make([]value.Row, 0, hi-lo)
 			vals := make([]value.Value, len(leftKeys))
-			for li := lo; li < hi; li++ {
-				l := left[li]
-				var h uint64 = 1469598103934665603
-				hasNull := false
-				for k, ke := range leftKeys {
-					v, err := ke.Eval(l)
-					if err != nil {
-						return err
-					}
-					if v.IsNull() {
-						hasNull = true
-						break
-					}
-					vals[k] = v
-					h = h*1099511628211 ^ v.Hash()
-				}
+			probeMatches := func(h uint64, hasNull bool, lw int, fillLeft func(dst value.Row)) error {
 				matched := false
 				if !hasNull {
 					for _, bp := range buildParts {
@@ -346,9 +453,9 @@ func HashJoinParallel(ctx context.Context, pool *Pool, width, morselSize int, st
 							if !eq {
 								continue
 							}
-							combined := make(value.Row, len(l)+rightWidth)
-							copy(combined, l)
-							copy(combined[len(l):], right[ri])
+							combined := make(value.Row, lw+rightWidth)
+							fillLeft(combined[:lw])
+							right.fillRow(ri, combined[lw:], rOffs)
 							if residual != nil {
 								keep, err := expr.Truthy(residual, combined)
 								if err != nil {
@@ -364,12 +471,79 @@ func HashJoinParallel(ctx context.Context, pool *Pool, width, morselSize int, st
 					}
 				}
 				if kind == JoinLeftOuter && !matched {
-					combined := make(value.Row, len(l)+rightWidth)
-					copy(combined, l)
+					combined := make(value.Row, lw+rightWidth)
+					fillLeft(combined[:lw])
 					for i := 0; i < rightWidth; i++ {
-						combined[len(l)+i] = value.Null
+						combined[lw+i] = value.Null
 					}
 					out = append(out, combined)
+				}
+				return nil
+			}
+			if left.Batches != nil {
+				var scratch value.Row
+				var fb *value.Batch // fillLeft captures fb/fphys, not loop vars
+				var fphys int
+				fillLeft := func(dst value.Row) { fb.FillRow(fphys, dst) }
+				for _, seg := range batchSegments(left.Batches, lOffs, lo, hi) {
+					b := seg.b
+					if lkp.needRow && len(scratch) < len(b.Cols) {
+						//lint:ignore hotalloc guarded by the length check: every batch shares the schema, so this allocates once per morsel, not per segment
+						scratch = make(value.Row, len(b.Cols))
+					}
+					for k := seg.lo; k < seg.hi; k++ {
+						phys := b.RowIndex(k)
+						if lkp.needRow {
+							fillScratch(b, phys, scratch, lkp.fill)
+						}
+						var h uint64 = 1469598103934665603
+						hasNull := false
+						for ki, ke := range leftKeys {
+							var v value.Value
+							if ord := lkp.cols[ki]; ord >= 0 && ord < len(b.Cols) {
+								v = b.Cols[ord].Value(phys)
+							} else {
+								var err error
+								if v, err = ke.Eval(scratch); err != nil {
+									return err
+								}
+							}
+							if v.IsNull() {
+								hasNull = true
+								break
+							}
+							vals[ki] = v
+							h = h*1099511628211 ^ v.Hash()
+						}
+						fb, fphys = b, phys
+						if err := probeMatches(h, hasNull, len(b.Cols), fillLeft); err != nil {
+							return err
+						}
+					}
+				}
+			} else {
+				var lrow value.Row // fillLeft captures lrow, not the loop var
+				fillLeft := func(dst value.Row) { copy(dst, lrow) }
+				for li := lo; li < hi; li++ {
+					l := left.Rows[li]
+					var h uint64 = 1469598103934665603
+					hasNull := false
+					for k, ke := range leftKeys {
+						v, err := ke.Eval(l)
+						if err != nil {
+							return err
+						}
+						if v.IsNull() {
+							hasNull = true
+							break
+						}
+						vals[k] = v
+						h = h*1099511628211 ^ v.Hash()
+					}
+					lrow = l
+					if err := probeMatches(h, hasNull, len(l), fillLeft); err != nil {
+						return err
+					}
 				}
 			}
 			outs[m] = out

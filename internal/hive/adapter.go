@@ -1,6 +1,8 @@
 package hive
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 	"sync"
@@ -277,7 +279,8 @@ func (h *HadoopAdapter) CallFunction(config map[string]string, schema *value.Sch
 	if err != nil {
 		return nil, err
 	}
-	if _, err := h.server.MR.Run(job); err != nil {
+	//lint:ignore ctxflow fed.Adapter.CallFunction is a context-free boundary; the simulated cluster owns this root
+	if _, err := h.server.MR.RunCtx(context.Background(), job); err != nil {
 		return nil, err
 	}
 	defer func() { _ = h.server.MS.Cluster().Remove(job.Output) }()

@@ -1,6 +1,8 @@
 package hive
 
 import (
+	"context"
+
 	"fmt"
 	"strconv"
 	"strings"
@@ -60,7 +62,7 @@ func (x *Executor) finish(sel *sqlparse.SelectStmt, rel *interRel) (*value.Rows,
 		if err != nil {
 			return nil, err
 		}
-		it = &exec.Filter{In: it, Pred: pred}
+		it = exec.FilterIter(it, pred)
 	}
 	out := &value.Schema{}
 	var exprs []expr.Expr
@@ -72,7 +74,7 @@ func (x *Executor) finish(sel *sqlparse.SelectStmt, rel *interRel) (*value.Rows,
 		exprs = append(exprs, be)
 		out.Cols = append(out.Cols, value.Column{Name: itemName(item), Kind: kindOf(item.Expr, rows.Schema), Nullable: true})
 	}
-	it = &exec.Project{In: it, Exprs: exprs, Out: out}
+	it = exec.ProjectIter(it, exprs, out)
 	if sel.Distinct {
 		it = &exec.Distinct{In: it}
 	}
@@ -363,7 +365,8 @@ func (x *Executor) mrAggregate(sel *sqlparse.SelectStmt, rel *interRel) (*value.
 		Combine: merge,
 		Reduce:  merge,
 	}
-	if _, err := x.mr.Run(job); err != nil {
+	//lint:ignore ctxflow the hive executor runs behind the context-free fed.Adapter.Query boundary
+	if _, err := x.mr.RunCtx(context.Background(), job); err != nil {
 		return nil, nil, nil, err
 	}
 	defer func() { _ = x.ms.cluster.Remove(out) }()

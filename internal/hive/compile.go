@@ -1,6 +1,8 @@
 package hive
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -197,7 +199,8 @@ func (x *Executor) planLeaf(t *sqlparse.TableRef, pool *[]expr.Expr) (*interRel,
 		Output: out,
 		Map:    filterMap(schema, pred),
 	}
-	if _, err := x.mr.Run(job); err != nil {
+	//lint:ignore ctxflow the hive executor runs behind the context-free fed.Adapter.Query boundary
+	if _, err := x.mr.RunCtx(context.Background(), job); err != nil {
 		return nil, err
 	}
 	return &interRel{dir: out, schema: schema, temps: []string{out}}, nil
@@ -279,7 +282,8 @@ func (x *Executor) joinRels(l, r *interRel, pool *[]expr.Expr, outer bool, on ex
 		},
 		Reduce: joinReduce(l.schema, r.schema, rightWidth, outer, res),
 	}
-	if _, err := x.mr.Run(job); err != nil {
+	//lint:ignore ctxflow the hive executor runs behind the context-free fed.Adapter.Query boundary
+	if _, err := x.mr.RunCtx(context.Background(), job); err != nil {
 		return nil, err
 	}
 	temps := append(append([]string{}, l.temps...), r.temps...)
@@ -474,7 +478,8 @@ func (x *Executor) applyTransform(rel *interRel, tf hiveTransform) (*interRel, e
 			}
 		},
 	}
-	if _, err := x.mr.Run(job); err != nil {
+	//lint:ignore ctxflow the hive executor runs behind the context-free fed.Adapter.Query boundary
+	if _, err := x.mr.RunCtx(context.Background(), job); err != nil {
 		return nil, err
 	}
 	temps := append(append([]string{}, rel.temps...), innerDir, out)

@@ -34,8 +34,18 @@ var HotRoots = []string{
 	"hana/internal/exec.NestedLoopJoin.Next",
 	"hana/internal/exec.hashKeys",
 	"hana/internal/exec.Pool.Run",
+	// exec: batch operators — NextBatch runs once per morsel, but the loops
+	// inside touch every row, and batchRows.next is the row-compat shim that
+	// runs per row when a row consumer drains a batch producer.
+	"hana/internal/exec.BatchSlice.NextBatch",
+	"hana/internal/exec.Batches.NextBatch",
+	"hana/internal/exec.BatchFilter.NextBatch",
+	"hana/internal/exec.BatchProject.NextBatch",
+	"hana/internal/exec.batchRows.next",
+	"hana/internal/exec.drainBatchRows",
 	// engine: the morsel scan loop and MVCC row materialization.
 	"hana/internal/engine.planner.scanParts",
+	"hana/internal/engine.planner.scanPartsVec",
 	"hana/internal/engine.partition.visibleRows",
 	"hana/internal/engine.partition.visibleRowsRange",
 	// colstore: column scans and the stats loops the planner runs per query.
@@ -45,6 +55,10 @@ var HotRoots = []string{
 	"hana/internal/colstore.Table.Scan",
 	"hana/internal/colstore.Table.ScanRange",
 	"hana/internal/colstore.Table.ScanColumns",
+	// colstore: vector decode — FillVec dispatches to the per-encoding fill
+	// loops, which run once per row of every scanned morsel.
+	"hana/internal/colstore.Column.FillVec",
+	"hana/internal/colstore.Table.ReadBatch",
 	// expr: every Eval implementation runs once per row per node.
 	"hana/internal/expr.ColRef.Eval",
 	"hana/internal/expr.Literal.Eval",
@@ -57,10 +71,23 @@ var HotRoots = []string{
 	"hana/internal/expr.Like.Eval",
 	"hana/internal/expr.CaseWhen.Eval",
 	"hana/internal/expr.Truthy",
+	// expr: vectorized predicate kernels. compileTri roots the kernel
+	// closures (they are declared inside the compile* helpers); applyKernels
+	// and SelectBatch drive them per row of every batch.
+	"hana/internal/expr.SelectBatch",
+	"hana/internal/expr.EvalBatch",
+	"hana/internal/expr.applyKernels",
+	"hana/internal/expr.compileTri",
 	// value: per-row comparison and hashing leaves.
 	"hana/internal/value.Compare",
 	"hana/internal/value.Value.Hash",
 	"hana/internal/value.Equal",
 	"hana/internal/value.Row.Hash",
 	"hana/internal/value.Row.EqualAt",
+	// value: batch access leaves — FillRow/Value run once per row whenever a
+	// batch crosses back into the row world.
+	"hana/internal/value.Batch.FillRow",
+	"hana/internal/value.Batch.MaterializeRows",
+	"hana/internal/value.Vec.Value",
+	"hana/internal/value.BatchFromRows",
 }

@@ -79,6 +79,7 @@ func Analyzers() []*Analyzer {
 		LockOrder,
 		CtxFlow,
 		ResLeak,
+		DepAPI,
 		HotAlloc,
 		BoxVal,
 		StringCmp,

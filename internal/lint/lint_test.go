@@ -202,7 +202,8 @@ func TestFilterPatterns(t *testing.T) {
 	}
 	sort.Strings(paths)
 	want := []string{
-		"hana/internal/ctxflow", "hana/internal/diskstore",
+		"hana/internal/ctxflow", "hana/internal/depapi",
+		"hana/internal/depapi/api", "hana/internal/diskstore",
 		"hana/internal/engine", "hana/internal/faults",
 		"hana/internal/remote", "hana/internal/txn",
 	}

@@ -1,0 +1,41 @@
+// Fixture: the API package whose Deprecated surface depapi polices.
+package api
+
+import "context"
+
+// Store is a toy engine with a deprecated compatibility surface.
+type Store struct{}
+
+// Exec is the legacy entry point.
+//
+// Deprecated: use ExecContext.
+func (s *Store) Exec(sql string) error { return s.ExecContext(context.Background(), sql) }
+
+// ExecContext runs sql under the caller's context.
+func (s *Store) ExecContext(ctx context.Context, sql string) error { return ctx.Err() }
+
+// Open is the legacy constructor.
+//
+// Deprecated: use OpenPath — it validates the directory.
+func Open() *Store { return &Store{} }
+
+// OpenPath opens a store rooted at dir.
+func OpenPath(dir string) *Store { return &Store{} }
+
+// Scanner is the row-at-a-time operator kept for compatibility.
+//
+// Deprecated: use ScanIter, which picks the batch path when available.
+type Scanner struct {
+	SQL string
+}
+
+// ScanIter builds the preferred scan operator.
+func ScanIter(sql string) *Scanner { return &Scanner{SQL: sql} }
+
+// internalUser lives in the declaring package: exempt, wrappers and their
+// pinning tests need to reach the legacy path.
+func internalUser(s *Store) error {
+	_ = &Scanner{SQL: "SELECT 1"}
+	_ = Open()
+	return s.Exec("SELECT 1")
+}

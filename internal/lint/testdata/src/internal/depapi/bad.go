@@ -1,0 +1,17 @@
+// Fixture: legacy-API usage the depapi analyzer must flag.
+package depapi
+
+import (
+	"hana/internal/depapi/api"
+)
+
+// legacyCalls drives the deprecated functions from outside their package.
+func legacyCalls() error {
+	s := api.Open()                // want depapi
+	return s.Exec("SELECT 1")      // want depapi
+}
+
+// legacyLiteral constructs the deprecated operator type directly.
+func legacyLiteral() *api.Scanner {
+	return &api.Scanner{SQL: "SELECT 1"} // want depapi
+}

@@ -1,0 +1,26 @@
+// Fixture: replacement-API usage the depapi analyzer must accept.
+package depapi
+
+import (
+	"context"
+
+	"hana/internal/depapi/api"
+)
+
+// modern uses the replacements the Deprecated markers name.
+func modern(ctx context.Context) error {
+	s := api.OpenPath("/data")
+	_ = api.ScanIter("SELECT 1")
+	return s.ExecContext(ctx, "SELECT 1")
+}
+
+// suppressed documents a deliberate legacy call.
+func suppressed(s *api.Store) error {
+	//lint:ignore depapi exercising the legacy path on purpose
+	return s.Exec("SELECT 1")
+}
+
+// Bridge is itself Deprecated: wrapper chains may stay on the old surface.
+//
+// Deprecated: use modern.
+func Bridge(s *api.Store) error { return s.Exec("SELECT 1") }

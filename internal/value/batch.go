@@ -1,0 +1,218 @@
+package value
+
+// Columnar batches: the unit of vectorized execution (ROADMAP item 2).
+//
+// A Batch carries a morsel's worth of rows in columnar form — one typed Vec
+// per schema column plus a selection vector — so operators can evaluate
+// predicates and aggregates over primitive arrays (and, for VARCHAR, over
+// dictionary codes) instead of materialized Value rows. Batches are built
+// per morsel, so the byte-identical-at-any-width determinism contract is
+// unchanged: batch boundaries depend only on input size, and downstream
+// merges still happen in morsel-index order.
+
+// Vec is one typed column vector of a Batch. Exactly one payload family is
+// populated, chosen by Kind:
+//
+//   - KindBool, KindInt, KindDate, KindTimestamp: Ints (the Value.I payload)
+//   - KindDouble: Floats
+//   - KindVarchar: either Strs (materialized), or Codes+Dict (dictionary
+//     encoded, the compressed form handed up by the column store)
+//   - any kind: Vals, the boxed escape hatch for columns whose stored values
+//     do not all match the declared kind; kernels treat such vectors like
+//     rows, so nothing is re-coerced and results stay byte-identical
+//
+// Nulls is a validity bitmap (bit i set = row i is NULL); nil means no row
+// is NULL. Dict slices are shared with the owning store and must be treated
+// as immutable; payload slices are either freshly decoded per batch or
+// sliced from append-only store arrays whose visible prefix never mutates.
+type Vec struct {
+	Kind   Kind
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Codes  []uint32
+	Dict   []string
+	Vals   []Value  // boxed fallback; when non-nil all other payloads are unset
+	Sorted bool     // Dict is sorted ascending (main-fragment dictionary)
+	Nulls  []uint64 // validity bitmap; bit i set = NULL; nil = no nulls
+	Pruned bool     // column dropped by late materialization; reads yield NULL
+}
+
+// Null reports whether row i of the vector is NULL.
+func (v *Vec) Null(i int) bool {
+	if v.Pruned {
+		return true
+	}
+	if v.Vals != nil {
+		return v.Vals[i].K == KindNull
+	}
+	if v.Nulls == nil {
+		return false
+	}
+	w := i >> 6
+	if w >= len(v.Nulls) {
+		return false
+	}
+	return v.Nulls[w]&(1<<(uint(i)&63)) != 0
+}
+
+// SetNull marks row i NULL. EnsureNulls must have been called with a
+// capacity covering i.
+func (v *Vec) SetNull(i int) { v.Nulls[i>>6] |= 1 << (uint(i) & 63) }
+
+// EnsureNulls allocates the validity bitmap for n rows if absent.
+func (v *Vec) EnsureNulls(n int) {
+	if v.Nulls == nil {
+		v.Nulls = make([]uint64, (n+63)/64)
+	}
+}
+
+// HasNulls reports whether any bit of the validity bitmap is set.
+func (v *Vec) HasNulls() bool {
+	for _, w := range v.Nulls {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Str returns the string payload of row i without boxing. Valid only for
+// VARCHAR vectors with a non-NULL row i.
+func (v *Vec) Str(i int) string {
+	if v.Vals != nil {
+		return v.Vals[i].S
+	}
+	if v.Dict != nil {
+		return v.Dict[v.Codes[i]]
+	}
+	return v.Strs[i]
+}
+
+// Value boxes row i as a Value, exactly as the row-at-a-time store getters
+// would: dictionary codes decode through the shared dictionary, integer-like
+// kinds carry their payload in I. Pruned columns yield NULL.
+func (v *Vec) Value(i int) Value {
+	if v.Pruned {
+		return Null
+	}
+	if v.Vals != nil {
+		return v.Vals[i]
+	}
+	if v.Null(i) {
+		return Null
+	}
+	switch v.Kind {
+	case KindDouble:
+		return Value{K: KindDouble, F: v.Floats[i]}
+	case KindVarchar:
+		return Value{K: KindVarchar, S: v.Str(i)}
+	default:
+		return Value{K: v.Kind, I: v.Ints[i]}
+	}
+}
+
+// Batch is a columnar batch of N physical rows. Sel, when non-nil, lists the
+// live physical row indices in ascending order (filtered batches keep their
+// payload untouched and shrink the selection instead); a nil Sel means all
+// N rows are live.
+type Batch struct {
+	Schema *Schema
+	Cols   []Vec
+	Sel    []int32
+	N      int
+}
+
+// Len returns the number of live (selected) rows.
+func (b *Batch) Len() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return b.N
+}
+
+// RowIndex returns the physical row index of the k-th live row.
+func (b *Batch) RowIndex(k int) int {
+	if b.Sel != nil {
+		return int(b.Sel[k])
+	}
+	return k
+}
+
+// FillRow materializes physical row i into dst, which must have
+// len(b.Cols) capacity. It boxes every column, pruned ones as NULL.
+func (b *Batch) FillRow(i int, dst Row) {
+	for c := range b.Cols {
+		dst[c] = b.Cols[c].Value(i)
+	}
+}
+
+// MaterializeRows decodes every live row into freshly allocated Rows backed
+// by a single Value slab (two allocations per batch, none per row). This is
+// the late-materialization boundary: it runs only after predicates have
+// shrunk the selection.
+func (b *Batch) MaterializeRows() []Row {
+	n := b.Len()
+	w := len(b.Cols)
+	rows := make([]Row, n)
+	slab := make([]Value, n*w)
+	for k := 0; k < n; k++ {
+		r := slab[k*w : (k+1)*w : (k+1)*w]
+		b.FillRow(b.RowIndex(k), r)
+		rows[k] = r
+	}
+	return rows
+}
+
+// BatchFromRows builds a fully materialized batch from rows: integer-like
+// and double kinds land in primitive arrays, VARCHAR stays as Strs (no
+// dictionary). Row stores and remote sources use it to enter the vectorized
+// path. NULLs set validity bits. A column whose values do not all carry the
+// declared kind switches to the boxed Vals form so nothing is re-coerced.
+func BatchFromRows(schema *Schema, rows []Row) *Batch {
+	n := len(rows)
+	b := &Batch{Schema: schema, Cols: make([]Vec, len(schema.Cols)), N: n}
+	for c := range schema.Cols {
+		v := &b.Cols[c]
+		v.Kind = schema.Cols[c].Kind
+		switch v.Kind {
+		case KindDouble:
+			v.Floats = make([]float64, n)
+		case KindVarchar:
+			v.Strs = make([]string, n)
+		default:
+			v.Ints = make([]int64, n)
+		}
+		for i := 0; i < n; i++ {
+			x := rows[i][c]
+			if x.K == KindNull {
+				v.EnsureNulls(n)
+				v.SetNull(i)
+				continue
+			}
+			if x.K != v.Kind {
+				boxColumn(v, rows, c, n)
+				break
+			}
+			switch v.Kind {
+			case KindDouble:
+				v.Floats[i] = x.F
+			case KindVarchar:
+				v.Strs[i] = x.S
+			default:
+				v.Ints[i] = x.I
+			}
+		}
+	}
+	return b
+}
+
+// boxColumn rewrites column c of the batch into boxed form, copying the
+// stored values verbatim.
+func boxColumn(v *Vec, rows []Row, c, n int) {
+	v.Ints, v.Floats, v.Strs, v.Nulls = nil, nil, nil, nil
+	v.Vals = make([]Value, n)
+	for i := 0; i < n; i++ {
+		v.Vals[i] = rows[i][c]
+	}
+}
