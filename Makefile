@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-self lint-hot lint-graph lint-selftest test race chaos chaos-recovery bench bench-smoke bench-alloc bench-vector check
+.PHONY: all build vet lint lint-self lint-hot lint-graph lint-selftest test race chaos chaos-recovery chaos-dist bench bench-smoke bench-alloc bench-vector bench-dist check
 
 all: check
 
@@ -61,7 +61,15 @@ race:
 # schedules against the full federated stack, run repeatedly under the
 # race detector. See DESIGN.md "Fault model" for the site names.
 chaos:
-	$(GO) test -race -count=3 ./internal/chaos
+	$(GO) test -race -count=3 -skip 'TestDist' ./internal/chaos
+
+# Distributed-execution chaos (internal/chaos dist tests): worker death
+# mid-fragment with replica failover, all-replicas-down clean failure,
+# transient worker faults absorbed by the guarded caller, and 2PC across
+# worker participants — every completed query byte-identical, every
+# failure classified, never a hang.
+chaos-dist:
+	$(GO) test -race -count=2 -run 'TestDist' ./internal/chaos
 
 # Kill-at-random-point crash-recovery matrix (internal/chaos crashpoint
 # harness): seeded workloads wedged at every WAL/checkpoint fault site,
@@ -95,5 +103,11 @@ bench-alloc:
 bench-vector:
 	$(GO) run ./cmd/benchpar -sf 0.1 -workers 4 -iters 3 -vector BENCH_vector.json
 
+# Distributed scale-out benchmark at SF 0.1: the scan/agg/join workloads on
+# a sharded fleet at 1, 2 and 4 shards against the single-node baseline,
+# ns/op per workload per shard count.
+bench-dist:
+	$(GO) run ./cmd/benchpar -sf 0.1 -workers 4 -iters 3 -dist BENCH_dist.json
+
 # Everything CI runs.
-check: build vet lint lint-self lint-hot lint-selftest race chaos chaos-recovery
+check: build vet lint lint-self lint-hot lint-selftest race chaos chaos-recovery chaos-dist

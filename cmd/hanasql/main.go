@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	hanasql [-ext DIR] [-f script.sql]
+//	hanasql [-ext DIR] [-shards N] [-f script.sql]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"hana/internal/dist"
 	"hana/internal/engine"
 	"hana/internal/hive"
 	"hana/internal/value"
@@ -23,10 +24,15 @@ import (
 
 func main() {
 	extDir := flag.String("ext", "", "extended storage directory (default: temp)")
+	shards := flag.Int("shards", 0, "run sharded across N in-process workers (0 = single-node)")
 	script := flag.String("f", "", "execute a script file and exit")
 	flag.Parse()
 
-	e := engine.New(engine.Config{ExtendedStorageDir: *extDir, EnableRemoteCache: true})
+	e := engine.New(engine.Config{
+		ExtendedStorageDir: *extDir,
+		EnableRemoteCache:  true,
+		Topology:           dist.Topology{Shards: *shards},
+	})
 	e.Registry().Register("hiveodbc", hive.NewAdapterFactory())
 	e.Registry().Register("hadoop", hive.NewHadoopAdapterFactory())
 

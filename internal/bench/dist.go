@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"hana/internal/dist"
+	"hana/internal/engine"
+	"hana/internal/tpch"
+)
+
+// The scale-out benchmark: the same TPC-H workloads on a sharded
+// coordinator/worker fleet at increasing shard counts, each measured
+// against the identical query pinned local on the same engine
+// (engine.WithLocalOnly), so the only variable is the exchange. Results
+// land in BENCH_dist.json via cmd/benchpar -dist.
+
+// DistWorkloads are the measured queries, chosen so each exercises one
+// distributed operator: Scan ships the filter and merges the shard streams
+// by global sequence; Agg ships exactly-mergeable partials (COUNT/MIN/MAX)
+// per shard; Join broadcasts the small build side and probes sharded.
+var DistWorkloads = []struct {
+	Name string
+	SQL  string
+}{
+	{"scan", `SELECT l_orderkey, l_extendedprice FROM lineitem WHERE l_extendedprice > 4000 AND l_discount > 0.05`},
+	{"agg", `SELECT l_returnflag, l_linestatus, COUNT(*), MIN(l_orderkey), MAX(l_orderkey)
+		FROM lineitem GROUP BY l_returnflag, l_linestatus`},
+	{"join", `SELECT COUNT(*) FROM lineitem, orders
+		WHERE l_orderkey = o_orderkey AND o_orderpriority = '1-URGENT'`},
+}
+
+// DistResult is one workload's measurement at one shard count.
+type DistResult struct {
+	Workload string  `json:"workload"`
+	Shards   int     `json:"shards"`
+	Rows     int     `json:"rows"`
+	LocalMS  float64 `json:"local_ms"`
+	DistMS   float64 `json:"dist_ms"`
+	// Speedup is local/dist wall clock; in-process workers share the host,
+	// so this tracks exchange overhead, not cluster scaling.
+	Speedup float64 `json:"speedup"`
+}
+
+// DistReport is the BENCH_dist.json payload.
+type DistReport struct {
+	SF         float64      `json:"sf"`
+	NumCPU     int          `json:"num_cpu"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Workers    int          `json:"workers"`
+	Iterations int          `json:"iterations"`
+	Results    []DistResult `json:"results"`
+}
+
+// RunDistBench loads the TPC-H fixture once per shard count into a sharded
+// engine and measures every workload distributed vs pinned-local, best of
+// `iters` runs each.
+func RunDistBench(sf float64, seed int64, workers, iters int, shardCounts []int) (*DistReport, error) {
+	data := tpch.Generate(sf, seed)
+	schemas := tpch.Schemas()
+	rep := &DistReport{
+		SF:         sf,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		Iterations: iters,
+	}
+	ctx := context.Background()
+	for _, shards := range shardCounts {
+		extDir, err := os.MkdirTemp("", "benchdist")
+		if err != nil {
+			return nil, err
+		}
+		e := engine.New(engine.Config{
+			ExtendedStorageDir: extDir,
+			Parallelism:        workers,
+			Topology:           dist.Topology{Shards: shards},
+		})
+		for name, rows := range data.Tables {
+			if err := createLocal(e, name, schemas[name], rows); err != nil {
+				os.RemoveAll(extDir)
+				return nil, fmt.Errorf("shards=%d load %s: %w", shards, name, err)
+			}
+		}
+		best := func(sql string, opts ...engine.ExecOption) (time.Duration, int, error) {
+			min := time.Duration(0)
+			rows := 0
+			for i := 0; i < iters; i++ {
+				start := time.Now()
+				res, err := e.ExecuteContext(ctx, sql, opts...)
+				d := time.Since(start)
+				if err != nil {
+					return 0, 0, err
+				}
+				rows = len(res.Rows)
+				if min == 0 || d < min {
+					min = d
+				}
+			}
+			return min, rows, nil
+		}
+		for _, w := range DistWorkloads {
+			local, _, err := best(w.SQL, engine.WithLocalOnly(), engine.WithParallelism(workers))
+			if err != nil {
+				os.RemoveAll(extDir)
+				return nil, fmt.Errorf("%s local: %w", w.Name, err)
+			}
+			dd, rows, err := best(w.SQL, engine.WithParallelism(workers))
+			if err != nil {
+				os.RemoveAll(extDir)
+				return nil, fmt.Errorf("%s shards=%d: %w", w.Name, shards, err)
+			}
+			speedup := 0.0
+			if dd > 0 {
+				speedup = float64(local) / float64(dd)
+			}
+			rep.Results = append(rep.Results, DistResult{
+				Workload: w.Name,
+				Shards:   shards,
+				Rows:     rows,
+				LocalMS:  float64(local) / float64(time.Millisecond),
+				DistMS:   float64(dd) / float64(time.Millisecond),
+				Speedup:  speedup,
+			})
+		}
+		os.RemoveAll(extDir)
+	}
+	return rep, nil
+}

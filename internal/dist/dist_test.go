@@ -1,0 +1,509 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"hana/internal/faults"
+	"hana/internal/fed"
+	"hana/internal/value"
+)
+
+func intRow(vals ...int64) value.Row {
+	r := make(value.Row, len(vals))
+	for i, v := range vals {
+		r[i] = value.NewInt(v)
+	}
+	return r
+}
+
+func testSchema() *value.Schema {
+	return value.NewSchema(
+		value.Column{Name: "A", Kind: value.KindInt},
+		value.Column{Name: "B", Kind: value.KindInt},
+	)
+}
+
+// seedFleet builds a topology + fleet + transport with table T sharded by
+// column A, rows A=0..n-1, B=A*10, committed at cid 1.
+func seedFleet(t *testing.T, topo Topology, n int, wire bool) *Local {
+	t.Helper()
+	workers := make([]*Worker, topo.Shards)
+	for i := range workers {
+		workers[i] = NewWorker(i, 2, nil)
+		workers[i].Register("T", testSchema())
+	}
+	for i := 0; i < n; i++ {
+		row := intRow(int64(i), int64(i*10))
+		shard := ShardOf(row[0], topo.Shards)
+		for _, owner := range topo.Owners(shard) {
+			if err := workers[owner].LoadCommitted("T", shard, []int64{int64(i)}, []value.Row{row.Clone()}, 1); err != nil {
+				t.Fatalf("seed: %v", err)
+			}
+		}
+	}
+	tr := NewLocal(workers)
+	tr.Wire = wire
+	return tr
+}
+
+func gather(t *testing.T, tr *Local, topo Topology, f *Fragment, fanout int) *GatherResult {
+	t.Helper()
+	c := &Coordinator{Topo: topo, Transport: tr}
+	res, err := c.Gather(context.Background(), f, fanout)
+	if err != nil {
+		t.Fatalf("gather: %v", err)
+	}
+	return res
+}
+
+func TestGatherScanRestoresSerialOrder(t *testing.T) {
+	const n = 10000
+	for _, shards := range []int{2, 3, 4} {
+		for _, wire := range []bool{false, true} {
+			topo := Topology{Shards: shards}
+			tr := seedFleet(t, topo, n, wire)
+			f := &Fragment{Snapshot: 1, Table: "T", Binding: "T", Where: "MOD(A, 3) = 0"}
+			for _, fanout := range []int{0, 1, 2} {
+				res := gather(t, tr, topo, f, fanout)
+				want := int64(0)
+				for i, row := range res.Rows {
+					if row[0].I != want || res.Seqs[i] != want {
+						t.Fatalf("shards=%d wire=%v fanout=%d: row %d = %v seq %d, want A=%d", shards, wire, fanout, i, row, res.Seqs[i], want)
+					}
+					want += 3
+				}
+				if len(res.Rows) != (n+2)/3 {
+					t.Fatalf("shards=%d: got %d rows, want %d", shards, len(res.Rows), (n+2)/3)
+				}
+				if res.Scanned != n {
+					t.Fatalf("shards=%d: scanned %d, want %d", shards, res.Scanned, n)
+				}
+			}
+		}
+	}
+}
+
+func TestSnapshotVisibility(t *testing.T) {
+	topo := Topology{Shards: 2, Replicas: 1}
+	tr := seedFleet(t, topo, 10, false)
+	// Insert a row at cid 5 and delete row seq 0 at cid 7.
+	row := intRow(100, 1000)
+	shard := ShardOf(row[0], 2)
+	w := tr.Worker(topo.Owners(shard)[0])
+	w.BufferInsert(42, "T", shard, 100, row)
+	if err := w.Prepare(42); err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	if err := w.Commit(42, 5); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	shard0 := ShardOf(value.NewInt(0), 2)
+	w0 := tr.Worker(topo.Owners(shard0)[0])
+	w0.BufferDelete(43, "T", shard0, 0)
+	if err := w0.Prepare(43); err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	if err := w0.Commit(43, 7); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+
+	counts := map[uint64]int{1: 10, 5: 11, 7: 10, 9: 10}
+	for snap, want := range counts {
+		res := gather(t, tr, topo, &Fragment{Snapshot: snap, Table: "T", Binding: "T"}, 0)
+		if len(res.Rows) != want {
+			t.Fatalf("snapshot %d: got %d rows, want %d", snap, len(res.Rows), want)
+		}
+	}
+	// Aborted transactions leave nothing behind.
+	w.BufferInsert(44, "T", shard, 200, intRow(200, 2000))
+	if err := w.Abort(44); err != nil {
+		t.Fatalf("abort: %v", err)
+	}
+	res := gather(t, tr, topo, &Fragment{Snapshot: 99, Table: "T", Binding: "T"}, 0)
+	if len(res.Rows) != 10 {
+		t.Fatalf("after abort: got %d rows, want 10", len(res.Rows))
+	}
+}
+
+func TestGatherAggregatePartials(t *testing.T) {
+	const n = 1000
+	topo := Topology{Shards: 3}
+	tr := seedFleet(t, topo, n, true)
+	f := &Fragment{
+		Snapshot: 1, Table: "T", Binding: "T",
+		Agg: &AggFragment{
+			GroupBy: []string{"MOD(A, 7)"},
+			Aggs: []AggCall{
+				{Func: "COUNT"},
+				{Func: "SUM", Arg: "B"},
+				{Func: "MIN", Arg: "A"},
+				{Func: "MAX", Arg: "A"},
+				{Func: "COUNT", Arg: "MOD(A, 2)", Distinct: true},
+			},
+		},
+	}
+	res := gather(t, tr, topo, f, 0)
+	if res.Partial == nil || len(res.Partial.Groups) != 7 {
+		t.Fatalf("got %+v, want 7 groups", res.Partial)
+	}
+	for gi, g := range res.Partial.Groups {
+		// Groups sorted by MinSeq = first-seen order: group key gi at seq gi.
+		if g.Key[0].I != int64(gi) || g.MinSeq != int64(gi) {
+			t.Fatalf("group %d: key %v minseq %d", gi, g.Key, g.MinSeq)
+		}
+		var count, sum int64
+		minA, maxA := int64(-1), int64(-1)
+		for a := int64(gi); a < n; a += 7 {
+			count++
+			sum += a * 10
+			if minA < 0 {
+				minA = a
+			}
+			maxA = a
+		}
+		check := func(i int, fn string, want value.Value) {
+			got, err := g.States[i].result(fn)
+			if err != nil {
+				t.Fatalf("group %d state %d: %v", gi, i, err)
+			}
+			if value.Compare(got, want) != 0 {
+				t.Fatalf("group %d %s: got %v, want %v", gi, fn, got, want)
+			}
+		}
+		check(0, "COUNT", value.NewInt(count))
+		check(1, "SUM", value.NewInt(sum))
+		check(2, "MIN", value.NewInt(minA))
+		check(3, "MAX", value.NewInt(maxA))
+		check(4, "COUNT", value.NewInt(2)) // distinct A%2 values
+	}
+}
+
+func TestGatherBroadcastJoin(t *testing.T) {
+	topo := Topology{Shards: 2}
+	tr := seedFleet(t, topo, 100, true)
+	buildCols := []value.Column{
+		{Name: "R.K", Kind: value.KindInt},
+		{Name: "R.V", Kind: value.KindInt},
+	}
+	var buildRows []value.Row
+	for k := int64(0); k < 100; k += 10 {
+		buildRows = append(buildRows, intRow(k, k+1))
+		buildRows = append(buildRows, intRow(k, k+2)) // duplicate key: two matches
+	}
+	f := &Fragment{
+		Snapshot: 1, Table: "T", Binding: "T",
+		Join: &JoinFragment{
+			ProbeKeys: []string{"A"},
+			BuildKeys: []string{"R.K"},
+			Residual:  "MOD(R.V, 2) = 1",
+			BuildCols: buildCols,
+			BuildRows: buildRows,
+		},
+	}
+	res := gather(t, tr, topo, f, 0)
+	// Each multiple of 10 matches two build rows; residual keeps odd V only.
+	var want []value.Row
+	for k := int64(0); k < 100; k += 10 {
+		v := k + 1
+		if v%2 == 0 {
+			v = k + 2
+		}
+		want = append(want, intRow(k, k*10, k, v))
+	}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(res.Rows[i], want[i]) {
+			t.Fatalf("row %d: got %v, want %v", i, res.Rows[i], want[i])
+		}
+	}
+}
+
+func TestFailoverToReplica(t *testing.T) {
+	topo := Topology{Shards: 3, Replicas: 2}
+	tr := seedFleet(t, topo, 300, false)
+	tr.Worker(1).Kill()
+	c := &Coordinator{Topo: topo, Transport: tr}
+	res, err := c.Gather(context.Background(), &Fragment{Snapshot: 1, Table: "T", Binding: "T"}, 0)
+	if err != nil {
+		t.Fatalf("gather with dead worker: %v", err)
+	}
+	if len(res.Rows) != 300 {
+		t.Fatalf("got %d rows, want 300", len(res.Rows))
+	}
+	if res.Failovers == 0 {
+		t.Fatal("expected at least one failover")
+	}
+	for i, row := range res.Rows {
+		if row[0].I != int64(i) {
+			t.Fatalf("row %d out of order: %v", i, row)
+		}
+	}
+
+	// Two dead workers with Replicas=2 must fail cleanly, not hang or lie.
+	tr.Worker(2).Kill()
+	if _, err := c.Gather(context.Background(), &Fragment{Snapshot: 1, Table: "T", Binding: "T"}, 0); err == nil {
+		t.Fatal("expected failure with two dead workers")
+	}
+	tr.Worker(1).Revive()
+	tr.Worker(2).Revive()
+	if res, err := c.Gather(context.Background(), &Fragment{Snapshot: 1, Table: "T", Binding: "T"}, 0); err != nil || len(res.Rows) != 300 {
+		t.Fatalf("after revive: %v, %d rows", err, len(res.Rows))
+	}
+}
+
+func TestGuardedCallerBreaker(t *testing.T) {
+	topo := Topology{Shards: 2, Replicas: 1}
+	tr := seedFleet(t, topo, 10, false)
+	tr.Worker(1).Kill()
+	health := fed.NewHealth(2, 0)
+	c := &Coordinator{
+		Topo:      topo,
+		Transport: tr,
+		Caller:    &fed.GuardedCall{Health: health, Retry: faults.RetryPolicy{MaxAttempts: 1}, Span: "fragment"},
+	}
+	frag := &Fragment{Snapshot: 1, Table: "T", Binding: "T"}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Gather(context.Background(), frag, 0); err == nil {
+			t.Fatal("expected failure with dead sole replica")
+		}
+	}
+	_, err := c.Gather(context.Background(), frag, 0)
+	if !errors.Is(err, faults.ErrCircuitOpen) {
+		t.Fatalf("expected breaker-open error, got %v", err)
+	}
+}
+
+func TestFragmentWireRoundTrip(t *testing.T) {
+	f := &Fragment{
+		Query: 7, Shard: 2, Snapshot: 99, Width: 4,
+		Table: "LINEITEM", Binding: "L", Where: "L.L_QUANTITY < 24",
+		Agg: &AggFragment{
+			GroupBy: []string{"L.L_RETURNFLAG", "L.L_LINESTATUS"},
+			Aggs:    []AggCall{{Func: "COUNT"}, {Func: "SUM", Arg: "L.L_QUANTITY"}, {Func: "COUNT", Arg: "L.L_ORDERKEY", Distinct: true}},
+		},
+	}
+	got, err := DecodeFragment(f.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", f, got)
+	}
+	j := &Fragment{
+		Table: "ORDERS", Binding: "O",
+		Join: &JoinFragment{
+			ProbeKeys: []string{"O.O_CUSTKEY"},
+			BuildKeys: []string{"C.C_CUSTKEY"},
+			Residual:  "C.C_NAME <> O.O_COMMENT",
+			BuildCols: []value.Column{{Name: "C.C_CUSTKEY", Kind: value.KindInt}, {Name: "C.C_NAME", Kind: value.KindVarchar, Nullable: true}},
+			BuildRows: []value.Row{{value.NewInt(1), value.NewString("x")}},
+		},
+	}
+	got, err = DecodeFragment(j.Encode())
+	if err != nil {
+		t.Fatalf("decode join: %v", err)
+	}
+	if !reflect.DeepEqual(j, got) {
+		t.Fatalf("join round trip mismatch:\n%+v\n%+v", j, got)
+	}
+	// Truncated payloads error instead of panicking.
+	enc := f.Encode()
+	for cut := 1; cut < len(enc); cut += 7 {
+		if _, err := DecodeFragment(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d silently accepted", cut)
+		}
+	}
+}
+
+func TestChunkWireRoundTrip(t *testing.T) {
+	st := newAggState(false)
+	st.add(value.NewInt(5))
+	st.add(value.NewInt(9))
+	dst := newAggState(true)
+	dst.add(value.NewString("a"))
+	dst.add(value.NewString("a"))
+	dst.add(value.NewString("b"))
+	ch := &Chunk{
+		Shard: 1, Worker: 2, Scanned: 77,
+		Seqs: []int64{3, 9},
+		Rows: []value.Row{intRow(1, 2), intRow(3, 4)},
+		Partial: &Partial{Groups: []PartialGroup{
+			{MinSeq: 3, Key: value.Row{value.NewString("g")}, States: []AggState{st, dst}},
+		}},
+	}
+	got, err := DecodeChunk(ch.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Shard != 1 || got.Worker != 2 || got.Scanned != 77 || !reflect.DeepEqual(got.Seqs, ch.Seqs) || !reflect.DeepEqual(got.Rows, ch.Rows) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	g := got.Partial.Groups[0]
+	if v, _ := g.States[0].result("SUM"); v.I != 14 {
+		t.Fatalf("plain state lost: %+v", g.States[0])
+	}
+	if v, _ := g.States[1].result("COUNT"); v.I != 2 {
+		t.Fatalf("distinct state lost: %+v", g.States[1])
+	}
+	// Distinct merge across decoded states unions correctly.
+	other := newAggState(true)
+	other.add(value.NewString("b"))
+	other.add(value.NewString("c"))
+	merged := g.States[1]
+	merged.merge(other)
+	if v, _ := merged.result("COUNT"); v.I != 3 {
+		t.Fatalf("distinct merge after decode: %+v", merged)
+	}
+}
+
+func TestTopologyOwners(t *testing.T) {
+	topo := Topology{Shards: 4, Replicas: 2}
+	for s := 0; s < 4; s++ {
+		owners := topo.Owners(s)
+		want := []int{s, (s + 1) % 4}
+		if !reflect.DeepEqual(owners, want) {
+			t.Fatalf("shard %d owners %v, want %v", s, owners, want)
+		}
+	}
+	if got := (Topology{Shards: 1}).ReplicaCount(); got != 1 {
+		t.Fatalf("single shard replica count %d", got)
+	}
+	if (Topology{Shards: 1}).Enabled() || !(Topology{Shards: 2}).Enabled() {
+		t.Fatal("Enabled thresholds wrong")
+	}
+}
+
+func TestShardOfStable(t *testing.T) {
+	if ShardOf(value.Null, 4) != 0 {
+		t.Fatal("NULL must land on shard 0")
+	}
+	if ShardOf(value.NewInt(42), 1) != 0 {
+		t.Fatal("single shard must be 0")
+	}
+	counts := make([]int, 4)
+	for i := int64(0); i < 4000; i++ {
+		counts[ShardOf(value.NewInt(i), 4)]++
+	}
+	for s, c := range counts {
+		if c < 500 {
+			t.Fatalf("shard %d badly skewed: %d/4000 (%v)", s, c, counts)
+		}
+	}
+}
+
+func TestWorkerFaultSites(t *testing.T) {
+	inj := faults.New(1)
+	inj.FailN("dist.worker.0.exec", 1)
+	w := NewWorker(0, 1, inj)
+	w.Register("T", testSchema())
+	err := w.Execute(context.Background(), &Fragment{Table: "T", Binding: "T", Snapshot: 1}, func(*Chunk) error { return nil })
+	if err == nil || !faults.IsTransient(err) {
+		t.Fatalf("expected injected transient error, got %v", err)
+	}
+}
+
+func TestPrepareFailureVotesNo(t *testing.T) {
+	w := NewWorker(3, 1, nil)
+	w.Register("T", testSchema())
+	w.BufferInsert(9, "MISSING", 0, 1, intRow(1, 2))
+	if err := w.Prepare(9); err == nil {
+		t.Fatal("prepare against unregistered table must vote no")
+	}
+	w.Kill()
+	if err := w.Prepare(9); err == nil {
+		t.Fatal("dead worker must vote no")
+	}
+	if w.Name() != "dist:worker:3" {
+		t.Fatalf("participant name %q", w.Name())
+	}
+}
+
+func TestEmptyShardStreams(t *testing.T) {
+	topo := Topology{Shards: 2, Replicas: 1}
+	workers := []*Worker{NewWorker(0, 1, nil), NewWorker(1, 1, nil)}
+	for _, w := range workers {
+		w.Register("T", testSchema())
+	}
+	tr := NewLocal(workers)
+	res := gather(t, tr, topo, &Fragment{Snapshot: 1, Table: "T", Binding: "T"}, 0)
+	if len(res.Rows) != 0 || res.Scanned != 0 {
+		t.Fatalf("empty fleet returned %+v", res)
+	}
+	// Aggregate over empty shards: zero groups (the engine's post-merge
+	// handles the empty-global-group row).
+	res = gather(t, tr, topo, &Fragment{Snapshot: 1, Table: "T", Binding: "T",
+		Agg: &AggFragment{Aggs: []AggCall{{Func: "COUNT"}}}}, 0)
+	if len(res.Partial.Groups) != 0 {
+		t.Fatalf("empty aggregate returned %+v", res.Partial)
+	}
+}
+
+func TestLoadCommittedIdempotent(t *testing.T) {
+	w := NewWorker(0, 1, nil)
+	w.Register("T", testSchema())
+	rows := []value.Row{intRow(5, 50)}
+	for i := 0; i < 3; i++ {
+		if err := w.LoadCommitted("T", 0, []int64{5}, rows, 1); err != nil {
+			t.Fatalf("load %d: %v", i, err)
+		}
+	}
+	if got := w.ShardRowCount("T", 0, 1); got != 1 {
+		t.Fatalf("idempotent load broken: %d rows", got)
+	}
+}
+
+func TestWorkerTablesListing(t *testing.T) {
+	w := NewWorker(0, 1, nil)
+	w.Register("b", testSchema())
+	w.Register("A", testSchema())
+	if got := w.Tables(); !reflect.DeepEqual(got, []string{"A", "B"}) {
+		t.Fatalf("tables %v", got)
+	}
+	w.Drop("a")
+	if got := w.Tables(); !reflect.DeepEqual(got, []string{"B"}) {
+		t.Fatalf("tables after drop %v", got)
+	}
+}
+
+func TestChunkEmissionOrderWithinWorker(t *testing.T) {
+	// Many morsels on one shard: sequences must still come back ascending.
+	w := NewWorker(0, 4, nil)
+	w.Register("T", testSchema())
+	n := 3*4096 + 17
+	seqs := make([]int64, n)
+	rows := make([]value.Row, n)
+	for i := 0; i < n; i++ {
+		seqs[i] = int64(i)
+		rows[i] = intRow(int64(i), int64(i%5))
+	}
+	if err := w.LoadCommitted("T", 0, seqs, rows, 1); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	var got []int64
+	err := w.Execute(context.Background(), &Fragment{Snapshot: 1, Table: "T", Binding: "T", Where: "B = 2", Width: 4}, func(ch *Chunk) error {
+		got = append(got, ch.Seqs...)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("sequence regression at %d: %d after %d", i, got[i], got[i-1])
+		}
+	}
+	want := 0
+	for i := 0; i < n; i++ {
+		if i%5 == 2 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("got %d rows, want %d", len(got), want)
+	}
+}

@@ -1,0 +1,68 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+
+	"hana/internal/faults"
+)
+
+// ChunkSink receives one exchange chunk; returning an error aborts the
+// worker's stream.
+type ChunkSink func(*Chunk) error
+
+// Transport delivers fragments to workers and streams chunks back. The
+// in-process Local transport is the only implementation today; a net/rpc
+// transport slots in here without touching the planner or coordinator,
+// because fragments and chunks already round-trip through the wire codec.
+type Transport interface {
+	// Workers reports the fleet size.
+	Workers() int
+	// Run executes the fragment on the given worker, streaming chunks to
+	// the sink in order. Errors keep their faults classification so the
+	// coordinator can retry transients and fail over fatals.
+	Run(ctx context.Context, worker int, f *Fragment, sink ChunkSink) error
+}
+
+// Local is the in-process transport: workers are goroutine nodes in the
+// same address space. With Wire set, every fragment and chunk round-trips
+// through the wire codec, exercising exactly the bytes a network transport
+// would ship — the conformance mode the codec tests and chaos suite use.
+type Local struct {
+	workers []*Worker
+	// Wire forces encode/decode round-trips on both directions.
+	Wire bool
+}
+
+// NewLocal builds the in-process transport over the worker fleet.
+func NewLocal(workers []*Worker) *Local {
+	return &Local{workers: workers}
+}
+
+// Workers implements Transport.
+func (l *Local) Workers() int { return len(l.workers) }
+
+// Worker exposes a node for seeding, chaos control and 2PC enlistment.
+func (l *Local) Worker(i int) *Worker { return l.workers[i] }
+
+// Run implements Transport.
+func (l *Local) Run(ctx context.Context, worker int, f *Fragment, sink ChunkSink) error {
+	if worker < 0 || worker >= len(l.workers) {
+		return faults.Fatal(fmt.Errorf("dist: no worker %d in a fleet of %d", worker, len(l.workers)))
+	}
+	w := l.workers[worker]
+	if !l.Wire {
+		return w.Execute(ctx, f, func(ch *Chunk) error { return sink(ch) })
+	}
+	df, err := DecodeFragment(f.Encode())
+	if err != nil {
+		return faults.Fatal(fmt.Errorf("dist: fragment wire round-trip: %w", err))
+	}
+	return w.Execute(ctx, df, func(ch *Chunk) error {
+		dc, err := DecodeChunk(ch.Encode())
+		if err != nil {
+			return faults.Fatal(fmt.Errorf("dist: chunk wire round-trip: %w", err))
+		}
+		return sink(dc)
+	})
+}

@@ -1,0 +1,720 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"hana/internal/exec"
+	"hana/internal/expr"
+	"hana/internal/faults"
+	"hana/internal/sqlparse"
+	"hana/internal/value"
+)
+
+// Worker is one shard node: it holds committed, sequence-tagged copies of
+// the shards it owns (primary or replica), executes fragments over them
+// with its own morsel pool, and participates in the engine's two-phase
+// commit so cross-shard writes land atomically on every replica.
+type Worker struct {
+	id   int
+	pool *exec.Pool
+	inj  *faults.Injector
+
+	mu     sync.RWMutex
+	dead   bool
+	tables map[string]*workerTable // keyed by upper-case table name
+
+	txMu  sync.Mutex
+	txOps map[uint64][]txOp
+}
+
+// workerTable is one table's shard copies plus the schema fragments bind
+// against.
+type workerTable struct {
+	schema *value.Schema
+	shards map[int]*shardCopy
+}
+
+// shardCopy is the replica of one shard: rows ascending by global scan
+// sequence, each stamped with the commit IDs that inserted and (possibly)
+// deleted it — the worker-side mirror of the engine's MVCC visibility.
+type shardCopy struct {
+	rows []shardRow
+}
+
+type shardRow struct {
+	seq int64
+	ins uint64 // inserting commit ID
+	del uint64 // deleting commit ID (0 = live)
+	row value.Row
+}
+
+// morselOut is one scan morsel's surviving rows with their sequences.
+type morselOut struct {
+	rows []value.Row
+	seqs []int64
+}
+
+// txOp is one buffered replicated write awaiting two-phase commit.
+type txOp struct {
+	del   bool
+	table string
+	shard int
+	seq   int64
+	row   value.Row
+}
+
+// NewWorker creates a worker with its own morsel pool of the given width
+// (0 = GOMAXPROCS). The injector drives the worker's fault sites
+// (dist.worker.<id>.exec, .chunk, .prepare, .commit); nil disables them.
+func NewWorker(id, parallelism int, inj *faults.Injector) *Worker {
+	return &Worker{
+		id:     id,
+		pool:   exec.NewPool(parallelism),
+		inj:    inj,
+		tables: map[string]*workerTable{},
+		txOps:  map[uint64][]txOp{},
+	}
+}
+
+// ID returns the worker's index in the topology.
+func (w *Worker) ID() int { return w.id }
+
+// site builds the worker's fault-injection site name for an operation.
+func (w *Worker) site(op string) string {
+	return fmt.Sprintf("dist.worker.%d.%s", w.id, op)
+}
+
+// Kill marks the worker dead: every call fails fatally until Revive. The
+// chaos suite uses this to model node loss mid-query.
+func (w *Worker) Kill() {
+	w.mu.Lock()
+	w.dead = true
+	w.mu.Unlock()
+}
+
+// Revive brings a killed worker back (its shard data is intact — the node
+// "rejoined").
+func (w *Worker) Revive() {
+	w.mu.Lock()
+	w.dead = false
+	w.mu.Unlock()
+}
+
+// Alive reports liveness.
+func (w *Worker) Alive() bool {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return !w.dead
+}
+
+func (w *Worker) downErr() error {
+	return faults.Fatal(fmt.Errorf("dist worker %d is down", w.id))
+}
+
+// Register installs (or resets) a table's schema on the worker. Existing
+// shard data for the name is dropped — the engine reseeds after schema
+// changes.
+func (w *Worker) Register(table string, schema *value.Schema) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.tables[strings.ToUpper(table)] = &workerTable{schema: schema, shards: map[int]*shardCopy{}}
+}
+
+// Drop removes a table's shard copies.
+func (w *Worker) Drop(table string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.tables, strings.ToUpper(table))
+}
+
+// Tables lists the registered table names (sorted, for system views).
+func (w *Worker) Tables() []string {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	out := make([]string, 0, len(w.tables))
+	for name := range w.tables {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ShardRowCount returns the live row count the worker holds for a table
+// shard at the given snapshot.
+func (w *Worker) ShardRowCount(table string, shard int, snapshot uint64) int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	wt := w.tables[strings.ToUpper(table)]
+	if wt == nil {
+		return 0
+	}
+	sc := wt.shards[shard]
+	if sc == nil {
+		return 0
+	}
+	n := 0
+	for _, r := range sc.rows {
+		if r.visible(snapshot) {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *shardRow) visible(snapshot uint64) bool {
+	return r.ins <= snapshot && (r.del == 0 || r.del > snapshot)
+}
+
+// getShard resolves a table's shard copy, creating it on first write.
+func (w *Worker) getShardLocked(table string, shard int) (*shardCopy, error) {
+	wt := w.tables[strings.ToUpper(table)]
+	if wt == nil {
+		return nil, faults.Fatal(fmt.Errorf("worker %d: table %s not registered", w.id, table))
+	}
+	sc := wt.shards[shard]
+	if sc == nil {
+		sc = &shardCopy{}
+		wt.shards[shard] = sc
+	}
+	return sc, nil
+}
+
+// applyInsert lands a committed row at its sequence position. Out-of-order
+// commits (two transactions committing in the reverse of their sequence
+// order) insert in the middle, keeping the copy sorted.
+func (sc *shardCopy) applyInsert(seq int64, cid uint64, row value.Row) {
+	i := sort.Search(len(sc.rows), func(i int) bool { return sc.rows[i].seq >= seq })
+	if i < len(sc.rows) && sc.rows[i].seq == seq {
+		// Idempotent re-delivery (2PC retry): keep the first apply.
+		return
+	}
+	sc.rows = append(sc.rows, shardRow{})
+	copy(sc.rows[i+1:], sc.rows[i:])
+	sc.rows[i] = shardRow{seq: seq, ins: cid, row: row}
+}
+
+func (sc *shardCopy) applyDelete(seq int64, cid uint64) error {
+	i := sort.Search(len(sc.rows), func(i int) bool { return sc.rows[i].seq >= seq })
+	if i >= len(sc.rows) || sc.rows[i].seq != seq {
+		return fmt.Errorf("delete of unknown sequence %d", seq)
+	}
+	if sc.rows[i].del == 0 {
+		sc.rows[i].del = cid
+	}
+	return nil
+}
+
+// LoadCommitted bulk-applies committed rows (initial seeding, BulkLoad
+// mirroring, recovery reseed). seqs and rows are parallel slices.
+func (w *Worker) LoadCommitted(table string, shard int, seqs []int64, rows []value.Row, cid uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dead {
+		return w.downErr()
+	}
+	sc, err := w.getShardLocked(table, shard)
+	if err != nil {
+		return err
+	}
+	for i, r := range rows {
+		sc.applyInsert(seqs[i], cid, r)
+	}
+	return nil
+}
+
+// --- two-phase commit participant ---
+
+// Name implements txn.Participant.
+func (w *Worker) Name() string { return fmt.Sprintf("dist:worker:%d", w.id) }
+
+// BufferInsert queues a replicated insert for the transaction.
+func (w *Worker) BufferInsert(tid uint64, table string, shard int, seq int64, row value.Row) {
+	w.txMu.Lock()
+	defer w.txMu.Unlock()
+	w.txOps[tid] = append(w.txOps[tid], txOp{table: table, shard: shard, seq: seq, row: row})
+}
+
+// BufferDelete queues a replicated delete for the transaction.
+func (w *Worker) BufferDelete(tid uint64, table string, shard int, seq int64) {
+	w.txMu.Lock()
+	defer w.txMu.Unlock()
+	w.txOps[tid] = append(w.txOps[tid], txOp{del: true, table: table, shard: shard, seq: seq})
+}
+
+// Prepare implements txn.Participant: the worker votes yes when it is alive
+// and every buffered write targets a registered table.
+func (w *Worker) Prepare(tid uint64) error {
+	if !w.Alive() {
+		return w.downErr()
+	}
+	if err := w.inj.Check(w.site("prepare")); err != nil {
+		return err
+	}
+	w.txMu.Lock()
+	ops := w.txOps[tid]
+	w.txMu.Unlock()
+	w.mu.RLock()
+	missing := ""
+	for _, op := range ops {
+		if w.tables[strings.ToUpper(op.table)] == nil {
+			missing = op.table
+			break
+		}
+	}
+	w.mu.RUnlock()
+	if missing != "" {
+		return faults.Fatal(fmt.Errorf("worker %d: table %s not registered", w.id, missing))
+	}
+	return nil
+}
+
+// Commit implements txn.Participant: buffered writes become visible at the
+// commit ID on every shard copy this worker holds.
+func (w *Worker) Commit(tid, cid uint64) error {
+	if err := w.inj.Check(w.site("commit")); err != nil {
+		return err
+	}
+	w.txMu.Lock()
+	ops := w.txOps[tid]
+	delete(w.txOps, tid)
+	w.txMu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, op := range ops {
+		sc, err := w.getShardLocked(op.table, op.shard)
+		if err != nil {
+			return err
+		}
+		if op.del {
+			if err := sc.applyDelete(op.seq, cid); err != nil {
+				return fmt.Errorf("worker %d table %s shard %d: %w", w.id, op.table, op.shard, err)
+			}
+		} else {
+			sc.applyInsert(op.seq, cid, op.row)
+		}
+	}
+	return nil
+}
+
+// Abort implements txn.Participant: buffered writes are dropped.
+func (w *Worker) Abort(tid uint64) error {
+	w.txMu.Lock()
+	delete(w.txOps, tid)
+	w.txMu.Unlock()
+	return nil
+}
+
+// --- fragment execution ---
+
+// Execute runs one fragment, streaming result chunks to the sink in morsel
+// order. The sink is called on the worker's goroutine; a sink error aborts
+// the stream.
+func (w *Worker) Execute(ctx context.Context, f *Fragment, sink func(*Chunk) error) error {
+	if !w.Alive() {
+		return w.downErr()
+	}
+	if err := w.inj.Check(w.site("exec")); err != nil {
+		return err
+	}
+	rows, seqs, schema, err := w.snapshotShard(f)
+	if err != nil {
+		return err
+	}
+	pred, err := parsePredicate(f.Where, schema)
+	if err != nil {
+		return err
+	}
+
+	// Morsel-parallel filter: boundaries depend only on the row count, and
+	// kept rows reassemble in morsel order, so the surviving sequence
+	// stream is identical at any pool width.
+	size := exec.DefaultMorselSize
+	nm := (len(rows) + size - 1) / size
+	outs := make([]morselOut, nm)
+	if nm > 0 {
+		_, err = w.pool.Run(ctx, nm, f.Width, func(_ context.Context, m int) error {
+			lo := m * size
+			hi := lo + size
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			mo, err := filterMorsel(pred, rows[lo:hi], seqs[lo:hi])
+			if err != nil {
+				return err
+			}
+			outs[m] = mo
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	switch {
+	case f.Agg != nil:
+		return w.runAggregate(f, schema, outs, int64(len(rows)), sink)
+	case f.Join != nil:
+		return w.runJoin(f, schema, outs, int64(len(rows)), sink)
+	}
+	// Gather scan: one chunk per morsel, rows in columnar form.
+	for m := range outs {
+		scanned := int64(size)
+		if (m+1)*size > len(rows) {
+			scanned = int64(len(rows) - m*size)
+		}
+		ch := &Chunk{
+			Shard:   f.Shard,
+			Worker:  w.id,
+			Seqs:    outs[m].seqs,
+			Batch:   value.BatchFromRows(schema, outs[m].rows),
+			Scanned: scanned,
+		}
+		if err := w.emit(ch, sink); err != nil {
+			return err
+		}
+	}
+	if nm == 0 {
+		// Empty shard still reports its (zero) scan so streams stay uniform.
+		return w.emit(&Chunk{Shard: f.Shard, Worker: w.id}, sink)
+	}
+	return nil
+}
+
+// filterMorsel runs the shipped predicate over one morsel's rows, keeping
+// survivors in order. A nil predicate keeps the whole slice without copying.
+func filterMorsel(pred expr.Expr, rows []value.Row, seqs []int64) (morselOut, error) {
+	if pred == nil {
+		return morselOut{rows: rows, seqs: seqs}, nil
+	}
+	kept := make([]value.Row, 0, len(rows))
+	keptSeqs := make([]int64, 0, len(rows))
+	for i := range rows {
+		ok, err := expr.Truthy(pred, rows[i])
+		if err != nil {
+			return morselOut{}, err
+		}
+		if ok {
+			kept = append(kept, rows[i])
+			keptSeqs = append(keptSeqs, seqs[i])
+		}
+	}
+	return morselOut{rows: kept, seqs: keptSeqs}, nil
+}
+
+// emit checks the mid-stream fault site and worker liveness before handing
+// a chunk to the sink — the point where a dying worker cuts a stream short.
+func (w *Worker) emit(ch *Chunk, sink func(*Chunk) error) error {
+	if !w.Alive() {
+		return w.downErr()
+	}
+	if err := w.inj.Check(w.site("chunk")); err != nil {
+		return err
+	}
+	return sink(ch)
+}
+
+// snapshotShard extracts the fragment's snapshot-visible rows in sequence
+// order under the read lock. Row values are immutable once applied, so the
+// extracted slices are safe outside the lock.
+func (w *Worker) snapshotShard(f *Fragment) ([]value.Row, []int64, *value.Schema, error) {
+	w.mu.RLock()
+	wt := w.tables[strings.ToUpper(f.Table)]
+	var (
+		schema *value.Schema
+		rows   []value.Row
+		seqs   []int64
+	)
+	if wt != nil {
+		schema = wt.schema.Qualify(f.Binding)
+		if sc := wt.shards[f.Shard]; sc != nil {
+			rows, seqs = sc.visibleRows(f.Snapshot)
+		}
+	}
+	w.mu.RUnlock()
+	if wt == nil {
+		return nil, nil, nil, faults.Fatal(fmt.Errorf("worker %d: table %s not registered", w.id, f.Table))
+	}
+	return rows, seqs, schema, nil
+}
+
+// visibleRows extracts the shard copy's snapshot-visible rows in sequence
+// order. Caller holds the worker's read lock.
+func (sc *shardCopy) visibleRows(snapshot uint64) ([]value.Row, []int64) {
+	rows := make([]value.Row, 0, len(sc.rows))
+	seqs := make([]int64, 0, len(sc.rows))
+	for i := range sc.rows {
+		if sc.rows[i].visible(snapshot) {
+			rows = append(rows, sc.rows[i].row)
+			seqs = append(seqs, sc.rows[i].seq)
+		}
+	}
+	return rows, seqs
+}
+
+// runAggregate folds the filtered rows (in sequence order) into one partial
+// group table and emits it as a single chunk.
+func (w *Worker) runAggregate(f *Fragment, schema *value.Schema, outs []morselOut, scanned int64, sink func(*Chunk) error) error {
+	groupBy, err := parseExprList(f.Agg.GroupBy, schema)
+	if err != nil {
+		return err
+	}
+	// args[i] is nil for COUNT(*).
+	args := make([]expr.Expr, len(f.Agg.Aggs))
+	for i, a := range f.Agg.Aggs {
+		if a.Arg == "" {
+			continue
+		}
+		es, err := parseExprList([]string{a.Arg}, schema)
+		if err != nil {
+			return err
+		}
+		args[i] = es[0]
+	}
+	p, err := foldAggregate(f.Agg.Aggs, groupBy, args, outs)
+	if err != nil {
+		return err
+	}
+	return w.emit(&Chunk{Shard: f.Shard, Worker: w.id, Partial: p, Scanned: scanned}, sink)
+}
+
+// foldAggregate folds the filtered rows (in sequence order) into one
+// partial group table — the per-row aggregate loop of a shard fragment.
+func foldAggregate(aggs []AggCall, groupBy, args []expr.Expr, outs []morselOut) (*Partial, error) {
+	keyOrds := make([]int, len(groupBy))
+	for i := range keyOrds {
+		keyOrds[i] = i
+	}
+	type group struct {
+		minSeq int64
+		key    value.Row
+		states []AggState
+	}
+	table := map[uint64][]*group{}
+	order := make([]*group, 0, 64)
+	key := make(value.Row, len(groupBy))
+	for _, mo := range outs {
+		for ri, row := range mo.rows {
+			for i, g := range groupBy {
+				v, err := g.Eval(row)
+				if err != nil {
+					return nil, err
+				}
+				key[i] = v
+			}
+			hsh := key.Hash(keyOrds)
+			var grp *group
+			for _, g := range table[hsh] {
+				if key.EqualAt(g.key, keyOrds, keyOrds) {
+					grp = g
+					break
+				}
+			}
+			if grp == nil {
+				grp = &group{minSeq: mo.seqs[ri], key: key.Clone(), states: make([]AggState, 0, len(aggs))}
+				for _, a := range aggs {
+					grp.states = append(grp.states, newAggState(a.Distinct))
+				}
+				table[hsh] = append(table[hsh], grp)
+				order = append(order, grp)
+			}
+			for i, a := range aggs {
+				if a.Arg == "" { // COUNT(*)
+					grp.states[i].Count++
+					grp.states[i].HasVal = true
+					continue
+				}
+				v, err := args[i].Eval(row)
+				if err != nil {
+					return nil, err
+				}
+				grp.states[i].add(v)
+			}
+		}
+	}
+	p := &Partial{Groups: make([]PartialGroup, 0, len(order))}
+	for _, g := range order {
+		p.Groups = append(p.Groups, PartialGroup{MinSeq: g.minSeq, Key: g.key, States: g.states})
+	}
+	return p, nil
+}
+
+// runJoin probes the filtered shard rows against the broadcast build side,
+// replicating the serial hash join's semantics exactly: FNV-1a key hashing,
+// NULL keys never match, matches emitted in build-input order, residual
+// evaluated on the combined row. Output rows carry their probe row's
+// sequence, so the coordinator merge restores probe-input order globally.
+func (w *Worker) runJoin(f *Fragment, schema *value.Schema, outs []morselOut, scanned int64, sink func(*Chunk) error) error {
+	j := f.Join
+	buildSchema := &value.Schema{Cols: j.BuildCols}
+	probeKeys, err := parseExprList(j.ProbeKeys, schema)
+	if err != nil {
+		return err
+	}
+	buildKeys, err := parseExprList(j.BuildKeys, buildSchema)
+	if err != nil {
+		return err
+	}
+	combined := schema.Concat(buildSchema)
+	residual, err := parsePredicate(j.Residual, combined)
+	if err != nil {
+		return err
+	}
+
+	jt, err := buildJoinTable(buildKeys, j.BuildRows)
+	if err != nil {
+		return err
+	}
+	lw, rw := schema.Len(), buildSchema.Len()
+	vals := make([]value.Value, len(probeKeys))
+	for _, mo := range outs {
+		out, outSeqs, err := probeJoinMorsel(jt, probeKeys, residual, j.BuildRows, lw, rw, vals, mo)
+		if err != nil {
+			return err
+		}
+		if err := w.emit(&Chunk{Shard: f.Shard, Worker: w.id, Seqs: outSeqs, Rows: out}, sink); err != nil {
+			return err
+		}
+	}
+	// Report the scan count once (join chunks are per morsel, the scan
+	// covers the whole shard).
+	return w.emit(&Chunk{Shard: f.Shard, Worker: w.id, Scanned: scanned}, sink)
+}
+
+// joinTable is one broadcast build side hashed for probing: chains hold
+// build indices in input order (the serial chain order), vals the evaluated
+// key columns per build row (nil for rows with a NULL key).
+type joinTable struct {
+	chains map[uint64][]int
+	vals   [][]value.Value
+}
+
+// buildJoinTable hashes the broadcast rows — the per-build-row loop.
+func buildJoinTable(buildKeys []expr.Expr, buildRows []value.Row) (*joinTable, error) {
+	jt := &joinTable{chains: map[uint64][]int{}, vals: make([][]value.Value, len(buildRows))}
+	for i, row := range buildRows {
+		vals := make([]value.Value, 0, len(buildKeys))
+		var h uint64 = 1469598103934665603
+		hasNull := false
+		for _, ke := range buildKeys {
+			v, err := ke.Eval(row)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				hasNull = true
+				break
+			}
+			vals = append(vals, v)
+			h = h*1099511628211 ^ v.Hash()
+		}
+		if hasNull {
+			continue // NULL keys never match
+		}
+		jt.vals[i] = vals
+		jt.chains[h] = append(jt.chains[h], i)
+	}
+	return jt, nil
+}
+
+// probeJoinMorsel probes one morsel's filtered rows against the build
+// table — the per-probe-row loop. vals is the caller's reusable key
+// scratch; output rows carry their probe row's sequence.
+func probeJoinMorsel(jt *joinTable, probeKeys []expr.Expr, residual expr.Expr, buildRows []value.Row, lw, rw int, vals []value.Value, mo morselOut) ([]value.Row, []int64, error) {
+	out := make([]value.Row, 0, len(mo.rows))
+	outSeqs := make([]int64, 0, len(mo.rows))
+	for ri, l := range mo.rows {
+		var h uint64 = 1469598103934665603
+		hasNull := false
+		for k, ke := range probeKeys {
+			v, err := ke.Eval(l)
+			if err != nil {
+				return nil, nil, err
+			}
+			if v.IsNull() {
+				hasNull = true
+				break
+			}
+			vals[k] = v
+			h = h*1099511628211 ^ v.Hash()
+		}
+		if hasNull {
+			continue
+		}
+		for _, bi := range jt.chains[h] {
+			bv := jt.vals[bi]
+			eq := true
+			for k := range vals {
+				if value.Compare(vals[k], bv[k]) != 0 {
+					eq = false
+					break
+				}
+			}
+			if !eq {
+				continue
+			}
+			combinedRow := make(value.Row, lw+rw)
+			copy(combinedRow[:lw], l)
+			copy(combinedRow[lw:], buildRows[bi])
+			if residual != nil {
+				keep, err := expr.Truthy(residual, combinedRow)
+				if err != nil {
+					return nil, nil, err
+				}
+				if !keep {
+					continue
+				}
+			}
+			out = append(out, combinedRow)
+			outSeqs = append(outSeqs, mo.seqs[ri])
+		}
+	}
+	return out, outSeqs, nil
+}
+
+// parsePredicate round-trips a rendered predicate back into a bound
+// expression ("" = none) — the same SQL-text seam shipped federated
+// statements use.
+func parsePredicate(sql string, schema *value.Schema) (expr.Expr, error) {
+	if sql == "" {
+		return nil, nil
+	}
+	st, err := sqlparse.Parse("SELECT 1 WHERE " + sql)
+	if err != nil {
+		return nil, faults.Fatal(fmt.Errorf("fragment predicate %q: %w", sql, err))
+	}
+	sel, ok := st.(*sqlparse.SelectStmt)
+	if !ok || sel.Where == nil {
+		return nil, faults.Fatal(fmt.Errorf("fragment predicate %q did not parse", sql))
+	}
+	if err := expr.Bind(sel.Where, schema); err != nil {
+		return nil, faults.Fatal(fmt.Errorf("fragment predicate %q: %w", sql, err))
+	}
+	return sel.Where, nil
+}
+
+// parseExprList round-trips rendered expressions into bound expressions.
+func parseExprList(sqls []string, schema *value.Schema) ([]expr.Expr, error) {
+	if len(sqls) == 0 {
+		return nil, nil
+	}
+	st, err := sqlparse.Parse("SELECT " + strings.Join(sqls, ", "))
+	if err != nil {
+		return nil, faults.Fatal(fmt.Errorf("fragment expressions %v: %w", sqls, err))
+	}
+	sel, ok := st.(*sqlparse.SelectStmt)
+	if !ok || len(sel.Items) != len(sqls) {
+		return nil, faults.Fatal(fmt.Errorf("fragment expressions %v did not parse", sqls))
+	}
+	out := make([]expr.Expr, len(sqls))
+	for i, item := range sel.Items {
+		if err := expr.Bind(item.Expr, schema); err != nil {
+			return nil, faults.Fatal(fmt.Errorf("fragment expression %q: %w", sqls[i], err))
+		}
+		out[i] = item.Expr
+	}
+	return out, nil
+}

@@ -103,6 +103,7 @@ func (e *Engine) createTable(st *sqlparse.CreateTableStmt) (*Result, error) {
 		return nil, err
 	}
 	e.tables[strings.ToUpper(st.Name)] = t
+	e.distRegister(t)
 	return &Result{Message: fmt.Sprintf("created %s table %s", meta.Placement, st.Name)}, nil
 }
 
@@ -217,6 +218,13 @@ func (e *Engine) alterTable(st *sqlparse.AlterTableStmt) (*Result, error) {
 		}
 		t.meta.Schema.Cols = append(t.meta.Schema.Cols, col)
 	}
+	if len(added) > 0 {
+		// Schema changed: re-register drops the workers' copies, so rebuild
+		// the shard mirrors under the table lock we already hold.
+		if err := e.distReseedLocked(t); err != nil {
+			return nil, err
+		}
+	}
 	return &Result{Message: fmt.Sprintf("altered table %s (+%d column(s))", st.Table, len(st.Add))}, nil
 }
 
@@ -248,6 +256,7 @@ func (e *Engine) drop(st *sqlparse.DropStmt) (*Result, error) {
 			}
 		}
 		delete(e.tables, key)
+		e.distDrop(st.Name)
 		_ = e.cat.DropTable(st.Name)
 	case "REMOTE SOURCE":
 		if err := e.cat.DropSource(st.Name); err != nil {

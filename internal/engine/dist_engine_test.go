@@ -1,0 +1,269 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"hana/internal/dist"
+	"hana/internal/value"
+)
+
+// sameRowsDist fails unless the two results carry identical rows in
+// identical order — the engine-level form of the byte-identity promise.
+func sameRowsDist(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("%s: %d rows vs %d", label, len(got.Rows), len(want.Rows))
+	}
+	for i := range want.Rows {
+		for j := range want.Rows[i] {
+			if value.Compare(got.Rows[i][j], want.Rows[i][j]) != 0 {
+				t.Fatalf("%s: row %d col %d: %v vs %v", label, i, j, got.Rows[i][j], want.Rows[i][j])
+			}
+		}
+	}
+}
+
+func newDistEngine(t *testing.T, shards, rows int) *Engine {
+	t.Helper()
+	e := New(Config{Topology: dist.Topology{Shards: shards}})
+	exec1(t, e, "CREATE TABLE T (A INT PRIMARY KEY, B INT, C VARCHAR)")
+	for i := 0; i < rows; i++ {
+		exec1(t, e, fmt.Sprintf("INSERT INTO T VALUES (%d, %d, 'v%d')", i, i*7, i%13))
+	}
+	return e
+}
+
+// The end-to-end distributed read path over a transactionally mirrored
+// table: shipped scans, exactly-mergeable aggregates (COUNT DISTINCT
+// included), broadcast joins, and post-DML state must all be byte-identical
+// to the same statement pinned local on the same engine.
+func TestDistExecutionMatchesLocal(t *testing.T) {
+	e := newDistEngine(t, 3, 500)
+	counts, err := e.DistShardCounts("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if want := 500 * e.Topology().ReplicaCount(); total != want {
+		t.Fatalf("replica row placement: %v sums to %d, want %d", counts, total, want)
+	}
+	queries := []string{
+		"SELECT A, B, C FROM T WHERE MOD(A, 3) = 0",
+		"SELECT COUNT(*), SUM(B), MIN(A), MAX(B), COUNT(DISTINCT C) FROM T",
+		"SELECT C, COUNT(*), SUM(B) FROM T GROUP BY C ORDER BY C",
+		"SELECT * FROM T WHERE A < 50 ORDER BY B DESC LIMIT 10",
+		"SELECT t.A, u.B FROM T t JOIN T u ON t.A = u.A WHERE u.A < 30",
+	}
+	ctx := context.Background()
+	for _, q := range queries {
+		d, err := e.ExecuteContext(ctx, q)
+		if err != nil {
+			t.Fatalf("dist %s: %v", q, err)
+		}
+		l, err := e.ExecuteContext(ctx, q, WithLocalOnly())
+		if err != nil {
+			t.Fatalf("local %s: %v", q, err)
+		}
+		sameRowsDist(t, q, d, l)
+	}
+	exec1(t, e, "DELETE FROM T WHERE MOD(A, 5) = 0")
+	exec1(t, e, "UPDATE T SET B = B + 1 WHERE A < 100")
+	d := exec1(t, e, "SELECT COUNT(*), SUM(B) FROM T")
+	l, err := e.ExecuteContext(ctx, "SELECT COUNT(*), SUM(B) FROM T", WithLocalOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRowsDist(t, "after DML", d, l)
+}
+
+// WithShards caps the fan-out without changing the answer; a width the
+// topology can't satisfy is clamped, and WithShards on a single-node
+// engine is a no-op rather than an error.
+func TestDistWithShardsFanout(t *testing.T) {
+	e := newDistEngine(t, 4, 300)
+	ctx := context.Background()
+	const q = "SELECT A, B FROM T WHERE B > 700"
+	want, err := e.ExecuteContext(ctx, q, WithLocalOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fanout := range []int{1, 2, 4, 16} {
+		got, err := e.ExecuteContext(ctx, q, WithShards(fanout))
+		if err != nil {
+			t.Fatalf("fanout %d: %v", fanout, err)
+		}
+		sameRowsDist(t, fmt.Sprintf("fanout %d", fanout), got, want)
+	}
+	single := New(Config{})
+	exec1(t, single, "CREATE TABLE S (A INT)")
+	exec1(t, single, "INSERT INTO S VALUES (1), (2)")
+	res, err := single.ExecuteContext(ctx, "SELECT A FROM S ORDER BY A", WithShards(2))
+	if err != nil {
+		t.Fatalf("WithShards on single-node engine: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+// Reads inside an explicit transaction must stay on the engine node: the
+// workers hold committed state only, so a snapshot that includes the
+// transaction's own writes cannot be served remotely.
+func TestDistExplicitTxnReadsStayLocal(t *testing.T) {
+	e := newDistEngine(t, 3, 50)
+	tx := e.Begin()
+	if _, err := e.ExecuteTx(tx, "INSERT INTO T VALUES (1000, 1, 'own')"); err != nil {
+		t.Fatal(err)
+	}
+	before := e.Metrics.DistQueries.Load()
+	res, err := e.ExecuteTx(tx, "SELECT COUNT(*) FROM T WHERE A = 1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if value.Compare(res.Rows[0][0], value.NewInt(1)) != 0 {
+		t.Fatalf("transaction cannot see its own write: %v", res.Rows)
+	}
+	if got := e.Metrics.DistQueries.Load(); got != before {
+		t.Fatalf("explicit-txn read went distributed (dist.queries %d -> %d)", before, got)
+	}
+	if err := e.Rollback(tx); err != nil {
+		t.Fatal(err)
+	}
+	// After rollback the buffered mirror write must be gone fleet-wide.
+	res = exec1(t, e, "SELECT COUNT(*) FROM T")
+	if value.Compare(res.Rows[0][0], value.NewInt(50)) != 0 {
+		t.Fatalf("rolled-back insert leaked: %v", res.Rows)
+	}
+}
+
+// ALTER TABLE changes the worker-side schema, so it must reseed the fleet;
+// distributed reads after the ALTER must see the widened rows.
+func TestDistAlterTableReseeds(t *testing.T) {
+	e := newDistEngine(t, 3, 120)
+	exec1(t, e, "ALTER TABLE T ADD (D INT)")
+	exec1(t, e, "UPDATE T SET D = A * 2 WHERE A < 60")
+	ctx := context.Background()
+	const q = "SELECT A, D FROM T WHERE D > 0 ORDER BY A"
+	d, err := e.ExecuteContext(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := e.ExecuteContext(ctx, q, WithLocalOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRowsDist(t, "post-ALTER", d, l)
+}
+
+// Crash recovery replays the WAL into the engine node and then reseeds the
+// fleet from the recovered state, so a reopened sharded engine serves
+// distributed reads immediately.
+func TestDistRecoveryReseeds(t *testing.T) {
+	dir := t.TempDir()
+	topo := dist.Topology{Shards: 3}
+	e, err := Open(Config{DataDir: dir, Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec1(t, e, "CREATE TABLE R (A INT PRIMARY KEY, B INT)")
+	for i := 0; i < 90; i++ {
+		exec1(t, e, fmt.Sprintf("INSERT INTO R VALUES (%d, %d)", i, i*3))
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(Config{DataDir: dir, Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ctx := context.Background()
+	before := r.Metrics.DistQueries.Load()
+	got, err := r.ExecuteContext(ctx, "SELECT COUNT(*), SUM(B) FROM R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics.DistQueries.Load() <= before {
+		t.Fatal("post-recovery aggregate did not run distributed")
+	}
+	want, err := r.ExecuteContext(ctx, "SELECT COUNT(*), SUM(B) FROM R", WithLocalOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRowsDist(t, "post-recovery", got, want)
+}
+
+// The deprecated SetTopology bridge must land the engine in exactly the
+// state Config.Topology produces: same shard placement, same rows.
+func TestDeprecatedSetTopologyMatchesConfigTopology(t *testing.T) {
+	topo := dist.Topology{Shards: 3}
+	load := func(e *Engine) {
+		exec1(t, e, "CREATE TABLE P (A INT PRIMARY KEY, B INT)")
+		for i := 0; i < 150; i++ {
+			exec1(t, e, fmt.Sprintf("INSERT INTO P VALUES (%d, %d)", i, i*i))
+		}
+	}
+
+	viaConfig := New(Config{Topology: topo})
+	load(viaConfig)
+
+	viaSetter := New(Config{})
+	load(viaSetter)
+	if err := viaSetter.SetTopology(topo); err != nil {
+		t.Fatal(err)
+	}
+
+	wantCounts, err := viaConfig.DistShardCounts("P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCounts, err := viaSetter.DistShardCounts("P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotCounts, wantCounts) {
+		t.Fatalf("shard placement diverged: SetTopology %v, Config %v", gotCounts, wantCounts)
+	}
+
+	ctx := context.Background()
+	for _, q := range []string{
+		"SELECT A, B FROM P WHERE MOD(A, 4) = 1",
+		"SELECT COUNT(*), MIN(B), MAX(B) FROM P",
+	} {
+		want, err := viaConfig.ExecuteContext(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := viaSetter.ExecuteContext(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameRowsDist(t, q, got, want)
+	}
+}
+
+// The deprecated Execute wrapper must stay byte-identical to
+// ExecuteContext on a sharded engine — migration to the topology-aware
+// entry point must never change results.
+func TestDeprecatedExecuteOnShardedEngine(t *testing.T) {
+	e := newDistEngine(t, 3, 80)
+	const q = "SELECT C, COUNT(*) FROM T GROUP BY C ORDER BY C"
+	want, err := e.ExecuteContext(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRowsDist(t, "Execute on sharded engine", got, want)
+	if !reflect.DeepEqual(got.Schema, want.Schema) {
+		t.Fatalf("schema diverged: %v vs %v", got.Schema, want.Schema)
+	}
+}

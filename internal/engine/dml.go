@@ -302,6 +302,7 @@ func (e *Engine) BulkLoad(table string, rows []value.Row) error {
 		}
 		switch {
 		case p.hot != nil, p.row != nil:
+			ids := make([]int, 0, len(rs))
 			for _, r := range rs {
 				if err := e.logRedo(0, cid, redoInsC, p.idx, p.numRows(), t.meta.Name, value.AppendRow(nil, r)); err != nil {
 					return err
@@ -317,6 +318,10 @@ func (e *Engine) BulkLoad(table string, rows []value.Row) error {
 					return err
 				}
 				p.vers.InsertCommitted(id, cid)
+				ids = append(ids, id)
+			}
+			if err := e.distMirrorLoad(t, ids, rs, cid); err != nil {
+				return err
 			}
 		case p.ext != nil:
 			base := p.numRows()

@@ -9,6 +9,7 @@ import (
 
 	"hana/internal/catalog"
 	"hana/internal/diskstore"
+	"hana/internal/dist"
 	"hana/internal/exec"
 	"hana/internal/faults"
 	"hana/internal/fed"
@@ -71,6 +72,12 @@ type Config struct {
 	// TraceRingSize bounds how many finished query traces M_QUERY_TRACES
 	// retains (0 = obs.DefaultTraceRingSize).
 	TraceRingSize int
+	// Topology enables distributed execution: with Shards > 1 the engine
+	// runs a coordinator plus that many in-process worker nodes, mirrors
+	// eligible hot tables onto them hash-sharded, and executes eligible
+	// scans, aggregates and joins as shipped fragments. The zero value is
+	// single-node. See WithShards / WithLocalOnly for per-statement control.
+	Topology dist.Topology
 }
 
 // Metrics counts engine activity for the benchmark harness. It is a typed
@@ -90,6 +97,15 @@ type Metrics struct {
 	RemoteFallbackHits *obs.Counter
 	PlannerFallbacks   *obs.Counter
 	InDoubtResolved    *obs.Counter
+
+	// Distributed-execution counters live under "dist.*" registry names and
+	// are deliberately not part of fedMetricNames: M_FEDERATION_STATISTICS
+	// keeps its pinned row set.
+	DistQueries   *obs.Counter // fragment fan-outs executed
+	DistFragments *obs.Counter // worker fragment attempts (incl. failover)
+	DistRetries   *obs.Counter // guarded-call retries against workers
+	DistFailovers *obs.Counter // replica switch-overs after a worker failed
+	DistRowsMerged *obs.Counter // rows streamed through the exchange merge
 }
 
 // fedMetricNames maps MetricsSnapshot fields to registry counter names, in
@@ -121,6 +137,11 @@ func newMetrics(r *obs.Registry) Metrics {
 		RemoteFallbackHits: r.Counter("fed.remote_fallback_hits"),
 		PlannerFallbacks:   r.Counter("fed.planner_fallbacks"),
 		InDoubtResolved:    r.Counter("fed.in_doubt_resolved"),
+		DistQueries:        r.Counter("dist.queries"),
+		DistFragments:      r.Counter("dist.fragments"),
+		DistRetries:        r.Counter("dist.retries"),
+		DistFailovers:      r.Counter("dist.failovers"),
+		DistRowsMerged:     r.Counter("dist.rows_merged"),
 	}
 }
 
@@ -187,6 +208,7 @@ type Engine struct {
 	ckptDone chan struct{}
 
 	health *fed.Health
+	caller fed.Caller // guarded-call seam for federated boundaries
 	now    func() time.Time
 
 	fbMu     sync.Mutex
@@ -195,6 +217,8 @@ type Engine struct {
 	obs    *obs.Registry     // observability registry (metrics)
 	views  *obs.ViewRegistry // typed M_* system-view registry
 	traces *obs.TraceRing    // last N finished query traces
+
+	dist *distRuntime // scale-out runtime (nil = single-node)
 
 	// Metrics is exported for benchmarks and monitoring.
 	Metrics Metrics
@@ -236,6 +260,12 @@ func New(cfg Config) *Engine {
 		}
 	}
 	e.Metrics = newMetrics(reg)
+	e.caller = &fed.GuardedCall{
+		Health:  e.health,
+		Retry:   cfg.Retry,
+		Faults:  cfg.Faults,
+		OnRetry: func() { e.Metrics.RemoteRetries.Inc() },
+	}
 	// Mirror breaker state into the registry so monitoring pollers read
 	// gauges instead of locking every breaker.
 	e.health.SetObserver(func(st faults.BreakerStats) {
@@ -247,6 +277,7 @@ func New(cfg Config) *Engine {
 		reg.Gauge(pfx + "retries").Set(st.Retries)
 	})
 	e.mgr.SetInjector(cfg.Faults)
+	e.initDist()
 	e.installSystemViews()
 	return e
 }

@@ -57,6 +57,7 @@ type relation struct {
 
 	remote *remoteRel
 	ext    *extRel
+	dst    *distRel
 
 	est  float64
 	node *planNode
@@ -132,6 +133,8 @@ func (r *relation) addConj(c expr.Expr) {
 		r.remote.conjs = append(r.remote.conjs, c)
 	case r.ext != nil:
 		r.ext.conjs = append(r.ext.conjs, c)
+	case r.dst != nil:
+		r.dst.conjs = append(r.dst.conjs, c)
 	}
 }
 
@@ -155,6 +158,8 @@ func (p *planner) realize(r *relation) error {
 		return p.realizeRemote(r)
 	case r.ext != nil:
 		return p.realizeExt(r)
+	case r.dst != nil:
+		return p.realizeDist(r)
 	}
 	return fmt.Errorf("empty relation")
 }

@@ -47,6 +47,15 @@ func (p *planner) finishBlock(sel *sqlparse.SelectStmt, it exec.Iter, root *plan
 		root = node(fmt.Sprintf("Hash Aggregate (%d group cols, groups)", len(sel.GroupBy)), root)
 	}
 
+	return p.finishAfterAgg(sel, it, root, items, having, orderExprs)
+}
+
+// finishAfterAgg applies the stages downstream of aggregation — HAVING,
+// projection, DISTINCT, ORDER BY, LIMIT — to an input whose aggregate (if
+// any) has already run. The distributed path enters here after merging
+// shard partials, so both paths share one implementation of the finishing
+// stages.
+func (p *planner) finishAfterAgg(sel *sqlparse.SelectStmt, it exec.Iter, root *planNode, items []sqlparse.SelectItem, having expr.Expr, orderExprs []expr.Expr) (exec.Iter, *planNode, error) {
 	if having != nil {
 		pred, err := bindToSchema(having, it.Schema())
 		if err != nil {

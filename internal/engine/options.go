@@ -16,16 +16,27 @@ import (
 type ExecOption func(*execOpts)
 
 type execOpts struct {
-	params  []value.Value
-	tx      *txn.Txn
-	width   int
-	script  bool
-	rowExec bool
+	params    []value.Value
+	tx        *txn.Txn
+	width     int
+	script    bool
+	rowExec   bool
+	localOnly bool
+	shards    int
 }
 
 // rowExecKey marks a statement context as row-at-a-time: the planner skips
 // the vectorized scan path when the key is present.
 type rowExecKey struct{}
+
+// distOptKey carries the per-statement distributed-execution override; the
+// planner reads it in newPlanner.
+type distOptKey struct{}
+
+type distOpt struct {
+	localOnly bool
+	fanout    int
+}
 
 // WithParams binds positional ? parameters to the given values.
 // Parameterized remote-materialization keys incorporate the parameter
@@ -62,6 +73,23 @@ func WithScript() ExecOption {
 // benchmarks.
 func WithRowExec() ExecOption {
 	return func(o *execOpts) { o.rowExec = true }
+}
+
+// WithShards caps how many shard fragments of this statement are in flight
+// at once (0 or unset = all shards at once). The result is identical at any
+// setting — the exchange merge restores the serial row order regardless of
+// arrival order — so the cap only trades latency for coordinator load. On a
+// single-node engine the option is a no-op.
+func WithShards(n int) ExecOption {
+	return func(o *execOpts) { o.shards = n }
+}
+
+// WithLocalOnly pins this statement to the engine node: the planner skips
+// distributed fragments even when a topology is configured. Results are
+// byte-identical to the distributed plan; the option exists for equivalence
+// testing and for statements that must not touch the worker fleet.
+func WithLocalOnly() ExecOption {
+	return func(o *execOpts) { o.localOnly = true }
 }
 
 // ExecStats reports what the executor did for one statement: rows read by
@@ -152,6 +180,9 @@ func (e *Engine) execParsed(ctx context.Context, st sqlparse.Statement, o *execO
 	}
 	if o.rowExec {
 		ctx = context.WithValue(ctx, rowExecKey{}, true)
+	}
+	if o.localOnly || o.shards > 0 {
+		ctx = context.WithValue(ctx, distOptKey{}, distOpt{localOnly: o.localOnly, fanout: o.shards})
 	}
 	if o.tx != nil {
 		return e.execStmtTx(ctx, o.tx, st, o.width)

@@ -36,6 +36,11 @@ type planner struct {
 	// column-name set driving late materialization (nil = all columns).
 	vector bool
 	needed map[string]bool
+
+	// localOnly pins the statement to the engine node (WithLocalOnly);
+	// fanout caps concurrent shard fragments (WithShards, 0 = all).
+	localOnly bool
+	fanout    int
 }
 
 func (e *Engine) newPlanner(ctx context.Context, tx *txn.Txn, sel *sqlparse.SelectStmt, width int) *planner {
@@ -44,6 +49,10 @@ func (e *Engine) newPlanner(ctx context.Context, tx *txn.Txn, sel *sqlparse.Sele
 	}
 	p := &planner{e: e, ctx: ctx, width: width, stats: &exec.Counters{}}
 	p.vector = ctx.Value(rowExecKey{}) == nil
+	if o, ok := ctx.Value(distOptKey{}).(distOpt); ok {
+		p.localOnly = o.localOnly
+		p.fanout = o.fanout
+	}
 	if tx != nil {
 		p.snapshot = tx.Snapshot
 		p.tid = tx.TID
@@ -181,6 +190,15 @@ func (p *planner) planQueryBlock(sel *sqlparse.SelectStmt) (exec.Iter, *planNode
 	rel, err := p.planFromExpr(sel.From, &pool)
 	if err != nil {
 		return nil, nil, err
+	}
+	// Single distributed leaf with nothing left in the pool: try shipping
+	// the aggregation itself so only per-group partials cross the exchange.
+	if rel.dst != nil && len(pool) == 0 && len(transforms) == 0 {
+		if it, root, ok, err := p.tryDistAggregate(sel, rel); err != nil {
+			return nil, nil, err
+		} else if ok {
+			return it, root, nil
+		}
 	}
 	if err := p.realize(rel); err != nil {
 		return nil, nil, err
@@ -320,6 +338,21 @@ func (p *planner) planTableLeaf(t *sqlparse.TableRef, pool *[]expr.Expr) (*relat
 	// federated strategy (remote scan, semijoin, union plan).
 	if hasColdParts(st) {
 		rel := &relation{schema: schema, ext: &extRel{t: st}}
+		conjs := takeCovered(rel, pool)
+		for _, c := range conjs {
+			rel.addConj(c)
+		}
+		rel.est = estimateLeaf(meta, approxRowCount(st), conjs)
+		return rel, nil
+	}
+
+	// Distributed leaf: the table is mirrored hash-sharded on the worker
+	// fleet, so the scan (and any aggregate or broadcast join above it)
+	// can execute as shipped fragments. Explicit-transaction reads stay
+	// local — workers only hold committed state, and the local path sees
+	// the transaction's own uncommitted rows.
+	if p.tid == 0 && !p.localOnly && p.e.distFor(st) != nil {
+		rel := &relation{schema: schema, dst: &distRel{t: st, name: name, binding: binding}}
 		conjs := takeCovered(rel, pool)
 		for _, c := range conjs {
 			rel.addConj(c)
@@ -507,6 +540,23 @@ func (p *planner) joinRelations(l, r *relation, pool *[]expr.Expr) (*relation, e
 		}
 		if err := p.maybeSemiJoin(r, l, rightKeys, leftKeys); err != nil {
 			return nil, err
+		}
+	}
+
+	// Strategy: broadcast hash join — the probe side is sharded on the
+	// worker fleet and the realized build side is small enough to ship to
+	// every worker. Matches stream back tagged with their probe sequence,
+	// so the merged output is the serial hash join's exact row order.
+	if l.dst != nil && len(leftKeys) > 0 {
+		if err := p.realize(r); err != nil {
+			return nil, err
+		}
+		out, err := p.distBroadcastJoin(l, r, leftKeys, rightKeys, residual, combined)
+		if err != nil {
+			return nil, err
+		}
+		if out != nil {
+			return out, nil
 		}
 	}
 

@@ -83,6 +83,13 @@ func Open(cfg Config) (*Engine, error) {
 		_ = wal.Close()
 		return nil, err
 	}
+	// Workers hold no durable state: rebuild the shard mirrors from the
+	// recovered tables before the engine serves queries.
+	if err := e.distReseedAll(); err != nil {
+		//lint:ignore errdrop reseed failure is the error that matters; close is cleanup
+		_ = wal.Close()
+		return nil, err
+	}
 	e.startCheckpointer()
 	return e, nil
 }

@@ -29,47 +29,16 @@ type fallbackEntry struct {
 	created time.Time
 }
 
-// retryPolicy instantiates the configured template for one breaker,
-// counting retries in the metrics and against the source's breaker.
-func (e *Engine) retryPolicy(br *faults.Breaker) faults.RetryPolicy {
-	p := e.cfg.Retry
-	onRetry := p.OnRetry
-	p.OnRetry = func(op string, attempt int, err error) {
-		br.NoteRetry()
-		e.Metrics.RemoteRetries.Inc()
-		if onRetry != nil {
-			onRetry(op, attempt, err)
-		}
-	}
-	return p
-}
-
-// remoteQuery ships one statement to a remote source through the breaker
-// and retry layer. While the source's breaker is open — or once retries
-// are exhausted on a transient failure — a still-valid fallback-cache
-// entry for the same statement is served instead, marked FromFallback.
+// remoteQuery ships one statement to a remote source through the shared
+// guarded caller (breaker + retry + fault site + "remote" span). While the
+// source's breaker is open — or once retries are exhausted on a transient
+// failure — a still-valid fallback-cache entry for the same statement is
+// served instead, marked FromFallback.
 func (e *Engine) remoteQuery(ctx context.Context, source string, a fed.Adapter, sql string, opts fed.QueryOptions) (*fed.QueryResult, error) {
-	sp := obs.SpanFrom(ctx).StartSpan("remote")
-	defer sp.End()
-	sp.SetAttr("source", strings.ToUpper(source))
-	sp.SetAttr("kind", "query")
-	br := e.health.Breaker(strings.ToUpper(source))
+	target := strings.ToUpper(source)
 	site := "fed.query." + strings.ToLower(source)
-	if err := br.Allow(); err != nil {
-		sp.Note("breaker open")
-		if res, ok := e.fallbackLookup(source, sql); ok {
-			sp.Note("served from fallback cache")
-			return res, nil
-		}
-		return nil, err
-	}
 	var res *fed.QueryResult
-	var attempts int64
-	err := e.retryPolicy(br).DoCtx(ctx, site, func() error {
-		attempts++
-		if err := e.cfg.Faults.Check(site); err != nil {
-			return err
-		}
+	err := e.caller.Call(ctx, target, "query", site, func() error {
 		r, err := a.Query(sql, opts)
 		if err != nil {
 			return err
@@ -77,48 +46,30 @@ func (e *Engine) remoteQuery(ctx context.Context, source string, a fed.Adapter, 
 		res = r
 		return nil
 	})
-	sp.SetAttrInt("attempts", attempts)
 	if err != nil {
-		br.Failure(err)
-		sp.SetAttr("breaker", br.Snapshot().State.String())
-		if faults.IsTransient(err) {
-			if res, ok := e.fallbackLookup(source, sql); ok {
-				sp.Note("retries exhausted, served from fallback cache")
-				return res, nil
+		// Fatal adapter errors mean the source answered and said no; only
+		// unavailability (open breaker, exhausted transient retries) falls
+		// back to the last good result.
+		if errors.Is(err, faults.ErrCircuitOpen) || faults.IsTransient(err) {
+			if fb, ok := e.fallbackLookup(source, sql); ok {
+				obs.SpanFrom(ctx).Note("remote source %s down, served from fallback cache", target)
+				return fb, nil
 			}
 		}
 		return nil, err
 	}
-	br.Success()
-	if res.FromCache {
-		sp.Note("remote cache hit")
-	}
-	sp.SetAttrInt("rows", int64(res.Rows.Len()))
 	e.fallbackStore(source, sql, res)
 	return res, nil
 }
 
-// remoteCall invokes a virtual function through the breaker and retry
-// layer. Remote jobs have no cached materialization to fall back to, so an
-// open breaker or exhausted retries surface as the classified error.
+// remoteCall invokes a virtual function through the shared guarded caller.
+// Remote jobs have no cached materialization to fall back to, so an open
+// breaker or exhausted retries surface as the classified error.
 func (e *Engine) remoteCall(ctx context.Context, source string, fa fed.FunctionAdapter, config map[string]string, schema *value.Schema) (*value.Rows, error) {
-	sp := obs.SpanFrom(ctx).StartSpan("remote")
-	defer sp.End()
-	sp.SetAttr("source", strings.ToUpper(source))
-	sp.SetAttr("kind", "call")
-	br := e.health.Breaker(strings.ToUpper(source))
+	target := strings.ToUpper(source)
 	site := "fed.call." + strings.ToLower(source)
-	if err := br.Allow(); err != nil {
-		sp.Note("breaker open")
-		return nil, err
-	}
 	var rows *value.Rows
-	var attempts int64
-	err := e.retryPolicy(br).DoCtx(ctx, site, func() error {
-		attempts++
-		if err := e.cfg.Faults.Check(site); err != nil {
-			return err
-		}
+	err := e.caller.Call(ctx, target, "call", site, func() error {
 		r, err := fa.CallFunction(config, schema)
 		if err != nil {
 			return err
@@ -126,14 +77,9 @@ func (e *Engine) remoteCall(ctx context.Context, source string, fa fed.FunctionA
 		rows = r
 		return nil
 	})
-	sp.SetAttrInt("attempts", attempts)
 	if err != nil {
-		br.Failure(err)
-		sp.SetAttr("breaker", br.Snapshot().State.String())
 		return nil, err
 	}
-	br.Success()
-	sp.SetAttrInt("rows", int64(rows.Len()))
 	return rows, nil
 }
 

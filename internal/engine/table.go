@@ -128,6 +128,7 @@ func (t *storedTable) insertRow(tx *txn.Txn, row value.Row) error {
 		vers := p.vers
 		tx.OnAbort(func() { vers.AbortTID(tid) })
 		t.stampOnCommit(tx, p)
+		t.eng.distMirrorInsert(tx, t, id, row)
 	case p.ext != nil:
 		// Extended storage participates in the distributed transaction; the
 		// redo record is logged at prepare time, when the row id is known.
@@ -164,6 +165,7 @@ func (t *storedTable) deleteRow(tx *txn.Txn, p *partition, rowID int) error {
 	vers := p.vers
 	tx.OnAbort(func() { vers.AbortTID(tid) })
 	t.stampOnCommit(tx, p)
+	t.eng.distMirrorDelete(tx, t, p, rowID)
 	return nil
 }
 

@@ -1,0 +1,86 @@
+package fed
+
+import (
+	"context"
+
+	"hana/internal/faults"
+	"hana/internal/obs"
+)
+
+// Caller is the single guarded-call seam for every remote boundary the
+// platform owns: federated queries, virtual-function calls, and distributed
+// worker fragments all go through one Call so the circuit breaker, retry
+// policy, fault-injection site and trace span attach in exactly one place.
+type Caller interface {
+	// Call runs fn against the named target under the target's breaker and
+	// the configured retry policy. target keys the breaker; kind labels the
+	// span ("query", "call", "fragment"); site is the fault-injection and
+	// retry-telemetry key. The returned error is classified: a breaker
+	// rejection wraps faults.ErrCircuitOpen, injected and adapter errors
+	// keep their transient/fatal classification.
+	Call(ctx context.Context, target, kind, site string, fn func() error) error
+}
+
+// GuardedCall is the standard Caller: per-target breakers from Health,
+// retries from the template policy, deterministic fault injection, and one
+// trace span per call carrying the attempt count and breaker outcome.
+type GuardedCall struct {
+	// Health supplies the per-target circuit breakers.
+	Health *Health
+	// Retry is the template policy; its OnRetry is chained after the
+	// breaker/metrics bookkeeping.
+	Retry faults.RetryPolicy
+	// Faults injects failures at the call site before fn runs (nil = off).
+	Faults *faults.Injector
+	// Span names the trace span ("remote" for federation, "fragment" for
+	// distributed workers). Empty defaults to "remote".
+	Span string
+	// OnRetry observes each retry decision (metrics counters).
+	OnRetry func()
+}
+
+var _ Caller = (*GuardedCall)(nil)
+
+// Call implements Caller.
+func (g *GuardedCall) Call(ctx context.Context, target, kind, site string, fn func() error) error {
+	name := g.Span
+	if name == "" {
+		name = "remote"
+	}
+	sp := obs.SpanFrom(ctx).StartSpan(name)
+	defer sp.End()
+	sp.SetAttr("source", target)
+	sp.SetAttr("kind", kind)
+	br := g.Health.Breaker(target)
+	if err := br.Allow(); err != nil {
+		sp.Note("breaker open")
+		return err
+	}
+	pol := g.Retry
+	prev := pol.OnRetry
+	pol.OnRetry = func(op string, attempt int, err error) {
+		br.NoteRetry()
+		if g.OnRetry != nil {
+			g.OnRetry()
+		}
+		if prev != nil {
+			prev(op, attempt, err)
+		}
+	}
+	var attempts int64
+	err := pol.DoCtx(ctx, site, func() error {
+		attempts++
+		if err := g.Faults.Check(site); err != nil {
+			return err
+		}
+		return fn()
+	})
+	sp.SetAttrInt("attempts", attempts)
+	if err != nil {
+		br.Failure(err)
+		sp.SetAttr("breaker", br.Snapshot().State.String())
+		return err
+	}
+	br.Success()
+	return nil
+}
