@@ -12,6 +12,9 @@
 //	go run ./cmd/hanalint -hot             # hot-function set + call chains
 //	go run ./cmd/hanalint -escapes         # diff hot-path heap escapes vs baseline
 //	go run ./cmd/hanalint -write-escapes   # regenerate the escape baseline
+//	go run ./cmd/hanalint -prune-escapes   # drop stale baseline entries, keep the rest
+//	go run ./cmd/hanalint -suggest-guards  # advisory // hana:guardedby candidates
+//	go run ./cmd/hanalint -json ./...      # findings as a JSON array (CI artifact)
 //
 // Deliberate violations are suppressed in source with
 // //lint:ignore <analyzer> <reason> on the offending line or the line
@@ -20,6 +23,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,8 +42,11 @@ func main() {
 	hot := flag.Bool("hot", false, "print the derived hot-function set with call chains and exit")
 	escapes := flag.Bool("escapes", false, "diff hot-path heap escapes against internal/lint/escapes_baseline.txt")
 	writeEscapes := flag.Bool("write-escapes", false, "regenerate the escape baseline from the current tree")
+	pruneEscapes := flag.Bool("prune-escapes", false, "remove stale entries from the escape baseline, keeping live ones")
+	suggestGuards := flag.Bool("suggest-guards", false, "print advisory // hana:guardedby candidates for unannotated shared fields")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: hanalint [-list] [-lockgraph] [-hot] [-escapes] [-write-escapes] [-analyzers a,b] [-root dir] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: hanalint [-list] [-lockgraph] [-hot] [-escapes] [-write-escapes] [-prune-escapes] [-suggest-guards] [-json] [-analyzers a,b] [-root dir] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -92,8 +99,20 @@ func main() {
 		printHotSet(lint.BuildProgram(pkgs))
 		return
 	}
-	if *escapes || *writeEscapes {
-		os.Exit(runEscapes(dir, lint.BuildProgram(pkgs), *writeEscapes))
+	if *escapes || *writeEscapes || *pruneEscapes {
+		os.Exit(runEscapes(dir, lint.BuildProgram(pkgs), *writeEscapes, *pruneEscapes))
+	}
+	if *suggestGuards {
+		prog := lint.BuildProgram(pkgs)
+		for _, s := range lint.SuggestGuards(prog) {
+			guardField := s.Guard
+			if i := strings.LastIndex(guardField, "."); i >= 0 {
+				guardField = guardField[i+1:]
+			}
+			fmt.Printf("%s:%d: field %s.%s looks shared (%d locked write(s), %d bare access(es) under %s); consider // hana:guardedby %s\n",
+				s.Pos.Filename, s.Pos.Line, s.Owner.Name, s.Field, s.Locked, s.Unlocked, s.Guard, guardField)
+		}
+		return
 	}
 	module, err := lint.ModulePath(dir)
 	if err != nil {
@@ -109,17 +128,49 @@ func main() {
 	// Analyzers always see the full repo for cross-package facts; only the
 	// reporting set is filtered.
 	diags := lint.Run(pkgs, analyzers)
-	shown := 0
+	var out []lint.Diagnostic
 	for _, d := range diags {
 		if _, ok := selected[pkgOf(pkgs, d.Pos.Filename)]; !ok && len(flag.Args()) > 0 {
 			continue
 		}
-		fmt.Println(d)
-		shown++
+		out = append(out, d)
 	}
-	if shown > 0 {
-		fmt.Fprintf(os.Stderr, "hanalint: %d finding(s)\n", shown)
+	if *jsonOut {
+		printJSON(out)
+	} else {
+		for _, d := range out {
+			fmt.Println(d)
+		}
+	}
+	if len(out) > 0 {
+		fmt.Fprintf(os.Stderr, "hanalint: %d finding(s)\n", len(out))
 		os.Exit(1)
+	}
+}
+
+// jsonFinding is the machine-readable diagnostic shape uploaded as a CI
+// artifact. Kept flat and stable: downstream tooling diffs runs by it.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func printJSON(diags []lint.Diagnostic) {
+	findings := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		findings = append(findings, jsonFinding{
+			File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(findings); err != nil {
+		fmt.Fprintln(os.Stderr, "hanalint:", err)
+		os.Exit(2)
 	}
 }
 
@@ -144,9 +195,11 @@ func printHotSet(prog *lint.Program) {
 	}
 }
 
-// runEscapes implements -escapes / -write-escapes and returns the exit
-// code: new hot-path escapes fail, stale baseline entries only warn.
-func runEscapes(dir string, prog *lint.Program, write bool) int {
+// runEscapes implements -escapes / -write-escapes / -prune-escapes and
+// returns the exit code. The gate fails on new hot-path escapes AND on
+// stale baseline entries: a dead entry means the baseline over-claims, and
+// would silently re-admit that escape if it came back.
+func runEscapes(dir string, prog *lint.Program, write, prune bool) int {
 	sites, err := lint.EscapeSites(dir, prog)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hanalint:", err)
@@ -159,6 +212,18 @@ func runEscapes(dir string, prog *lint.Program, write bool) int {
 			return 2
 		}
 		fmt.Printf("hanalint: wrote %d hot-path escape site(s) to %s\n", len(sites), baselinePath)
+		return 0
+	}
+	if prune {
+		removed, err := lint.PruneEscapeBaseline(baselinePath, sites)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hanalint:", err)
+			return 2
+		}
+		for _, s := range removed {
+			fmt.Printf("hanalint: pruned stale escape baseline entry: %s\n", s)
+		}
+		fmt.Printf("hanalint: pruned %d stale entr(ies) from %s\n", len(removed), baselinePath)
 		return 0
 	}
 	baseline, err := lint.ReadEscapeBaseline(baselinePath)
@@ -176,6 +241,10 @@ func runEscapes(dir string, prog *lint.Program, write bool) int {
 		}
 		fmt.Fprintf(os.Stderr, "hanalint: %d new hot-path escape(s); fix them or update %s via -write-escapes\n",
 			len(newSites), baselinePath)
+		return 1
+	}
+	if len(stale) > 0 {
+		fmt.Fprintf(os.Stderr, "hanalint: %d stale baseline entr(ies); run -prune-escapes to drop them\n", len(stale))
 		return 1
 	}
 	fmt.Printf("hanalint: %d hot-path escape site(s), all baselined\n", len(sites))

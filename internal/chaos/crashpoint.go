@@ -189,7 +189,6 @@ func execOp(e *engine.Engine, o wop) (uint64, error) {
 	if err != nil {
 		// Best-effort rollback: with the WAL wedged this fails too, exactly
 		// like a crashing server.
-		//lint:ignore errdrop the statement error is what matters; the engine dies here
 		_ = e.Rollback(tx)
 		return tx.TID, err
 	}
@@ -318,7 +317,6 @@ func RunCrashpoint(cfg CrashpointConfig) (*CrashpointResult, error) {
 	// The machine dies: discard a random part of the un-synced WAL window.
 	written, durable := e.WAL().Offsets()
 	walPath := e.WAL().Path()
-	//lint:ignore errdrop simulated crash: nothing after the durable offset may be trusted anyway
 	_ = e.Close()
 	cut := durable
 	if written > durable {

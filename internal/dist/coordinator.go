@@ -16,8 +16,10 @@ import (
 type Coordinator struct {
 	Topo      Topology
 	Transport Transport
-	// Caller guards each worker attempt (breaker + retry + span). Nil runs
-	// attempts bare — unit tests only; the engine always installs one.
+	// Caller guards each worker attempt (breaker + retry + fault site +
+	// span). Required: every attempt routes through it, so the breaker and
+	// chaos machinery can never be bypassed. The engine installs a
+	// fed.GuardedCall; tests do the same.
 	Caller fed.Caller
 }
 
@@ -103,13 +105,8 @@ func (c *Coordinator) runShard(ctx context.Context, f *Fragment) ([]*Chunk, int,
 				return nil
 			})
 		}
-		var err error
-		if c.Caller != nil {
-			target := fmt.Sprintf("dist.worker.%d", owner)
-			err = c.Caller.Call(ctx, target, "fragment", target+".run", attempt)
-		} else {
-			err = attempt()
-		}
+		target := fmt.Sprintf("dist.worker.%d", owner)
+		err := c.Caller.Call(ctx, target, "fragment", target+".run", attempt)
 		if err == nil {
 			return buf, i, nil
 		}

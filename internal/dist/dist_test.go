@@ -4,7 +4,10 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"hana/internal/faults"
 	"hana/internal/fed"
@@ -49,9 +52,21 @@ func seedFleet(t *testing.T, topo Topology, n int, wire bool) *Local {
 	return tr
 }
 
+// testCaller builds the guarded caller every test coordinator installs:
+// Caller is required (the nil-bypass that once ran attempts bare was
+// exactly the hole guardcall exists to close). Thresholds are generous so
+// failover tests exercise replicas, not the breaker.
+func testCaller() fed.Caller {
+	return &fed.GuardedCall{
+		Health: fed.NewHealth(1000, 0),
+		Retry:  faults.RetryPolicy{MaxAttempts: 1},
+		Span:   "fragment",
+	}
+}
+
 func gather(t *testing.T, tr *Local, topo Topology, f *Fragment, fanout int) *GatherResult {
 	t.Helper()
-	c := &Coordinator{Topo: topo, Transport: tr}
+	c := &Coordinator{Topo: topo, Transport: tr, Caller: testCaller()}
 	res, err := c.Gather(context.Background(), f, fanout)
 	if err != nil {
 		t.Fatalf("gather: %v", err)
@@ -227,7 +242,7 @@ func TestFailoverToReplica(t *testing.T) {
 	topo := Topology{Shards: 3, Replicas: 2}
 	tr := seedFleet(t, topo, 300, false)
 	tr.Worker(1).Kill()
-	c := &Coordinator{Topo: topo, Transport: tr}
+	c := &Coordinator{Topo: topo, Transport: tr, Caller: testCaller()}
 	res, err := c.Gather(context.Background(), &Fragment{Snapshot: 1, Table: "T", Binding: "T"}, 0)
 	if err != nil {
 		t.Fatalf("gather with dead worker: %v", err)
@@ -505,5 +520,121 @@ func TestChunkEmissionOrderWithinWorker(t *testing.T) {
 	}
 	if len(got) != want {
 		t.Fatalf("got %d rows, want %d", len(got), want)
+	}
+}
+
+// countingCaller wraps a Caller and counts Call invocations: the
+// regression guard for the removed nil-Caller bypass — every worker
+// attempt, failover retries included, must route through the guard.
+type countingCaller struct {
+	inner fed.Caller
+	mu    sync.Mutex
+	calls int
+	sites map[string]int
+}
+
+func (c *countingCaller) Call(ctx context.Context, target, kind, site string, fn func() error) error {
+	c.mu.Lock()
+	c.calls++
+	if c.sites == nil {
+		c.sites = map[string]int{}
+	}
+	c.sites[site]++
+	c.mu.Unlock()
+	return c.inner.Call(ctx, target, kind, site, fn)
+}
+
+func TestEveryAttemptRoutesThroughCaller(t *testing.T) {
+	topo := Topology{Shards: 3, Replicas: 2}
+	tr := seedFleet(t, topo, 300, false)
+	tr.Worker(1).Kill()
+	cc := &countingCaller{inner: testCaller()}
+	c := &Coordinator{Topo: topo, Transport: tr, Caller: cc}
+	res, err := c.Gather(context.Background(), &Fragment{Snapshot: 1, Table: "T", Binding: "T"}, 0)
+	if err != nil {
+		t.Fatalf("gather: %v", err)
+	}
+	if cc.calls != res.Fragments {
+		t.Fatalf("attempts bypassed the caller: %d Call invocations, %d fragments", cc.calls, res.Fragments)
+	}
+	if res.Failovers == 0 {
+		t.Fatal("expected a failover with a dead primary")
+	}
+	for site := range cc.sites {
+		if !strings.HasPrefix(site, "dist.worker.") || !strings.HasSuffix(site, ".run") {
+			t.Fatalf("unexpected fault site %q", site)
+		}
+	}
+}
+
+func TestCommitFaultSiteRetries(t *testing.T) {
+	inj := faults.New(1)
+	w := NewWorker(0, 1, inj)
+	w.Register("T", testSchema())
+	w.BufferInsert(7, "T", 0, 1, intRow(1, 10))
+	if err := w.Prepare(7); err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	inj.FailN("dist.worker.0.commit", 1)
+	err := w.Commit(7, 2)
+	if err == nil || !faults.IsTransient(err) {
+		t.Fatalf("expected injected transient commit error, got %v", err)
+	}
+	// The buffered ops survive the failed delivery; re-delivering the
+	// decision applies them.
+	if err := w.Commit(7, 2); err != nil {
+		t.Fatalf("commit retry: %v", err)
+	}
+	if got := w.ShardRowCount("T", 0, 2); got != 1 {
+		t.Fatalf("rows visible after commit retry = %d, want 1", got)
+	}
+}
+
+func TestChunkFaultSiteCutsStream(t *testing.T) {
+	inj := faults.New(1)
+	w := NewWorker(0, 1, inj)
+	w.Register("T", testSchema())
+	if err := w.LoadCommitted("T", 0, []int64{1, 2}, []value.Row{intRow(1, 10), intRow(2, 20)}, 1); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	frag := &Fragment{Snapshot: 1, Table: "T", Binding: "T"}
+	inj.FailN("dist.worker.0.chunk", 1)
+	err := w.Execute(context.Background(), frag, func(*Chunk) error { return nil })
+	if err == nil || !faults.IsTransient(err) {
+		t.Fatalf("expected injected mid-stream error, got %v", err)
+	}
+	// A rerun after the schedule drains streams the full shard.
+	var n int
+	if err := w.Execute(context.Background(), frag, func(ch *Chunk) error { n += len(ch.Seqs); return nil }); err != nil {
+		t.Fatalf("clean rerun: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("rerun rows = %d, want 2", n)
+	}
+}
+
+func TestRunFaultSiteRetriesSameOwner(t *testing.T) {
+	topo := Topology{Shards: 2, Replicas: 1}
+	tr := seedFleet(t, topo, 20, false)
+	inj := faults.New(3)
+	inj.SetSleep(func(time.Duration) {})
+	inj.FailN("dist.worker.1.run", 1)
+	c := &Coordinator{Topo: topo, Transport: tr, Caller: &fed.GuardedCall{
+		Health: fed.NewHealth(1000, 0),
+		Retry:  faults.RetryPolicy{MaxAttempts: 2, Sleep: func(time.Duration) {}},
+		Faults: inj,
+		Span:   "fragment",
+	}}
+	res, err := c.Gather(context.Background(), &Fragment{Snapshot: 1, Table: "T", Binding: "T"}, 0)
+	if err != nil {
+		t.Fatalf("gather through injected run fault: %v", err)
+	}
+	if len(res.Rows) != 20 {
+		t.Fatalf("rows = %d, want 20", len(res.Rows))
+	}
+	// The retry happens inside the guarded call against the same owner: no
+	// replica switch-over is recorded.
+	if res.Failovers != 0 {
+		t.Fatalf("in-call retry must not count as failover, got %d", res.Failovers)
 	}
 }

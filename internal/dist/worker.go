@@ -23,11 +23,15 @@ type Worker struct {
 	pool *exec.Pool
 	inj  *faults.Injector
 
-	mu     sync.RWMutex
-	dead   bool
-	tables map[string]*workerTable // keyed by upper-case table name
+	mu sync.RWMutex
+	// hana:guardedby mu
+	dead bool
+	// tables is keyed by upper-case table name.
+	// hana:guardedby mu
+	tables map[string]*workerTable
 
-	txMu  sync.Mutex
+	txMu sync.Mutex
+	// hana:guardedby txMu
 	txOps map[uint64][]txOp
 }
 

@@ -79,14 +79,12 @@ func Open(cfg Config) (*Engine, error) {
 	e.ownWAL = true
 	e.dataDir = cfg.DataDir
 	if err := e.recoverFrom(); err != nil {
-		//lint:ignore errdrop recovery failure is the error that matters; close is cleanup
 		_ = wal.Close()
 		return nil, err
 	}
 	// Workers hold no durable state: rebuild the shard mirrors from the
 	// recovered tables before the engine serves queries.
 	if err := e.distReseedAll(); err != nil {
-		//lint:ignore errdrop reseed failure is the error that matters; close is cleanup
 		_ = wal.Close()
 		return nil, err
 	}
@@ -444,12 +442,10 @@ func (e *Engine) applyRedoDDL(rec redoRec, extEvents *[]extEvent) error {
 					if t.meta.Placement == catalog.PlacementHybrid {
 						suffix = fmt.Sprintf("$p%d", i)
 					}
-					//lint:ignore errdrop replayed drop is best-effort per partition; the catalog drop decides
 					_ = e.ext.DropTable(t.meta.Name + suffix)
 				}
 			}
 			delete(e.tables, key)
-			//lint:ignore errdrop catalog entry may already be gone when replaying onto a savepoint past the drop
 			_ = e.cat.DropTable(rec.table)
 		}
 		e.mu.Unlock()
@@ -655,7 +651,6 @@ func (e *Engine) applyExtEvents(events []extEvent, out walOutcomes, inDoubt map[
 		default:
 			// Aborted or undecided-unprepared: tombstone what is durable.
 			if ev.rowID < total {
-				//lint:ignore errdrop tombstoning an aborted row is best-effort; the row is invisible regardless
 				_, _ = p.ext.Delete(int64(ev.rowID))
 			} else {
 				skipped++
@@ -680,10 +675,8 @@ func (e *Engine) applyExtEvents(events []extEvent, out walOutcomes, inDoubt map[
 					return skipped, fmt.Errorf("recovery: table %s: tombstone row %d: %w", ev.table, ev.rowID, err)
 				}
 			}
-			//lint:ignore errdrop re-stamping a delete already in the savepoint reports a benign conflict
 			_ = p.vers.Delete(ev.rowID, ev.tid)
 		case isInDoubt:
-			//lint:ignore errdrop re-stamping a delete already in the savepoint reports a benign conflict
 			_ = p.vers.Delete(ev.rowID, ev.tid)
 			addOp(delOps, ev.tid, p, ev.rowID)
 			branchTable[ev.tid] = ev.table

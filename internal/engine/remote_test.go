@@ -294,3 +294,69 @@ func TestClassifiedErrorsSurviveEngineWrapping(t *testing.T) {
 		t.Fatalf("first failure must be the injected fault, not a breaker rejection: %v", err)
 	}
 }
+
+// fakeFuncAdapter adds a virtual-function surface to the fake adapter so
+// the fed.call.* guard can be exercised without a Hadoop cluster.
+type fakeFuncAdapter struct {
+	*fakeAdapter
+	cmu   sync.Mutex
+	calls int
+}
+
+func (a *fakeFuncAdapter) CallFunction(config map[string]string, schema *value.Schema) (*value.Rows, error) {
+	a.cmu.Lock()
+	a.calls++
+	a.cmu.Unlock()
+	rows := value.NewRows(schema)
+	rows.Append(value.Row{value.NewInt(1), value.NewString("a")})
+	rows.Append(value.Row{value.NewInt(2), value.NewString("b")})
+	return rows, nil
+}
+
+func (a *fakeFuncAdapter) callCount() int {
+	a.cmu.Lock()
+	defer a.cmu.Unlock()
+	return a.calls
+}
+
+func TestRemoteCallRetriesTransient(t *testing.T) {
+	// The injector is built inline (not via newResilientSetup) so the
+	// guardcall coverage gate can statically tie the fed.call schedule
+	// below to this engine's fault plan.
+	inj := faults.New(7)
+	inj.SetSleep(func(time.Duration) {})
+	e := New(Config{
+		ExtendedStorageDir: t.TempDir(),
+		Faults:             inj,
+		Retry:              faults.RetryPolicy{MaxAttempts: 3, Sleep: func(time.Duration) {}},
+		BreakerThreshold:   2,
+		BreakerCooldown:    time.Second,
+	})
+	fake := &fakeAdapter{
+		schema: value.NewSchema(
+			value.Column{Name: "k", Kind: value.KindInt},
+			value.Column{Name: "v", Kind: value.KindVarchar},
+		),
+	}
+	ffa := &fakeFuncAdapter{fakeAdapter: fake}
+	e.Registry().Register("fakefunc", func(config, credentials map[string]string) (fed.Adapter, error) {
+		return ffa, nil
+	})
+	exec1(t, e, `CREATE REMOTE SOURCE FAKE2 ADAPTER "fakefunc" CONFIGURATION 'DSN=fake'`)
+	exec1(t, e, `CREATE VIRTUAL FUNCTION SENSOR_ROWS()
+		RETURNS TABLE (K BIGINT, V VARCHAR(10))
+		CONFIGURATION 'job=sensor'
+		AT FAKE2`)
+	inj.FailN("fed.call.fake2", 2)
+	res := exec1(t, e, `SELECT K, V FROM SENSOR_ROWS()`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if ffa.callCount() != 1 {
+		t.Fatalf("adapter calls = %d, want 1 (injector failed before the adapter)", ffa.callCount())
+	}
+	m := e.Metrics.Snapshot()
+	if m.RemoteRetries != 2 {
+		t.Fatalf("RemoteRetries = %d, want 2", m.RemoteRetries)
+	}
+}

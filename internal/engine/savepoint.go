@@ -86,7 +86,6 @@ func (w *savepointWriter) Write(b []byte) (int, error) { return w.f.Write(b) }
 // Close syncs and closes the underlying file.
 func (w *savepointWriter) Close() error {
 	if err := w.f.Sync(); err != nil {
-		//lint:ignore errdrop the sync failure is the error that matters; close is cleanup
 		_ = w.f.Close()
 		return err
 	}
@@ -235,7 +234,6 @@ func (e *Engine) writeSavepoint(snap *spSnapshot) error {
 			return err
 		}
 		if _, err := w.Write(data); err != nil {
-			//lint:ignore errdrop the write failure is the error that matters; close is cleanup
 			_ = w.Close()
 			return err
 		}
@@ -274,7 +272,6 @@ func (e *Engine) writeSavepoint(snap *spSnapshot) error {
 		return err
 	}
 	if _, err := w.Write([]byte(name)); err != nil {
-		//lint:ignore errdrop the write failure is the error that matters; close is cleanup
 		_ = w.Close()
 		return err
 	}
@@ -300,7 +297,6 @@ func (e *Engine) gcSavepoints(keep string) {
 		if !ent.IsDir() || !strings.HasPrefix(n, "sp_") || n == keep {
 			continue
 		}
-		//lint:ignore errdrop GC is best-effort; an unreferenced savepoint dir is harmless
 		_ = os.RemoveAll(filepath.Join(e.dataDir, n))
 	}
 }

@@ -49,12 +49,17 @@ type Stream struct {
 	name   string
 	schema *value.Schema
 
-	mu       sync.Mutex
-	windows  []*Window
-	sinks    []sinkBinding
+	mu sync.Mutex
+	// hana:guardedby mu
+	windows []*Window
+	// hana:guardedby mu
+	sinks []sinkBinding
+	// hana:guardedby mu
 	patterns []*Pattern
+	// hana:guardedby mu
 	enriched []*derivedBinding
-	count    int64
+	// hana:guardedby mu
+	count int64
 }
 
 type sinkBinding struct {
@@ -90,7 +95,8 @@ type refTable struct {
 	schema *value.Schema
 	keyOrd int
 	mu     sync.RWMutex
-	index  map[uint64][]value.Row
+	// hana:guardedby mu
+	index map[uint64][]value.Row
 }
 
 func (r *refTable) lookup(v value.Value) []value.Row {
@@ -108,10 +114,13 @@ func (r *refTable) lookup(v value.Value) []value.Row {
 // Project is one ESP deployment unit holding streams, windows, reference
 // tables and patterns.
 type Project struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+	// hana:guardedby mu
 	streams map[string]*Stream
+	// hana:guardedby mu
 	windows map[string]*Window
-	refs    map[string]*refTable
+	// hana:guardedby mu
+	refs map[string]*refTable
 }
 
 // NewProject creates an empty project.

@@ -24,15 +24,20 @@ import (
 // stay buffered, the stream is not blocked — and the next rotation, an
 // explicit Flush, or Close retries the write.
 type HDFSArchiveSink struct {
-	mu       sync.Mutex
-	cluster  *hdfs.Cluster
-	dir      string
-	rotate   int // rows per part file
-	buf      strings.Builder
+	mu      sync.Mutex
+	cluster *hdfs.Cluster
+	dir     string
+	rotate  int // rows per part file
+	// hana:guardedby mu
+	buf strings.Builder
+	// hana:guardedby mu
 	buffered int
-	part     int
-	written  int64
-	spills   int64
+	// hana:guardedby mu
+	part int
+	// hana:guardedby mu
+	written int64
+	// hana:guardedby mu
+	spills int64
 	retry    faults.RetryPolicy
 	inj      *faults.Injector
 }

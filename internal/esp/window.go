@@ -24,10 +24,16 @@ type Window struct {
 
 	where expr.Expr
 
-	mu    sync.Mutex
-	buf   []Event // retained raw events, in arrival order; live region is buf[start:]
-	start int     // eviction cursor; compacted lazily to keep offer() amortized O(1)
-	last  time.Time
+	mu sync.Mutex
+	// buf retains raw events in arrival order; live region is buf[start:].
+	// hana:guardedby mu
+	buf []Event
+	// start is the eviction cursor; compacted lazily so offer() stays
+	// amortized O(1).
+	// hana:guardedby mu
+	start int
+	// hana:guardedby mu
+	last time.Time
 }
 
 // CreateWindow compiles a CCL continuous query:
@@ -264,8 +270,10 @@ type Pattern struct {
 	within time.Duration
 	action func(matched []Event)
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	// hana:guardedby mu
 	partial [][]Event
+	// hana:guardedby mu
 	matches int64
 }
 

@@ -39,16 +39,25 @@ type Breaker struct {
 	cooldown  time.Duration
 	now       func() time.Time
 
-	mu          sync.Mutex
-	state       BreakerState
+	mu sync.Mutex
+	// hana:guardedby mu
+	state BreakerState
+	// hana:guardedby mu
 	consecFails int
-	probing     bool
-	openedAt    time.Time
-	totalFails  int64
-	opens       int64
-	retries     int64
-	lastErr     string
-	observer    func(BreakerStats)
+	// hana:guardedby mu
+	probing bool
+	// hana:guardedby mu
+	openedAt time.Time
+	// hana:guardedby mu
+	totalFails int64
+	// hana:guardedby mu
+	opens int64
+	// hana:guardedby mu
+	retries int64
+	// hana:guardedby mu
+	lastErr string
+	// hana:guardedby mu
+	observer func(BreakerStats)
 }
 
 // NewBreaker creates a breaker. threshold<=0 defaults to 3, cooldown<=0 to
@@ -112,7 +121,6 @@ func (b *Breaker) Allow() error {
 		b.mu.Unlock()
 		return nil
 	default: // BreakerOpen
-		//lint:ignore locksafe now is a clock function (time.Now or a test stub), never lock-taking
 		if b.now().Sub(b.openedAt) >= b.cooldown {
 			b.state = BreakerHalfOpen
 			b.probing = true

@@ -123,7 +123,8 @@ type Factory func(config, credentials map[string]string) (Adapter, error)
 // Registry maps adapter type names to factories. A process-wide default
 // registry is populated by adapter packages at init time.
 type Registry struct {
-	mu        sync.RWMutex
+	mu sync.RWMutex
+	// hana:guardedby mu
 	factories map[string]Factory
 }
 

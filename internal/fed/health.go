@@ -16,9 +16,12 @@ type Health struct {
 	mu        sync.Mutex
 	threshold int
 	cooldown  time.Duration
-	now       func() time.Time
-	breakers  map[string]*faults.Breaker
-	observer  func(faults.BreakerStats)
+	// hana:guardedby mu
+	now func() time.Time
+	// hana:guardedby mu
+	breakers map[string]*faults.Breaker
+	// hana:guardedby mu
+	observer func(faults.BreakerStats)
 }
 
 // NewHealth creates a breaker registry. threshold and cooldown apply to

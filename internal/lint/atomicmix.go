@@ -1,0 +1,355 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// atomicmix flags the torn-counter bug: a struct field updated through
+// sync/atomic in one function and read or written plainly in another. The
+// two access modes do not synchronize with each other, so the plain side
+// can observe torn or stale values under the race detector and in
+// production alike. Two forms are reported:
+//
+//   - mixed discipline: atomic.AddInt64(&x.n, 1) somewhere, x.n++ (or
+//     x.n read) elsewhere;
+//   - method-type bypass: a field declared as atomic.Int64 (and family)
+//     copied or assigned directly instead of through Load/Store/Add.
+//
+// Constructor-owned writes (functions returning the owner, //hana:owned
+// functions, locals bound to freshly constructed values) and test files
+// are exempt, mirroring guardedby's ownership rules.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "fields must not mix sync/atomic and plain access",
+	Run:  runAtomicMix,
+}
+
+// atomicOpPrefixes are the sync/atomic package functions that address a
+// field: atomic.AddInt64(&x.f, …), atomic.LoadUint32(&x.f), …
+var atomicOpPrefixes = []string{"Add", "Load", "Store", "Swap", "CompareAndSwap"}
+
+// atomicMethodNames are the methods of the atomic.Int64-family types.
+var atomicMethodNames = map[string]bool{
+	"Add": true, "Load": true, "Store": true, "Swap": true,
+	"CompareAndSwap": true, "Or": true, "And": true,
+}
+
+func isAtomicOpName(name string) bool {
+	for _, p := range atomicOpPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// atomicUseRec is one access to a tracked field.
+type atomicUseRec struct {
+	Fn    *FuncInfo
+	Pos   token.Pos
+	Write bool
+}
+
+// atomicFacts is the cross-package atomic-access index, cached on Program.
+type atomicFacts struct {
+	atomicUse map[string][]atomicUseRec // field key → atomic accesses
+	plainUse  map[string][]atomicUseRec // field key → plain accesses (production, unowned)
+	misuse    []guardProblem            // atomic-typed fields copied/assigned directly
+}
+
+func fieldKey(owner TypeRef, field string) string {
+	return owner.Pkg + "." + owner.Name + "." + field
+}
+
+func fieldShort(owner TypeRef, field string) string {
+	return shortPkg(owner.Pkg) + "." + owner.Name + "." + field
+}
+
+// atomicFactsOf builds (or returns the cached) atomicmix facts. Two sweeps:
+// the first records atomic-style uses and marks the selector positions they
+// consume; the second classifies every remaining selector access.
+func atomicFactsOf(pr *Program) *atomicFacts {
+	if pr.atomics != nil {
+		return pr.atomics
+	}
+	af := &atomicFacts{
+		atomicUse: map[string][]atomicUseRec{},
+		plainUse:  map[string][]atomicUseRec{},
+	}
+	type funcCtx struct {
+		info     *FuncInfo
+		env      *typeEnv
+		consumed map[token.Pos]bool // selector positions already accounted atomic
+		owned    map[string]bool
+		exempt   bool
+	}
+	var ctxs []*funcCtx
+	for _, info := range pr.FuncsSorted() {
+		if info.Decl.Body == nil || info.TestFile {
+			continue
+		}
+		env := pr.Env(info)
+		fc := &funcCtx{
+			info: info, env: env,
+			consumed: map[token.Pos]bool{},
+			owned:    ownedLocals(env, info.Decl.Body),
+			exempt:   funcIsOwned(info.Decl),
+		}
+		ctxs = append(ctxs, fc)
+		imports := importMap(info.File)
+		ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// atomic.AddInt64(&x.f, …): the addressed field is an atomic use.
+			if id, ok := sel.X.(*ast.Ident); ok && imports[id.Name] == "sync/atomic" &&
+				isAtomicOpName(sel.Sel.Name) && len(call.Args) > 0 {
+				if fsel, ok := addressedSelector(call.Args[0]); ok {
+					if owner := env.typeOf(fsel.X); !owner.zero() {
+						key := fieldKey(owner, fsel.Sel.Name)
+						af.atomicUse[key] = append(af.atomicUse[key],
+							atomicUseRec{Fn: info, Pos: fsel.Sel.Pos(), Write: !strings.HasPrefix(sel.Sel.Name, "Load")})
+						fc.consumed[fsel.Pos()] = true
+					}
+				}
+				return true
+			}
+			// x.f.Load() on an atomic-typed field: proper method use.
+			if inner, ok := sel.X.(*ast.SelectorExpr); ok && atomicMethodNames[sel.Sel.Name] {
+				if owner := env.typeOf(inner.X); !owner.zero() {
+					if ft := pr.fields[owner][inner.Sel.Name]; ft.Pkg == "sync/atomic" {
+						key := fieldKey(owner, inner.Sel.Name)
+						af.atomicUse[key] = append(af.atomicUse[key],
+							atomicUseRec{Fn: info, Pos: inner.Sel.Pos(), Write: sel.Sel.Name != "Load"})
+						fc.consumed[inner.Pos()] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	// Second sweep: plain selector accesses on tracked or atomic-typed
+	// fields. Write positions come from assignment/inc-dec targets.
+	for _, fc := range ctxs {
+		writes := writeTargets(fc.info.Decl.Body)
+		ast.Inspect(fc.info.Decl.Body, func(n ast.Node) bool {
+			// &x.f on an atomic-typed field is a legitimate handle hand-off
+			// (e.g. passing the counter to a helper); don't descend into it.
+			if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				if fsel, ok := addressedSelector(u); ok {
+					if owner := fc.env.typeOf(fsel.X); !owner.zero() {
+						if ft := pr.fields[owner][fsel.Sel.Name]; ft.Pkg == "sync/atomic" {
+							return false
+						}
+					}
+				}
+			}
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if fc.consumed[sel.Pos()] {
+				return true
+			}
+			owner := fc.env.typeOf(sel.X)
+			if owner.zero() {
+				return true
+			}
+			if fc.exempt || fc.info.ResultType == owner || fc.owned[baseIdentName(sel.X)] {
+				return true
+			}
+			rec := atomicUseRec{Fn: fc.info, Pos: sel.Sel.Pos(), Write: writes[sel.Sel.Pos()]}
+			if ft := pr.fields[owner][sel.Sel.Name]; ft.Pkg == "sync/atomic" {
+				af.misuse = append(af.misuse, guardProblem{Pos: sel.Sel.Pos(),
+					Msg: fmt.Sprintf("field %s has atomic type atomic.%s; copying or assigning it directly bypasses Load/Store (and copies its internal state)",
+						fieldShort(owner, sel.Sel.Name), ft.Name)})
+				return true
+			}
+			af.plainUse[fieldKey(owner, sel.Sel.Name)] = append(
+				af.plainUse[fieldKey(owner, sel.Sel.Name)], rec)
+			return true
+		})
+	}
+	pr.atomics = af
+	return af
+}
+
+// addressedSelector unwraps &x.f (through parens) to the selector.
+func addressedSelector(e ast.Expr) (*ast.SelectorExpr, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil, false
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			return x, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// writeTargets collects the positions of selector fields appearing as
+// assignment or inc/dec targets.
+func writeTargets(body *ast.BlockStmt) map[token.Pos]bool {
+	out := map[token.Pos]bool{}
+	mark := func(e ast.Expr) {
+		for {
+			switch x := e.(type) {
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.SelectorExpr:
+				out[x.Sel.Pos()] = true
+				return
+			default:
+				return
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range st.Lhs {
+				mark(l)
+			}
+		case *ast.IncDecStmt:
+			mark(st.X)
+		}
+		return true
+	})
+	return out
+}
+
+// ownedLocals approximates guardedby's flow-based ownership for a whole
+// body: locals whose (only recorded) binding is a freshly constructed
+// value. A later rebinding to anything else revokes ownership.
+func ownedLocals(env *typeEnv, body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+				return true
+			}
+			if id, ok := st.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				if freshValueExpr(env, st.Rhs[0]) {
+					out[id.Name] = true
+				} else {
+					delete(out, id.Name)
+				}
+			}
+		case *ast.ValueSpec:
+			if len(st.Names) == 1 && len(st.Values) == 1 && st.Names[0].Name != "_" &&
+				freshValueExpr(env, st.Values[0]) {
+				out[st.Names[0].Name] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// freshValueExpr reports whether e constructs a value no other goroutine
+// can reference yet.
+func freshValueExpr(env *typeEnv, e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, lit := x.X.(*ast.CompositeLit)
+			return lit
+		}
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+		if ref, ok := env.resolveCall(x); ok {
+			return strings.HasPrefix(ref.Name, "New") || strings.HasPrefix(ref.Name, "Open")
+		}
+	}
+	return false
+}
+
+// baseIdentName returns the base-most identifier of a selector/index chain,
+// or "".
+func baseIdentName(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+func runAtomicMix(pass *Pass) {
+	af := atomicFactsOf(pass.Prog)
+	own := map[string]bool{}
+	for _, f := range pass.Pkg.Files {
+		own[pass.Pkg.Fset.Position(f.Pos()).Filename] = true
+	}
+	for _, p := range af.misuse {
+		if own[pass.Pkg.Fset.Position(p.Pos).Filename] {
+			pass.Reportf(p.Pos, "%s", p.Msg)
+		}
+	}
+	keys := make([]string, 0, len(af.plainUse))
+	for k := range af.plainUse {
+		if len(af.atomicUse[k]) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		// Name one atomic-side function in the message (the smallest key,
+		// for determinism) so the reader sees both halves of the mix.
+		atomicFn := ""
+		for _, u := range af.atomicUse[key] {
+			if fn := u.Fn.Ref.Short(); atomicFn == "" || fn < atomicFn {
+				atomicFn = fn
+			}
+		}
+		short := key
+		if i := strings.LastIndexByte(key, '/'); i >= 0 {
+			short = key[i+1:]
+		}
+		for _, u := range af.plainUse[key] {
+			if !own[pass.Pkg.Fset.Position(u.Pos).Filename] {
+				continue
+			}
+			kind := "read"
+			if u.Write {
+				kind = "write"
+			}
+			pass.Reportf(u.Pos, "plain %s of field %s, which %s accesses via sync/atomic; mixed access tears",
+				kind, short, atomicFn)
+		}
+	}
+}

@@ -175,3 +175,34 @@ func DiffEscapes(sites []EscapeSite, baseline map[string]bool) (newSites []Escap
 	sort.Strings(stale)
 	return newSites, stale
 }
+
+// PruneEscapeBaseline rewrites the baseline keeping only entries the
+// current tree still reports, preserving comments and order. It returns
+// the removed (stale) entries. The gate treats stale entries as failures:
+// a baseline that over-claims hides the moment an escape genuinely comes
+// back.
+func PruneEscapeBaseline(path string, sites []EscapeSite) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	current := map[string]bool{}
+	for _, s := range sites {
+		current[s.String()] = true
+	}
+	var b strings.Builder
+	var removed []string
+	for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		trimmed := strings.TrimSpace(strings.TrimRight(line, "\r"))
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") || current[strings.TrimRight(line, "\r")] {
+			b.WriteString(strings.TrimRight(line, "\r"))
+			b.WriteByte('\n')
+			continue
+		}
+		removed = append(removed, strings.TrimRight(line, "\r"))
+	}
+	if len(removed) == 0 {
+		return nil, nil
+	}
+	return removed, os.WriteFile(path, []byte(b.String()), 0o644)
+}

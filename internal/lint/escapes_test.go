@@ -102,3 +102,33 @@ func TestHotSetContainsExecutorCore(t *testing.T) {
 		t.Errorf("colstore.Column.Get should be hot via a call chain, got (%q, %v)", chain, ok)
 	}
 }
+
+func TestPruneEscapeBaseline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "escapes_baseline.txt")
+	a := EscapeSite{File: "a.go", Func: "p.f", Msg: "x escapes to heap"}
+	b := EscapeSite{File: "b.go", Func: "p.g", Msg: "y escapes to heap"}
+	if err := WriteEscapeBaseline(path, []EscapeSite{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	// b vanished from the tree: prune drops exactly it, keeps comments + a.
+	removed, err := PruneEscapeBaseline(path, []EscapeSite{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != b.String() {
+		t.Fatalf("removed = %v, want [%q]", removed, b.String())
+	}
+	baseline, err := ReadEscapeBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baseline) != 1 || !baseline[a.String()] {
+		t.Fatalf("pruned baseline = %v, want only %q", baseline, a.String())
+	}
+	// Already-clean baseline: prune is a no-op and reports nothing.
+	removed, err = PruneEscapeBaseline(path, []EscapeSite{a})
+	if err != nil || removed != nil {
+		t.Fatalf("no-op prune: removed=%v err=%v", removed, err)
+	}
+}

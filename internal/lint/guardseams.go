@@ -1,0 +1,79 @@
+package lint
+
+// This file is the checked-in seam table guardcall enforces: the remote
+// boundaries every production call path must reach through fed.Caller
+// (concretely fed.GuardedCall — breaker + retry + fault site + span), and
+// the caller types whose Call method constitutes the guard. The table is
+// data, not discovery: adding a new remote seam means adding a row here,
+// which is exactly the review moment the analyzer exists to create.
+
+// SeamRef names one guarded-boundary method: calls to it (resolved by
+// receiver type) must be wrapped in a closure passed to fed.Caller.Call,
+// or occur in a function only ever reached through such closures.
+type SeamRef struct {
+	Pkg    string // import path of the receiver type
+	Type   string // receiver type name (interface or concrete)
+	Method string
+}
+
+func (s SeamRef) short() string {
+	return shortPkg(s.Pkg) + "." + s.Type + "." + s.Method
+}
+
+// GuardSeams is the boundary table. dist.Transport.Run is the shard-fleet
+// wire (dist.Local is its in-process implementation, listed so direct
+// calls on the concrete type are held to the same rule); fed.Adapter.Query
+// and fed.FunctionAdapter.CallFunction are the legacy federated seams.
+var GuardSeams = []SeamRef{
+	{Pkg: "hana/internal/dist", Type: "Transport", Method: "Run"},
+	{Pkg: "hana/internal/dist", Type: "Local", Method: "Run"},
+	{Pkg: "hana/internal/fed", Type: "Adapter", Method: "Query"},
+	{Pkg: "hana/internal/fed", Type: "FunctionAdapter", Method: "CallFunction"},
+}
+
+// guardCallerTypes are the receiver types whose Call(ctx, target, kind,
+// site, fn) invocation is the guard wrapper.
+var guardCallerTypes = []TypeRef{
+	{Pkg: "hana/internal/fed", Name: "Caller"},
+	{Pkg: "hana/internal/fed", Name: "GuardedCall"},
+}
+
+// faultsInjectorType is the fault-injection schedule; its Check call sites
+// declare boundary sites and its Fail*/Latency calls exercise them.
+var faultsInjectorType = TypeRef{Pkg: "hana/internal/faults", Name: "Injector"}
+
+// scheduleMethods are the Injector methods that arm a fault at a site —
+// the "exercised" side of the fault-site coverage gate.
+var scheduleMethods = map[string]bool{
+	"FailN": true, "FailWith": true, "FailFatal": true,
+	"FailAfter": true, "FailProb": true, "Latency": true,
+}
+
+func isGuardCallerType(t TypeRef) bool {
+	for _, c := range guardCallerTypes {
+		if t == c {
+			return true
+		}
+	}
+	return false
+}
+
+func seamFor(t TypeRef, method string) *SeamRef {
+	for i := range GuardSeams {
+		s := &GuardSeams[i]
+		if s.Method == method && s.Pkg == t.Pkg && s.Type == t.Name {
+			return s
+		}
+	}
+	return nil
+}
+
+// seamMethodNames is used to exempt implementation bodies: a method named
+// like a seam (on any receiver) sits below the boundary, not above it.
+var seamMethodNames = func() map[string]bool {
+	out := map[string]bool{}
+	for _, s := range GuardSeams {
+		out[s.Method] = true
+	}
+	return out
+}()

@@ -84,6 +84,9 @@ func Analyzers() []*Analyzer {
 		BoxVal,
 		StringCmp,
 		DeferHot,
+		GuardedBy,
+		AtomicMix,
+		GuardCall,
 	}
 }
 
@@ -116,6 +119,7 @@ func Run(pkgs map[string]*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		out = append(out, d)
 	}
+	out = append(out, dirs.stale(analyzers)...)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -132,30 +136,66 @@ func Run(pkgs map[string]*Package, analyzers []*Analyzer) []Diagnostic {
 	return out
 }
 
-// directive is one parsed //lint:ignore comment.
+// directive is one parsed //lint:ignore comment. used tracks whether it
+// suppressed at least one finding this run, so rotted suppressions can be
+// reported.
 type directive struct {
 	analyzer string
 	reason   string
+	pos      token.Position
+	used     bool
 }
 
 // directiveSet maps file → line → directives declared on that line.
-type directiveSet map[string]map[int][]directive
+type directiveSet map[string]map[int][]*directive
 
 // suppresses reports whether a directive on the diagnostic's line or the
-// line directly above names its analyzer.
+// line directly above names its analyzer, marking every matching directive
+// as used.
 func (s directiveSet) suppresses(d Diagnostic) bool {
 	lines := s[d.Pos.Filename]
 	if lines == nil {
 		return false
 	}
+	hit := false
 	for _, ln := range []int{d.Pos.Line, d.Pos.Line - 1} {
 		for _, dir := range lines[ln] {
 			if dir.analyzer == d.Analyzer || dir.analyzer == "*" {
-				return true
+				dir.used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
+}
+
+// stale reports directives that suppressed nothing: the finding they once
+// silenced is gone, so the suppression (and its rationale) is rot. Only
+// directives naming an analyzer in the current run set are judged — a
+// partial run cannot know whether an un-run analyzer would have fired —
+// and wildcard ("*") directives are never judged for the same reason.
+func (s directiveSet) stale(analyzers []*Analyzer) []Diagnostic {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, lines := range s {
+		for _, dirs := range lines {
+			for _, dir := range dirs {
+				if dir.used || dir.analyzer == "*" || !ran[dir.analyzer] {
+					continue
+				}
+				out = append(out, Diagnostic{
+					Pos:      dir.pos,
+					Analyzer: "lint",
+					Message: fmt.Sprintf("stale //lint:ignore %s directive: no %s finding here to suppress",
+						dir.analyzer, dir.analyzer),
+				})
+			}
+		}
+	}
+	return out
 }
 
 const directivePrefix = "//lint:ignore"
@@ -186,10 +226,10 @@ func collectDirectives(pkgs map[string]*Package) (directiveSet, []Diagnostic) {
 						continue
 					}
 					if set[pos.Filename] == nil {
-						set[pos.Filename] = map[int][]directive{}
+						set[pos.Filename] = map[int][]*directive{}
 					}
 					set[pos.Filename][pos.Line] = append(set[pos.Filename][pos.Line],
-						directive{analyzer: fields[0], reason: strings.TrimSpace(fields[1])})
+						&directive{analyzer: fields[0], reason: strings.TrimSpace(fields[1]), pos: pos})
 				}
 			}
 		}

@@ -139,6 +139,7 @@ func TestNewAnalyzersDeterministic(t *testing.T) {
 	for _, a := range []*lint.Analyzer{
 		lint.LockOrder, lint.CtxFlow, lint.ResLeak,
 		lint.HotAlloc, lint.BoxVal, lint.StringCmp, lint.DeferHot,
+		lint.GuardedBy, lint.AtomicMix, lint.GuardCall,
 	} {
 		var first string
 		for i := 0; i < 50; i++ {
@@ -204,8 +205,10 @@ func TestFilterPatterns(t *testing.T) {
 	want := []string{
 		"hana/internal/ctxflow", "hana/internal/depapi",
 		"hana/internal/depapi/api", "hana/internal/diskstore",
-		"hana/internal/engine", "hana/internal/faults",
-		"hana/internal/remote", "hana/internal/txn",
+		"hana/internal/dist", "hana/internal/engine",
+		"hana/internal/faults", "hana/internal/fed",
+		"hana/internal/guardwire", "hana/internal/remote",
+		"hana/internal/txn",
 	}
 	if fmt.Sprint(paths) != fmt.Sprint(want) {
 		t.Errorf("Filter(./internal/...) = %v, want %v", paths, want)

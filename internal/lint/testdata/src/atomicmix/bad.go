@@ -1,0 +1,32 @@
+// Fixture: the torn-counter bugs atomicmix exists for — a field bumped
+// through sync/atomic in one function and read or written plainly in
+// another, and an atomic.Int64-typed field copied instead of Loaded.
+package atomicmix
+
+import "sync/atomic"
+
+// Gauge is the misbehaving owner type.
+type Gauge struct {
+	val   int64
+	ticks atomic.Int64
+}
+
+// Bump is the atomic half of the mix.
+func (g *Gauge) Bump() {
+	atomic.AddInt64(&g.val, 1)
+}
+
+// Read is the plain half: it can observe a torn value.
+func (g *Gauge) Read() int64 {
+	return g.val // want atomicmix
+}
+
+// Clobber writes plainly over the atomic counter.
+func (g *Gauge) Clobber() {
+	g.val = 0 // want atomicmix
+}
+
+// Copy bypasses the atomic.Int64 method set entirely.
+func (g *Gauge) Copy() atomic.Int64 {
+	return g.ticks // want atomicmix
+}

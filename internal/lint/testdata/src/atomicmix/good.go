@@ -1,0 +1,54 @@
+// Fixture: consistent atomic discipline that atomicmix must accept —
+// every access to a counter goes through sync/atomic (or the method set
+// of an atomic.Int64-family field), constructors initialize plainly while
+// the value is still owned, and &field hand-offs keep the handle usable.
+package atomicmix
+
+import "sync/atomic"
+
+// Meter mixes nothing: hits is always atomic, epoch always through the
+// typed method set.
+type Meter struct {
+	hits  int64
+	epoch atomic.Int64
+}
+
+// NewMeter owns the value it builds: plain initialization is fine.
+func NewMeter(start int64) *Meter {
+	m := &Meter{}
+	m.hits = start
+	return m
+}
+
+// Hit bumps the counter atomically.
+func (m *Meter) Hit() {
+	atomic.AddInt64(&m.hits, 1)
+}
+
+// Snapshot reads both counters through the proper APIs.
+func (m *Meter) Snapshot() (int64, int64) {
+	return atomic.LoadInt64(&m.hits), m.epoch.Load()
+}
+
+// Advance bumps the typed counter through its method set.
+func (m *Meter) Advance() {
+	m.epoch.Add(1)
+}
+
+// handOff passes the typed counter's address to a helper: a legitimate
+// handle, not a copy.
+func handOff(m *Meter) *atomic.Int64 {
+	return &m.epoch
+}
+
+// hana:owned metrics are reset only during single-threaded test setup
+func resetMeter(m *Meter) {
+	m.hits = 0
+}
+
+// scratchMeter works on a freshly built local before publishing it.
+func scratchMeter() *Meter {
+	tmp := NewMeter(0)
+	tmp.hits = 10
+	return tmp
+}

@@ -1,0 +1,82 @@
+// Fixture: the guardedby violations — bare reads and writes of annotated
+// fields, writes under RLock, goroutine closures losing the held set,
+// helpers whose call sites disagree about the lock, and malformed
+// annotations. A stale //lint:ignore naming guardedby is reported too.
+package guardedby
+
+import "sync"
+
+// Vault is the misbehaving owner type.
+type Vault struct {
+	mu sync.RWMutex
+
+	// hana:guardedby mu
+	gold int64
+	// want +1 guardedby
+	// hana:guardedby vaultDoor
+	silver int64
+}
+
+// Sneak reads and writes gold with no lock at all.
+func (v *Vault) Sneak() int64 {
+	v.gold++        // want guardedby
+	return v.gold   // want guardedby
+}
+
+// Skim takes only the read lock but writes.
+func (v *Vault) Skim() {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	v.gold-- // want guardedby
+}
+
+// HalfLocked releases the lock on one branch and keeps writing.
+func (v *Vault) HalfLocked(early bool) {
+	v.mu.Lock()
+	if early {
+		v.mu.Unlock()
+		v.gold = 0 // want guardedby
+		return
+	}
+	v.gold = 1
+	v.mu.Unlock()
+}
+
+// Spawn holds the lock, but the goroutine body runs concurrently: the
+// held set must not leak into it.
+func (v *Vault) Spawn(wg *sync.WaitGroup) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	go func() {
+		defer wg.Done()
+		v.gold = 7 // want guardedby
+	}()
+}
+
+// drain has two production call sites, only one of which holds the lock,
+// so its entry seed is empty and the bare write is a finding.
+func (v *Vault) drain() {
+	v.gold = 0 // want guardedby
+}
+
+// DrainLocked calls drain under the lock…
+func (v *Vault) DrainLocked() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.drain()
+}
+
+// DrainRacy …and this call site does not.
+func (v *Vault) DrainRacy() {
+	v.drain()
+}
+
+// stale suppression: there is no guardedby finding on the next line, so
+// the directive itself is rot.
+func (v *Vault) Audited() int64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	// want +1 lint
+	//lint:ignore guardedby reads are fine under RLock, nothing to suppress
+	return v.gold
+}

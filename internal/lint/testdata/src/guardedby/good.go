@@ -1,0 +1,80 @@
+// Fixture: every annotated-field access that guardedby must accept —
+// straight-line lock/unlock, deferred unlock, RLock reads, branch-local
+// arms, closures inheriting the held set, interprocedurally seeded
+// helpers, and the three ownership exemptions (constructor result type,
+// freshly constructed locals, //hana:owned functions).
+package guardedby
+
+import "sync"
+
+// Ledger is the well-behaved owner type.
+type Ledger struct {
+	mu sync.RWMutex
+
+	// hana:guardedby mu
+	balance int64
+	entries []string // hana:guardedby mu
+}
+
+// NewLedger is a constructor: it returns the owner type, so its bare
+// writes are ownership, not races.
+func NewLedger() *Ledger {
+	l := &Ledger{}
+	l.balance = 0
+	l.entries = nil
+	return l
+}
+
+// Deposit holds the exclusive lock across both writes.
+func (l *Ledger) Deposit(n int64, note string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.balance += n
+	l.entries = append(l.entries, note)
+}
+
+// Balance reads under RLock.
+func (l *Ledger) Balance() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.balance
+}
+
+// replay is only ever called with l.mu held (see Reset), so the
+// interprocedural entry seed blesses its bare writes.
+func (l *Ledger) replay(notes []string) {
+	for _, n := range notes {
+		l.entries = append(l.entries, n)
+		l.balance++
+	}
+}
+
+// Reset demonstrates branch-local arms and the seeded helper: both the
+// if and the else run under the lock, as does the closure.
+func (l *Ledger) Reset(hard bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if hard {
+		l.balance = 0
+	} else {
+		l.entries = l.entries[:0]
+	}
+	flush := func() { l.balance = 0 }
+	flush()
+	l.replay(nil)
+}
+
+// scratch builds a fresh Ledger in a local: bare access to an owned value
+// is constructor-time initialization, not a race.
+func scratch(notes []string) *Ledger {
+	tmp := &Ledger{}
+	tmp.entries = notes
+	tmp.balance = int64(len(notes))
+	return tmp
+}
+
+// hana:owned called once from main before any goroutine starts
+func seed(l *Ledger) {
+	l.balance = 42
+	l.entries = []string{"seed"}
+}

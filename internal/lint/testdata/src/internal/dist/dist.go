@@ -1,0 +1,19 @@
+// Package dist is the fixture stand-in for hana/internal/dist: it carries
+// the guarded-boundary seam types from guardcall's seam table — the
+// Transport interface and its in-process Local implementation.
+package dist
+
+import "context"
+
+// Transport ships one plan fragment to a worker shard.
+type Transport interface {
+	Run(ctx context.Context, shard int, fragment string) error
+}
+
+// Local is the in-process Transport.
+type Local struct{}
+
+// Run executes the fragment against the local shard mirror.
+func (l *Local) Run(ctx context.Context, shard int, fragment string) error {
+	return nil
+}

@@ -11,6 +11,10 @@ type Injector struct{}
 // Check consults the schedule for one site.
 func (in *Injector) Check(site string) error { return nil }
 
+// FailN arms a fault schedule at site — the "exercised" half of
+// guardcall's fault-site coverage gate.
+func (in *Injector) FailN(site string, n int) {}
+
 // RetryPolicy is the retry-layer stand-in.
 type RetryPolicy struct{}
 

@@ -1,0 +1,19 @@
+// Package fed is the fixture stand-in for hana/internal/fed: the Caller
+// interface and GuardedCall implementation whose Call method is the guard
+// wrapper guardcall demands around every remote seam.
+package fed
+
+import "context"
+
+// Caller routes one remote attempt through breaker, retry and fault site.
+type Caller interface {
+	Call(ctx context.Context, target, kind, site string, fn func() error) error
+}
+
+// GuardedCall is the production Caller.
+type GuardedCall struct{}
+
+// Call runs fn under the guard machinery.
+func (g *GuardedCall) Call(ctx context.Context, target, kind, site string, fn func() error) error {
+	return fn()
+}

@@ -1,0 +1,33 @@
+// Fixture: the guardcall violations — a seam hit with no guard on any
+// path, a guarded closure also invoked bare, and a fault site declared at
+// a boundary that no schedule ever exercises.
+package guardwire
+
+import (
+	"context"
+
+	"hana/internal/dist"
+	"hana/internal/faults"
+	"hana/internal/fed"
+)
+
+// Straight hits the transport with no guard anywhere on the path.
+func Straight(ctx context.Context, t dist.Transport, frag string) error {
+	return t.Run(ctx, 0, frag) // want guardcall
+}
+
+// Sometimes guards one path and invokes the closure bare on the other —
+// the bare arm silently skips breaker, retries and fault injection.
+func Sometimes(ctx context.Context, caller fed.Caller, t dist.Transport, frag string, remote bool) error {
+	attempt := func() error { return t.Run(ctx, 2, frag) }
+	if remote {
+		return caller.Call(ctx, "worker-2", "fragment", "dist.shard.2.run", attempt)
+	}
+	return attempt() // want guardcall
+}
+
+// Orphan declares a fault site no schedule exercises: chaos coverage that
+// silently rotted.
+func Orphan(inj *faults.Injector) error {
+	return inj.Check("fed.orphan.site") // want guardcall
+}

@@ -1,0 +1,46 @@
+// Fixture: guarded-boundary discipline done right — seam calls wrapped in
+// closures handed to fed.Caller.Call (directly or through a bound local),
+// a helper blessed by the guarded-entry fixpoint, and every declared
+// fault site exercised by a schedule.
+package guardwire
+
+import (
+	"context"
+
+	"hana/internal/dist"
+	"hana/internal/faults"
+	"hana/internal/fed"
+)
+
+// Dispatch reaches the transport only through the guard; the closure is
+// bound to a local first, mirroring the coordinator's attempt pattern.
+func Dispatch(ctx context.Context, caller fed.Caller, t dist.Transport, frag string) error {
+	attempt := func() error { return t.Run(ctx, 0, frag) }
+	return caller.Call(ctx, "worker-0", "fragment", "dist.shard.0.run", attempt)
+}
+
+// runShard calls the seam directly, but every production path to it goes
+// through a guarded closure — the guarded-entry fixpoint accepts it.
+func runShard(ctx context.Context, t dist.Transport, frag string) error {
+	return t.Run(ctx, 1, frag)
+}
+
+// DispatchDeep routes the helper through the guard.
+func DispatchDeep(ctx context.Context, caller fed.Caller, t dist.Transport, frag string) error {
+	return caller.Call(ctx, "worker-1", "fragment", "dist.shard.1.run", func() error {
+		return runShard(ctx, t, frag)
+	})
+}
+
+// Probe declares a boundary site the schedule below exercises.
+func Probe(inj *faults.Injector) error {
+	return inj.Check("fed.probe.ping")
+}
+
+// Chaos arms schedules covering every site this package declares: the
+// injector's hierarchy means "dist.shard" fires for dist.shard.0.run and
+// every sibling.
+func Chaos(inj *faults.Injector) {
+	inj.FailN("dist.shard", 1)
+	inj.FailN("fed.probe", 3)
+}

@@ -191,7 +191,6 @@ func savepointMemberWritten(path string, data []byte) error {
 		return err
 	}
 	if len(data) == 0 {
-		//lint:ignore errdrop the empty-member error is what matters; close is cleanup
 		_ = w.Close()
 		return errors.New("empty member")
 	}

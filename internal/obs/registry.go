@@ -104,10 +104,13 @@ var LatencyBoundsUs = []int64{100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000
 // updates go straight to the returned metric's atomics, so hot paths are
 // lock-free once the metric handle is cached.
 type Registry struct {
-	mu       sync.RWMutex
+	mu sync.RWMutex
+	// hana:guardedby mu
 	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	// hana:guardedby mu
+	gauges map[string]*Gauge
+	// hana:guardedby mu
+	hists map[string]*Histogram
 }
 
 // NewRegistry creates an empty registry.

@@ -28,11 +28,16 @@ type Attr struct {
 type Span struct {
 	name string
 
-	mu       sync.Mutex
-	start    time.Time
-	end      time.Time
-	attrs    []Attr
-	notes    []string
+	mu sync.Mutex
+	// hana:guardedby mu
+	start time.Time
+	// hana:guardedby mu
+	end time.Time
+	// hana:guardedby mu
+	attrs []Attr
+	// hana:guardedby mu
+	notes []string
+	// hana:guardedby mu
 	children []*Span
 }
 
@@ -171,7 +176,8 @@ type QueryTrace struct {
 	statement string
 	root      *Span
 
-	mu  sync.Mutex
+	mu sync.Mutex
+	// hana:guardedby mu
 	err string
 }
 
@@ -308,8 +314,11 @@ func (t *QueryTrace) Topology() string {
 type TraceRing struct {
 	mu   sync.Mutex
 	size int
-	buf  []*QueryTrace
+	// hana:guardedby mu
+	buf []*QueryTrace
+	// hana:guardedby mu
 	next int
+	// hana:guardedby mu
 	full bool
 }
 

@@ -40,7 +40,8 @@ type viewEntry struct {
 // ViewRegistry is the typed system-view registry. Names are
 // case-insensitive; re-registering a name replaces the previous view.
 type ViewRegistry struct {
-	mu    sync.RWMutex
+	mu sync.RWMutex
+	// hana:guardedby mu
 	views map[string]*viewEntry
 }
 

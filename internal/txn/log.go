@@ -136,30 +136,45 @@ type ReplayStats struct {
 // serialized; each record is framed with an LSN and a CRC32 and written
 // with a single write call, so a crash can only ever tear the tail.
 type Log struct {
-	mu      sync.Mutex
-	f       *os.File
-	path    string
-	mem     []Record // used when f == nil
-	nextLSN uint64   // next LSN to assign
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	// mem backs the log when f == nil.
+	// hana:guardedby mu
+	mem []Record
+	// nextLSN is the next LSN to assign.
+	// hana:guardedby mu
+	nextLSN uint64
 
-	policy    SyncPolicy
-	inj       *faults.Injector
-	reg       *obs.Registry
-	written   int64 // file offset after the last valid record
-	durable   int64 // file offset covered by the last successful fsync
+	policy SyncPolicy
+	inj    *faults.Injector
+	reg    *obs.Registry
+	// written is the file offset after the last valid record.
+	// hana:guardedby mu
+	written int64
+	// durable is the file offset covered by the last successful fsync.
+	// hana:guardedby mu
+	durable int64
+	// hana:guardedby mu
 	sinceSync int
 
-	appends     int64
-	bytes       int64
-	syncs       int64
-	tornTails   int64
+	// hana:guardedby mu
+	appends int64
+	// hana:guardedby mu
+	bytes int64
+	// hana:guardedby mu
+	syncs int64
+	// hana:guardedby mu
+	tornTails int64
+	// hana:guardedby mu
 	truncations int64
 }
 
-// OpenLog opens (creating if needed) a file-backed WAL. The existing
-// content is scanned to find the end of the valid record prefix: appends
-// resume there, so a torn tail left by a crash is overwritten rather than
-// extended.
+// initFromFile scans the existing content for the end of the valid record
+// prefix: appends resume there, so a torn tail left by a crash is
+// overwritten rather than extended.
+//
+// hana:owned called only from OpenLog before the Log is published
 func (l *Log) initFromFile() error {
 	st, err := l.f.Stat()
 	if err != nil {

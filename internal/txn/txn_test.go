@@ -198,6 +198,34 @@ func TestInjectedFailures(t *testing.T) {
 	if len(m.InDoubt()) != 0 {
 		t.Fatal("resolve must drain the in-doubt branch")
 	}
+
+	// Abort-side resolution is guarded by its own fault site: a failed
+	// abort delivery keeps the branch in-doubt until a retry lands.
+	inj.FailN("txn.commit.ext", 1)
+	tx3 := m.Begin()
+	tx3.Enlist(p)
+	if _, err := m.Commit(tx3); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.InDoubt()) != 1 {
+		t.Fatal("injected commit failure must leave in-doubt")
+	}
+	inj.FailN("txn.abort.ext", 1)
+	if err := m.Resolve(tx3.TID, p, false); err == nil {
+		t.Fatal("injected abort failure must surface")
+	}
+	if len(m.InDoubt()) != 1 {
+		t.Fatal("failed abort delivery must keep the branch in-doubt")
+	}
+	if err := m.Resolve(tx3.TID, p, false); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.InDoubt()) != 0 {
+		t.Fatal("abort resolution must drain the in-doubt branch")
+	}
+	if len(p.aborted) != 1 || p.aborted[0] != tx3.TID {
+		t.Fatalf("participant abort deliveries = %v", p.aborted)
+	}
 }
 
 func TestWALReplayAndRecovery(t *testing.T) {

@@ -13,9 +13,16 @@ import (
 type RowVersions struct {
 	mu sync.RWMutex
 
-	insCID []uint64 // 0 = inserted by in-flight txn (see insTID)
+	// insCID holds 0 when the row was inserted by an in-flight txn (see
+	// insTID).
+	// hana:guardedby mu
+	insCID []uint64
+	// hana:guardedby mu
 	insTID []uint64
-	delCID []uint64 // 0 = not deleted (unless delTID set)
+	// delCID holds 0 when the row is not deleted (unless delTID is set).
+	// hana:guardedby mu
+	delCID []uint64
+	// hana:guardedby mu
 	delTID []uint64
 }
 
